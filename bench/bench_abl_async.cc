@@ -1,0 +1,81 @@
+// Ablation A7: hop-count accounting vs message-level simulation. The
+// recursive engine charges latency the way Lemmas 1-3 do (forward hops
+// only); the asynchronous simulator runs the same queries as explicit
+// messages with unit link delays, where responses also ride the clock.
+// Work (visits, messages) must match exactly; completion time shows what
+// an operator would actually wait, under uniform and heterogeneous
+// (10x cross-partition) delay models.
+
+#include "bench_common.h"
+#include "queries/topk.h"
+#include "ripple/engine.h"
+#include "sim/async_engine.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Ablation A7",
+              "lemma-style hop accounting vs asynchronous message "
+              "simulation (NBA-like, d=6, k=10)");
+  Rng data_rng(config.seed * 7919 + 31);
+  const TupleVec nba = data::MakeNbaLike(22000, 6, &data_rng);
+
+  const char* cols[4] = {"hops(engine)", "time(unit)", "time(wan10x)",
+                         "visits"};
+  std::vector<std::string> xs;
+  std::vector<Series> fast(4), slow(4);
+  for (int i = 0; i < 4; ++i) {
+    fast[i].name = cols[i];
+    slow[i].name = cols[i];
+  }
+  for (size_t n : config.NetworkSizes()) {
+    if (n > 4096) break;  // the async run allocates per-session state
+    StatsAccumulator hop_f, hop_s;
+    double unit_f = 0, unit_s = 0, wan_f = 0, wan_s = 0, vis_f = 0,
+           vis_s = 0;
+    size_t samples = 0;
+    for (size_t net = 0; net < config.nets; ++net) {
+      const uint64_t seed = config.seed + net * 151 + n;
+      const MidasOverlay overlay = BuildMidas(n, 6, seed, nba);
+      Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
+      AsyncEngine<MidasOverlay, TopKPolicy> unit(&overlay, TopKPolicy{});
+      const PeerId half = static_cast<PeerId>(n / 2);
+      AsyncEngine<MidasOverlay, TopKPolicy> wan(
+          &overlay, TopKPolicy{}, [half](PeerId a, PeerId b) {
+            return ((a < half) != (b < half)) ? 10.0 : 1.0;
+          });
+      Rng rng(seed ^ 0x777);
+      const size_t queries = std::max<size_t>(1, config.queries / 4);
+      for (size_t q = 0; q < queries; ++q) {
+        const LinearScorer scorer = RandomPreferenceScorer(6, &rng);
+        const TopKQuery query{&scorer, 10};
+        const PeerId initiator = overlay.RandomPeer(&rng);
+        for (int r : {0, kRippleSlow}) {
+          const auto sync = engine.Run(initiator, query, r);
+          const auto a_unit = unit.Run(initiator, query, r);
+          const auto a_wan = wan.Run(initiator, query, r);
+          (r == 0 ? hop_f : hop_s).Add(sync.stats);
+          (r == 0 ? unit_f : unit_s) += a_unit.completion_time;
+          (r == 0 ? wan_f : wan_s) += a_wan.completion_time;
+          (r == 0 ? vis_f : vis_s) += a_unit.stats.peers_visited;
+        }
+        ++samples;
+      }
+    }
+    xs.push_back(std::to_string(n));
+    const double d = static_cast<double>(samples);
+    fast[0].values.push_back(hop_f.MeanLatency());
+    fast[1].values.push_back(unit_f / d);
+    fast[2].values.push_back(wan_f / d);
+    fast[3].values.push_back(vis_f / d);
+    slow[0].values.push_back(hop_s.MeanLatency());
+    slow[1].values.push_back(unit_s / d);
+    slow[2].values.push_back(wan_s / d);
+    slow[3].values.push_back(vis_s / d);
+  }
+  PrintPanel("(a) ripple-fast", "network size", xs, fast);
+  PrintPanel("(b) ripple-slow", "network size", xs, slow);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation A1: the MIDAS border-pattern structural optimization (§5.2),
+// on vs off, for skyline queries. The optimization steers links (via
+// back-link reassignment on splits) towards peers at the lower domain
+// borders — the ones that can host skyline tuples — so the optimized
+// overlay should reach fewer irrelevant peers.
+
+#include "bench_common.h"
+#include "queries/skyline.h"
+#include "ripple/engine.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Ablation A1",
+              "skyline with/without the border-pattern link optimization "
+              "(NBA-like, d=6)");
+  Rng data_rng(config.seed * 7919 + 17);
+  const TupleVec nba = data::MakeNbaLike(22000, 6, &data_rng);
+  const size_t queries = std::max<size_t>(1, config.queries / 4);
+
+  const char* variants[4] = {"fast/plain", "fast/patterns", "slow/plain",
+                             "slow/patterns"};
+  std::vector<std::string> xs;
+  std::vector<Series> latency(4), congestion(4);
+  for (int i = 0; i < 4; ++i) {
+    latency[i].name = variants[i];
+    congestion[i].name = variants[i];
+  }
+  for (size_t n : config.NetworkSizes()) {
+    StatsAccumulator acc[4];
+    for (size_t net = 0; net < config.nets; ++net) {
+      const uint64_t seed = config.seed + 1000 * net + n;
+      const MidasOverlay plain = BuildMidas(n, 6, seed, nba, false);
+      const MidasOverlay optimized = BuildMidas(n, 6, seed, nba, true);
+      Engine<MidasOverlay, SkylinePolicy> e_plain(&plain, SkylinePolicy{});
+      Engine<MidasOverlay, SkylinePolicy> e_opt(&optimized, SkylinePolicy{});
+      Rng rng(seed ^ 0x1234);
+      for (size_t q = 0; q < queries; ++q) {
+        const PeerId p1 = plain.RandomPeer(&rng);
+        const PeerId p2 = optimized.RandomPeer(&rng);
+        acc[0].Add(e_plain.Run(p1, SkylineQuery{}, 0).stats);
+        acc[1].Add(e_opt.Run(p2, SkylineQuery{}, 0).stats);
+        acc[2].Add(e_plain.Run(p1, SkylineQuery{}, kRippleSlow).stats);
+        acc[3].Add(e_opt.Run(p2, SkylineQuery{}, kRippleSlow).stats);
+      }
+    }
+    xs.push_back(std::to_string(n));
+    for (int i = 0; i < 4; ++i) {
+      latency[i].values.push_back(acc[i].MeanLatency());
+      congestion[i].values.push_back(acc[i].MeanCongestion());
+    }
+  }
+  PrintPanel("(a) latency (hops)", "network size", xs, latency);
+  PrintPanel("(b) congestion (peers per query)", "network size", xs,
+             congestion);
+  return 0;
+}

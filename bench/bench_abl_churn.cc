@@ -1,0 +1,81 @@
+// Ablation A6: the paper's dynamic topology methodology (§7.1). The
+// network grows from its minimum to its maximum size (increasing stage),
+// then shrinks back (decreasing stage); top-k cost is measured at matched
+// snapshot sizes in both directions. The paper reports the decreasing
+// stage to be "analogous" to the increasing one — this bench makes that
+// claim checkable: paired columns should be close at every size.
+
+#include "bench_common.h"
+#include "queries/topk.h"
+#include "queries/topk_driver.h"
+#include "ripple/engine.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+namespace {
+
+void Measure(const MidasOverlay& overlay, size_t queries, uint64_t seed,
+             StatsAccumulator* latency_acc) {
+  Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
+  Rng rng(seed);
+  for (size_t q = 0; q < queries; ++q) {
+    const LinearScorer scorer = RandomPreferenceScorer(overlay.dims(), &rng);
+    const TopKQuery query{&scorer, 10};
+    latency_acc->Add(
+        SeededTopK(overlay, engine, overlay.RandomPeer(&rng), query, 0)
+            .stats);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Ablation A6",
+              "top-k cost in the increasing vs decreasing churn stage "
+              "(NBA-like, d=6, k=10, ripple-fast)");
+  Rng data_rng(config.seed * 7919 + 29);
+  const TupleVec nba = data::MakeNbaLike(22000, 6, &data_rng);
+
+  const std::vector<size_t> sizes = config.NetworkSizes();
+  std::vector<StatsAccumulator> up(sizes.size()), down(sizes.size());
+
+  for (size_t net = 0; net < config.nets; ++net) {
+    MidasOptions opt;
+    opt.dims = 6;
+    opt.seed = config.seed + net * 131;
+    opt.split_rule = MidasSplitRule::kDataMedian;
+    MidasOverlay overlay(opt);
+    for (const Tuple& t : nba) overlay.InsertTuple(t);
+    // Increasing stage: snapshot at every size on the way up.
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      while (overlay.NumPeers() < sizes[i]) overlay.Join();
+      Measure(overlay, config.queries, opt.seed ^ (i * 7 + 1), &up[i]);
+    }
+    // Decreasing stage: snapshot at every size on the way down.
+    Rng churn(opt.seed ^ 0xdead);
+    for (size_t i = sizes.size(); i-- > 0;) {
+      while (overlay.NumPeers() > sizes[i]) {
+        if (!overlay.LeaveRandom(&churn).ok()) break;
+      }
+      Measure(overlay, config.queries, opt.seed ^ (i * 7 + 2), &down[i]);
+    }
+  }
+
+  std::vector<std::string> xs;
+  std::vector<Series> latency(2), congestion(2);
+  latency[0].name = congestion[0].name = "increasing";
+  latency[1].name = congestion[1].name = "decreasing";
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    xs.push_back(std::to_string(sizes[i]));
+    latency[0].values.push_back(up[i].MeanLatency());
+    latency[1].values.push_back(down[i].MeanLatency());
+    congestion[0].values.push_back(up[i].MeanCongestion());
+    congestion[1].values.push_back(down[i].MeanCongestion());
+  }
+  PrintPanel("(a) latency (hops)", "network size", xs, latency);
+  PrintPanel("(b) congestion (peers per query)", "network size", xs,
+             congestion);
+  return 0;
+}

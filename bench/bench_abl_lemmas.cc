@@ -1,0 +1,88 @@
+// Ablation A3: measured worst-case latency vs the paper's Lemmas 1-3.
+// On a perfect MIDAS tree and a never-pruning policy, the engine's
+// latency accounting must hit the analytic values exactly:
+//   fast   (Lemma 1): Delta
+//   slow   (Lemma 2): 2^Delta - 1
+//   ripple (Lemma 3): the recurrence L(d,r) = 1 + L(d+1,r) + L(d+1,r-1).
+// Also prints the recurrence's closed forms (the paper's r=1 form; for
+// r=2 the recurrence solves to x^3/6 + 5x/6, not the form printed in the
+// paper — see EXPERIMENTS.md).
+
+#include <vector>
+
+#include "baselines/naive.h"
+#include "bench_common.h"
+#include "queries/topk.h"
+#include "ripple/engine.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+namespace {
+
+uint64_t LemmaLatency(int delta, int r, int big_delta) {
+  if (delta >= big_delta) return 0;
+  if (r == 0) return static_cast<uint64_t>(big_delta - delta);
+  uint64_t total = 0;
+  for (int l = delta + 1; l <= big_delta; ++l) {
+    total += 1 + LemmaLatency(l, r - 1, big_delta);
+  }
+  return total;
+}
+
+MidasOverlay PerfectMidas(int levels) {
+  MidasOptions opt;
+  opt.dims = 2;
+  opt.seed = 7;
+  MidasOverlay overlay(opt);
+  for (int round = 0; round < levels; ++round) {
+    std::vector<Point> centers;
+    for (PeerId id : overlay.LivePeers()) {
+      centers.push_back(overlay.GetPeer(id).zone.Center());
+    }
+    for (const Point& c : centers) overlay.JoinAt(c);
+  }
+  return overlay;
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Ablation A3",
+              "engine latency vs Lemmas 1-3 on perfect trees (no pruning)");
+
+  std::vector<std::string> xs;
+  std::vector<Series> series(6);
+  series[0].name = "fast:meas";
+  series[1].name = "fast:lemma";
+  series[2].name = "r=2:meas";
+  series[3].name = "r=2:lemma";
+  series[4].name = "slow:meas";
+  series[5].name = "slow:lemma";
+  for (int levels = 3; levels <= 9; ++levels) {
+    MidasOverlay overlay = PerfectMidas(levels);
+    LinearScorer scorer({-1.0, -1.0});
+    TopKQuery q{&scorer, 1};
+    Engine<MidasOverlay, NaiveTopKPolicy> engine(&overlay,
+                                                 NaiveTopKPolicy{});
+    Rng rng(13);
+    const PeerId initiator = overlay.RandomPeer(&rng);
+    xs.push_back("D=" + std::to_string(levels));
+    series[0].values.push_back(static_cast<double>(
+        engine.Run(initiator, q, 0).stats.latency_hops));
+    series[1].values.push_back(static_cast<double>(levels));
+    series[2].values.push_back(static_cast<double>(
+        engine.Run(initiator, q, 2).stats.latency_hops));
+    series[3].values.push_back(
+        static_cast<double>(LemmaLatency(0, 2, levels)));
+    series[4].values.push_back(static_cast<double>(
+        engine.Run(initiator, q, kRippleSlow).stats.latency_hops));
+    series[5].values.push_back(
+        static_cast<double>((uint64_t{1} << levels) - 1));
+  }
+  PrintPanel("measured vs analytic worst-case latency (hops)",
+             "tree depth", xs, series);
+  std::printf("\nEvery meas column must equal its lemma column exactly.\n");
+  return 0;
+}

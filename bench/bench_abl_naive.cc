@@ -1,0 +1,62 @@
+// Ablation A5: naive broadcast (the paper's introduction strawman) vs
+// RIPPLE top-k. The broadcast has diameter-optimal latency but visits
+// every peer and ships k tuples from each; RIPPLE trades a few hops for
+// orders of magnitude less traffic.
+
+#include "baselines/naive.h"
+#include "bench_common.h"
+#include "queries/topk.h"
+#include "queries/topk_driver.h"
+#include "ripple/engine.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Ablation A5",
+              "naive broadcast vs RIPPLE top-k (NBA-like, d=6, k=10)");
+  Rng data_rng(config.seed * 7919 + 23);
+  const TupleVec nba = data::MakeNbaLike(22000, 6, &data_rng);
+
+  const char* methods[3] = {"naive", "ripple-fast", "ripple-slow"};
+  std::vector<std::string> xs;
+  std::vector<Series> latency(3), congestion(3), tuples_shipped(3);
+  for (int i = 0; i < 3; ++i) {
+    latency[i].name = methods[i];
+    congestion[i].name = methods[i];
+    tuples_shipped[i].name = methods[i];
+  }
+  for (size_t n : config.NetworkSizes()) {
+    StatsAccumulator acc[3];
+    for (size_t net = 0; net < config.nets; ++net) {
+      const uint64_t seed = config.seed + 1000 * net + n;
+      const MidasOverlay overlay = BuildMidas(n, 6, seed, nba);
+      Engine<MidasOverlay, NaiveTopKPolicy> naive(&overlay,
+                                                  NaiveTopKPolicy{});
+      Engine<MidasOverlay, TopKPolicy> smart(&overlay, TopKPolicy{});
+      Rng rng(seed ^ 0xbeef);
+      for (size_t q = 0; q < config.queries; ++q) {
+        const LinearScorer scorer = RandomPreferenceScorer(6, &rng);
+        const TopKQuery query{&scorer, 10};
+        const PeerId initiator = overlay.RandomPeer(&rng);
+        acc[0].Add(naive.Run(initiator, query, 0).stats);
+        acc[1].Add(SeededTopK(overlay, smart, initiator, query, 0).stats);
+        acc[2].Add(
+            SeededTopK(overlay, smart, initiator, query, kRippleSlow).stats);
+      }
+    }
+    xs.push_back(std::to_string(n));
+    for (int i = 0; i < 3; ++i) {
+      latency[i].values.push_back(acc[i].MeanLatency());
+      congestion[i].values.push_back(acc[i].MeanCongestion());
+      tuples_shipped[i].values.push_back(acc[i].MeanTuplesShipped());
+    }
+  }
+  PrintPanel("(a) latency (hops)", "network size", xs, latency);
+  PrintPanel("(b) congestion (peers per query)", "network size", xs,
+             congestion);
+  PrintPanel("(c) tuples shipped per query", "network size", xs,
+             tuples_shipped);
+  return 0;
+}

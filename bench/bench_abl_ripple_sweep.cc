@@ -1,0 +1,47 @@
+// Ablation A2: the full latency/congestion frontier of the ripple
+// parameter, r = 0..Delta, for top-k at the default overlay size. The
+// paper samples four r values (Figure 4); this sweep exposes the whole
+// trade-off curve the single knob controls.
+
+#include "bench_common.h"
+#include "queries/topk.h"
+#include "queries/topk_driver.h"
+#include "ripple/engine.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Ablation A2",
+              "top-k latency/congestion frontier over r = 0..Delta "
+              "(NBA-like, d=6, k=10, default overlay)");
+  Rng data_rng(config.seed * 7919 + 19);
+  const TupleVec nba = data::MakeNbaLike(22000, 6, &data_rng);
+  const size_t n = config.DefaultNetworkSize();
+
+  std::vector<std::string> xs;
+  std::vector<Series> panels(2);
+  panels[0].name = "latency";
+  panels[1].name = "congestion";
+
+  const MidasOverlay overlay = BuildMidas(n, 6, config.seed, nba);
+  Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
+  const int delta = overlay.MaxDepth();
+  for (int r = 0; r <= delta; ++r) {
+    StatsAccumulator acc;
+    Rng rng(config.seed * 31 + r);
+    for (size_t q = 0; q < config.queries; ++q) {
+      const LinearScorer scorer = RandomPreferenceScorer(6, &rng);
+      const TopKQuery query{&scorer, 10};
+      acc.Add(SeededTopK(overlay, engine, overlay.RandomPeer(&rng), query,
+                         r).stats);
+    }
+    xs.push_back("r=" + std::to_string(r));
+    panels[0].values.push_back(acc.MeanLatency());
+    panels[1].values.push_back(acc.MeanCongestion());
+  }
+  PrintPanel("latency and congestion across the ripple parameter",
+             "ripple r", xs, panels);
+  return 0;
+}

@@ -1,0 +1,266 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "baselines/div_baseline.h"
+#include "baselines/dsl.h"
+#include "baselines/ssp.h"
+#include "common/env.h"
+#include "queries/diversify_driver.h"
+#include "queries/skyline.h"
+#include "queries/skyline_driver.h"
+#include "queries/topk.h"
+#include "queries/topk_driver.h"
+#include "ripple/engine.h"
+
+namespace ripple::bench {
+
+BenchConfig LoadConfig() {
+  BenchConfig c;
+  c.min_log_n = static_cast<int>(GetEnvInt("RIPPLE_BENCH_MIN_LOG_N", 10));
+  c.max_log_n = static_cast<int>(GetEnvInt("RIPPLE_BENCH_MAX_LOG_N", 13));
+  c.queries = static_cast<size_t>(GetEnvInt("RIPPLE_BENCH_QUERIES", 32));
+  c.div_queries =
+      static_cast<size_t>(GetEnvInt("RIPPLE_BENCH_DIV_QUERIES", 2));
+  c.nets = static_cast<size_t>(GetEnvInt("RIPPLE_BENCH_NETS", 2));
+  c.tuples = static_cast<size_t>(GetEnvInt("RIPPLE_BENCH_TUPLES", 100000));
+  c.seed = static_cast<uint64_t>(GetEnvInt("RIPPLE_BENCH_SEED", 1));
+  return c;
+}
+
+namespace {
+
+/// Set by PrintHeader; prefixes CSV file names so panels from different
+/// figure binaries do not collide. Plain char buffer: trivially
+/// destructible static state.
+char g_figure_slug[64] = "";
+
+std::string Slug(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!out.empty() && out.back() != '-') {
+      out.push_back('-');
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+void PrintHeader(const BenchConfig& config, const std::string& figure,
+                 const std::string& description) {
+  std::snprintf(g_figure_slug, sizeof(g_figure_slug), "%s",
+                Slug(figure).c_str());
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("Config (Table 1, scaled): overlays 2^%d..2^%d, %zu queries x "
+              "%zu networks per point, %zu synthetic tuples, seed %llu\n",
+              config.min_log_n, config.max_log_n, config.queries, config.nets,
+              config.tuples, static_cast<unsigned long long>(config.seed));
+  std::printf("Scale up with RIPPLE_BENCH_MAX_LOG_N / RIPPLE_BENCH_QUERIES / "
+              "RIPPLE_BENCH_NETS / RIPPLE_BENCH_TUPLES.\n");
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+namespace {
+
+void MaybeWriteCsv(const std::string& title, const std::string& x_label,
+                   const std::vector<std::string>& x_values,
+                   const std::vector<Series>& series) {
+  const std::string dir = GetEnvString("RIPPLE_BENCH_CSV", "");
+  if (dir.empty()) return;
+  const std::string path =
+      dir + "/" + g_figure_slug + "-" + Slug(title) + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "RIPPLE_BENCH_CSV: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s", x_label.c_str());
+  for (const Series& s : series) std::fprintf(f, ",%s", s.name.c_str());
+  std::fprintf(f, "\n");
+  for (size_t row = 0; row < x_values.size(); ++row) {
+    std::fprintf(f, "%s", x_values[row].c_str());
+    for (const Series& s : series) {
+      if (row < s.values.size()) {
+        std::fprintf(f, ",%.6g", s.values[row]);
+      } else {
+        std::fprintf(f, ",");
+      }
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+}
+
+}  // namespace
+
+void PrintPanel(const std::string& title, const std::string& x_label,
+                const std::vector<std::string>& x_values,
+                const std::vector<Series>& series) {
+  MaybeWriteCsv(title, x_label, x_values, series);
+  std::printf("\n-- %s --\n", title.c_str());
+  std::printf("%14s", x_label.c_str());
+  for (const Series& s : series) {
+    std::printf("%16s", s.name.c_str());
+  }
+  std::printf("\n");
+  for (size_t row = 0; row < x_values.size(); ++row) {
+    std::printf("%14s", x_values[row].c_str());
+    for (const Series& s : series) {
+      if (row < s.values.size()) {
+        std::printf("%16.2f", s.values[row]);
+      } else {
+        std::printf("%16s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+MidasOverlay BuildMidas(size_t peers, int dims, uint64_t seed,
+                        const TupleVec& tuples, bool border_patterns) {
+  MidasOptions opt;
+  opt.dims = dims;
+  opt.seed = seed;
+  opt.border_pattern_links = border_patterns;
+  // Data-bearing experiments use load-balancing median splits (real MIDAS
+  // deployments balance storage); the data must be present while the
+  // overlay grows so splits can follow it.
+  opt.split_rule = MidasSplitRule::kDataMedian;
+  MidasOverlay overlay(opt);
+  for (const Tuple& t : tuples) overlay.InsertTuple(t);
+  while (overlay.NumPeers() < peers) overlay.Join();
+  return overlay;
+}
+
+CanOverlay BuildCan(size_t peers, int dims, uint64_t seed,
+                    const TupleVec& tuples) {
+  CanOptions opt;
+  opt.dims = dims;
+  opt.seed = seed;
+  CanOverlay overlay(opt);
+  while (overlay.NumPeers() < peers) overlay.Join();
+  for (const Tuple& t : tuples) overlay.InsertTuple(t);
+  return overlay;
+}
+
+BatonOverlay BuildBaton(size_t peers, int dims, const TupleVec& tuples) {
+  BatonOverlay overlay(peers, BatonOptions{.dims = dims});
+  overlay.RebalanceToData(tuples);
+  for (const Tuple& t : tuples) overlay.InsertTuple(t);
+  return overlay;
+}
+
+LinearScorer RandomPreferenceScorer(int dims, Rng* rng) {
+  std::vector<double> weights(dims);
+  double sum = 0.0;
+  for (double& w : weights) {
+    w = 0.05 + rng->UniformDouble();
+    sum += w;
+  }
+  // Negative normalized weights: maximizing the score minimizes the
+  // weighted attribute sum (0 = best orientation in all datasets).
+  for (double& w : weights) w = -w / sum;
+  return LinearScorer(weights);
+}
+
+DivWorkload MakeDivWorkload(const TupleVec& tuples, size_t k, double lambda,
+                            Rng* rng) {
+  DivWorkload w;
+  w.objective.query = tuples[rng->UniformU64(tuples.size())].key;
+  w.objective.lambda = lambda;
+  w.objective.norm = Norm::kL1;
+  // Initial set: k distinct random tuples (the "as simple as retrieving k
+  // random tuples" initialization of Section 6.3), fixed per query so that
+  // every method starts identically.
+  std::vector<size_t> picks;
+  while (picks.size() < k) {
+    const size_t i = rng->UniformU64(tuples.size());
+    if (std::find(picks.begin(), picks.end(), i) == picks.end()) {
+      picks.push_back(i);
+    }
+  }
+  for (size_t i : picks) w.initial.push_back(tuples[i]);
+  return w;
+}
+
+void RunTopKFourWay(const MidasOverlay& overlay, size_t k, size_t queries,
+                    uint64_t seed, FourWay* out) {
+  const int delta = overlay.MaxDepth();
+  const int rs[4] = {0, delta / 3, 2 * delta / 3, kRippleSlow};
+  Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
+  Rng rng(seed);
+  for (size_t q = 0; q < queries; ++q) {
+    const LinearScorer scorer = RandomPreferenceScorer(overlay.dims(), &rng);
+    const TopKQuery query{&scorer, k};
+    const PeerId initiator = overlay.RandomPeer(&rng);
+    for (int i = 0; i < 4; ++i) {
+      out->acc[i].Add(
+          SeededTopK(overlay, engine, initiator, query, rs[i]).stats);
+    }
+  }
+}
+
+void RunSkylineMethods(size_t peers, int dims, const TupleVec& tuples,
+                       size_t queries, uint64_t seed, SkylinePoint* out) {
+  // RIPPLE over MIDAS runs with the Section 5.2 border-pattern
+  // optimization, as in the paper's skyline evaluation.
+  const MidasOverlay midas =
+      BuildMidas(peers, dims, seed, tuples, /*border_patterns=*/true);
+  const CanOverlay can = BuildCan(peers, dims, seed + 1, tuples);
+  const BatonOverlay baton = BuildBaton(peers, dims, tuples);
+  Engine<MidasOverlay, SkylinePolicy> engine(&midas, SkylinePolicy{});
+  Rng rng(seed ^ 0x5bd1e995);
+  for (size_t q = 0; q < queries; ++q) {
+    const PeerId m_init = midas.RandomPeer(&rng);
+    const PeerId c_init = can.RandomPeer(&rng);
+    const PeerId b_init = baton.RandomPeer(&rng);
+    out->acc[0].Add(
+        SeededSkyline(midas, engine, m_init, SkylineQuery{}, 0).stats);
+    out->acc[1].Add(
+        SeededSkyline(midas, engine, m_init, SkylineQuery{}, kRippleSlow)
+            .stats);
+    out->acc[2].Add(RunDslSkyline(can, c_init).stats);
+    out->acc[3].Add(RunSspSkyline(baton, b_init).stats);
+  }
+}
+
+void RunDivMethods(size_t peers, int dims, const TupleVec& tuples, size_t k,
+                   double lambda, size_t queries, uint64_t seed,
+                   DivPoint* out) {
+  const MidasOverlay midas = BuildMidas(peers, dims, seed, tuples);
+  const CanOverlay can = BuildCan(peers, dims, seed + 1, tuples);
+  Rng rng(seed ^ 0x2545f491);
+  DiversifyOptions options;
+  options.k = k;
+  options.max_iters = 2;
+  // The elaborate §6.3 initialization: k single-tuple queries per method
+  // (forced to the same trajectory below), as in the paper's cost profile.
+  options.service_init = true;
+  for (size_t q = 0; q < queries; ++q) {
+    const DivWorkload w = MakeDivWorkload(tuples, k, lambda, &rng);
+    const PeerId m_init = midas.RandomPeer(&rng);
+    const PeerId c_init = can.RandomPeer(&rng);
+    RippleDivService<MidasOverlay> fast(&midas, m_init, 0);
+    RippleDivService<MidasOverlay> slow(&midas, m_init, kRippleSlow);
+    CanFloodDivService flood(&can, c_init);
+    SingleTupleService* measured[3] = {&fast, &slow, &flood};
+    for (int m = 0; m < 3; ++m) {
+      CentralizedDivService reference(&tuples);
+      ForcedResultService forced(measured[m], &reference);
+      out->acc[m].Add(Diversify(&forced, w.objective, w.initial, options)
+                          .stats);
+    }
+  }
+}
+
+}  // namespace ripple::bench

@@ -1,0 +1,137 @@
+#ifndef RIPPLE_BENCH_BENCH_COMMON_H_
+#define RIPPLE_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "geom/scoring.h"
+#include "net/metrics.h"
+#include "overlay/baton/baton.h"
+#include "overlay/can/can.h"
+#include "overlay/midas/midas.h"
+#include "queries/diversify.h"
+#include "store/tuple.h"
+
+namespace ripple::bench {
+
+/// Scale knobs for the figure benches, read from the environment. The
+/// paper runs 65,536 queries over 16 networks of up to 131,072 peers; the
+/// defaults here keep the full suite in laptop territory while preserving
+/// curve shapes. Raise them to approach the paper's scale:
+///
+///   RIPPLE_BENCH_MAX_LOG_N   largest overlay 2^x     (default 13 -> 8192)
+///   RIPPLE_BENCH_MIN_LOG_N   smallest overlay 2^x    (default 10 -> 1024)
+///   RIPPLE_BENCH_QUERIES     queries per data point  (default 32)
+///   RIPPLE_BENCH_DIV_QUERIES diversification queries (default 2)
+///   RIPPLE_BENCH_NETS        networks per data point (default 2)
+///   RIPPLE_BENCH_TUPLES      synthetic tuples        (default 100000)
+///   RIPPLE_BENCH_SEED        master seed             (default 1)
+struct BenchConfig {
+  int min_log_n = 10;
+  int max_log_n = 13;
+  size_t queries = 32;
+  size_t div_queries = 2;
+  size_t nets = 2;
+  size_t tuples = 100000;
+  uint64_t seed = 1;
+
+  std::vector<size_t> NetworkSizes() const {
+    std::vector<size_t> out;
+    for (int x = min_log_n; x <= max_log_n; ++x) {
+      out.push_back(size_t{1} << x);
+    }
+    return out;
+  }
+  size_t DefaultNetworkSize() const {
+    // Table 1's default is 2^14; scaled down to the harness maximum.
+    return size_t{1} << std::min(max_log_n, 14);
+  }
+};
+
+BenchConfig LoadConfig();
+
+/// Prints the experiment banner: figure id, what the paper shows, and the
+/// Table 1 configuration in effect.
+void PrintHeader(const BenchConfig& config, const std::string& figure,
+                 const std::string& description);
+
+/// One plotted line: a method/parameter setting across the x sweep.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Prints one metric panel (latency or congestion) as an aligned table,
+/// one row per x value, one column per series — the same rows the paper's
+/// figures plot. When RIPPLE_BENCH_CSV names a directory, the panel is
+/// also appended as CSV to <dir>/<slug-of-title>.csv for plotting.
+void PrintPanel(const std::string& title, const std::string& x_label,
+                const std::vector<std::string>& x_values,
+                const std::vector<Series>& series);
+
+/// Builders ------------------------------------------------------------------
+
+MidasOverlay BuildMidas(size_t peers, int dims, uint64_t seed,
+                        const TupleVec& tuples,
+                        bool border_patterns = false);
+CanOverlay BuildCan(size_t peers, int dims, uint64_t seed,
+                    const TupleVec& tuples);
+BatonOverlay BuildBaton(size_t peers, int dims, const TupleVec& tuples);
+
+/// Per-query top-k scorers: random non-negative preference weights applied
+/// with negative sign (smaller coordinates are better in all datasets).
+LinearScorer RandomPreferenceScorer(int dims, Rng* rng);
+
+/// A diversification workload: query point near a random tuple plus a
+/// deterministic initial set of k tuples (the same for every method, per
+/// the paper's fairness setup).
+struct DivWorkload {
+  DiversifyObjective objective;
+  TupleVec initial;
+};
+DivWorkload MakeDivWorkload(const TupleVec& tuples, size_t k, double lambda,
+                            Rng* rng);
+
+/// Sweep runners -------------------------------------------------------------
+
+/// Figures 4-6: top-k under the four canonical ripple settings
+/// r in {0, Delta/3, 2*Delta/3, Delta}. Index order matches
+/// kTopKVariantNames.
+inline constexpr const char* kTopKVariantNames[4] = {"r=0", "r=D/3", "r=2D/3",
+                                                     "r=D"};
+struct FourWay {
+  StatsAccumulator acc[4];
+};
+void RunTopKFourWay(const MidasOverlay& overlay, size_t k, size_t queries,
+                    uint64_t seed, FourWay* out);
+
+/// Figures 7-8: skyline methods. Index order matches kSkylineMethodNames.
+inline constexpr const char* kSkylineMethodNames[4] = {
+    "ripple-fast", "ripple-slow", "dsl(can)", "ssp(baton)"};
+struct SkylinePoint {
+  StatsAccumulator acc[4];
+};
+void RunSkylineMethods(size_t peers, int dims, const TupleVec& tuples,
+                       size_t queries, uint64_t seed, SkylinePoint* out);
+
+/// Figures 9-12: diversification methods. Index order matches
+/// kDivMethodNames. All methods are driven through the paper's
+/// forced-result fairness device, so they walk identical greedy
+/// trajectories and the stats isolate network cost.
+inline constexpr const char* kDivMethodNames[3] = {"ripple-fast",
+                                                   "ripple-slow",
+                                                   "baseline(can)"};
+struct DivPoint {
+  StatsAccumulator acc[3];
+};
+void RunDivMethods(size_t peers, int dims, const TupleVec& tuples, size_t k,
+                   double lambda, size_t queries, uint64_t seed,
+                   DivPoint* out);
+
+}  // namespace ripple::bench
+
+#endif  // RIPPLE_BENCH_BENCH_COMMON_H_

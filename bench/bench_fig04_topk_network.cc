@@ -1,0 +1,41 @@
+// Figure 4: top-k query performance in terms of overlay size (paper §7.2.1).
+// NBA dataset, d = 6, k = 10; series: r = 0, Delta/3, 2*Delta/3, Delta.
+// Expected shape: latency grows with r (fast lowest, slow highest) and
+// scales polylogarithmically; congestion orders the other way around.
+
+#include "bench_common.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Figure 4",
+              "top-k vs overlay size (NBA-like, d=6, k=10)");
+  Rng data_rng(config.seed * 7919 + 1);
+  const TupleVec nba = data::MakeNbaLike(22000, 6, &data_rng);
+
+  std::vector<std::string> xs;
+  std::vector<Series> latency(4), congestion(4);
+  for (int i = 0; i < 4; ++i) {
+    latency[i].name = kTopKVariantNames[i];
+    congestion[i].name = kTopKVariantNames[i];
+  }
+  for (size_t n : config.NetworkSizes()) {
+    FourWay point;
+    for (size_t net = 0; net < config.nets; ++net) {
+      const uint64_t seed = config.seed + 1000 * net + n;
+      const MidasOverlay overlay = BuildMidas(n, 6, seed, nba);
+      RunTopKFourWay(overlay, 10, config.queries, seed ^ 0x9e37, &point);
+    }
+    xs.push_back(std::to_string(n));
+    for (int i = 0; i < 4; ++i) {
+      latency[i].values.push_back(point.acc[i].MeanLatency());
+      congestion[i].values.push_back(point.acc[i].MeanCongestion());
+    }
+  }
+  PrintPanel("(a) latency (hops)", "network size", xs, latency);
+  PrintPanel("(b) congestion (peers per query)", "network size", xs,
+             congestion);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 5: top-k query performance in terms of dimensionality (paper
+// §7.2.1). SYNTH dataset, d = 2..10, default overlay size, k = 10.
+// Expected shape: near-flat — MIDAS's core structure is unaffected by d.
+
+#include "bench_common.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Figure 5",
+              "top-k vs dimensionality (SYNTH, default overlay, k=10)");
+  const size_t n = config.DefaultNetworkSize();
+
+  std::vector<std::string> xs;
+  std::vector<Series> latency(4), congestion(4);
+  for (int i = 0; i < 4; ++i) {
+    latency[i].name = kTopKVariantNames[i];
+    congestion[i].name = kTopKVariantNames[i];
+  }
+  for (int dims = 2; dims <= 10; ++dims) {
+    FourWay point;
+    for (size_t net = 0; net < config.nets; ++net) {
+      const uint64_t seed = config.seed + 1000 * net + dims;
+      Rng data_rng(seed * 104729);
+      const TupleVec synth =
+          data::MakeByName("synth", config.tuples, dims, &data_rng);
+      const MidasOverlay overlay = BuildMidas(n, dims, seed, synth);
+      RunTopKFourWay(overlay, 10, config.queries, seed ^ 0x9e37, &point);
+    }
+    xs.push_back(std::to_string(dims));
+    for (int i = 0; i < 4; ++i) {
+      latency[i].values.push_back(point.acc[i].MeanLatency());
+      congestion[i].values.push_back(point.acc[i].MeanCongestion());
+    }
+  }
+  PrintPanel("(a) latency (hops)", "dimensionality", xs, latency);
+  PrintPanel("(b) congestion (peers per query)", "dimensionality", xs,
+             congestion);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 6: top-k query performance in terms of result size (paper §7.2.1).
+// NBA dataset, d = 6, k = 10..100, default overlay size.
+// Expected shape: latency and congestion grow with k (more peers hold
+// contributing tuples).
+
+#include "bench_common.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Figure 6",
+              "top-k vs result size k (NBA-like, d=6, default overlay)");
+  Rng data_rng(config.seed * 7919 + 3);
+  const TupleVec nba = data::MakeNbaLike(22000, 6, &data_rng);
+  const size_t n = config.DefaultNetworkSize();
+
+  std::vector<std::string> xs;
+  std::vector<Series> latency(4), congestion(4);
+  for (int i = 0; i < 4; ++i) {
+    latency[i].name = kTopKVariantNames[i];
+    congestion[i].name = kTopKVariantNames[i];
+  }
+  // One overlay per net, reused across the k sweep (k is query-side).
+  std::vector<MidasOverlay> overlays;
+  for (size_t net = 0; net < config.nets; ++net) {
+    overlays.push_back(BuildMidas(n, 6, config.seed + 1000 * net, nba));
+  }
+  for (size_t k = 10; k <= 100; k += 10) {
+    FourWay point;
+    for (size_t net = 0; net < config.nets; ++net) {
+      RunTopKFourWay(overlays[net], k, config.queries,
+                     config.seed + k * 31 + net, &point);
+    }
+    xs.push_back(std::to_string(k));
+    for (int i = 0; i < 4; ++i) {
+      latency[i].values.push_back(point.acc[i].MeanLatency());
+      congestion[i].values.push_back(point.acc[i].MeanCongestion());
+    }
+  }
+  PrintPanel("(a) latency (hops)", "result size k", xs, latency);
+  PrintPanel("(b) congestion (peers per query)", "result size k", xs,
+             congestion);
+  return 0;
+}

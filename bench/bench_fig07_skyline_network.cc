@@ -1,0 +1,43 @@
+// Figure 7: skyline computation in terms of overlay size (paper §7.2.2).
+// NBA dataset, d = 6; methods: ripple-fast / ripple-slow over MIDAS (with
+// the §5.2 optimization), DSL over CAN, SSP over BATON.
+// Expected shape: ripple-fast fastest; ripple-slow lowest congestion; DSL
+// slowest (strictly adjacent forwarding); SSP in between with Z-curve
+// false positives.
+
+#include "bench_common.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Figure 7",
+              "skyline vs overlay size (NBA-like, d=6)");
+  Rng data_rng(config.seed * 7919 + 5);
+  const TupleVec nba = data::MakeNbaLike(22000, 6, &data_rng);
+  const size_t queries = std::max<size_t>(1, config.queries / 4);
+
+  std::vector<std::string> xs;
+  std::vector<Series> latency(4), congestion(4);
+  for (int i = 0; i < 4; ++i) {
+    latency[i].name = kSkylineMethodNames[i];
+    congestion[i].name = kSkylineMethodNames[i];
+  }
+  for (size_t n : config.NetworkSizes()) {
+    SkylinePoint point;
+    for (size_t net = 0; net < config.nets; ++net) {
+      RunSkylineMethods(n, 6, nba, queries,
+                        config.seed + 1000 * net + n, &point);
+    }
+    xs.push_back(std::to_string(n));
+    for (int i = 0; i < 4; ++i) {
+      latency[i].values.push_back(point.acc[i].MeanLatency());
+      congestion[i].values.push_back(point.acc[i].MeanCongestion());
+    }
+  }
+  PrintPanel("(a) latency (hops)", "network size", xs, latency);
+  PrintPanel("(b) congestion (peers per query)", "network size", xs,
+             congestion);
+  return 0;
+}

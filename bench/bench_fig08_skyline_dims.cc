@@ -1,0 +1,47 @@
+// Figure 8: skyline computation in terms of dimensionality (paper §7.2.2).
+// SYNTH dataset, d = 2..10, default overlay size.
+// Expected shape: DSL improves with d (CAN neighborhoods grow, routing
+// gets richer) while being poor at low d; ripple methods stay moderate;
+// congestion is high for all methods at high d (skylines grow).
+
+#include "bench_common.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Figure 8",
+              "skyline vs dimensionality (SYNTH, default overlay)");
+  const size_t n = config.DefaultNetworkSize();
+  const size_t queries = std::max<size_t>(1, config.queries / 4);
+  // The anti-correlated growth of skylines makes high-d sweeps heavy;
+  // cap the tuple count for this figure.
+  const size_t tuples = std::min<size_t>(config.tuples, 50000);
+
+  std::vector<std::string> xs;
+  std::vector<Series> latency(4), congestion(4);
+  for (int i = 0; i < 4; ++i) {
+    latency[i].name = kSkylineMethodNames[i];
+    congestion[i].name = kSkylineMethodNames[i];
+  }
+  for (int dims = 2; dims <= 10; ++dims) {
+    SkylinePoint point;
+    for (size_t net = 0; net < config.nets; ++net) {
+      const uint64_t seed = config.seed + 1000 * net + dims;
+      Rng data_rng(seed * 104729);
+      const TupleVec synth = data::MakeByName("synth", tuples, dims,
+                                              &data_rng);
+      RunSkylineMethods(n, dims, synth, queries, seed, &point);
+    }
+    xs.push_back(std::to_string(dims));
+    for (int i = 0; i < 4; ++i) {
+      latency[i].values.push_back(point.acc[i].MeanLatency());
+      congestion[i].values.push_back(point.acc[i].MeanCongestion());
+    }
+  }
+  PrintPanel("(a) latency (hops)", "dimensionality", xs, latency);
+  PrintPanel("(b) congestion (peers per query)", "dimensionality", xs,
+             congestion);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 9: diversification performance in terms of overlay size (paper
+// §7.2.3). MIRFLICKR-like dataset, d = 5, k = 10, lambda = 0.5; methods:
+// ripple-fast / ripple-slow over MIDAS, streaming baseline over CAN. All
+// three walk the same forced greedy trajectory (the paper's fairness
+// device), so costs are directly comparable.
+// Expected shape: ripple-fast far below baseline on latency; ripple-slow
+// lowest congestion; baseline congestion ~ network size per step.
+
+#include "bench_common.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Figure 9",
+              "diversification vs overlay size (MIRFLICKR-like, d=5, k=10, "
+              "lambda=0.5)");
+  Rng data_rng(config.seed * 7919 + 7);
+  const size_t tuples_n = std::min<size_t>(config.tuples, 50000);
+  const TupleVec flickr = data::MakeMirflickrLike(tuples_n, 5, &data_rng);
+
+  std::vector<std::string> xs;
+  std::vector<Series> latency(3), congestion(3);
+  for (int i = 0; i < 3; ++i) {
+    latency[i].name = kDivMethodNames[i];
+    congestion[i].name = kDivMethodNames[i];
+  }
+  for (size_t n : config.NetworkSizes()) {
+    DivPoint point;
+    for (size_t net = 0; net < config.nets; ++net) {
+      RunDivMethods(n, 5, flickr, 10, 0.5, config.div_queries,
+                    config.seed + 1000 * net + n, &point);
+    }
+    xs.push_back(std::to_string(n));
+    for (int i = 0; i < 3; ++i) {
+      latency[i].values.push_back(point.acc[i].MeanLatency());
+      congestion[i].values.push_back(point.acc[i].MeanCongestion());
+    }
+  }
+  PrintPanel("(a) latency (hops)", "network size", xs, latency);
+  PrintPanel("(b) congestion (peers per query)", "network size", xs,
+             congestion);
+  return 0;
+}

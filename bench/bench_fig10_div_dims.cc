@@ -1,0 +1,45 @@
+// Figure 10: diversification performance in terms of dimensionality (paper
+// §7.2.3). SYNTH dataset, d = 2..10, default overlay, k = 10, lambda = 0.5.
+// Expected shape (the paper plots log axes): RIPPLE wins throughout; the
+// baseline's flooding cost dominates at every d.
+
+#include "bench_common.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Figure 10",
+              "diversification vs dimensionality (SYNTH, default overlay, "
+              "k=10, lambda=0.5)");
+  const size_t n = config.DefaultNetworkSize() / 2;
+  const size_t tuples_n = std::min<size_t>(config.tuples, 50000);
+
+  std::vector<std::string> xs;
+  std::vector<Series> latency(3), congestion(3);
+  for (int i = 0; i < 3; ++i) {
+    latency[i].name = kDivMethodNames[i];
+    congestion[i].name = kDivMethodNames[i];
+  }
+  for (int dims = 2; dims <= 10; ++dims) {
+    DivPoint point;
+    for (size_t net = 0; net < config.nets; ++net) {
+      const uint64_t seed = config.seed + 1000 * net + dims;
+      Rng data_rng(seed * 104729);
+      const TupleVec synth = data::MakeByName("synth", tuples_n, dims,
+                                              &data_rng);
+      RunDivMethods(n, dims, synth, 10, 0.5, config.div_queries, seed,
+                    &point);
+    }
+    xs.push_back(std::to_string(dims));
+    for (int i = 0; i < 3; ++i) {
+      latency[i].values.push_back(point.acc[i].MeanLatency());
+      congestion[i].values.push_back(point.acc[i].MeanCongestion());
+    }
+  }
+  PrintPanel("(a) latency (hops)", "dimensionality", xs, latency);
+  PrintPanel("(b) congestion (peers per query)", "dimensionality", xs,
+             congestion);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 12: diversification performance for the relevance/diversity
+// trade-off lambda (paper §7.2.3). MIRFLICKR-like dataset, lambda swept
+// over Table 1's values, default overlay, k = 10.
+// Expected shape: cost peaks around lambda = 0.5 and drops towards both
+// extremes — near 0 or 1 the qualifying search area collapses to small
+// parts of the domain.
+
+#include "bench_common.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintHeader(config, "Figure 12",
+              "diversification vs lambda (MIRFLICKR-like, d=5, k=10)");
+  Rng data_rng(config.seed * 7919 + 13);
+  const size_t tuples_n = std::min<size_t>(config.tuples, 50000);
+  const TupleVec flickr = data::MakeMirflickrLike(tuples_n, 5, &data_rng);
+  const size_t n = config.DefaultNetworkSize() / 2;
+
+  const double lambdas[] = {0.0, 0.2, 0.3, 0.5, 0.7, 0.8, 1.0};
+  std::vector<std::string> xs;
+  std::vector<Series> latency(3), congestion(3);
+  for (int i = 0; i < 3; ++i) {
+    latency[i].name = kDivMethodNames[i];
+    congestion[i].name = kDivMethodNames[i];
+  }
+  int idx = 0;
+  for (double lambda : lambdas) {
+    DivPoint point;
+    for (size_t net = 0; net < config.nets; ++net) {
+      RunDivMethods(n, 5, flickr, 10, lambda, config.div_queries,
+                    config.seed + 1000 * net + idx, &point);
+    }
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.1f", lambda);
+    xs.push_back(buf);
+    for (int i = 0; i < 3; ++i) {
+      latency[i].values.push_back(point.acc[i].MeanLatency());
+      congestion[i].values.push_back(point.acc[i].MeanCongestion());
+    }
+    ++idx;
+  }
+  PrintPanel("(a) latency (hops)", "lambda", xs, latency);
+  PrintPanel("(b) congestion (peers per query)", "lambda", xs, congestion);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the per-peer kernels every
+// distributed query run is built from: local skyline computation, k-d
+// index top-k / argmin, Z-order encode/decompose, phi evaluation, and
+// MIDAS overlay maintenance.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "geom/zorder.h"
+#include "overlay/midas/midas.h"
+#include "queries/diversify.h"
+#include "store/kd_index.h"
+#include "store/local_algos.h"
+
+namespace ripple {
+namespace {
+
+TupleVec MakeTuples(size_t n, int dims, uint64_t seed) {
+  Rng rng(seed);
+  return data::MakeUniform(n, dims, &rng);
+}
+
+void BM_ComputeSkyline(benchmark::State& state) {
+  const TupleVec tuples =
+      MakeTuples(static_cast<size_t>(state.range(0)), 4, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSkyline(tuples));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComputeSkyline)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_KdIndexBuild(benchmark::State& state) {
+  const TupleVec tuples =
+      MakeTuples(static_cast<size_t>(state.range(0)), 4, 13);
+  for (auto _ : state) {
+    KdIndex idx(tuples);
+    benchmark::DoNotOptimize(idx.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdIndexBuild)->Arg(256)->Arg(4096);
+
+void BM_KdIndexTopK(benchmark::State& state) {
+  const TupleVec tuples =
+      MakeTuples(static_cast<size_t>(state.range(0)), 4, 17);
+  KdIndex idx(tuples);
+  LinearScorer scorer({-0.4, -0.3, -0.2, -0.1});
+  auto score = [&](const Point& p) { return scorer.Score(p); };
+  auto upper = [&](const Rect& r) { return scorer.UpperBound(r); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.TopK(score, upper, 10));
+  }
+}
+BENCHMARK(BM_KdIndexTopK)->Arg(1024)->Arg(16384);
+
+void BM_KdIndexArgMinPhi(benchmark::State& state) {
+  const TupleVec tuples = MakeTuples(4096, 5, 19);
+  KdIndex idx(tuples);
+  const DivQuery q = MakeDivQuery(
+      DiversifyObjective{Point{0.4, 0.4, 0.4, 0.4, 0.4}, 0.5, Norm::kL1},
+      TupleVec(tuples.begin(), tuples.begin() + state.range(0)));
+  auto cost = [&](const Point& p) { return q.Phi(p); };
+  auto lower = [&](const Rect& r) { return q.PhiLowerBound(r); };
+  auto admit = [&](const Tuple& t) { return !q.IsExcluded(t.id); };
+  for (auto _ : state) {
+    double best = 0;
+    benchmark::DoNotOptimize(idx.ArgMin(cost, lower, admit, &best));
+  }
+}
+BENCHMARK(BM_KdIndexArgMinPhi)->Arg(2)->Arg(10)->Arg(50);
+
+void BM_ZOrderEncode(benchmark::State& state) {
+  ZOrder z(5, Rect::Unit(5));
+  Rng rng(23);
+  Point p{0.1, 0.9, 0.4, 0.6, 0.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.Encode(p));
+  }
+}
+BENCHMARK(BM_ZOrderEncode);
+
+void BM_ZOrderDecompose(benchmark::State& state) {
+  ZOrder z(3, Rect::Unit(3));
+  const uint64_t n = z.key_space_size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.DecomposeInterval(n / 7, 5 * n / 7));
+  }
+}
+BENCHMARK(BM_ZOrderDecompose);
+
+void BM_MidasJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    MidasOptions opt;
+    opt.dims = 4;
+    opt.seed = 29;
+    MidasOverlay overlay(opt);
+    state.ResumeTiming();
+    while (overlay.NumPeers() < static_cast<size_t>(state.range(0))) {
+      overlay.Join();
+    }
+    benchmark::DoNotOptimize(overlay.NumPeers());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MidasJoin)->Arg(1024)->Arg(8192);
+
+void BM_MidasRoute(benchmark::State& state) {
+  MidasOptions opt;
+  opt.dims = 4;
+  opt.seed = 31;
+  MidasOverlay overlay(opt);
+  while (overlay.NumPeers() < 8192) overlay.Join();
+  Rng rng(37);
+  const auto live = overlay.LivePeers();
+  for (auto _ : state) {
+    Point p{rng.UniformDouble(), rng.UniformDouble(), rng.UniformDouble(),
+            rng.UniformDouble()};
+    uint64_t hops = 0;
+    benchmark::DoNotOptimize(
+        overlay.RouteFrom(live[rng.UniformU64(live.size())], p, &hops));
+  }
+}
+BENCHMARK(BM_MidasRoute);
+
+}  // namespace
+}  // namespace ripple
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// NBA scouting: the paper's motivating top-k/skyline scenario. A league of
+// 22,000 stat lines (points, rebounds, assists, steals, blocks, minutes —
+// oriented so 0 is the best) is spread over a P2P network of scouts; we
+// ask for the best all-around players under different preference weights
+// and for the players who excel in some combination of stats (the
+// skyline), comparing the cost of the ripple settings.
+//
+//   $ ./build/examples/nba_scouting
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "overlay/midas/midas.h"
+#include "queries/skyline_driver.h"
+#include "queries/topk_driver.h"
+
+using namespace ripple;
+
+namespace {
+
+const char* kStatNames[6] = {"PTS", "REB", "AST", "STL", "BLK", "MIN"};
+
+void PrintPlayer(const Tuple& t) {
+  std::printf("  player #%-6llu", static_cast<unsigned long long>(t.id));
+  for (int d = 0; d < 6; ++d) {
+    // Keys store 1 - stat/ceiling; print "excellence" percentages.
+    std::printf(" %s:%3.0f%%", kStatNames[d], 100.0 * (1.0 - t.key[d]));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2014);
+  const TupleVec league = data::MakeNbaLike(22000, 6, &rng);
+
+  MidasOptions options;
+  options.dims = 6;
+  options.seed = 17;
+  options.split_rule = MidasSplitRule::kDataMedian;
+  options.border_pattern_links = true;  // §5.2, pays off for the skyline
+  MidasOverlay overlay(options);
+  for (const Tuple& t : league) overlay.InsertTuple(t);
+  while (overlay.NumPeers() < 2048) overlay.Join();
+  std::printf("league of %zu stat lines over %zu scout peers (depth %d)\n",
+              overlay.TotalTuples(), overlay.NumPeers(), overlay.MaxDepth());
+
+  Engine<MidasOverlay, TopKPolicy> topk_engine(&overlay, TopKPolicy{});
+  const PeerId scout = overlay.RandomPeer(&rng);
+
+  struct Profile {
+    const char* name;
+    std::vector<double> weights;
+  };
+  const Profile profiles[] = {
+      {"all-around", {-0.25, -0.2, -0.2, -0.1, -0.1, -0.15}},
+      {"rim protector", {-0.05, -0.35, -0.05, -0.05, -0.45, -0.05}},
+      {"playmaker", {-0.15, -0.05, -0.55, -0.15, -0.02, -0.08}},
+  };
+  for (const Profile& profile : profiles) {
+    LinearScorer scorer(profile.weights);
+    TopKQuery query{&scorer, 5};
+    const auto fast = SeededTopK(overlay, topk_engine, scout, query, 0);
+    const auto slow =
+        SeededTopK(overlay, topk_engine, scout, query, kRippleSlow);
+    std::printf("\ntop-5 %s  [fast: %llu hops, %llu peers | slow: %llu "
+                "hops, %llu peers]\n",
+                profile.name,
+                static_cast<unsigned long long>(fast.stats.latency_hops),
+                static_cast<unsigned long long>(fast.stats.peers_visited),
+                static_cast<unsigned long long>(slow.stats.latency_hops),
+                static_cast<unsigned long long>(slow.stats.peers_visited));
+    for (const Tuple& t : fast.answer) PrintPlayer(t);
+  }
+
+  Engine<MidasOverlay, SkylinePolicy> sky_engine(&overlay, SkylinePolicy{});
+  const auto sky = SeededSkyline(overlay, sky_engine, scout,
+                                 SkylineQuery{}, 0);
+  std::printf("\nskyline: %zu players excel in some stat combination "
+              "(%llu hops, %llu peers visited)\n",
+              sky.answer.size(),
+              static_cast<unsigned long long>(sky.stats.latency_hops),
+              static_cast<unsigned long long>(sky.stats.peers_visited));
+  size_t shown = 0;
+  for (const Tuple& t : sky.answer) {
+    PrintPlayer(t);
+    if (++shown == 8) {
+      std::printf("  ... and %zu more\n", sky.answer.size() - shown);
+      break;
+    }
+  }
+  return 0;
+}

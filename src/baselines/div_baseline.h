@@ -1,0 +1,35 @@
+#ifndef RIPPLE_BASELINES_DIV_BASELINE_H_
+#define RIPPLE_BASELINES_DIV_BASELINE_H_
+
+#include <optional>
+
+#include "overlay/can/can.h"
+#include "queries/diversify_driver.h"
+
+namespace ripple {
+
+/// The diversification baseline of the paper's Section 7.1: the streaming
+/// incremental diversification of Minack et al. [12], adapted to a
+/// distributed setting over CAN. Each single-tuple step floods the whole
+/// network: every peer streams its local tuples through the phi scorer and
+/// replies with its best candidate; the initiator keeps the minimum.
+///
+/// Plugged into the same greedy driver (Algorithms 22/23) as the
+/// RIPPLE-based service, so both methods produce identical result sets and
+/// the metrics isolate pure processing cost — the paper's methodology.
+class CanFloodDivService : public SingleTupleService {
+ public:
+  CanFloodDivService(const CanOverlay* overlay, PeerId initiator)
+      : overlay_(overlay), initiator_(initiator) {}
+
+  std::optional<Tuple> FindBest(const DivQuery& query, double tau,
+                                QueryStats* stats) override;
+
+ private:
+  const CanOverlay* overlay_;
+  PeerId initiator_;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_BASELINES_DIV_BASELINE_H_

@@ -1,0 +1,35 @@
+#ifndef RIPPLE_BASELINES_DSL_H_
+#define RIPPLE_BASELINES_DSL_H_
+
+#include "net/metrics.h"
+#include "overlay/can/can.h"
+#include "store/tuple.h"
+
+namespace ripple {
+
+/// Result of a DSL skyline computation.
+struct DslResult {
+  TupleVec skyline;
+  QueryStats stats;
+};
+
+/// DSL (Wu et al., EDBT 2006) over CAN, as described in the paper's
+/// Section 2.2: the query is routed to the peer owning the domain origin,
+/// which roots a multicast hierarchy. Each reached peer merges the skyline
+/// points it received with its local skyline, forwards the merged set to
+/// its not-yet-dominated "upper" neighbors (zones abutting its zone on the
+/// greater side of some dimension), and sends its surviving local points
+/// to the initiator. Peers whose whole zone is dominated are pruned.
+/// Upper-neighbor forwarding keeps mutually non-dominating peers queried
+/// in parallel; latency is the longest forwarding chain plus the initial
+/// routing.
+///
+/// Simulation note: the hierarchy is executed as breadth-first waves; a
+/// peer processes at its first arrival wave with everything received so
+/// far (the real protocol waits for all predecessors — same reachability
+/// and answer, slightly weaker pruning, no effect on correctness).
+DslResult RunDslSkyline(const CanOverlay& overlay, PeerId initiator);
+
+}  // namespace ripple
+
+#endif  // RIPPLE_BASELINES_DSL_H_

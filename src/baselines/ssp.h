@@ -1,0 +1,33 @@
+#ifndef RIPPLE_BASELINES_SSP_H_
+#define RIPPLE_BASELINES_SSP_H_
+
+#include "net/metrics.h"
+#include "overlay/baton/baton.h"
+#include "store/tuple.h"
+
+namespace ripple {
+
+/// Result of an SSP skyline computation.
+struct SspResult {
+  TupleVec skyline;
+  QueryStats stats;
+  int waves = 0;
+};
+
+/// SSP — Skyline Space Partitioning (Wang et al., ICDE 2007) over BATON,
+/// as described in the paper's Section 2.2. The multi-dimensional space is
+/// mapped to one-dimensional keys with a Z-curve (a BATON limitation the
+/// paper calls out). Processing starts at the peer owning the region that
+/// contains the origin of the data space; it computes its local skyline
+/// and uses the most dominating point to prune peers whose entire region
+/// is dominated. The querying peer then contacts the surviving peers in
+/// parallel waves, gathering local skylines and re-pruning between waves.
+///
+/// Because peer regions are Z-curve intervals rather than boxes, pruning
+/// tests run over each region's rectangle decomposition — the source of
+/// the false positives the paper attributes to SSP.
+SspResult RunSspSkyline(const BatonOverlay& overlay, PeerId initiator);
+
+}  // namespace ripple
+
+#endif  // RIPPLE_BASELINES_SSP_H_

@@ -1,0 +1,109 @@
+#include "common/bitstring.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ripple {
+
+BitString::BitString(const std::string& bits) {
+  for (char c : bits) {
+    RIPPLE_CHECK(c == '0' || c == '1');
+    Append(c == '1');
+  }
+}
+
+BitString BitString::FromUint(uint64_t value, int length) {
+  RIPPLE_CHECK(length >= 0 && length <= 64);
+  BitString out;
+  for (int i = length - 1; i >= 0; --i) {
+    out.Append((value >> i) & 1u);
+  }
+  return out;
+}
+
+bool BitString::bit(int i) const {
+  RIPPLE_DCHECK(i >= 0 && i < size_);
+  return (words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1u;
+}
+
+BitString& BitString::Append(bool b) {
+  const int word = size_ / kBitsPerWord;
+  const int offset = size_ % kBitsPerWord;
+  if (offset == 0) words_.push_back(0);
+  if (b) words_[word] |= (uint64_t{1} << offset);
+  ++size_;
+  return *this;
+}
+
+BitString BitString::Child(bool b) const {
+  BitString out = *this;
+  out.Append(b);
+  return out;
+}
+
+BitString BitString::Parent() const {
+  RIPPLE_CHECK(size_ > 0);
+  return Prefix(size_ - 1);
+}
+
+BitString BitString::Sibling() const {
+  RIPPLE_CHECK(size_ > 0);
+  BitString out = Prefix(size_ - 1);
+  out.Append(!bit(size_ - 1));
+  return out;
+}
+
+BitString BitString::Prefix(int n) const {
+  RIPPLE_CHECK(n >= 0 && n <= size_);
+  BitString out;
+  out.size_ = n;
+  const int words = (n + kBitsPerWord - 1) / kBitsPerWord;
+  out.words_.assign(words_.begin(), words_.begin() + words);
+  const int tail = n % kBitsPerWord;
+  if (words > 0 && tail != 0) {
+    out.words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+  return out;
+}
+
+bool BitString::IsPrefixOf(const BitString& other) const {
+  if (size_ > other.size_) return false;
+  return CommonPrefixLength(other) == size_;
+}
+
+int BitString::CommonPrefixLength(const BitString& other) const {
+  const int limit = std::min(size_, other.size_);
+  int i = 0;
+  // Word-at-a-time comparison for speed on deep trees.
+  const int full_words = limit / kBitsPerWord;
+  int w = 0;
+  for (; w < full_words; ++w) {
+    if (words_[w] != other.words_[w]) break;
+    i += kBitsPerWord;
+  }
+  while (i < limit && bit(i) == other.bit(i)) ++i;
+  return i;
+}
+
+std::string BitString::ToString() const {
+  if (size_ == 0) return "<root>";
+  std::string out;
+  out.reserve(size_);
+  for (int i = 0; i < size_; ++i) out.push_back(bit(i) ? '1' : '0');
+  return out;
+}
+
+bool operator==(const BitString& a, const BitString& b) {
+  return a.size_ == b.size_ && a.CommonPrefixLength(b) == a.size_;
+}
+
+bool operator<(const BitString& a, const BitString& b) {
+  const int common = a.CommonPrefixLength(b);
+  if (common == a.size() && common == b.size()) return false;  // equal
+  if (common == a.size()) return true;   // a is a proper prefix of b
+  if (common == b.size()) return false;  // b is a proper prefix of a
+  return !a.bit(common) && b.bit(common);
+}
+
+}  // namespace ripple

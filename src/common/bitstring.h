@@ -1,0 +1,73 @@
+#ifndef RIPPLE_COMMON_BITSTRING_H_
+#define RIPPLE_COMMON_BITSTRING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ripple {
+
+/// A variable-length string of bits, used for MIDAS virtual k-d tree node
+/// identifiers: the root has the empty id; the left (resp. right) child of a
+/// node has the parent's id with 0 (resp. 1) appended (paper, Section 2.3).
+///
+/// Supports arbitrary lengths (deep, skewed overlays exceed 64 bits), cheap
+/// append/truncate at the tail, prefix tests, and lexicographic comparison.
+class BitString {
+ public:
+  /// The empty (root) id.
+  BitString() = default;
+
+  /// Builds from a string of '0'/'1' characters, e.g. BitString("0110").
+  explicit BitString(const std::string& bits);
+
+  /// Builds from the low `length` bits of `value`, most significant first.
+  static BitString FromUint(uint64_t value, int length);
+
+  /// Number of bits (== tree depth of the identified node).
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The i-th bit, 0-indexed from the root end. Requires 0 <= i < size().
+  bool bit(int i) const;
+
+  /// Appends one bit; returns *this for chaining.
+  BitString& Append(bool b);
+
+  /// Returns a copy with one bit appended (child id in the virtual tree).
+  BitString Child(bool b) const;
+
+  /// Returns the id of the parent node (one bit shorter). Requires !empty().
+  BitString Parent() const;
+
+  /// Returns the id of the sibling node (last bit flipped). Requires !empty().
+  BitString Sibling() const;
+
+  /// Returns the first `n` bits. Requires 0 <= n <= size().
+  BitString Prefix(int n) const;
+
+  /// True when *this is a (non-strict) prefix of `other`.
+  bool IsPrefixOf(const BitString& other) const;
+
+  /// Length of the longest common prefix with `other`.
+  int CommonPrefixLength(const BitString& other) const;
+
+  /// "0110..." representation; the empty id renders as "<root>".
+  std::string ToString() const;
+
+  friend bool operator==(const BitString& a, const BitString& b);
+  friend bool operator!=(const BitString& a, const BitString& b) {
+    return !(a == b);
+  }
+  /// Lexicographic order with shorter-prefix-first tie break.
+  friend bool operator<(const BitString& a, const BitString& b);
+
+ private:
+  static constexpr int kBitsPerWord = 64;
+  std::vector<uint64_t> words_;
+  int size_ = 0;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_COMMON_BITSTRING_H_

@@ -1,0 +1,38 @@
+#ifndef RIPPLE_COMMON_CHECK_H_
+#define RIPPLE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ripple::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "RIPPLE_CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::abort();
+}
+
+}  // namespace ripple::internal_check
+
+/// Invariant check that is active in all build types. Use for conditions
+/// whose violation means the process state is corrupt; there is no sensible
+/// recovery, so we abort with a location message.
+#define RIPPLE_CHECK(condition)                                         \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::ripple::internal_check::CheckFailed(__FILE__, __LINE__,         \
+                                            #condition);                \
+    }                                                                   \
+  } while (0)
+
+/// Debug-only variant of RIPPLE_CHECK for hot paths.
+#ifndef NDEBUG
+#define RIPPLE_DCHECK(condition) RIPPLE_CHECK(condition)
+#else
+#define RIPPLE_DCHECK(condition) \
+  do {                           \
+  } while (0)
+#endif
+
+#endif  // RIPPLE_COMMON_CHECK_H_

@@ -1,0 +1,22 @@
+#ifndef RIPPLE_COMMON_ENV_H_
+#define RIPPLE_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ripple {
+
+/// Reads an integer environment variable, returning `fallback` when unset
+/// or unparsable. Used by the bench harness for scale knobs such as
+/// RIPPLE_BENCH_SCALE.
+int64_t GetEnvInt(const char* name, int64_t fallback);
+
+/// Reads a floating-point environment variable with fallback.
+double GetEnvDouble(const char* name, double fallback);
+
+/// Reads a string environment variable with fallback.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+}  // namespace ripple
+
+#endif  // RIPPLE_COMMON_ENV_H_

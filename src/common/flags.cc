@@ -1,0 +1,140 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ripple {
+
+namespace {
+
+std::string BoolRepr(bool v) { return v ? "true" : "false"; }
+
+}  // namespace
+
+void FlagParser::AddString(const std::string& name, const std::string& help,
+                           std::string* out) {
+  flags_.push_back(Flag{name, help, Type::kString, out, *out});
+}
+
+void FlagParser::AddInt(const std::string& name, const std::string& help,
+                        int64_t* out) {
+  flags_.push_back(Flag{name, help, Type::kInt, out, std::to_string(*out)});
+}
+
+void FlagParser::AddDouble(const std::string& name, const std::string& help,
+                           double* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", *out);
+  flags_.push_back(Flag{name, help, Type::kDouble, out, buf});
+}
+
+void FlagParser::AddBool(const std::string& name, const std::string& help,
+                         bool* out) {
+  flags_.push_back(Flag{name, help, Type::kBool, out, BoolRepr(*out)});
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status FlagParser::Assign(const Flag& flag, const std::string& value) {
+  switch (flag.type) {
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+    case Type::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects an integer, got '" + value +
+                                       "'");
+      }
+      *static_cast<int64_t*>(flag.target) = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      *static_cast<double*>(flag.target) = v;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled flag type");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg == "help") return Status::FailedPrecondition(Help());
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const Flag* flag = Find(arg);
+    if (flag == nullptr && arg.rfind("no", 0) == 0) {
+      // --noflag for bools.
+      const Flag* inner = Find(arg.substr(2));
+      if (inner != nullptr && inner->type == Type::kBool && !has_value) {
+        *static_cast<bool*>(inner->target) = false;
+        continue;
+      }
+    }
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + arg + "\n" + Help());
+    }
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        *static_cast<bool*>(flag->target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("--" + arg + " needs a value");
+      }
+      value = argv[++i];
+    }
+    RIPPLE_RETURN_IF_ERROR(Assign(*flag, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Help() const {
+  std::string out = description_ + "\n\nFlags:\n";
+  for (const Flag& f : flags_) {
+    out += "  --" + f.name;
+    out += "  (default " + f.default_repr + ")\n      " + f.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace ripple

@@ -1,0 +1,61 @@
+#ifndef RIPPLE_COMMON_FLAGS_H_
+#define RIPPLE_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ripple {
+
+/// A small command-line flag parser for the tools and benches:
+/// `--name=value` or `--name value`; bools also accept bare `--name` and
+/// `--noname`. Unknown flags and malformed values produce errors rather
+/// than being ignored. Not a general-purpose library — just enough for
+/// self-contained binaries with helpful `--help` output.
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  /// Registers a flag bound to `*out`, which also holds the default.
+  void AddString(const std::string& name, const std::string& help,
+                 std::string* out);
+  void AddInt(const std::string& name, const std::string& help,
+              int64_t* out);
+  void AddDouble(const std::string& name, const std::string& help,
+                 double* out);
+  void AddBool(const std::string& name, const std::string& help, bool* out);
+
+  /// Parses argv; on success positional (non-flag) arguments are available
+  /// via positional(). `--help` produces a kFailedPrecondition status whose
+  /// message is the usage text.
+  Status Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// The usage text.
+  std::string Help() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Type type;
+    void* target;
+    std::string default_repr;
+  };
+
+  Status Assign(const Flag& flag, const std::string& value);
+  const Flag* Find(const std::string& name) const;
+
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_COMMON_FLAGS_H_

@@ -1,0 +1,67 @@
+#ifndef RIPPLE_COMMON_RESULT_H_
+#define RIPPLE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ripple {
+
+/// Holds either a value of type T or an error Status, in the style of
+/// arrow::Result / absl::StatusOr. Accessing the value of an errored
+/// Result is a programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (the error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define RIPPLE_ASSIGN_OR_RETURN(lhs, expr)        \
+  do {                                            \
+    auto _result = (expr);                        \
+    if (!_result.ok()) return _result.status();   \
+    lhs = std::move(_result).value();             \
+  } while (0)
+
+}  // namespace ripple
+
+#endif  // RIPPLE_COMMON_RESULT_H_

@@ -1,0 +1,73 @@
+#ifndef RIPPLE_COMMON_RNG_H_
+#define RIPPLE_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ripple {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All randomness in the library flows through this class so that overlay
+/// construction, datasets and query workloads are exactly reproducible from
+/// a single seed. Not cryptographically secure; not thread-safe (use one
+/// instance per thread).
+class Rng {
+ public:
+  /// Seeds the generator; the seed is expanded with splitmix64 so that
+  /// small consecutive seeds produce unrelated streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, n). Requires n > 0. Uses rejection to avoid modulo bias.
+  uint64_t UniformU64(uint64_t n);
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double Gaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential deviate with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i + 1));
+      using std::swap;
+      swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator; useful to give each peer or
+  /// each dataset its own stream while keeping global determinism.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_COMMON_RNG_H_

@@ -1,0 +1,35 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ripple {
+
+ZipfSampler::ZipfSampler(uint64_t n, double skew) : n_(n), skew_(skew) {
+  RIPPLE_CHECK(n > 0);
+  RIPPLE_CHECK(skew >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(uint64_t rank) const {
+  RIPPLE_CHECK(rank < n_);
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace ripple

@@ -1,0 +1,39 @@
+#ifndef RIPPLE_COMMON_ZIPF_H_
+#define RIPPLE_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ripple {
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^skew.
+///
+/// Used by the SYNTH dataset generator: cluster centers are drawn from a
+/// Zipf distribution with skew sigma = 0.1, following the paper's setup.
+/// Implementation: precomputed CDF with binary search; O(n) memory,
+/// O(log n) per sample, exact.
+class ZipfSampler {
+ public:
+  /// Requires n > 0 and skew >= 0 (skew = 0 degenerates to uniform).
+  ZipfSampler(uint64_t n, double skew);
+
+  /// Draws a rank in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+  /// Probability mass of the given rank.
+  double Pmf(uint64_t rank) const;
+
+ private:
+  uint64_t n_;
+  double skew_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i), cdf_.back() == 1.
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_COMMON_ZIPF_H_

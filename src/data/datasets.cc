@@ -1,0 +1,200 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/zipf.h"
+
+namespace ripple::data {
+
+namespace {
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// Gamma(shape, 1) via Marsaglia-Tsang, used for Dirichlet sampling.
+double SampleGamma(double shape, Rng* rng) {
+  RIPPLE_CHECK(shape > 0.0);
+  if (shape < 1.0) {
+    // Boosting: Gamma(a) = Gamma(a + 1) * U^(1/a).
+    const double u = std::max(rng->UniformDouble(), 1e-300);
+    return SampleGamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng->Gaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng->UniformDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+Point SampleDirichlet(const std::vector<double>& alpha, Rng* rng) {
+  Point p(static_cast<int>(alpha.size()));
+  double sum = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    p[static_cast<int>(i)] = SampleGamma(alpha[i], rng);
+    sum += p[static_cast<int>(i)];
+  }
+  for (int i = 0; i < p.dims(); ++i) p[i] /= sum;
+  return p;
+}
+
+}  // namespace
+
+TupleVec MakeUniform(size_t n, int dims, Rng* rng) {
+  TupleVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point p(dims);
+    for (int d = 0; d < dims; ++d) p[d] = rng->UniformDouble();
+    out.push_back(Tuple{i, p});
+  }
+  return out;
+}
+
+TupleVec MakeClusteredZipf(size_t n, int dims, size_t clusters, double skew,
+                           double sigma, Rng* rng, double correlation) {
+  RIPPLE_CHECK(clusters >= 1);
+  RIPPLE_CHECK(correlation >= 0.0 && correlation <= 1.0);
+  std::vector<Point> centers;
+  centers.reserve(clusters);
+  for (size_t c = 0; c < clusters; ++c) {
+    const double base = rng->UniformDouble();
+    Point p(dims);
+    for (int d = 0; d < dims; ++d) {
+      p[d] = correlation * base + (1.0 - correlation) * rng->UniformDouble();
+    }
+    centers.push_back(p);
+  }
+  ZipfSampler zipf(clusters, skew);
+  TupleVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point& c = centers[zipf.Sample(rng)];
+    Point p(dims);
+    for (int d = 0; d < dims; ++d) {
+      p[d] = Clamp01(c[d] + rng->Gaussian(0.0, sigma));
+    }
+    out.push_back(Tuple{i, p});
+  }
+  return out;
+}
+
+TupleVec MakeCorrelated(size_t n, int dims, Rng* rng) {
+  TupleVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double base = rng->UniformDouble();
+    Point p(dims);
+    for (int d = 0; d < dims; ++d) {
+      p[d] = Clamp01(base + rng->Gaussian(0.0, 0.05));
+    }
+    out.push_back(Tuple{i, p});
+  }
+  return out;
+}
+
+TupleVec MakeAnticorrelated(size_t n, int dims, Rng* rng) {
+  TupleVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Points near the hyperplane sum = dims/2, spread across it so that
+    // attributes trade off against each other.
+    Point p(dims);
+    double sum = 0.0;
+    for (int d = 0; d < dims; ++d) {
+      p[d] = rng->UniformDouble();
+      sum += p[d];
+    }
+    const double target = 0.5 * dims + rng->Gaussian(0.0, 0.05 * dims);
+    const double shift = (target - sum) / dims;
+    for (int d = 0; d < dims; ++d) p[d] = Clamp01(p[d] + shift);
+    out.push_back(Tuple{i, p});
+  }
+  return out;
+}
+
+TupleVec MakeNbaLike(size_t n, int dims, Rng* rng) {
+  // Latent per-player skill plus per-stat log-normal noise. Stat ceilings
+  // mimic per-game ranges (points, rebounds, assists, steals, blocks,
+  // minutes); only the first `dims` are used.
+  static constexpr double kCeil[kMaxDims] = {36.0, 16.0, 11.0, 2.5,
+                                             3.5,  42.0, 10.0, 10.0,
+                                             10.0, 10.0};
+  // How strongly each stat couples to overall skill.
+  static constexpr double kSkillWeight[kMaxDims] = {0.85, 0.6, 0.55, 0.5,
+                                                    0.45, 0.9, 0.5,  0.5,
+                                                    0.5,  0.5};
+  TupleVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Skill: logistic of a Gaussian — most players average, few elite.
+    const double skill = 1.0 / (1.0 + std::exp(-rng->Gaussian(-0.8, 1.1)));
+    Point p(dims);
+    for (int d = 0; d < dims; ++d) {
+      const double coupling = kSkillWeight[d];
+      const double level =
+          coupling * skill + (1.0 - coupling) * rng->UniformDouble();
+      const double noise = std::exp(rng->Gaussian(0.0, 0.35));
+      const double stat = std::min(level * noise, 1.0) * kCeil[d];
+      // Orientation: 0 = best (stat at ceiling), 1 = worst.
+      p[d] = Clamp01(1.0 - stat / kCeil[d]);
+    }
+    out.push_back(Tuple{i, p});
+  }
+  return out;
+}
+
+TupleVec MakeMirflickrLike(size_t n, int dims, Rng* rng) {
+  // A Dirichlet mixture: cluster centers are themselves Dirichlet(1) draws
+  // ("image types" with distinct edge-orientation profiles); members
+  // concentrate around their center.
+  const size_t kClusters = std::max<size_t>(8, n / 2000);
+  const double kConcentration = 60.0;
+  std::vector<std::vector<double>> cluster_alpha;
+  cluster_alpha.reserve(kClusters);
+  const std::vector<double> unit_alpha(dims, 1.0);
+  for (size_t c = 0; c < kClusters; ++c) {
+    const Point center = SampleDirichlet(unit_alpha, rng);
+    std::vector<double> alpha(dims);
+    for (int d = 0; d < dims; ++d) {
+      alpha[d] = std::max(center[d] * kConcentration, 0.05);
+    }
+    cluster_alpha.push_back(std::move(alpha));
+  }
+  TupleVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& alpha = cluster_alpha[rng->UniformU64(kClusters)];
+    out.push_back(Tuple{i, SampleDirichlet(alpha, rng)});
+  }
+  return out;
+}
+
+TupleVec MakeByName(const std::string& name, size_t n, int dims, Rng* rng) {
+  if (name == "uniform") return MakeUniform(n, dims, rng);
+  if (name == "synth") {
+    // The paper's SYNTH: cluster count scales with n (50k centers for 1M
+    // tuples), skew 0.1, attribute correlation 0.65 (see MakeClusteredZipf
+    // on why the correlation is required to match the paper's Figure 8).
+    const size_t clusters = std::max<size_t>(1, n / 20);
+    return MakeClusteredZipf(n, dims, clusters, 0.1, 0.05, rng, 0.65);
+  }
+  if (name == "correlated") return MakeCorrelated(n, dims, rng);
+  if (name == "anticorrelated") return MakeAnticorrelated(n, dims, rng);
+  if (name == "nba") return MakeNbaLike(n, dims, rng);
+  if (name == "mirflickr") return MakeMirflickrLike(n, dims, rng);
+  RIPPLE_CHECK(false && "unknown dataset name");
+  return {};
+}
+
+}  // namespace ripple::data

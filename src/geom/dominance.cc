@@ -1,0 +1,34 @@
+#include "geom/dominance.h"
+
+namespace ripple {
+
+bool Dominates(const Point& a, const Point& b) {
+  RIPPLE_DCHECK(a.dims() == b.dims());
+  bool strictly_better_somewhere = false;
+  for (int i = 0; i < a.dims(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better_somewhere = true;
+  }
+  return strictly_better_somewhere;
+}
+
+bool DominatesRect(const Point& s, const Rect& r) {
+  RIPPLE_DCHECK(s.dims() == r.dims());
+  // s must be <= the rect's lower corner everywhere, and strictly less in at
+  // least one dimension: then for any p in r, s <= lo <= p with strictness
+  // carried through, so s dominates every point of the closed rect.
+  bool strict = false;
+  for (int i = 0; i < s.dims(); ++i) {
+    if (s[i] > r.lo()[i]) return false;
+    if (s[i] < r.lo()[i]) strict = true;
+  }
+  return strict;
+}
+
+bool RectMayDominate(const Rect& r, const Point& p) {
+  RIPPLE_DCHECK(p.dims() == r.dims());
+  // The most dominating candidate inside r is its lower corner.
+  return Dominates(r.lo(), p);
+}
+
+}  // namespace ripple

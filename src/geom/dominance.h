@@ -1,0 +1,29 @@
+#ifndef RIPPLE_GEOM_DOMINANCE_H_
+#define RIPPLE_GEOM_DOMINANCE_H_
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace ripple {
+
+/// Pareto dominance with min-is-better semantics on every attribute,
+/// matching the paper's Section 5 convention ("lower values are better").
+///
+/// `a` dominates `b` iff a <= b componentwise and a < b in at least one
+/// component.
+bool Dominates(const Point& a, const Point& b);
+
+/// True when point `s` dominates *every* point of the rectangle `r`,
+/// i.e. s dominates the rect's lower corner (Algorithm 14's region test:
+/// a region is prunable when some skyline point dominates all tuples it
+/// could possibly contain).
+bool DominatesRect(const Point& s, const Rect& r);
+
+/// True when *some* point of `r` could dominate `p` — equivalently, the
+/// rect's lower corner dominates `p`. Used to decide whether a region can
+/// still contribute to the skyline given current results.
+bool RectMayDominate(const Rect& r, const Point& p);
+
+}  // namespace ripple
+
+#endif  // RIPPLE_GEOM_DOMINANCE_H_

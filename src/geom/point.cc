@@ -1,0 +1,62 @@
+#include "geom/point.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ripple {
+
+std::string Point::ToString() const {
+  std::string out = "(";
+  char buf[32];
+  for (int i = 0; i < dims_; ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6g", coords_[i]);
+    if (i > 0) out += ", ";
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+double L1Distance(const Point& a, const Point& b) {
+  RIPPLE_DCHECK(a.dims() == b.dims());
+  double sum = 0.0;
+  for (int i = 0; i < a.dims(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+double L2DistanceSquared(const Point& a, const Point& b) {
+  RIPPLE_DCHECK(a.dims() == b.dims());
+  double sum = 0.0;
+  for (int i = 0; i < a.dims(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double L2Distance(const Point& a, const Point& b) {
+  return std::sqrt(L2DistanceSquared(a, b));
+}
+
+double LInfDistance(const Point& a, const Point& b) {
+  RIPPLE_DCHECK(a.dims() == b.dims());
+  double best = 0.0;
+  for (int i = 0; i < a.dims(); ++i) {
+    best = std::max(best, std::fabs(a[i] - b[i]));
+  }
+  return best;
+}
+
+double Distance(const Point& a, const Point& b, Norm norm) {
+  switch (norm) {
+    case Norm::kL1:
+      return L1Distance(a, b);
+    case Norm::kL2:
+      return L2Distance(a, b);
+    case Norm::kLInf:
+      return LInfDistance(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace ripple

@@ -1,0 +1,134 @@
+#include "geom/rect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ripple {
+
+Rect::Rect(const Point& lo, const Point& hi) : lo_(lo), hi_(hi) {
+  RIPPLE_CHECK(lo.dims() == hi.dims());
+  for (int i = 0; i < lo.dims(); ++i) RIPPLE_CHECK(lo[i] <= hi[i]);
+}
+
+Rect Rect::Unit(int dims) {
+  Point lo(dims);
+  Point hi(dims);
+  hi.Fill(1.0);
+  return Rect(lo, hi);
+}
+
+bool Rect::Contains(const Point& p) const {
+  RIPPLE_DCHECK(p.dims() == dims());
+  for (int i = 0; i < dims(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rect::ContainsHalfOpen(const Point& p, const Rect& domain) const {
+  RIPPLE_DCHECK(p.dims() == dims());
+  for (int i = 0; i < dims(); ++i) {
+    if (p[i] < lo_[i]) return false;
+    const bool at_domain_edge = hi_[i] >= domain.hi()[i];
+    if (at_domain_edge ? (p[i] > hi_[i]) : (p[i] >= hi_[i])) return false;
+  }
+  return true;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  RIPPLE_DCHECK(other.dims() == dims());
+  for (int i = 0; i < dims(); ++i) {
+    if (other.hi_[i] < lo_[i] || other.lo_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rect::Covers(const Rect& other) const {
+  RIPPLE_DCHECK(other.dims() == dims());
+  for (int i = 0; i < dims(); ++i) {
+    if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+Rect Rect::Intersection(const Rect& other) const {
+  RIPPLE_DCHECK(Intersects(other));
+  Point lo(dims());
+  Point hi(dims());
+  for (int i = 0; i < dims(); ++i) {
+    lo[i] = std::max(lo_[i], other.lo_[i]);
+    hi[i] = std::min(hi_[i], other.hi_[i]);
+  }
+  return Rect(lo, hi);
+}
+
+bool Rect::Degenerate() const {
+  for (int i = 0; i < dims(); ++i) {
+    if (hi_[i] == lo_[i]) return true;
+  }
+  return false;
+}
+
+double Rect::Volume() const {
+  double v = 1.0;
+  for (int i = 0; i < dims(); ++i) v *= hi_[i] - lo_[i];
+  return v;
+}
+
+Point Rect::Center() const {
+  Point c(dims());
+  for (int i = 0; i < dims(); ++i) c[i] = 0.5 * (lo_[i] + hi_[i]);
+  return c;
+}
+
+std::pair<Rect, Rect> Rect::Split(int dim, double value) const {
+  RIPPLE_CHECK(dim >= 0 && dim < dims());
+  RIPPLE_CHECK(value >= lo_[dim] && value <= hi_[dim]);
+  Point lower_hi = hi_;
+  lower_hi[dim] = value;
+  Point upper_lo = lo_;
+  upper_lo[dim] = value;
+  return {Rect(lo_, lower_hi), Rect(upper_lo, hi_)};
+}
+
+Point Rect::ClosestPointTo(const Point& p) const {
+  RIPPLE_DCHECK(p.dims() == dims());
+  Point c(dims());
+  for (int i = 0; i < dims(); ++i) {
+    c[i] = std::clamp(p[i], lo_[i], hi_[i]);
+  }
+  return c;
+}
+
+double Rect::MinDist(const Point& p, Norm norm) const {
+  return Distance(p, ClosestPointTo(p), norm);
+}
+
+double Rect::MaxDist(const Point& p, Norm norm) const {
+  RIPPLE_DCHECK(p.dims() == dims());
+  // Per dimension the farthest coordinate is whichever end of the interval
+  // is farther from p; combine per the norm.
+  double l1 = 0.0, l2 = 0.0, linf = 0.0;
+  for (int i = 0; i < dims(); ++i) {
+    const double d = std::max(std::fabs(p[i] - lo_[i]),
+                              std::fabs(p[i] - hi_[i]));
+    l1 += d;
+    l2 += d * d;
+    linf = std::max(linf, d);
+  }
+  switch (norm) {
+    case Norm::kL1:
+      return l1;
+    case Norm::kL2:
+      return std::sqrt(l2);
+    case Norm::kLInf:
+      return linf;
+  }
+  return 0.0;
+}
+
+std::string Rect::ToString() const {
+  return "[" + lo_.ToString() + " .. " + hi_.ToString() + "]";
+}
+
+}  // namespace ripple

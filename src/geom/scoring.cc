@@ -1,0 +1,74 @@
+#include "geom/scoring.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ripple {
+
+LinearScorer::LinearScorer(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  RIPPLE_CHECK(!weights_.empty());
+  RIPPLE_CHECK(weights_.size() <= static_cast<size_t>(kMaxDims));
+}
+
+double LinearScorer::Score(const Point& p) const {
+  RIPPLE_DCHECK(p.dims() == static_cast<int>(weights_.size()));
+  double s = 0.0;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    s += weights_[i] * p[static_cast<int>(i)];
+  }
+  return s;
+}
+
+double LinearScorer::UpperBound(const Rect& r) const {
+  RIPPLE_DCHECK(r.dims() == static_cast<int>(weights_.size()));
+  double s = 0.0;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    const int d = static_cast<int>(i);
+    s += weights_[i] * (weights_[i] >= 0 ? r.hi()[d] : r.lo()[d]);
+  }
+  return s;
+}
+
+Point LinearScorer::Peak(const Rect& domain) const {
+  Point p(domain.dims());
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    const int d = static_cast<int>(i);
+    p[d] = weights_[i] >= 0 ? domain.hi()[d] : domain.lo()[d];
+  }
+  return p;
+}
+
+std::string LinearScorer::ToString() const {
+  std::string out = "linear(";
+  char buf[32];
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.3g", weights_[i]);
+    if (i > 0) out += ", ";
+    out += buf;
+  }
+  return out + ")";
+}
+
+NearestScorer::NearestScorer(const Point& anchor, Norm norm)
+    : anchor_(anchor), norm_(norm) {}
+
+double NearestScorer::Score(const Point& p) const {
+  return -Distance(p, anchor_, norm_);
+}
+
+double NearestScorer::UpperBound(const Rect& r) const {
+  return -r.MinDist(anchor_, norm_);
+}
+
+Point NearestScorer::Peak(const Rect& domain) const {
+  return domain.ClosestPointTo(anchor_);
+}
+
+std::string NearestScorer::ToString() const {
+  return "nearest" + anchor_.ToString();
+}
+
+}  // namespace ripple

@@ -1,0 +1,73 @@
+#ifndef RIPPLE_GEOM_SCORING_H_
+#define RIPPLE_GEOM_SCORING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace ripple {
+
+/// A monotone/unimodal scoring function for top-k queries (paper, Section 4).
+/// Scores are "higher is better". Implementations must provide a sound upper
+/// bound over any rectangle: UpperBound(r) >= Score(p) for every p in r —
+/// this is the paper's f+ used by isLinkRelevant (Alg. 8) and comp (Alg. 9).
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  /// Score of a single tuple key.
+  virtual double Score(const Point& p) const = 0;
+
+  /// f+: upper bound of Score over the rectangle.
+  virtual double UpperBound(const Rect& r) const = 0;
+
+  /// The domain point maximizing the score (unimodal functions have exactly
+  /// one). Used to seed query processing near the best tuples.
+  virtual Point Peak(const Rect& domain) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+/// Weighted linear aggregation: Score(p) = sum_i w_i * p_i. Monotone for
+/// non-negative weights; the paper's NBA top-k "aggregates individual
+/// statistics by the scoring function".
+class LinearScorer : public Scorer {
+ public:
+  explicit LinearScorer(std::vector<double> weights);
+
+  double Score(const Point& p) const override;
+  double UpperBound(const Rect& r) const override;
+  Point Peak(const Rect& domain) const override;
+  std::string ToString() const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Unimodal "closeness to an anchor" score: Score(p) = -dist(p, anchor).
+/// Its unique maximum is at the anchor, matching the paper's definition of
+/// a unimodal multivariate function with a single local maximum.
+class NearestScorer : public Scorer {
+ public:
+  NearestScorer(const Point& anchor, Norm norm);
+
+  double Score(const Point& p) const override;
+  double UpperBound(const Rect& r) const override;
+  Point Peak(const Rect& domain) const override;
+  std::string ToString() const override;
+
+  const Point& anchor() const { return anchor_; }
+
+ private:
+  Point anchor_;
+  Norm norm_;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_GEOM_SCORING_H_

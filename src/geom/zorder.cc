@@ -1,0 +1,86 @@
+#include "geom/zorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ripple {
+
+ZOrder::ZOrder(int dims, const Rect& domain, int bits_per_dim)
+    : dims_(dims), domain_(domain) {
+  RIPPLE_CHECK(dims >= 1 && dims <= kMaxDims);
+  RIPPLE_CHECK(domain.dims() == dims);
+  bits_per_dim_ = bits_per_dim > 0 ? bits_per_dim : 62 / dims;
+  RIPPLE_CHECK(bits_per_dim_ >= 1 && dims_ * bits_per_dim_ <= 62);
+}
+
+uint64_t ZOrder::Encode(const Point& p) const {
+  RIPPLE_DCHECK(p.dims() == dims_);
+  const uint64_t cells = uint64_t{1} << bits_per_dim_;
+  uint64_t grid[kMaxDims];
+  for (int d = 0; d < dims_; ++d) {
+    const double span = domain_.hi()[d] - domain_.lo()[d];
+    double frac = span > 0 ? (p[d] - domain_.lo()[d]) / span : 0.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    uint64_t g = static_cast<uint64_t>(frac * static_cast<double>(cells));
+    grid[d] = std::min(g, cells - 1);
+  }
+  uint64_t key = 0;
+  // Interleave most significant bits first, dimension-major round robin.
+  for (int b = bits_per_dim_ - 1; b >= 0; --b) {
+    for (int d = 0; d < dims_; ++d) {
+      key = (key << 1) | ((grid[d] >> b) & 1u);
+    }
+  }
+  return key;
+}
+
+Rect ZOrder::DecodeCell(uint64_t key) const {
+  return PrefixCell(key << (64 - total_bits()), total_bits());
+}
+
+Point ZOrder::DecodeCenter(uint64_t key) const {
+  return DecodeCell(key).Center();
+}
+
+Rect ZOrder::PrefixCell(uint64_t prefix, int prefix_bits) const {
+  RIPPLE_CHECK(prefix_bits >= 0 && prefix_bits <= total_bits());
+  Point lo = domain_.lo();
+  Point hi = domain_.hi();
+  for (int i = 0; i < prefix_bits; ++i) {
+    const int d = i % dims_;
+    const bool bit = (prefix >> (63 - i)) & 1u;
+    const double mid = 0.5 * (lo[d] + hi[d]);
+    if (bit) {
+      lo[d] = mid;
+    } else {
+      hi[d] = mid;
+    }
+  }
+  return Rect(lo, hi);
+}
+
+void ZOrder::DecomposeRec(uint64_t node_lo, int level, uint64_t lo,
+                          uint64_t hi, std::vector<Rect>* out) const {
+  const int total = total_bits();
+  const uint64_t node_size = uint64_t{1} << (total - level);
+  const uint64_t node_hi = node_lo + node_size - 1;
+  if (node_hi < lo || node_lo > hi) return;
+  if (lo <= node_lo && node_hi <= hi) {
+    out->push_back(PrefixCell(node_lo << (64 - total), level));
+    return;
+  }
+  RIPPLE_DCHECK(level < total);
+  const uint64_t half = node_size >> 1;
+  DecomposeRec(node_lo, level + 1, lo, hi, out);
+  DecomposeRec(node_lo + half, level + 1, lo, hi, out);
+}
+
+std::vector<Rect> ZOrder::DecomposeInterval(uint64_t lo, uint64_t hi) const {
+  std::vector<Rect> out;
+  if (lo > hi) return out;
+  hi = std::min(hi, key_space_size() - 1);
+  DecomposeRec(0, 0, lo, hi, &out);
+  return out;
+}
+
+}  // namespace ripple

@@ -1,0 +1,63 @@
+#ifndef RIPPLE_GEOM_ZORDER_H_
+#define RIPPLE_GEOM_ZORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace ripple {
+
+/// Z-order (Morton) space-filling curve over a d-dimensional domain.
+///
+/// SSP over BATON maps multi-dimensional keys onto a one-dimensional key
+/// space with a Z-curve (paper, Section 2.2); our Chord instantiation of
+/// generic RIPPLE uses the same mapping. Bits are interleaved
+/// round-robin across dimensions, most significant first, with
+/// bits_per_dim resolution per axis; the total key width is
+/// dims * bits_per_dim <= 62 bits.
+class ZOrder {
+ public:
+  /// Requires 1 <= dims <= kMaxDims; bits_per_dim defaults to the largest
+  /// resolution that keeps the key in 62 bits.
+  explicit ZOrder(int dims, const Rect& domain, int bits_per_dim = 0);
+
+  int dims() const { return dims_; }
+  int bits_per_dim() const { return bits_per_dim_; }
+  int total_bits() const { return dims_ * bits_per_dim_; }
+  /// One past the largest key: 2^total_bits.
+  uint64_t key_space_size() const { return uint64_t{1} << total_bits(); }
+  const Rect& domain() const { return domain_; }
+
+  /// Maps a point of the domain to its Z-order key.
+  uint64_t Encode(const Point& p) const;
+
+  /// The center of the grid cell addressed by `key`.
+  Point DecodeCenter(uint64_t key) const;
+
+  /// The grid cell rectangle addressed by `key`.
+  Rect DecodeCell(uint64_t key) const;
+
+  /// Decomposes the key interval [lo, hi] (inclusive) into the maximal
+  /// aligned Z-cells it covers, returned as their rectangles. The result is
+  /// an exact cover: its union contains precisely the points whose keys fall
+  /// in the interval. At most 2 * total_bits rectangles are produced.
+  std::vector<Rect> DecomposeInterval(uint64_t lo, uint64_t hi) const;
+
+  /// The rectangle of the aligned trie cell whose key prefix is the top
+  /// `prefix_bits` bits of `prefix` (prefix_bits <= total_bits).
+  Rect PrefixCell(uint64_t prefix, int prefix_bits) const;
+
+ private:
+  void DecomposeRec(uint64_t node_lo, int level, uint64_t lo, uint64_t hi,
+                    std::vector<Rect>* out) const;
+
+  int dims_;
+  int bits_per_dim_;
+  Rect domain_;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_GEOM_ZORDER_H_

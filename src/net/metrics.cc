@@ -1,0 +1,32 @@
+#include "net/metrics.h"
+
+#include <cstdio>
+
+namespace ripple {
+
+std::string QueryStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "latency=%llu hops, visited=%llu peers, messages=%llu, "
+                "tuples=%llu",
+                static_cast<unsigned long long>(latency_hops),
+                static_cast<unsigned long long>(peers_visited),
+                static_cast<unsigned long long>(messages),
+                static_cast<unsigned long long>(tuples_shipped));
+  return buf;
+}
+
+uint64_t StatsAccumulator::LatencyPercentile(double p) const {
+  if (batch_.empty()) return 0;
+  std::vector<uint64_t> values;
+  values.reserve(batch_.size());
+  for (const auto& s : batch_) values.push_back(s.latency_hops);
+  std::sort(values.begin(), values.end());
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  size_t rank = static_cast<size_t>(clamped / 100.0 *
+                                    static_cast<double>(values.size()));
+  if (rank >= values.size()) rank = values.size() - 1;
+  return values[rank];
+}
+
+}  // namespace ripple

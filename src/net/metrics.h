@@ -1,0 +1,80 @@
+#ifndef RIPPLE_NET_METRICS_H_
+#define RIPPLE_NET_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ripple {
+
+/// Cost of one distributed query execution.
+///
+/// * latency_hops — number of sequential forwarding hops on the critical
+///   path, accounted exactly as in the paper's Lemmas 1–3 (`fast` combines
+///   children with 1+max, `slow` with sum).
+/// * peers_visited — peers that processed the query (the basis of the
+///   paper's congestion metric).
+/// * messages — query forwards + state responses + answer deliveries.
+/// * tuples_shipped — tuples carried by states and answers.
+struct QueryStats {
+  uint64_t latency_hops = 0;
+  uint64_t peers_visited = 0;
+  uint64_t messages = 0;
+  uint64_t tuples_shipped = 0;
+
+  QueryStats& operator+=(const QueryStats& o) {
+    latency_hops += o.latency_hops;
+    peers_visited += o.peers_visited;
+    messages += o.messages;
+    tuples_shipped += o.tuples_shipped;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+/// Accumulates per-query stats over a batch and reports the averages the
+/// paper plots. Congestion is defined in Section 7.1 as the average number
+/// of queries processed at any peer when n queries are issued (n = network
+/// size); that equals the mean number of peers visited per query, which is
+/// what we report (independent of how many queries are actually run).
+class StatsAccumulator {
+ public:
+  void Add(const QueryStats& s) {
+    batch_.push_back(s);
+    total_ += s;
+  }
+
+  size_t count() const { return batch_.size(); }
+  const QueryStats& total() const { return total_; }
+
+  double MeanLatency() const { return Mean(&QueryStats::latency_hops); }
+  double MeanCongestion() const { return Mean(&QueryStats::peers_visited); }
+  double MeanMessages() const { return Mean(&QueryStats::messages); }
+  double MeanTuplesShipped() const { return Mean(&QueryStats::tuples_shipped); }
+
+  uint64_t MaxLatency() const { return Max(&QueryStats::latency_hops); }
+
+  /// p in [0,100]; nearest-rank percentile of latency.
+  uint64_t LatencyPercentile(double p) const;
+
+ private:
+  double Mean(uint64_t QueryStats::* field) const {
+    if (batch_.empty()) return 0.0;
+    return static_cast<double>(total_.*field) /
+           static_cast<double>(batch_.size());
+  }
+  uint64_t Max(uint64_t QueryStats::* field) const {
+    uint64_t m = 0;
+    for (const auto& s : batch_) m = std::max(m, s.*field);
+    return m;
+  }
+
+  std::vector<QueryStats> batch_;
+  QueryStats total_;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_NET_METRICS_H_

@@ -1,0 +1,31 @@
+#include "overlay/midas/patterns.h"
+
+#include "common/check.h"
+
+namespace ripple {
+
+bool MatchesBorderPattern(const BitString& id, int dims, int j) {
+  RIPPLE_CHECK(dims >= 1);
+  RIPPLE_CHECK(j >= 0 && j < dims);
+  for (int pos = 0; pos < id.size(); ++pos) {
+    if (pos % dims == j) continue;  // free position (X)
+    if (id.bit(pos)) return false;  // must be 0
+  }
+  return true;
+}
+
+bool MatchesAnyBorderPattern(const BitString& id, int dims) {
+  for (int j = 0; j < dims; ++j) {
+    if (MatchesBorderPattern(id, dims, j)) return true;
+  }
+  return false;
+}
+
+bool PrefixCanMatchBorderPattern(const BitString& prefix, int dims) {
+  // A prefix constrains the same positions the full id would; if the prefix
+  // matches some pattern, extensions that keep the constrained positions at
+  // zero also match. If it matches none, no extension can (paper, §5.2).
+  return MatchesAnyBorderPattern(prefix, dims);
+}
+
+}  // namespace ripple

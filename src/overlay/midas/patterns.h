@@ -1,0 +1,31 @@
+#ifndef RIPPLE_OVERLAY_MIDAS_PATTERNS_H_
+#define RIPPLE_OVERLAY_MIDAS_PATTERNS_H_
+
+#include "common/bitstring.h"
+
+namespace ripple {
+
+/// Border-pattern tests for the MIDAS skyline optimization (paper, §5.2).
+///
+/// With midpoint splits whose dimension alternates sequentially with depth
+/// (depth t splits dimension t mod D), a leaf id matches pattern
+///   p_j = (0...0 X 0...0)* ...   (X at in-round position j)
+/// exactly when its zone touches the lower domain boundary in every
+/// dimension except possibly dimension j. Peers with such ids are the ones
+/// that can host skyline tuples near the domain borders, so the optimized
+/// overlay prefers them as link targets.
+
+/// True when `id` matches border pattern p_j for the given dimension j.
+bool MatchesBorderPattern(const BitString& id, int dims, int j);
+
+/// True when `id` matches any of the D border patterns p_0 .. p_{D-1}.
+bool MatchesAnyBorderPattern(const BitString& id, int dims);
+
+/// True when some descendant of the node `prefix` can match a pattern,
+/// i.e. `prefix` itself matches when truncated (a non-matching prefix can
+/// never produce matching descendants — its id prefixes all of them).
+bool PrefixCanMatchBorderPattern(const BitString& prefix, int dims);
+
+}  // namespace ripple
+
+#endif  // RIPPLE_OVERLAY_MIDAS_PATTERNS_H_

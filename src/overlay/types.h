@@ -1,0 +1,31 @@
+#ifndef RIPPLE_OVERLAY_TYPES_H_
+#define RIPPLE_OVERLAY_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "geom/rect.h"
+
+namespace ripple {
+
+/// Stable identifier of a peer within one overlay instance. Ids are array
+/// indices; departed peers leave holes that later joins may reuse.
+using PeerId = uint32_t;
+
+inline constexpr PeerId kInvalidPeer = std::numeric_limits<PeerId>::max();
+
+/// A link of a peer whose RIPPLE region is a single rectangle (MIDAS and
+/// CAN; Chord uses arc-shaped areas instead). `region` is the link's RIPPLE
+/// region from the owning peer's viewpoint — a partition cell of the domain
+/// that contains the target's zone (paper, Section 3.1).
+struct RectLink {
+  PeerId target = kInvalidPeer;
+  Rect region;
+  /// For MIDAS: the depth of the sibling subtree this link points into
+  /// (link index + 1). For other overlays: an overlay-specific tag.
+  int depth = 0;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_OVERLAY_TYPES_H_

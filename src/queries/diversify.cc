@@ -1,0 +1,130 @@
+#include "queries/diversify.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ripple {
+
+DiversifyObjective::SetStats DiversifyObjective::ComputeStats(
+    const TupleVec& o) const {
+  SetStats s;
+  for (const Tuple& x : o) {
+    s.r_max = std::max(s.r_max, Distance(x.key, query, norm));
+  }
+  if (o.size() >= 2) {
+    s.d_min = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < o.size(); ++i) {
+      for (size_t j = i + 1; j < o.size(); ++j) {
+        s.d_min = std::min(s.d_min, Distance(o[i].key, o[j].key, norm));
+      }
+    }
+  }
+  return s;
+}
+
+double DiversifyObjective::Value(const TupleVec& o) const {
+  if (o.empty()) return 0.0;
+  const SetStats s = ComputeStats(o);
+  return lambda * s.r_max - (1.0 - lambda) * s.d_min;
+}
+
+double DiversifyObjective::Phi(const Point& t, const TupleVec& o) const {
+  return Phi(t, o, ComputeStats(o));
+}
+
+double DiversifyObjective::Phi(const Point& t, const TupleVec& o,
+                               const SetStats& stats) const {
+  const double dr_t = Distance(t, query, norm);
+  if (o.empty()) {
+    // f({t}) - f({}) = lambda * dr(t, q).
+    return lambda * dr_t;
+  }
+  if (o.size() == 1) {
+    // f({x, t}) - f({x}): the pairwise-diversity term appears.
+    const double dv = Distance(t, o[0].key, norm);
+    return lambda * std::max(dr_t - stats.r_max, 0.0) -
+           (1.0 - lambda) * dv;
+  }
+  // |O| >= 2: the closed form of Eq. 3 — equivalently
+  //   lambda * max(dr(t,q) - Rmax, 0) + (1-lambda) * max(Dmin - dvmin, 0),
+  // whose four sign combinations are exactly the paper's four clauses.
+  double dv_min = std::numeric_limits<double>::infinity();
+  for (const Tuple& x : o) {
+    dv_min = std::min(dv_min, Distance(t, x.key, norm));
+  }
+  return lambda * std::max(dr_t - stats.r_max, 0.0) +
+         (1.0 - lambda) * std::max(stats.d_min - dv_min, 0.0);
+}
+
+double DiversifyObjective::PhiLowerBound(const Rect& r,
+                                         const TupleVec& o) const {
+  return PhiLowerBound(r, o, ComputeStats(o));
+}
+
+double DiversifyObjective::PhiLowerBound(const Rect& r, const TupleVec& o,
+                                         const SetStats& stats) const {
+  const double dr_lo = r.MinDist(query, norm);
+  if (o.empty()) {
+    return lambda * dr_lo;
+  }
+  if (o.size() == 1) {
+    const double dv_hi = r.MaxDist(o[0].key, norm);
+    return lambda * std::max(dr_lo - stats.r_max, 0.0) -
+           (1.0 - lambda) * dv_hi;
+  }
+  // For any t in r: dvmin(t) <= min_x MaxDist(r, x), so
+  // Dmin - dvmin(t) >= Dmin - min_x MaxDist(r, x).
+  double dv_min_hi = std::numeric_limits<double>::infinity();
+  for (const Tuple& x : o) {
+    dv_min_hi = std::min(dv_min_hi, r.MaxDist(x.key, norm));
+  }
+  return lambda * std::max(dr_lo - stats.r_max, 0.0) +
+         (1.0 - lambda) * std::max(stats.d_min - dv_min_hi, 0.0);
+}
+
+const Tuple* DivPolicy::BestLocal(const LocalStore& store, const Query& q,
+                                  double* phi) const {
+  auto cost = [&](const Point& p) { return q.Phi(p); };
+  auto rect_lower = [&](const Rect& r) { return q.PhiLowerBound(r); };
+  auto admit = [&](const Tuple& t) { return !q.IsExcluded(t.id); };
+  return store.ArgMin(cost, rect_lower, admit, phi);
+}
+
+DivPolicy::LocalState DivPolicy::ComputeLocalState(
+    const LocalStore& store, const Query& q, const GlobalState& g) const {
+  double phi = 0.0;
+  const Tuple* best = BestLocal(store, q, &phi);
+  // Algorithm 16: adopt the local minimizer's score when it improves on
+  // the received threshold.
+  if (best != nullptr && phi < g.tau) return LocalState{phi};
+  return LocalState{g.tau};
+}
+
+DivPolicy::Answer DivPolicy::ComputeLocalAnswer(const LocalStore& store,
+                                                const Query& q,
+                                                const LocalState& l) const {
+  double phi = 0.0;
+  const Tuple* best = BestLocal(store, q, &phi);
+  // Algorithm 18: the local tuple is the current best answer only when it
+  // attains the (possibly remotely improved) threshold.
+  if (best != nullptr && phi == l.tau) return Answer{*best};
+  return Answer{};
+}
+
+void DivPolicy::MergeAnswer(Answer* acc, Answer&& local,
+                            const Query& q) const {
+  if (local.empty()) return;
+  if (acc->empty()) {
+    *acc = std::move(local);
+    return;
+  }
+  const double phi_acc = q.Phi((*acc)[0].key);
+  const double phi_new = q.Phi(local[0].key);
+  if (phi_new < phi_acc ||
+      (phi_new == phi_acc && local[0].id < (*acc)[0].id)) {
+    *acc = std::move(local);
+  }
+}
+
+}  // namespace ripple

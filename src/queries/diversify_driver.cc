@@ -1,0 +1,130 @@
+#include "queries/diversify_driver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ripple {
+
+std::optional<Tuple> CentralizedDivService::FindBest(const DivQuery& query,
+                                                     double tau,
+                                                     QueryStats*) {
+  const Tuple* best = nullptr;
+  double best_phi = std::numeric_limits<double>::infinity();
+  for (const Tuple& t : *all_) {
+    if (query.IsExcluded(t.id)) continue;
+    const double phi = query.objective.Phi(t.key, query.exclude);
+    if (best == nullptr || phi < best_phi ||
+        (phi == best_phi && t.id < best->id)) {
+      best_phi = phi;
+      best = &t;
+    }
+  }
+  if (best == nullptr || best_phi >= tau) return std::nullopt;
+  return *best;
+}
+
+namespace {
+
+/// O \ {victim}, preserving order.
+TupleVec Without(const TupleVec& o, uint64_t victim_id) {
+  TupleVec out;
+  out.reserve(o.size() - 1);
+  for (const Tuple& t : o) {
+    if (t.id != victim_id) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool DivImprove(SingleTupleService* service, const DiversifyObjective& obj,
+                TupleVec* o, QueryStats* stats) {
+  RIPPLE_CHECK(!o->empty());
+  const double f_o = obj.Value(*o);
+
+  // Line 3: order members by descending phi(t_i, q, O \ {t_i}); removing
+  // the first yields the best residual set, so good replacements are found
+  // early (paper's derivation after Alg. 23).
+  struct Member {
+    Tuple tuple;
+    double phi;
+  };
+  std::vector<Member> members;
+  members.reserve(o->size());
+  for (const Tuple& t : *o) {
+    members.push_back(Member{t, obj.Phi(t.key, Without(*o, t.id))});
+  }
+  std::stable_sort(members.begin(), members.end(),
+                   [](const Member& a, const Member& b) {
+                     return a.phi > b.phi;
+                   });
+
+  std::optional<Tuple> t_in;
+  std::optional<Tuple> t_out;
+  double best_delta = 0.0;  // f(new) - f(O) of the best swap found
+
+  for (const Member& m : members) {
+    const TupleVec residual = Without(*o, m.tuple.id);
+    // Lines 5-9: the distributed threshold.
+    double tau;
+    if (!t_in.has_value()) {
+      tau = m.phi;  // require phi(cand) < phi(t_i): a strict improvement
+    } else {
+      tau = best_delta;  // require beating the current best swap
+    }
+    const DivQuery query = MakeDivQuery(obj, residual);
+    const std::optional<Tuple> cand = service->FindBest(query, tau, stats);
+    if (!cand.has_value()) continue;
+    // Acceptance on the actual objective delta (see header comment).
+    TupleVec swapped = residual;
+    swapped.push_back(*cand);
+    const double delta = obj.Value(swapped) - f_o;
+    // best_delta starts at 0, so the first acceptance already requires a
+    // strict improvement over f(O).
+    if (delta < best_delta) {
+      best_delta = delta;
+      t_in = *cand;
+      t_out = m.tuple;
+    }
+  }
+
+  if (!t_in.has_value()) return false;
+  *o = Without(*o, t_out->id);
+  o->push_back(*t_in);
+  return true;
+}
+
+DiversifyResult Diversify(SingleTupleService* service,
+                          const DiversifyObjective& obj, TupleVec initial,
+                          const DiversifyOptions& options) {
+  DiversifyResult result;
+  if (options.service_init) {
+    // The elaborate initialization: greedily extend the set with k single
+    // tuple diversification queries (each is a real network operation).
+    result.set.clear();
+    while (result.set.size() < options.k) {
+      const DivQuery query = MakeDivQuery(obj, result.set);
+      const std::optional<Tuple> next = service->FindBest(
+          query, std::numeric_limits<double>::infinity(), &result.stats);
+      if (!next.has_value()) break;  // fewer than k tuples in the network
+      result.set.push_back(*next);
+    }
+    if (result.set.size() < options.k) {
+      result.objective = obj.Value(result.set);
+      return result;
+    }
+  } else {
+    RIPPLE_CHECK(initial.size() == options.k);
+    result.set = std::move(initial);
+  }
+  for (int i = 0; i < options.max_iters; ++i) {
+    if (!DivImprove(service, obj, &result.set, &result.stats)) break;
+    result.improve_rounds = i + 1;
+  }
+  std::sort(result.set.begin(), result.set.end(), TupleIdLess());
+  result.objective = obj.Value(result.set);
+  return result;
+}
+
+}  // namespace ripple

@@ -1,0 +1,104 @@
+#ifndef RIPPLE_QUERIES_SKYBAND_H_
+#define RIPPLE_QUERIES_SKYBAND_H_
+
+#include <limits>
+#include <vector>
+
+#include "geom/dominance.h"
+#include "ripple/policy.h"
+#include "store/local_algos.h"
+#include "store/local_store.h"
+#include "store/tuple.h"
+
+namespace ripple {
+
+/// Computes the k-skyband: the tuples dominated by fewer than `k` others
+/// (k = 1 is the skyline). Deterministic, sorted by id. This is the
+/// structure SPEERTO precomputes per peer (paper, Section 2.1); we also
+/// expose it as a distributed query.
+TupleVec ComputeKSkyband(TupleVec tuples, size_t k);
+
+/// A k-skyband query: all tuples dominated by fewer than `band` others.
+struct SkybandQuery {
+  size_t band = 2;
+  Norm norm = Norm::kL2;
+};
+
+/// Partial-band state: tuples that, as far as the query has seen, are
+/// dominated by fewer than `band` others. Counting within a partial set
+/// can only undercount dominators, so the state is a superset of the true
+/// band restricted to seen tuples — pruning stays sound.
+struct SkybandState {
+  TupleVec tuples;
+  TupleVec dominators;  // bounded min-sum subset for region tests
+
+  static constexpr size_t kMaxDominators = 64;
+};
+
+/// RIPPLE policy for distributed k-skyband retrieval — a generalization of
+/// the Section 5 skyline policy: a region is prunable only when at least
+/// `band` state tuples dominate all of it, because every tuple inside
+/// would then have >= band dominators.
+class SkybandPolicy {
+ public:
+  using Query = SkybandQuery;
+  using LocalState = SkybandState;
+  using GlobalState = SkybandState;
+  using Answer = TupleVec;
+
+  GlobalState InitialGlobalState(const Query&) const { return {}; }
+
+  LocalState ComputeLocalState(const LocalStore& store, const Query& q,
+                               const GlobalState& g) const;
+  GlobalState ComputeGlobalState(const Query& q, const GlobalState& g,
+                                 const LocalState& l) const;
+  void MergeLocalStates(const Query& q, LocalState* mine,
+                        const std::vector<LocalState>& received) const;
+  Answer ComputeLocalAnswer(const LocalStore& store, const Query& q,
+                            const LocalState& l) const;
+
+  template <typename Area>
+  bool IsLinkRelevant(const Query& q, const GlobalState& g,
+                      const Area& area) const {
+    const TupleVec& candidates =
+        g.dominators.empty() ? g.tuples : g.dominators;
+    bool prunable = true;
+    ForEachRect(area, [&](const Rect& r) {
+      size_t count = 0;
+      for (const Tuple& s : candidates) {
+        if (DominatesRect(s.key, r) && ++count >= q.band) break;
+      }
+      if (count < q.band) prunable = false;
+    });
+    return !prunable;
+  }
+
+  template <typename Area>
+  double LinkPriority(const Query& q, const Area& area) const {
+    double best = std::numeric_limits<double>::infinity();
+    ForEachRect(area, [&](const Rect& r) {
+      best = std::min(best, r.MinDist(Point(r.dims()), q.norm));
+    });
+    return -best;
+  }
+
+  size_t StateTupleCount(const LocalState& l) const { return l.tuples.size(); }
+  size_t GlobalStateTupleCount(const GlobalState& g) const {
+    return g.tuples.size();
+  }
+  size_t AnswerTupleCount(const Answer& a) const { return a.size(); }
+
+  void MergeAnswer(Answer* acc, Answer&& local, const Query& q) const;
+  /// Exact extraction: the k-skyband of everything collected. Correct
+  /// because any tuple with >= band global dominators has >= band
+  /// dominators inside the band itself (dominators of dominators also
+  /// dominate, so dominator counts are self-contained), and the collected
+  /// set is a superset of the band.
+  void FinalizeAnswer(Answer* acc, const Query& q) const;
+};
+
+static_assert(QueryPolicy<SkybandPolicy, Rect>);
+
+}  // namespace ripple
+
+#endif  // RIPPLE_QUERIES_SKYBAND_H_

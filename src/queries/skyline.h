@@ -1,0 +1,128 @@
+#ifndef RIPPLE_QUERIES_SKYLINE_H_
+#define RIPPLE_QUERIES_SKYLINE_H_
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "geom/dominance.h"
+#include "ripple/policy.h"
+#include "store/local_algos.h"
+#include "store/local_store.h"
+#include "store/tuple.h"
+
+namespace ripple {
+
+/// A skyline query: min-is-better dominance on every attribute (paper,
+/// Section 5). `norm` selects the distance used by the prioritization
+/// heuristic d- (Alg. 15). An optional `constraint` box restricts the
+/// skyline to tuples inside it (the constrained skylines DSL was designed
+/// for — its hierarchy roots at "the region containing the lower-left
+/// corner of the constraint").
+struct SkylineQuery {
+  Norm norm = Norm::kL2;
+  std::optional<Rect> constraint;
+
+  bool Admits(const Point& p) const {
+    return !constraint.has_value() || constraint->Contains(p);
+  }
+  /// The reference corner prioritization aims at (Alg. 15's origin, or the
+  /// constraint's lower corner).
+  Point Origin(int dims) const {
+    return constraint.has_value() ? constraint->lo() : Point(dims);
+  }
+};
+
+/// Skyline state: a set of mutually non-dominated tuples (partial skyline).
+/// Global states additionally carry `dominators` — a small min-coordinate-
+/// sum subset used for the Algorithm 14 region test. At high
+/// dimensionality states hold thousands of tuples, but only the ones with
+/// uniformly small coordinates can ever dominate a whole region, and those
+/// have the smallest sums; checking a bounded subset keeps pruning sound
+/// (never prunes more, may prune less) at O(1) tuples per link.
+struct SkylineState {
+  TupleVec tuples;
+  TupleVec dominators;
+
+  static constexpr size_t kMaxDominators = 32;
+};
+
+/// RIPPLE policy for skyline queries — Algorithms 10-15.
+class SkylinePolicy {
+ public:
+  using Query = SkylineQuery;
+  using LocalState = SkylineState;
+  using GlobalState = SkylineState;
+  using Answer = TupleVec;
+
+  GlobalState InitialGlobalState(const Query&) const { return {}; }
+
+  /// Algorithm 10: local skyline, intersected with the skyline of (received
+  /// global state ∪ local skyline) — only local tuples that survive the
+  /// global merge stay in the local state.
+  LocalState ComputeLocalState(const LocalStore& store, const Query& q,
+                               const GlobalState& g) const;
+
+  /// Algorithm 11: skyline of (global ∪ local).
+  GlobalState ComputeGlobalState(const Query& q, const GlobalState& g,
+                                 const LocalState& l) const;
+
+  /// Algorithm 13: skyline of the union of all states.
+  void MergeLocalStates(const Query& q, LocalState* mine,
+                        const std::vector<LocalState>& received) const;
+
+  /// Algorithm 12: the local tuples of the local state.
+  Answer ComputeLocalAnswer(const LocalStore& store, const Query& q,
+                            const LocalState& l) const;
+
+  /// Algorithm 14: prune an area when some state tuple dominates all of
+  /// it; constrained queries additionally prune areas outside the box.
+  template <typename Area>
+  bool IsLinkRelevant(const Query& q, const GlobalState& g,
+                      const Area& area) const {
+    if (q.constraint.has_value()) {
+      bool touches = false;
+      ForEachRect(area, [&](const Rect& r) {
+        if (r.Intersects(*q.constraint)) touches = true;
+      });
+      if (!touches) return false;
+    }
+    const TupleVec& candidates =
+        g.dominators.empty() ? g.tuples : g.dominators;
+    for (const Tuple& s : candidates) {
+      bool dominates_all = true;
+      ForEachRect(area, [&](const Rect& r) {
+        if (!DominatesRect(s.key, r)) dominates_all = false;
+      });
+      if (dominates_all) return false;
+    }
+    return true;
+  }
+
+  /// Algorithm 15: areas closer to the reference corner first (larger
+  /// priority == visited earlier, so priority = -d-(area, origin)).
+  template <typename Area>
+  double LinkPriority(const Query& q, const Area& area) const {
+    double best = std::numeric_limits<double>::infinity();
+    ForEachRect(area, [&](const Rect& r) {
+      best = std::min(best, r.MinDist(q.Origin(r.dims()), q.norm));
+    });
+    return -best;
+  }
+
+  size_t StateTupleCount(const LocalState& l) const { return l.tuples.size(); }
+  size_t GlobalStateTupleCount(const GlobalState& g) const {
+    return g.tuples.size();
+  }
+  size_t AnswerTupleCount(const Answer& a) const { return a.size(); }
+
+  void MergeAnswer(Answer* acc, Answer&& local, const Query& q) const;
+  /// The initiator's final skyline over everything received.
+  void FinalizeAnswer(Answer* acc, const Query& q) const;
+};
+
+static_assert(QueryPolicy<SkylinePolicy, Rect>);
+
+}  // namespace ripple
+
+#endif  // RIPPLE_QUERIES_SKYLINE_H_

@@ -1,0 +1,41 @@
+#ifndef RIPPLE_QUERIES_SKYLINE_DRIVER_H_
+#define RIPPLE_QUERIES_SKYLINE_DRIVER_H_
+
+#include "queries/skyline.h"
+#include "ripple/engine.h"
+
+namespace ripple {
+
+/// Seeded skyline initiation.
+///
+/// A skyline run started at an arbitrary peer forwards with an empty state
+/// on its first hops — nothing is dominated yet, so nothing is pruned and
+/// the fast mode degenerates towards a broadcast. Both distributed-skyline
+/// baselines the paper compares against avoid this by construction: DSL
+/// roots its hierarchy at the peer owning the domain origin and SSP starts
+/// at the origin's region. We give RIPPLE the same standard opening: route
+/// the query to the peer responsible for the domain's lower corner (whose
+/// zone reaches into the most dominating area, so its local skyline prunes
+/// aggressively) and initiate processing there. Routing hops are charged
+/// to the query.
+template <typename Overlay>
+typename Engine<Overlay, SkylinePolicy>::RunResult SeededSkyline(
+    const Overlay& overlay, const Engine<Overlay, SkylinePolicy>& engine,
+    PeerId initiator, const SkylineQuery& query, int r) {
+  uint64_t hops = 0;
+  // Constrained queries aim at the constraint's lower corner (the spot DSL
+  // roots its hierarchy at); unconstrained ones at the domain origin.
+  const Point corner = query.constraint.has_value()
+                           ? query.constraint->lo()
+                           : overlay.domain().lo();
+  const PeerId start = overlay.RouteFrom(initiator, corner, &hops);
+  auto result = engine.Run(start, query, r);
+  result.stats.latency_hops += hops;
+  result.stats.messages += hops;
+  result.stats.peers_visited += hops;  // forwarding peers handle the query
+  return result;
+}
+
+}  // namespace ripple
+
+#endif  // RIPPLE_QUERIES_SKYLINE_DRIVER_H_

@@ -1,0 +1,94 @@
+#include "queries/topk.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ripple {
+
+TopKPolicy::LocalState TopKPolicy::ComputeLocalState(
+    const LocalStore& store, const Query& q, const GlobalState& g) const {
+  RIPPLE_DCHECK(q.scorer != nullptr);
+  // Line 1: up to k local tuples scoring above the received threshold.
+  TupleVec a = store.TopKAbove(*q.scorer, q.k, g.tau);
+  // Lines 2-3: if the global goal of k tuples is still unmet, add the
+  // highest ranking remaining local tuples.
+  if (g.m + a.size() < q.k) {
+    const size_t missing = q.k - g.m - a.size();
+    TupleVec extra = store.BestBelow(*q.scorer, missing, g.tau);
+    a.insert(a.end(), extra.begin(), extra.end());
+  }
+  LocalState l;
+  l.m = a.size();
+  l.tau = std::numeric_limits<double>::infinity();
+  for (const Tuple& t : a) {
+    l.tau = std::min(l.tau, q.scorer->Score(t.key));
+  }
+  return l;
+}
+
+namespace {
+
+/// The Algorithm 7 aggregation: the tightest threshold guaranteeing >= k
+/// tuples, found by scanning states in descending threshold order. Each
+/// input state is a true claim "m tuples with score >= tau exist", so the
+/// output is one too.
+TopKState MergeStates(std::vector<TopKState> all, size_t k) {
+  std::sort(all.begin(), all.end(), [](const TopKState& a,
+                                       const TopKState& b) {
+    return a.tau > b.tau;
+  });
+  TopKState merged;
+  for (const TopKState& s : all) {
+    merged.m += s.m;
+    merged.tau = s.tau;
+    if (merged.m >= k) break;
+  }
+  return merged;
+}
+
+}  // namespace
+
+TopKPolicy::GlobalState TopKPolicy::ComputeGlobalState(
+    const Query& q, const GlobalState& g, const LocalState& l) const {
+  // Algorithm 5 as printed combines with (m_G + m_L, min(tau_G, tau_L)),
+  // which can only weaken the threshold along a forwarding path and makes
+  // the Figure 4 congestion levels unreachable. We combine with the
+  // paper's own Algorithm 7 rule instead — the same aggregation
+  // updateLocalState uses — which tightens the threshold whenever either
+  // side alone already witnesses k tuples (deviation documented in
+  // DESIGN.md).
+  return MergeStates({g, l}, q.k);
+}
+
+void TopKPolicy::MergeLocalStates(
+    const Query& q, LocalState* mine,
+    const std::vector<LocalState>& received) const {
+  std::vector<LocalState> all;
+  all.reserve(received.size() + 1);
+  all.push_back(*mine);
+  all.insert(all.end(), received.begin(), received.end());
+  *mine = MergeStates(std::move(all), q.k);
+}
+
+TopKPolicy::Answer TopKPolicy::ComputeLocalAnswer(const LocalStore& store,
+                                                  const Query& q,
+                                                  const LocalState& l) const {
+  if (l.m == 0) return {};
+  // Tuples at or above the local threshold; tau is the score of an actual
+  // tuple, so >= keeps the witness itself.
+  return store.AllAtLeast(*q.scorer, l.tau);
+}
+
+void TopKPolicy::MergeAnswer(Answer* acc, Answer&& local,
+                             const Query&) const {
+  acc->insert(acc->end(), std::make_move_iterator(local.begin()),
+              std::make_move_iterator(local.end()));
+}
+
+void TopKPolicy::FinalizeAnswer(Answer* acc, const Query& q) const {
+  *acc = SelectTopK(std::move(*acc),
+                    [&](const Point& p) { return q.scorer->Score(p); }, q.k);
+}
+
+}  // namespace ripple

@@ -1,0 +1,88 @@
+#ifndef RIPPLE_QUERIES_TOPK_DRIVER_H_
+#define RIPPLE_QUERIES_TOPK_DRIVER_H_
+
+#include <set>
+
+#include "queries/topk.h"
+#include "ripple/engine.h"
+
+namespace ripple {
+
+/// Seeded top-k initiation.
+///
+/// When fewer than k tuples are known, no sound algorithm may prune any
+/// region (any region could fill the missing ranks — Algorithm 8's
+/// `m < k` branch), so an initiator holding fewer than k local tuples
+/// floods its first hops. At the paper's density (22,000 tuples over
+/// 2^14+ peers, ~1.4 per peer) that flood covers most of the network and
+/// drowns the f+ pruning the framework is built around.
+///
+/// The fix mirrors what DSL and SSP do for skylines (start processing at
+/// the peer owning the most promising spot): the initiator first routes
+/// the query to the peer owning the scoring function's peak point, then
+/// walks along the locally best link regions, folding each peer's local
+/// state into a seed state, until k tuples are witnessed. Processing then
+/// starts from the peak owner with that seed. Every bootstrap hop is
+/// charged to the query (routing + walk are sequential, so they add to
+/// latency). Soundness is untouched: seed states are true claims, and the
+/// main run still covers the whole domain, so the seed peers' tuples are
+/// collected by the run itself.
+template <typename Overlay>
+typename Engine<Overlay, TopKPolicy>::RunResult SeededTopK(
+    const Overlay& overlay, const Engine<Overlay, TopKPolicy>& engine,
+    PeerId initiator, const TopKQuery& query, int r) {
+  QueryStats bootstrap;
+  const TopKPolicy& policy = engine.policy();
+
+  // Phase 1: route to the peer owning the score peak.
+  const Point peak = query.scorer->Peak(overlay.domain());
+  uint64_t hops = 0;
+  const PeerId start = overlay.RouteFrom(initiator, peak, &hops);
+  bootstrap.latency_hops += hops;
+  bootstrap.messages += hops;
+  bootstrap.peers_visited += hops;  // forwarding peers handle the query
+
+  // Phase 2: greedy walk gathering local states until k tuples are known.
+  TopKState seed;
+  PeerId current = start;
+  std::set<PeerId> walked;
+  // The walk is bounded; if the network simply has fewer than k tuples the
+  // main run degenerates to (a correct) broadcast anyway.
+  for (int step = 0; step < 64; ++step) {
+    if (!walked.insert(current).second) break;
+    bootstrap.peers_visited += 1;
+    if (step > 0) {
+      bootstrap.latency_hops += 1;
+      bootstrap.messages += 1;
+    }
+    const auto& peer = overlay.GetPeer(current);
+    const TopKState local = policy.ComputeLocalState(peer.store, query, seed);
+    seed = policy.ComputeGlobalState(query, seed, local);
+    if (seed.m >= query.k) break;
+    // Continue into the unwalked link whose region promises the best
+    // tuples (Algorithm 9's priority).
+    PeerId next = kInvalidPeer;
+    double best = -std::numeric_limits<double>::infinity();
+    for (const auto& link : peer.links) {
+      if (walked.count(link.target)) continue;
+      const double bound = query.scorer->UpperBound(link.region);
+      if (next == kInvalidPeer || bound > best) {
+        best = bound;
+        next = link.target;
+      }
+    }
+    if (next == kInvalidPeer) break;
+    current = next;
+  }
+
+  // Phase 3: the RIPPLE run proper, seeded, initiated at the peak owner.
+  auto result = engine.Run(start, query, r, seed);
+  result.stats.latency_hops += bootstrap.latency_hops;
+  result.stats.messages += bootstrap.messages;
+  result.stats.peers_visited += bootstrap.peers_visited;
+  return result;
+}
+
+}  // namespace ripple
+
+#endif  // RIPPLE_QUERIES_TOPK_DRIVER_H_

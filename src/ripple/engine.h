@@ -1,0 +1,196 @@
+#ifndef RIPPLE_RIPPLE_ENGINE_H_
+#define RIPPLE_RIPPLE_ENGINE_H_
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "net/metrics.h"
+#include "overlay/types.h"
+#include "ripple/policy.h"
+
+namespace ripple {
+
+/// The ripple parameter value that makes Run() behave as the paper's `slow`
+/// extreme regardless of overlay depth (r > Delta degenerates to slow).
+inline constexpr int kRippleSlow = 1 << 20;
+
+/// The generic RIPPLE engine: one implementation of the paper's
+/// Algorithms 1 (fast), 2 (slow) and 3 (ripple), shared by every query
+/// policy and every overlay.
+///
+/// The engine executes the recursive RPCs of the paper as recursive calls
+/// over in-process peers, while accounting latency exactly as Lemmas 1-3
+/// do: `fast` contacts all relevant links at once, so children combine
+/// with 1 + max; `slow`/`ripple` wait for each prioritized link's response
+/// before the next forward, so children combine additively.
+///
+/// Overlay requirements: `Area`, `GetPeer(PeerId)` exposing `.links`
+/// (each with `.target` and `.region`) and `.store`, `FullArea()`, and
+/// `static bool IntersectArea(a, b, out)` returning false for empty
+/// intersections.
+template <typename Overlay, typename Policy>
+  requires QueryPolicy<Policy, typename Overlay::Area>
+class Engine {
+ public:
+  using Area = typename Overlay::Area;
+  using Query = typename Policy::Query;
+  using LocalState = typename Policy::LocalState;
+  using GlobalState = typename Policy::GlobalState;
+  using Answer = typename Policy::Answer;
+
+  /// The overlay must outlive the engine.
+  Engine(const Overlay* overlay, Policy policy)
+      : overlay_(overlay), policy_(std::move(policy)) {}
+
+  struct RunResult {
+    Answer answer{};
+    QueryStats stats;
+  };
+
+  /// Processes `query` from `initiator` with ripple parameter `r`
+  /// (r = 0: fast; r >= overlay depth, e.g. kRippleSlow: slow).
+  RunResult Run(PeerId initiator, const Query& query, int r) const {
+    return Run(initiator, query, r, policy_.InitialGlobalState(query));
+  }
+
+  /// As above with an explicit initial global state (used by the
+  /// diversification driver to pre-prune the search, Alg. 23 line 10).
+  RunResult Run(PeerId initiator, const Query& query, int r,
+                GlobalState initial_state) const {
+    RunContext ctx;
+    const NodeOutcome outcome = Process(initiator, query, initial_state,
+                                        overlay_->FullArea(), r, &ctx);
+    ctx.stats.latency_hops = outcome.latency;
+    policy_.FinalizeAnswer(&ctx.answer, query);
+    return RunResult{std::move(ctx.answer), ctx.stats};
+  }
+
+  const Policy& policy() const { return policy_; }
+
+  /// Observer invoked for every peer that processes a query (visits).
+  /// Used to study per-peer load distribution across query batches — the
+  /// paper's congestion metric reports the mean; the observer exposes the
+  /// skew. Pass nullptr to clear.
+  void SetVisitObserver(std::function<void(PeerId)> observer) {
+    visit_observer_ = std::move(observer);
+  }
+
+ private:
+  struct RunContext {
+    Answer answer{};
+    QueryStats stats;
+  };
+
+  /// What a processed peer reports back towards its nearest slow-phase
+  /// ancestor: one merged state for slow-phase peers, or the bundle of all
+  /// per-peer states in a fast-phase subtree (Alg. 3 keeps forwarding the
+  /// same ancestor address `u` through the fast phase, so every state in
+  /// the subtree flows to that ancestor).
+  struct NodeOutcome {
+    std::vector<LocalState> states;
+    uint64_t latency = 0;
+  };
+
+  NodeOutcome Process(PeerId w, const Query& query, const GlobalState& sg,
+                      const Area& restrict_area, int r,
+                      RunContext* ctx) const {
+    const auto& peer = overlay_->GetPeer(w);
+    ctx->stats.peers_visited += 1;
+    if (visit_observer_) visit_observer_(w);
+
+    // Lines 1-2 of Algorithms 1/2/3.
+    LocalState local = policy_.ComputeLocalState(peer.store, query, sg);
+    GlobalState global = policy_.ComputeGlobalState(query, sg, local);
+
+    NodeOutcome out;
+    if (r > 0) {
+      // Slow phase (Alg. 3 lines 4-11; degenerates to Alg. 2): prioritized
+      // sequential forwarding with state feedback between iterations.
+      struct Candidate {
+        PeerId target;
+        Area area;
+        double priority;
+      };
+      std::vector<Candidate> candidates;
+      candidates.reserve(peer.links.size());
+      for (const auto& link : peer.links) {
+        Area area;
+        if (!Overlay::IntersectArea(link.region, restrict_area, &area)) {
+          continue;
+        }
+        candidates.push_back(
+            Candidate{link.target, area, policy_.LinkPriority(query, area)});
+      }
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [](const Candidate& a, const Candidate& b) {
+                         return a.priority > b.priority;
+                       });
+      for (const Candidate& c : candidates) {
+        // Relevance is re-evaluated with the state updated so far: links
+        // pruned by knowledge from earlier iterations are never contacted.
+        if (!policy_.IsLinkRelevant(query, global, c.area)) continue;
+        ctx->stats.messages += 1;  // query forward
+        ctx->stats.tuples_shipped += policy_.GlobalStateTupleCount(global);
+        NodeOutcome child =
+            Process(c.target, query, global, c.area, r - 1, ctx);
+        out.latency += 1 + child.latency;
+        // Response messages: one per state flowing back to us.
+        ctx->stats.messages += child.states.size();
+        for (const LocalState& s : child.states) {
+          ctx->stats.tuples_shipped += policy_.StateTupleCount(s);
+        }
+        policy_.MergeLocalStates(query, &local, child.states);
+        global = policy_.ComputeGlobalState(query, sg, local);
+      }
+      out.states.push_back(local);
+    } else {
+      // Fast phase (Alg. 3 lines 13-17 == Alg. 1): contact all relevant
+      // links at once; no feedback between siblings, so the state snapshot
+      // taken above is what every child receives.
+      uint64_t max_child_latency = 0;
+      bool forwarded = false;
+      for (const auto& link : peer.links) {
+        Area area;
+        if (!Overlay::IntersectArea(link.region, restrict_area, &area)) {
+          continue;
+        }
+        if (!policy_.IsLinkRelevant(query, global, area)) continue;
+        ctx->stats.messages += 1;
+        ctx->stats.tuples_shipped += policy_.GlobalStateTupleCount(global);
+        NodeOutcome child = Process(link.target, query, global, area, 0, ctx);
+        forwarded = true;
+        max_child_latency = std::max(max_child_latency, 1 + child.latency);
+        // Fast-phase states pass through to the nearest slow ancestor.
+        for (LocalState& s : child.states) {
+          out.states.push_back(std::move(s));
+        }
+      }
+      out.latency = forwarded ? max_child_latency : 0;
+      out.states.push_back(local);
+    }
+
+    // Lines 12-13 / 20-21: extract and ship the local qualifying tuples.
+    // The final (post-merge) local state drives the extraction, which is
+    // precisely how slow-phase knowledge suppresses non-answers.
+    Answer answer = policy_.ComputeLocalAnswer(peer.store, query,
+                                               out.states.back());
+    const size_t answer_tuples = policy_.AnswerTupleCount(answer);
+    if (answer_tuples > 0) {
+      ctx->stats.messages += 1;  // answer delivery to the initiator
+      ctx->stats.tuples_shipped += answer_tuples;
+    }
+    policy_.MergeAnswer(&ctx->answer, std::move(answer), query);
+    return out;
+  }
+
+  const Overlay* overlay_;
+  Policy policy_;
+  std::function<void(PeerId)> visit_observer_;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_RIPPLE_ENGINE_H_

@@ -1,0 +1,282 @@
+#ifndef RIPPLE_SIM_ASYNC_ENGINE_H_
+#define RIPPLE_SIM_ASYNC_ENGINE_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "net/metrics.h"
+#include "overlay/types.h"
+#include "ripple/policy.h"
+#include "sim/event_sim.h"
+
+namespace ripple {
+
+/// Per-message network delay: (from, to) -> time units. The default charges
+/// one unit per hop, mirroring the hop-count analysis.
+using LatencyModel = std::function<double(PeerId from, PeerId to)>;
+
+inline LatencyModel UnitLatency() {
+  return [](PeerId, PeerId) { return 1.0; };
+}
+
+/// Message-level asynchronous execution of the RIPPLE algorithms.
+///
+/// The recursive Engine evaluates Algorithms 1-3 as function calls with
+/// analytic latency accounting; this class executes the *same* policies as
+/// explicit messages through a discrete-event scheduler, the way deployed
+/// peers would: query forwards, per-subtree state responses (fast-phase
+/// subtrees convergecast their state bundles), and answer deliveries to
+/// the initiator, each taking LatencyModel time on the wire.
+///
+/// Cross-validation contract (exercised by tests): for any query, overlay
+/// and ripple parameter, the async execution produces exactly the same
+/// answer, the same set of visited peers and the same message count as
+/// the recursive engine; its completion time upper-bounds the engine's
+/// forward-hop latency (responses ride the clock here, not in the
+/// lemma-style accounting).
+template <typename Overlay, typename Policy>
+  requires QueryPolicy<Policy, typename Overlay::Area>
+class AsyncEngine {
+ public:
+  using Area = typename Overlay::Area;
+  using Query = typename Policy::Query;
+  using LocalState = typename Policy::LocalState;
+  using GlobalState = typename Policy::GlobalState;
+  using Answer = typename Policy::Answer;
+
+  AsyncEngine(const Overlay* overlay, Policy policy,
+              LatencyModel latency = UnitLatency())
+      : overlay_(overlay),
+        policy_(std::move(policy)),
+        latency_(std::move(latency)) {}
+
+  struct RunResult {
+    Answer answer{};
+    QueryStats stats;
+    /// Simulated time from query issue until the last event (final answer
+    /// or state response) lands.
+    double completion_time = 0;
+  };
+
+  RunResult Run(PeerId initiator, const Query& query, int r) const {
+    return Run(initiator, query, r, policy_.InitialGlobalState(query));
+  }
+
+  RunResult Run(PeerId initiator, const Query& query, int r,
+                GlobalState initial_state) const {
+    Runtime rt(this, &query, initiator);
+    // The initiator's root session has no parent.
+    rt.StartSession(initiator, std::move(initial_state),
+                    overlay_->FullArea(), r, /*parent=*/-1);
+    rt.sim.Run();
+    RIPPLE_CHECK(rt.open_sessions == 0 && "async run left dangling sessions");
+    policy_.FinalizeAnswer(&rt.result.answer, query);
+    rt.result.completion_time = rt.sim.now();
+    return std::move(rt.result);
+  }
+
+ private:
+  /// One activation of the per-peer procedure (each peer is activated at
+  /// most once per query thanks to disjoint restriction areas, but the
+  /// session abstraction does not rely on that).
+  struct Session {
+    PeerId peer = kInvalidPeer;
+    GlobalState incoming{};   // S^G as received
+    GlobalState global{};     // S^G_w, updated between iterations
+    LocalState local{};       // S^L_w
+    Area area{};
+    int r = 0;
+    int parent = -1;          // session index to respond to; -1 == root
+    // Slow phase: prioritized candidates still to consider.
+    struct Candidate {
+      PeerId target;
+      Area area;
+      double priority;
+    };
+    std::vector<Candidate> pending;
+    size_t next_candidate = 0;
+    // Fast phase: responses still expected before this session closes.
+    int outstanding_children = 0;
+    // Fast phase: state bundle accumulated for the slow ancestor.
+    std::vector<LocalState> bundle;
+    bool fast = false;
+  };
+
+  struct Runtime {
+    Runtime(const AsyncEngine* engine, const Query* q, PeerId init)
+        : self(engine), query(q), initiator(init) {}
+
+    const AsyncEngine* self;
+    const Query* query;
+    PeerId initiator;
+    EventSimulator sim;
+    std::vector<Session> sessions;
+    RunResult result;
+    int open_sessions = 0;
+
+    const Policy& policy() const { return self->policy_; }
+    const Overlay& overlay() const { return *self->overlay_; }
+
+    /// Delivers the query to `peer` (caller already charged the message).
+    void StartSession(PeerId peer, GlobalState state, Area area, int r,
+                      int parent) {
+      const int id = static_cast<int>(sessions.size());
+      sessions.push_back(Session{});
+      Session& s = sessions[id];
+      s.peer = peer;
+      s.incoming = std::move(state);
+      s.area = std::move(area);
+      s.r = r;
+      s.parent = parent;
+      s.fast = r <= 0;
+      ++open_sessions;
+      result.stats.peers_visited += 1;
+
+      const auto& node = overlay().GetPeer(peer);
+      s.local = policy().ComputeLocalState(node.store, *query, s.incoming);
+      s.global = policy().ComputeGlobalState(*query, s.incoming, s.local);
+
+      if (s.fast) {
+        // Algorithm 1 / Algorithm 3 second loop: forward everywhere at
+        // once with the state snapshot.
+        std::vector<std::pair<PeerId, Area>> targets;
+        for (const auto& link : node.links) {
+          Area restricted;
+          if (!Overlay::IntersectArea(link.region, s.area, &restricted)) {
+            continue;
+          }
+          if (!policy().IsLinkRelevant(*query, s.global, restricted)) {
+            continue;
+          }
+          targets.emplace_back(link.target, std::move(restricted));
+        }
+        s.outstanding_children = static_cast<int>(targets.size());
+        for (auto& [target, restricted] : targets) {
+          SendQuery(id, target, s.global, std::move(restricted), 0);
+        }
+        if (s.outstanding_children == 0) FinishSession(id);
+      } else {
+        // Algorithm 2 / Algorithm 3 first loop: prioritized, sequential.
+        for (const auto& link : node.links) {
+          Area restricted;
+          if (!Overlay::IntersectArea(link.region, s.area, &restricted)) {
+            continue;
+          }
+          const double priority =
+              policy().LinkPriority(*query, restricted);
+          s.pending.push_back(typename Session::Candidate{
+              link.target, std::move(restricted), priority});
+        }
+        std::stable_sort(s.pending.begin(), s.pending.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.priority > b.priority;
+                         });
+        AdvanceSlow(id);
+      }
+    }
+
+    /// Slow phase: contact the next relevant candidate or finish.
+    void AdvanceSlow(int id) {
+      Session& s = sessions[id];
+      while (s.next_candidate < s.pending.size()) {
+        auto& c = s.pending[s.next_candidate++];
+        if (!policy().IsLinkRelevant(*query, s.global, c.area)) continue;
+        SendQuery(id, c.target, s.global, std::move(c.area), s.r - 1);
+        return;  // wait for the response
+      }
+      FinishSession(id);
+    }
+
+    void SendQuery(int from_session, PeerId target, GlobalState state,
+                   Area area, int r) {
+      result.stats.messages += 1;
+      result.stats.tuples_shipped +=
+          policy().GlobalStateTupleCount(state);
+      const PeerId from = sessions[from_session].peer;
+      self->sim_schedule(&sim, from, target,
+                         [this, from_session, target,
+                          state = std::move(state), area = std::move(area),
+                          r]() mutable {
+                           StartSession(target, std::move(state),
+                                        std::move(area), r, from_session);
+                         });
+    }
+
+    /// A child (or fast-subtree) responded with a bundle of local states.
+    /// In the protocol, fast-phase peers address their states directly to
+    /// the nearest slow ancestor u (Alg. 3 keeps forwarding u through the
+    /// fast phase), so state messages are accounted exactly once — at the
+    /// slow session that consumes them; the convergecast through fast
+    /// sessions only exists for completion detection.
+    void OnResponse(int id, std::vector<LocalState> bundle) {
+      Session& s = sessions[id];
+      if (!s.fast) {
+        result.stats.messages += bundle.size();
+        for (const LocalState& st : bundle) {
+          result.stats.tuples_shipped += policy().StateTupleCount(st);
+        }
+      }
+      if (s.fast) {
+        for (LocalState& st : bundle) s.bundle.push_back(std::move(st));
+        if (--s.outstanding_children == 0) FinishSession(id);
+      } else {
+        policy().MergeLocalStates(*query, &s.local, bundle);
+        s.global =
+            policy().ComputeGlobalState(*query, s.incoming, s.local);
+        AdvanceSlow(id);
+      }
+    }
+
+    /// Lines 12-13 / 19-21: report the state upward, ship the answer.
+    void FinishSession(int id) {
+      Session& s = sessions[id];
+      // The final local state drives the answer extraction (fast sessions
+      // never merged, so s.local is the line-1 state, as in Alg. 1).
+      Answer answer = policy().ComputeLocalAnswer(
+          overlay().GetPeer(s.peer).store, *query, s.local);
+      const size_t tuples = policy().AnswerTupleCount(answer);
+      if (tuples > 0) {
+        result.stats.messages += 1;
+        result.stats.tuples_shipped += tuples;
+        // Answer delivery rides the clock but needs no handler state.
+        self->sim_schedule(&sim, s.peer, initiator, [] {});
+      }
+      policy().MergeAnswer(&result.answer, std::move(answer), *query);
+
+      std::vector<LocalState> bundle;
+      if (s.fast) {
+        bundle = std::move(s.bundle);
+        bundle.push_back(s.local);
+      } else {
+        bundle.push_back(s.local);
+      }
+      const int parent = s.parent;
+      const PeerId peer = s.peer;
+      --open_sessions;
+      if (parent >= 0) {
+        self->sim_schedule(&sim, peer, sessions[parent].peer,
+                           [this, parent,
+                            bundle = std::move(bundle)]() mutable {
+                             OnResponse(parent, std::move(bundle));
+                           });
+      }
+    }
+  };
+
+  void sim_schedule(EventSimulator* sim, PeerId from, PeerId to,
+                    std::function<void()> fn) const {
+    sim->Schedule(latency_(from, to), std::move(fn));
+  }
+
+  const Overlay* overlay_;
+  Policy policy_;
+  LatencyModel latency_;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_SIM_ASYNC_ENGINE_H_

@@ -1,0 +1,63 @@
+#ifndef RIPPLE_SIM_EVENT_SIM_H_
+#define RIPPLE_SIM_EVENT_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ripple {
+
+/// A minimal discrete-event scheduler: events fire in timestamp order
+/// (FIFO among ties), each event is an arbitrary callback, and the clock
+/// only moves when events fire. Deterministic given deterministic
+/// callbacks.
+class EventSimulator {
+ public:
+  using Clock = double;
+
+  Clock now() const { return now_; }
+  size_t events_processed() const { return processed_; }
+
+  /// Schedules `fn` to run `delay` time units from now (delay >= 0).
+  void Schedule(Clock delay, std::function<void()> fn) {
+    RIPPLE_CHECK(delay >= 0);
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs events until the queue drains. Returns the final clock value.
+  Clock Run() {
+    while (!queue_.empty()) {
+      Event e = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      RIPPLE_DCHECK(e.at >= now_);
+      now_ = e.at;
+      ++processed_;
+      e.fn();
+    }
+    return now_;
+  }
+
+ private:
+  struct Event {
+    Clock at;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Clock now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t processed_ = 0;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_SIM_EVENT_SIM_H_

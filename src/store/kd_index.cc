@@ -1,0 +1,60 @@
+#include "store/kd_index.h"
+
+namespace ripple {
+
+void KdIndex::Build(TupleVec tuples) {
+  tuples_ = std::move(tuples);
+  nodes_.clear();
+  if (tuples_.empty()) return;
+  nodes_.reserve(2 * tuples_.size() / kLeafSize + 2);
+  const int root = BuildRec(0, static_cast<uint32_t>(tuples_.size()), 0);
+  RIPPLE_CHECK(root == kRoot);
+}
+
+Rect KdIndex::BoundsOf(uint32_t begin, uint32_t end) const {
+  Point lo = tuples_[begin].key;
+  Point hi = tuples_[begin].key;
+  for (uint32_t i = begin + 1; i < end; ++i) {
+    const Point& p = tuples_[i].key;
+    for (int d = 0; d < p.dims(); ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  return Rect(lo, hi);
+}
+
+int KdIndex::BuildRec(uint32_t begin, uint32_t end, int depth) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[index].bounds = BoundsOf(begin, end);
+  if (end - begin <= kLeafSize) {
+    nodes_[index].begin = begin;
+    nodes_[index].end = end;
+    return index;
+  }
+  // Split along the widest dimension of the bounding rect at the median.
+  const Rect& b = nodes_[index].bounds;
+  int dim = depth % tuples_[begin].key.dims();
+  double widest = -1.0;
+  for (int d = 0; d < b.dims(); ++d) {
+    const double w = b.hi()[d] - b.lo()[d];
+    if (w > widest) {
+      widest = w;
+      dim = d;
+    }
+  }
+  const uint32_t mid = (begin + end) / 2;
+  std::nth_element(tuples_.begin() + begin, tuples_.begin() + mid,
+                   tuples_.begin() + end,
+                   [dim](const Tuple& a, const Tuple& b2) {
+                     return a.key[dim] < b2.key[dim];
+                   });
+  const int left = BuildRec(begin, mid, depth + 1);
+  const int right = BuildRec(mid, end, depth + 1);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+}  // namespace ripple

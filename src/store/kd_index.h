@@ -1,0 +1,203 @@
+#ifndef RIPPLE_STORE_KD_INDEX_H_
+#define RIPPLE_STORE_KD_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "geom/rect.h"
+#include "store/tuple.h"
+
+namespace ripple {
+
+/// An in-memory balanced k-d tree over a peer's local tuples.
+///
+/// Peers use it to answer their share of a rank query without scanning all
+/// local data: branch-and-bound pruning against a caller-supplied
+/// rectangle bound. The tree is rebuilt from scratch on demand (local data
+/// sets are small — this is a per-peer index, not the distributed one).
+///
+/// Bound functors must be *sound*: for maximization traversals,
+/// rect_bound(r) >= point_score(p) for every p in r; symmetrically for
+/// minimization.
+class KdIndex {
+ public:
+  KdIndex() = default;
+
+  /// Builds a balanced tree over a copy of the tuples.
+  explicit KdIndex(TupleVec tuples) { Build(std::move(tuples)); }
+
+  void Build(TupleVec tuples);
+
+  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return tuples_.size(); }
+  const TupleVec& tuples() const { return tuples_; }
+
+  /// Collects every tuple whose score is >= tau (maximization semantics),
+  /// pruning subtrees whose rectangle upper bound falls below tau.
+  template <typename ScoreFn, typename RectUpperFn>
+  void CollectAtLeast(const ScoreFn& score, const RectUpperFn& rect_upper,
+                      double tau, TupleVec* out) const {
+    if (empty()) return;
+    CollectRec(kRoot, score, rect_upper, tau, out);
+  }
+
+  /// Returns up to k highest scoring tuples with score above `floor`
+  /// (strictly, or >= when `inclusive_floor`), best first. Branch-and-bound
+  /// best-first search.
+  template <typename ScoreFn, typename RectUpperFn>
+  TupleVec TopK(const ScoreFn& score, const RectUpperFn& rect_upper, size_t k,
+                double floor = -std::numeric_limits<double>::infinity(),
+                bool inclusive_floor = false) const;
+
+  /// Returns the tuple minimizing `cost` among tuples accepted by `admit`,
+  /// pruning subtrees whose rectangle lower bound is not below the current
+  /// best. Returns nullptr when no admitted tuple exists.
+  template <typename CostFn, typename RectLowerFn, typename AdmitFn>
+  const Tuple* ArgMin(const CostFn& cost, const RectLowerFn& rect_lower,
+                      const AdmitFn& admit, double* best_cost_out) const;
+
+ private:
+  static constexpr int kRoot = 0;
+  static constexpr size_t kLeafSize = 8;
+
+  struct Node {
+    int left = -1;    // child node indices; -1 for leaves
+    int right = -1;
+    uint32_t begin = 0;  // tuple range [begin, end) for leaves
+    uint32_t end = 0;
+    Rect bounds;  // tight bounding rect of the subtree's tuples
+  };
+
+  int BuildRec(uint32_t begin, uint32_t end, int depth);
+  Rect BoundsOf(uint32_t begin, uint32_t end) const;
+
+  template <typename ScoreFn, typename RectUpperFn>
+  void CollectRec(int node, const ScoreFn& score,
+                  const RectUpperFn& rect_upper, double tau,
+                  TupleVec* out) const;
+
+  TupleVec tuples_;
+  std::vector<Node> nodes_;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation details only below here.
+// ---------------------------------------------------------------------------
+
+template <typename ScoreFn, typename RectUpperFn>
+void KdIndex::CollectRec(int node, const ScoreFn& score,
+                         const RectUpperFn& rect_upper, double tau,
+                         TupleVec* out) const {
+  const Node& n = nodes_[node];
+  if (rect_upper(n.bounds) < tau) return;
+  if (n.left < 0) {
+    for (uint32_t i = n.begin; i < n.end; ++i) {
+      if (score(tuples_[i].key) >= tau) out->push_back(tuples_[i]);
+    }
+    return;
+  }
+  CollectRec(n.left, score, rect_upper, tau, out);
+  CollectRec(n.right, score, rect_upper, tau, out);
+}
+
+template <typename ScoreFn, typename RectUpperFn>
+TupleVec KdIndex::TopK(const ScoreFn& score, const RectUpperFn& rect_upper,
+                       size_t k, double floor, bool inclusive_floor) const {
+  TupleVec best;
+  if (empty() || k == 0) return best;
+  // Best-first expansion of (bound, node) pairs; a simple vector-based
+  // max-heap keyed by upper bound.
+  struct Entry {
+    double bound;
+    int node;
+    bool operator<(const Entry& o) const { return bound < o.bound; }
+  };
+  std::vector<Entry> heap;
+  heap.push_back({rect_upper(nodes_[kRoot].bounds), kRoot});
+  std::vector<std::pair<double, const Tuple*>> found;  // (score, tuple)
+  auto kth_score = [&]() {
+    return found.size() < k ? floor : found.back().first;
+  };
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    const Entry e = heap.back();
+    heap.pop_back();
+    if (e.bound < kth_score() ||
+        (found.size() >= k && e.bound == kth_score())) {
+      break;  // No remaining subtree can improve the current top-k.
+    }
+    const Node& n = nodes_[e.node];
+    if (n.left < 0) {
+      for (uint32_t i = n.begin; i < n.end; ++i) {
+        const double s = score(tuples_[i].key);
+        if (inclusive_floor ? s < floor : s <= floor) continue;
+        if (found.size() < k || s > found.back().first) {
+          found.emplace_back(s, &tuples_[i]);
+          std::sort(found.begin(), found.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second->id < b.second->id;
+                    });
+          if (found.size() > k) found.pop_back();
+        }
+      }
+    } else {
+      heap.push_back({rect_upper(nodes_[n.left].bounds), n.left});
+      std::push_heap(heap.begin(), heap.end());
+      heap.push_back({rect_upper(nodes_[n.right].bounds), n.right});
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  best.reserve(found.size());
+  for (const auto& [s, t] : found) best.push_back(*t);
+  return best;
+}
+
+template <typename CostFn, typename RectLowerFn, typename AdmitFn>
+const Tuple* KdIndex::ArgMin(const CostFn& cost, const RectLowerFn& rect_lower,
+                             const AdmitFn& admit,
+                             double* best_cost_out) const {
+  if (empty()) return nullptr;
+  const Tuple* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  // Depth-first with pruning; recursion via explicit stack ordered so the
+  // more promising child is visited first.
+  std::vector<int> stack = {kRoot};
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[node];
+    if (rect_lower(n.bounds) >= best_cost && best != nullptr) continue;
+    if (n.left < 0) {
+      for (uint32_t i = n.begin; i < n.end; ++i) {
+        if (!admit(tuples_[i])) continue;
+        const double c = cost(tuples_[i].key);
+        if (c < best_cost ||
+            (c == best_cost && best != nullptr && tuples_[i].id < best->id)) {
+          best_cost = c;
+          best = &tuples_[i];
+        }
+      }
+      continue;
+    }
+    const double bl = rect_lower(nodes_[n.left].bounds);
+    const double br = rect_lower(nodes_[n.right].bounds);
+    // Push the worse child first so the better one is expanded next.
+    if (bl <= br) {
+      stack.push_back(n.right);
+      stack.push_back(n.left);
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  if (best_cost_out != nullptr) *best_cost_out = best_cost;
+  return best;
+}
+
+}  // namespace ripple
+
+#endif  // RIPPLE_STORE_KD_INDEX_H_

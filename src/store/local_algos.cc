@@ -1,0 +1,113 @@
+#include "store/local_algos.h"
+
+#include <algorithm>
+
+#include "geom/dominance.h"
+
+namespace ripple {
+
+TupleVec ComputeSkyline(TupleVec tuples) {
+  if (tuples.empty()) return tuples;
+  // Drop duplicates by id first (merged states may repeat tuples).
+  std::sort(tuples.begin(), tuples.end(), TupleIdLess());
+  tuples.erase(std::unique(tuples.begin(), tuples.end(),
+                           [](const Tuple& a, const Tuple& b) {
+                             return a.id == b.id;
+                           }),
+               tuples.end());
+  // Sort by coordinate sum: a tuple can only be dominated by tuples with a
+  // strictly smaller sum, so a single forward pass against the running
+  // skyline suffices.
+  auto sum_of = [](const Tuple& t) {
+    double s = 0.0;
+    for (int i = 0; i < t.key.dims(); ++i) s += t.key[i];
+    return s;
+  };
+  std::stable_sort(tuples.begin(), tuples.end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     return sum_of(a) < sum_of(b);
+                   });
+  TupleVec sky;
+  for (const Tuple& t : tuples) {
+    bool dominated = false;
+    for (const Tuple& s : sky) {
+      if (Dominates(s.key, t.key)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) sky.push_back(t);
+  }
+  std::sort(sky.begin(), sky.end(), TupleIdLess());
+  return sky;
+}
+
+TupleVec SelectDominators(const TupleVec& sky, size_t max_count) {
+  if (sky.size() <= max_count) return sky;
+  auto sum_of = [](const Tuple& t) {
+    double s = 0.0;
+    for (int i = 0; i < t.key.dims(); ++i) s += t.key[i];
+    return s;
+  };
+  TupleVec out = sky;
+  std::nth_element(out.begin(), out.begin() + max_count, out.end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     return sum_of(a) < sum_of(b);
+                   });
+  out.resize(max_count);
+  return out;
+}
+
+TupleVec MergeSkylines(TupleVec a, const TupleVec& b) {
+  if (b.empty()) {
+    std::sort(a.begin(), a.end(), TupleIdLess());
+    return a;
+  }
+  if (a.empty()) {
+    TupleVec out = b;
+    std::sort(out.begin(), out.end(), TupleIdLess());
+    return out;
+  }
+  // Survivors of a: not dominated by any b tuple.
+  TupleVec out;
+  out.reserve(a.size() + b.size());
+  for (const Tuple& t : a) {
+    bool dominated = false;
+    for (const Tuple& s : b) {
+      if (Dominates(s.key, t.key)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(t);
+  }
+  const size_t a_survivors = out.size();
+  // Survivors of b: not dominated by any a tuple. (Testing against all of
+  // a equals testing against a's survivors: if a removed a-tuple s
+  // dominated t in b, then s's own b-dominator would dominate t by
+  // transitivity — impossible, b is mutually non-dominated.) Ids already
+  // kept in the a-pass are skipped; duplicated tuples always survive the
+  // a-pass, since nothing in b dominates a tuple b itself contains.
+  for (const Tuple& t : b) {
+    bool skip = false;
+    for (size_t i = 0; i < a_survivors; ++i) {
+      if (out[i].id == t.id) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) continue;
+    bool dominated = false;
+    for (const Tuple& s : a) {
+      if (Dominates(s.key, t.key)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end(), TupleIdLess());
+  return out;
+}
+
+}  // namespace ripple

@@ -1,0 +1,63 @@
+#ifndef RIPPLE_STORE_LOCAL_ALGOS_H_
+#define RIPPLE_STORE_LOCAL_ALGOS_H_
+
+#include <algorithm>
+
+#include "store/tuple.h"
+
+namespace ripple {
+
+/// Computes the skyline (maximal set under Pareto dominance, min-is-better)
+/// of a set of tuples. Deterministic: the result is sorted by tuple id.
+/// Duplicate tuple ids are collapsed to one occurrence.
+///
+/// This is the centralized `computeSkyline` primitive the paper's skyline
+/// state functions rely on (Algorithms 10, 11, 13), also used as the oracle
+/// in tests. O(n log n + n * s) where s is the skyline size.
+TupleVec ComputeSkyline(TupleVec tuples);
+
+/// Merges two sets that are EACH already skylines (mutually non-dominated
+/// within themselves) into the skyline of their union, using only
+/// cross-dominance checks — O(|a| * |b|) instead of re-running the full
+/// computation over the union. Tuples present in both inputs (by id) are
+/// kept once. Result sorted by id. This is the work-horse of distributed
+/// skyline state maintenance, where every incoming state is itself a
+/// skyline; at d >= 8, where skylines span half the dataset, the full
+/// recomputation would be quadratic in the data size per peer.
+TupleVec MergeSkylines(TupleVec a, const TupleVec& b);
+
+/// Selects up to `max_count` tuples with the smallest coordinate sums —
+/// the only candidates able to dominate whole regions. Used to bound the
+/// per-link dominance tests of the distributed skyline methods; pruning
+/// with a subset is sound (never prunes more than the full set would).
+TupleVec SelectDominators(const TupleVec& sky, size_t max_count);
+
+/// Returns the k highest scoring tuples under `score_of` (higher first),
+/// deterministic tie-break by id. Used as the centralized top-k oracle.
+template <typename ScoreFn>
+TupleVec SelectTopK(TupleVec tuples, const ScoreFn& score_of, size_t k);
+
+// ---------------------------------------------------------------------------
+// Implementation details only below here.
+// ---------------------------------------------------------------------------
+
+template <typename ScoreFn>
+TupleVec SelectTopK(TupleVec tuples, const ScoreFn& score_of, size_t k) {
+  auto better = [&](const Tuple& a, const Tuple& b) {
+    const double sa = score_of(a.key), sb = score_of(b.key);
+    if (sa != sb) return sa > sb;
+    return a.id < b.id;
+  };
+  if (tuples.size() > k) {
+    std::partial_sort(tuples.begin(), tuples.begin() + k, tuples.end(),
+                      better);
+    tuples.resize(k);
+  } else {
+    std::sort(tuples.begin(), tuples.end(), better);
+  }
+  return tuples;
+}
+
+}  // namespace ripple
+
+#endif  // RIPPLE_STORE_LOCAL_ALGOS_H_

@@ -1,0 +1,116 @@
+#include "store/local_store.h"
+
+#include <algorithm>
+
+namespace ripple {
+
+void LocalStore::Add(const Tuple& t) {
+  tuples_.push_back(t);
+  index_stale_ = true;
+}
+
+void LocalStore::AddAll(const TupleVec& ts) {
+  tuples_.insert(tuples_.end(), ts.begin(), ts.end());
+  index_stale_ = true;
+}
+
+void LocalStore::Clear() {
+  tuples_.clear();
+  index_stale_ = true;
+}
+
+TupleVec LocalStore::ExtractOutside(const Rect& zone, const Rect& domain) {
+  TupleVec moved;
+  auto inside = [&](const Tuple& t) {
+    return zone.ContainsHalfOpen(t.key, domain);
+  };
+  auto it = std::stable_partition(tuples_.begin(), tuples_.end(), inside);
+  moved.assign(it, tuples_.end());
+  tuples_.erase(it, tuples_.end());
+  index_stale_ = true;
+  return moved;
+}
+
+const KdIndex* LocalStore::Index() const {
+  if (tuples_.size() < kIndexThreshold) return nullptr;
+  if (index_stale_) {
+    index_.Build(tuples_);
+    index_stale_ = false;
+  }
+  return &index_;
+}
+
+TupleVec LocalStore::TopKAbove(const Scorer& scorer, size_t k,
+                               double tau) const {
+  auto score = [&](const Point& p) { return scorer.Score(p); };
+  if (const KdIndex* idx = Index()) {
+    auto upper = [&](const Rect& r) { return scorer.UpperBound(r); };
+    return idx->TopK(score, upper, k, tau, /*inclusive_floor=*/true);
+  }
+  TupleVec above;
+  for (const Tuple& t : tuples_) {
+    if (score(t.key) >= tau) above.push_back(t);
+  }
+  return SelectTopK(std::move(above), score, k);
+}
+
+TupleVec LocalStore::BestBelow(const Scorer& scorer, size_t count,
+                               double tau) const {
+  TupleVec candidates;
+  for (const Tuple& t : tuples_) {
+    if (scorer.Score(t.key) < tau) candidates.push_back(t);
+  }
+  return SelectTopK(std::move(candidates),
+                    [&](const Point& p) { return scorer.Score(p); }, count);
+}
+
+TupleVec LocalStore::AllAtLeast(const Scorer& scorer, double tau) const {
+  auto score = [&](const Point& p) { return scorer.Score(p); };
+  TupleVec out;
+  if (const KdIndex* idx = Index()) {
+    auto upper = [&](const Rect& r) { return scorer.UpperBound(r); };
+    idx->CollectAtLeast(score, upper, tau, &out);
+  } else {
+    for (const Tuple& t : tuples_) {
+      if (score(t.key) >= tau) out.push_back(t);
+    }
+  }
+  std::sort(out.begin(), out.end(), TupleIdLess());
+  return out;
+}
+
+TupleVec LocalStore::LocalSkyline() const { return ComputeSkyline(tuples_); }
+
+double LocalStore::MedianAlong(int dim) const {
+  RIPPLE_CHECK(!tuples_.empty());
+  std::vector<double> coords;
+  coords.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) coords.push_back(t.key[dim]);
+  const size_t mid = coords.size() / 2;
+  std::nth_element(coords.begin(), coords.begin() + mid, coords.end());
+  return coords[mid];
+}
+
+const Tuple* LocalStore::ArgMin(
+    const std::function<double(const Point&)>& cost,
+    const std::function<double(const Rect&)>& rect_lower,
+    const std::function<bool(const Tuple&)>& admit,
+    double* best_cost) const {
+  if (const KdIndex* idx = Index()) {
+    return idx->ArgMin(cost, rect_lower, admit, best_cost);
+  }
+  const Tuple* best = nullptr;
+  double best_c = std::numeric_limits<double>::infinity();
+  for (const Tuple& t : tuples_) {
+    if (!admit(t)) continue;
+    const double c = cost(t.key);
+    if (best == nullptr || c < best_c || (c == best_c && t.id < best->id)) {
+      best_c = c;
+      best = &t;
+    }
+  }
+  if (best_cost != nullptr) *best_cost = best_c;
+  return best;
+}
+
+}  // namespace ripple

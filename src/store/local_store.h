@@ -1,0 +1,81 @@
+#ifndef RIPPLE_STORE_LOCAL_STORE_H_
+#define RIPPLE_STORE_LOCAL_STORE_H_
+
+#include <functional>
+#include <limits>
+
+#include "geom/rect.h"
+#include "geom/scoring.h"
+#include "store/kd_index.h"
+#include "store/local_algos.h"
+#include "store/tuple.h"
+
+namespace ripple {
+
+/// A peer's local tuple storage plus the query primitives the RIPPLE
+/// policies need from local data. Mutations (tuples arriving or handed off
+/// during zone splits/merges) invalidate a lazily rebuilt k-d index; small
+/// stores are scanned directly.
+class LocalStore {
+ public:
+  LocalStore() = default;
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const TupleVec& tuples() const { return tuples_; }
+
+  void Add(const Tuple& t);
+  void AddAll(const TupleVec& ts);
+  void Clear();
+
+  /// Removes and returns every tuple whose key is NOT inside `zone`
+  /// (half-open semantics relative to `domain`). Used when a zone is split
+  /// and half the data moves to the new peer.
+  TupleVec ExtractOutside(const Rect& zone, const Rect& domain);
+
+  /// Up to `k` local tuples with score >= `tau`, best first (Alg. 4
+  /// line 1). Inclusive so that a tuple witnessing the threshold itself is
+  /// selected — with strict comparison the k-th answer tuple would be
+  /// silently dropped whenever a state whose tau equals its score reaches
+  /// its owner.
+  TupleVec TopKAbove(const Scorer& scorer, size_t k, double tau) const;
+
+  /// Up to `count` highest-ranking local tuples with score strictly below
+  /// `tau` (Alg. 4 line 3: fill the answer with the best of the rest;
+  /// strict so the two selections never double-count a tuple).
+  TupleVec BestBelow(const Scorer& scorer, size_t count, double tau) const;
+
+  /// Every local tuple with score >= `tau` (Alg. 6).
+  TupleVec AllAtLeast(const Scorer& scorer, double tau) const;
+
+  /// The local skyline (min-is-better dominance).
+  TupleVec LocalSkyline() const;
+
+  /// Median coordinate of the stored tuples along `dim` (lower median).
+  /// Requires a non-empty store. Used for load-balancing zone splits.
+  double MedianAlong(int dim) const;
+
+  /// The local tuple minimizing `cost`, among tuples accepted by `admit`,
+  /// pruning subtrees via `rect_lower` (sound lower bound of cost over a
+  /// rect). Returns nullptr when the store has no admitted tuple. Ties are
+  /// broken by smallest id for determinism.
+  const Tuple* ArgMin(const std::function<double(const Point&)>& cost,
+                      const std::function<double(const Rect&)>& rect_lower,
+                      const std::function<bool(const Tuple&)>& admit,
+                      double* best_cost) const;
+
+ private:
+  /// Rebuilds the k-d index if stale; returns it (nullptr for tiny stores).
+  const KdIndex* Index() const;
+
+  TupleVec tuples_;
+  mutable KdIndex index_;
+  mutable bool index_stale_ = true;
+
+  /// Below this many tuples a plain scan beats the index.
+  static constexpr size_t kIndexThreshold = 32;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_STORE_LOCAL_STORE_H_

@@ -1,0 +1,38 @@
+#ifndef RIPPLE_STORE_TUPLE_H_
+#define RIPPLE_STORE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace ripple {
+
+/// A data tuple: a unique id plus its key, a point of the indexed domain.
+/// Tuples are what peers store and what rank queries return.
+struct Tuple {
+  uint64_t id = 0;
+  Point key;
+
+  std::string ToString() const {
+    return "#" + std::to_string(id) + key.ToString();
+  }
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.id == b.id && a.key == b.key;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+};
+
+/// Deterministic tie-breaking order: by id. Used wherever distributed and
+/// centralized computations must agree exactly.
+struct TupleIdLess {
+  bool operator()(const Tuple& a, const Tuple& b) const { return a.id < b.id; }
+};
+
+using TupleVec = std::vector<Tuple>;
+
+}  // namespace ripple
+
+#endif  // RIPPLE_STORE_TUPLE_H_

@@ -1,0 +1,187 @@
+#include "sim/async_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "overlay/midas/midas.h"
+#include "queries/range.h"
+#include "queries/skyline.h"
+#include "queries/topk.h"
+#include "ripple/engine.h"
+#include "sim/event_sim.h"
+
+namespace ripple {
+namespace {
+
+// --- EventSimulator -----------------------------------------------------------
+
+TEST(EventSimTest, FiresInTimestampOrder) {
+  EventSimulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(sim.Run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventSimTest, TiesAreFifo) {
+  EventSimulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventSimTest, EventsMayScheduleEvents) {
+  EventSimulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.Schedule(1.0, chain);
+  };
+  sim.Schedule(0.0, chain);
+  EXPECT_DOUBLE_EQ(sim.Run(), 9.0);
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+TEST(EventSimTest, ClockOnlyMovesForward) {
+  EventSimulator sim;
+  double seen = -1;
+  sim.Schedule(5.0, [&] { seen = sim.now(); });
+  sim.Schedule(2.0, [&] { sim.Schedule(0.5, [&] {}); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+// --- Async engine cross-validation ---------------------------------------------
+
+struct Net {
+  MidasOverlay overlay;
+  TupleVec all;
+};
+
+Net MakeNet(size_t peers, size_t tuples, int dims, uint64_t seed) {
+  MidasOptions opt;
+  opt.dims = dims;
+  opt.seed = seed;
+  opt.split_rule = MidasSplitRule::kDataMedian;
+  Net net{MidasOverlay(opt), {}};
+  Rng rng(seed ^ 0xabc);
+  net.all = data::MakeUniform(tuples, dims, &rng);
+  for (const Tuple& t : net.all) net.overlay.InsertTuple(t);
+  while (net.overlay.NumPeers() < peers) net.overlay.Join();
+  return net;
+}
+
+template <typename Policy, typename Query>
+void CrossValidate(const Net& net, const Query& q, int r,
+                   PeerId initiator) {
+  Engine<MidasOverlay, Policy> sync_engine(&net.overlay, Policy{});
+  AsyncEngine<MidasOverlay, Policy> async_engine(&net.overlay, Policy{});
+  const auto sync = sync_engine.Run(initiator, q, r);
+  const auto async = async_engine.Run(initiator, q, r);
+  // Identical answers.
+  ASSERT_EQ(async.answer.size(), sync.answer.size()) << "r=" << r;
+  for (size_t i = 0; i < sync.answer.size(); ++i) {
+    EXPECT_EQ(async.answer[i].id, sync.answer[i].id);
+  }
+  // Identical work.
+  EXPECT_EQ(async.stats.peers_visited, sync.stats.peers_visited);
+  EXPECT_EQ(async.stats.messages, sync.stats.messages);
+  EXPECT_EQ(async.stats.tuples_shipped, sync.stats.tuples_shipped);
+  // Message time covers at least the forward hops the lemmas count.
+  EXPECT_GE(async.completion_time,
+            static_cast<double>(sync.stats.latency_hops));
+}
+
+TEST(AsyncEngineTest, TopKMatchesRecursiveEngine) {
+  Net net = MakeNet(96, 1000, 3, 601);
+  LinearScorer scorer({-0.5, -0.3, -0.2});
+  TopKQuery q{&scorer, 10};
+  Rng rng(5);
+  for (int r : {0, 1, 3, kRippleSlow}) {
+    CrossValidate<TopKPolicy>(net, q, r, net.overlay.RandomPeer(&rng));
+  }
+}
+
+TEST(AsyncEngineTest, SkylineMatchesRecursiveEngine) {
+  Net net = MakeNet(64, 800, 3, 603);
+  Rng rng(7);
+  for (int r : {0, 2, kRippleSlow}) {
+    CrossValidate<SkylinePolicy>(net, SkylineQuery{}, r,
+                                 net.overlay.RandomPeer(&rng));
+  }
+}
+
+TEST(AsyncEngineTest, RangeMatchesRecursiveEngine) {
+  Net net = MakeNet(64, 900, 2, 607);
+  Rng rng(11);
+  RangeQuery q{Point{0.4, 0.6}, 0.15, Norm::kL2};
+  for (int r : {0, kRippleSlow}) {
+    CrossValidate<RangePolicy>(net, q, r, net.overlay.RandomPeer(&rng));
+  }
+}
+
+TEST(AsyncEngineTest, SlowModeCompletionTracksSequentialHops) {
+  // With unit delays and slow mode, every forward and its response are
+  // sequential: completion >= 2 * forward hops.
+  Net net = MakeNet(48, 600, 2, 611);
+  LinearScorer scorer({-0.6, -0.4});
+  TopKQuery q{&scorer, 5};
+  Engine<MidasOverlay, TopKPolicy> sync_engine(&net.overlay, TopKPolicy{});
+  AsyncEngine<MidasOverlay, TopKPolicy> async_engine(&net.overlay,
+                                                     TopKPolicy{});
+  Rng rng(13);
+  const PeerId initiator = net.overlay.RandomPeer(&rng);
+  const auto sync = sync_engine.Run(initiator, q, kRippleSlow);
+  const auto async = async_engine.Run(initiator, q, kRippleSlow);
+  EXPECT_GE(async.completion_time,
+            2.0 * static_cast<double>(sync.stats.latency_hops));
+}
+
+TEST(AsyncEngineTest, HeterogeneousDelaysChangeTimeNotWork) {
+  Net net = MakeNet(64, 700, 3, 613);
+  LinearScorer scorer({-0.3, -0.4, -0.3});
+  TopKQuery q{&scorer, 8};
+  Rng rng(17);
+  const PeerId initiator = net.overlay.RandomPeer(&rng);
+  AsyncEngine<MidasOverlay, TopKPolicy> unit(&net.overlay, TopKPolicy{});
+  // A deterministic "slow continent" model: crossing between low and high
+  // peer ids costs 10x.
+  AsyncEngine<MidasOverlay, TopKPolicy> wan(
+      &net.overlay, TopKPolicy{}, [](PeerId a, PeerId b) {
+        return ((a < 32) != (b < 32)) ? 10.0 : 1.0;
+      });
+  const auto fast_unit = unit.Run(initiator, q, 0);
+  const auto fast_wan = wan.Run(initiator, q, 0);
+  EXPECT_EQ(fast_unit.stats.peers_visited, fast_wan.stats.peers_visited);
+  EXPECT_EQ(fast_unit.stats.messages, fast_wan.stats.messages);
+  EXPECT_GT(fast_wan.completion_time, fast_unit.completion_time);
+  // Answers unaffected by timing.
+  ASSERT_EQ(fast_unit.answer.size(), fast_wan.answer.size());
+  for (size_t i = 0; i < fast_unit.answer.size(); ++i) {
+    EXPECT_EQ(fast_unit.answer[i].id, fast_wan.answer[i].id);
+  }
+}
+
+TEST(AsyncEngineTest, FastCompletionBeatsSlowCompletion) {
+  Net net = MakeNet(128, 1500, 3, 617);
+  LinearScorer scorer({-0.2, -0.5, -0.3});
+  TopKQuery q{&scorer, 10};
+  AsyncEngine<MidasOverlay, TopKPolicy> engine(&net.overlay, TopKPolicy{});
+  Rng rng(19);
+  double fast_total = 0, slow_total = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const PeerId initiator = net.overlay.RandomPeer(&rng);
+    fast_total += engine.Run(initiator, q, 0).completion_time;
+    slow_total += engine.Run(initiator, q, kRippleSlow).completion_time;
+  }
+  EXPECT_LT(fast_total, slow_total);
+}
+
+}  // namespace
+}  // namespace ripple

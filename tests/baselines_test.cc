@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "baselines/div_baseline.h"
+#include "baselines/dsl.h"
+#include "baselines/naive.h"
+#include "baselines/ssp.h"
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "overlay/midas/midas.h"
+#include "queries/topk.h"
+#include "ripple/engine.h"
+#include "store/local_algos.h"
+
+namespace ripple {
+namespace {
+
+void ExpectSameSet(TupleVec got, TupleVec want) {
+  std::sort(got.begin(), got.end(), TupleIdLess());
+  std::sort(want.begin(), want.end(), TupleIdLess());
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "position " << i;
+  }
+}
+
+// --- Naive broadcast ---------------------------------------------------------
+
+TEST(NaiveTest, MatchesOracleAndVisitsEveryone) {
+  MidasOptions opt;
+  opt.dims = 3;
+  opt.seed = 11;
+  MidasOverlay overlay(opt);
+  while (overlay.NumPeers() < 64) overlay.Join();
+  Rng rng(5);
+  TupleVec all = data::MakeUniform(1000, 3, &rng);
+  for (const Tuple& t : all) overlay.InsertTuple(t);
+
+  LinearScorer scorer({-0.4, -0.3, -0.3});
+  TopKQuery q{&scorer, 10};
+  const TupleVec want = SelectTopK(
+      all, [&](const Point& p) { return scorer.Score(p); }, q.k);
+
+  Engine<MidasOverlay, NaiveTopKPolicy> naive(&overlay, NaiveTopKPolicy{});
+  const auto result = naive.Run(overlay.RandomPeer(&rng), q, 0);
+  ExpectSameSet(result.answer, want);
+  // Broadcast reaches everybody; every non-empty peer ships k tuples.
+  EXPECT_EQ(result.stats.peers_visited, overlay.NumPeers());
+  EXPECT_GE(result.stats.tuples_shipped, 10u);
+
+  Engine<MidasOverlay, TopKPolicy> smart(&overlay, TopKPolicy{});
+  const auto pruned = smart.Run(overlay.RandomPeer(&rng), q, 0);
+  EXPECT_LT(pruned.stats.tuples_shipped, result.stats.tuples_shipped);
+}
+
+// --- DSL ----------------------------------------------------------------------
+
+struct CanNet {
+  CanOverlay overlay;
+  TupleVec all;
+};
+
+CanNet MakeCanNet(size_t peers, const TupleVec& tuples, int dims,
+                  uint64_t seed) {
+  CanOptions opt;
+  opt.dims = dims;
+  opt.seed = seed;
+  CanNet net{CanOverlay(opt), tuples};
+  while (net.overlay.NumPeers() < peers) net.overlay.Join();
+  for (const Tuple& t : tuples) net.overlay.InsertTuple(t);
+  return net;
+}
+
+TEST(DslTest, SkylineMatchesOracle) {
+  Rng rng(7);
+  for (const char* dataset : {"uniform", "correlated", "anticorrelated"}) {
+    const TupleVec tuples = data::MakeByName(dataset, 800, 3, &rng);
+    CanNet net = MakeCanNet(64, tuples, 3, 13);
+    const TupleVec want = ComputeSkyline(tuples);
+    Rng pick(17);
+    for (int trial = 0; trial < 3; ++trial) {
+      const DslResult result =
+          RunDslSkyline(net.overlay, net.overlay.RandomPeer(&pick));
+      ExpectSameSet(result.skyline, want);
+      EXPECT_GT(result.stats.messages, 0u);
+    }
+  }
+}
+
+TEST(DslTest, PrunesDominatedRegionsOnCorrelatedData) {
+  Rng rng(19);
+  const TupleVec tuples = data::MakeCorrelated(2000, 3, &rng);
+  CanNet net = MakeCanNet(128, tuples, 3, 23);
+  Rng pick(29);
+  const DslResult result =
+      RunDslSkyline(net.overlay, net.overlay.RandomPeer(&pick));
+  EXPECT_LT(result.stats.peers_visited, net.overlay.NumPeers());
+}
+
+// --- SSP -----------------------------------------------------------------------
+
+struct BatonNet {
+  BatonOverlay overlay;
+  TupleVec all;
+};
+
+BatonNet MakeBatonNet(size_t peers, const TupleVec& tuples, int dims) {
+  BatonNet net{BatonOverlay(peers, BatonOptions{.dims = dims}), tuples};
+  for (const Tuple& t : tuples) net.overlay.InsertTuple(t);
+  return net;
+}
+
+TEST(SspTest, SkylineMatchesOracle) {
+  Rng rng(31);
+  for (const char* dataset : {"uniform", "correlated", "anticorrelated"}) {
+    const TupleVec tuples = data::MakeByName(dataset, 800, 3, &rng);
+    BatonNet net = MakeBatonNet(64, tuples, 3);
+    const TupleVec want = ComputeSkyline(tuples);
+    Rng pick(37);
+    const SspResult result =
+        RunSspSkyline(net.overlay, net.overlay.RandomPeer(&pick));
+    ExpectSameSet(result.skyline, want);
+  }
+}
+
+TEST(SspTest, PrunesWithSeedSkyline) {
+  Rng rng(41);
+  const TupleVec tuples = data::MakeCorrelated(3000, 3, &rng);
+  BatonNet net = MakeBatonNet(128, tuples, 3);
+  Rng pick(43);
+  const SspResult result =
+      RunSspSkyline(net.overlay, net.overlay.RandomPeer(&pick));
+  // With correlated data the origin-region peer's skyline prunes most of
+  // the network (possibly all of it: zero waves is maximal pruning).
+  EXPECT_LT(result.stats.peers_visited, net.overlay.NumPeers());
+}
+
+// --- Diversification baseline ---------------------------------------------------
+
+TEST(DivBaselineTest, FindsGlobalBestPhi) {
+  Rng rng(47);
+  const TupleVec tuples = data::MakeMirflickrLike(600, 5, &rng);
+  CanNet net = MakeCanNet(48, tuples, 5, 53);
+  Rng pick(59);
+  CanFloodDivService service(&net.overlay, net.overlay.RandomPeer(&pick));
+  DivQuery q;
+  q.objective.query = tuples[0].key;
+  q.objective.lambda = 0.5;
+  q.objective.norm = Norm::kL1;
+  q.exclude = TupleVec(tuples.begin() + 1, tuples.begin() + 4);
+  q.Precompute();
+  QueryStats stats;
+  const auto got =
+      service.FindBest(q, std::numeric_limits<double>::infinity(), &stats);
+  ASSERT_TRUE(got.has_value());
+  // Baseline floods everyone.
+  EXPECT_EQ(stats.peers_visited, net.overlay.NumPeers());
+  // And finds the global minimum phi.
+  double want_phi = std::numeric_limits<double>::infinity();
+  for (const Tuple& t : tuples) {
+    if (q.IsExcluded(t.id)) continue;
+    want_phi = std::min(want_phi, q.objective.Phi(t.key, q.exclude));
+  }
+  EXPECT_DOUBLE_EQ(q.objective.Phi(got->key, q.exclude), want_phi);
+}
+
+TEST(DivBaselineTest, RespectsTau) {
+  Rng rng(61);
+  const TupleVec tuples = data::MakeUniform(300, 2, &rng);
+  CanNet net = MakeCanNet(16, tuples, 2, 67);
+  Rng pick(71);
+  CanFloodDivService service(&net.overlay, net.overlay.RandomPeer(&pick));
+  DivQuery q;
+  q.objective.query = Point{0.5, 0.5};
+  q.objective.lambda = 1.0;
+  q.objective.norm = Norm::kL1;
+  q.Precompute();
+  double best_phi = std::numeric_limits<double>::infinity();
+  for (const Tuple& t : tuples) {
+    best_phi = std::min(best_phi, q.objective.Phi(t.key, q.exclude));
+  }
+  QueryStats stats;
+  EXPECT_FALSE(service.FindBest(q, best_phi, &stats).has_value());
+  EXPECT_TRUE(service.FindBest(q, best_phi + 1e-9, &stats).has_value());
+}
+
+TEST(DivBaselineTest, CostsExceedRippleService) {
+  // The headline diversification claim of Figures 9-12: the RIPPLE-based
+  // service beats flooding on congestion.
+  Rng rng(73);
+  const TupleVec tuples = data::MakeMirflickrLike(800, 5, &rng);
+  CanNet can_net = MakeCanNet(64, tuples, 5, 79);
+  MidasOptions mopt;
+  mopt.dims = 5;
+  mopt.seed = 83;
+  MidasOverlay midas(mopt);
+  while (midas.NumPeers() < 64) midas.Join();
+  for (const Tuple& t : tuples) midas.InsertTuple(t);
+
+  Rng pick(89);
+  CanFloodDivService baseline(&can_net.overlay,
+                              can_net.overlay.RandomPeer(&pick));
+  RippleDivService<MidasOverlay> ripple(&midas, midas.RandomPeer(&pick),
+                                        kRippleSlow);
+  const DiversifyObjective obj{tuples[0].key, 0.5, Norm::kL1};
+  DiversifyOptions options;
+  options.k = 5;
+  TupleVec initial(tuples.begin() + 10, tuples.begin() + 15);
+  CentralizedDivService reference1(&tuples);
+  CentralizedDivService reference2(&tuples);
+  ForcedResultService forced_baseline(&baseline, &reference1);
+  ForcedResultService forced_ripple(&ripple, &reference2);
+  const DiversifyResult base_result =
+      Diversify(&forced_baseline, obj, initial, options);
+  const DiversifyResult ripple_result =
+      Diversify(&forced_ripple, obj, initial, options);
+  // Identical trajectories (forced), so costs are directly comparable.
+  ExpectSameSet(ripple_result.set, base_result.set);
+  EXPECT_LT(ripple_result.stats.peers_visited,
+            base_result.stats.peers_visited);
+}
+
+}  // namespace
+}  // namespace ripple

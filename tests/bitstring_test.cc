@@ -1,0 +1,143 @@
+#include "common/bitstring.h"
+
+#include <gtest/gtest.h>
+
+#include "overlay/midas/patterns.h"
+
+namespace ripple {
+namespace {
+
+TEST(BitStringTest, EmptyIsRoot) {
+  BitString b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0);
+  EXPECT_EQ(b.ToString(), "<root>");
+}
+
+TEST(BitStringTest, FromStringRoundTrip) {
+  BitString b("0110");
+  EXPECT_EQ(b.size(), 4);
+  EXPECT_FALSE(b.bit(0));
+  EXPECT_TRUE(b.bit(1));
+  EXPECT_TRUE(b.bit(2));
+  EXPECT_FALSE(b.bit(3));
+  EXPECT_EQ(b.ToString(), "0110");
+}
+
+TEST(BitStringTest, FromUint) {
+  EXPECT_EQ(BitString::FromUint(0b101, 3).ToString(), "101");
+  EXPECT_EQ(BitString::FromUint(1, 4).ToString(), "0001");
+  EXPECT_EQ(BitString::FromUint(0, 0).ToString(), "<root>");
+}
+
+TEST(BitStringTest, ChildParentSibling) {
+  BitString b("10");
+  EXPECT_EQ(b.Child(true).ToString(), "101");
+  EXPECT_EQ(b.Child(false).ToString(), "100");
+  EXPECT_EQ(b.Parent().ToString(), "1");
+  EXPECT_EQ(b.Sibling().ToString(), "11");
+  EXPECT_EQ(BitString("1").Parent().ToString(), "<root>");
+}
+
+TEST(BitStringTest, PrefixAndIsPrefixOf) {
+  BitString b("110101");
+  EXPECT_EQ(b.Prefix(0).ToString(), "<root>");
+  EXPECT_EQ(b.Prefix(3).ToString(), "110");
+  EXPECT_TRUE(BitString("110").IsPrefixOf(b));
+  EXPECT_TRUE(b.IsPrefixOf(b));
+  EXPECT_TRUE(BitString().IsPrefixOf(b));
+  EXPECT_FALSE(BitString("111").IsPrefixOf(b));
+  EXPECT_FALSE(b.IsPrefixOf(BitString("110")));
+}
+
+TEST(BitStringTest, CommonPrefixLength) {
+  EXPECT_EQ(BitString("1010").CommonPrefixLength(BitString("1001")), 2);
+  EXPECT_EQ(BitString("111").CommonPrefixLength(BitString("111")), 3);
+  EXPECT_EQ(BitString("0").CommonPrefixLength(BitString("1")), 0);
+  EXPECT_EQ(BitString().CommonPrefixLength(BitString("101")), 0);
+}
+
+TEST(BitStringTest, DeepStringsBeyondOneWord) {
+  BitString b;
+  for (int i = 0; i < 200; ++i) b.Append(i % 3 == 0);
+  EXPECT_EQ(b.size(), 200);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(b.bit(i), i % 3 == 0);
+  // Prefix at a non-word boundary.
+  BitString p = b.Prefix(130);
+  EXPECT_EQ(p.size(), 130);
+  EXPECT_TRUE(p.IsPrefixOf(b));
+  // Sibling flips the final bit only.
+  BitString s = b.Sibling();
+  EXPECT_EQ(s.size(), 200);
+  EXPECT_EQ(s.CommonPrefixLength(b), 199);
+}
+
+TEST(BitStringTest, EqualityIgnoresStaleHighBits) {
+  BitString a("101");
+  BitString b2 = BitString("1011").Parent();
+  EXPECT_EQ(a, b2);
+  EXPECT_TRUE(b2.IsPrefixOf(BitString("1010")));
+}
+
+TEST(BitStringTest, LexicographicOrder) {
+  EXPECT_LT(BitString("0"), BitString("1"));
+  EXPECT_LT(BitString("01"), BitString("10"));
+  EXPECT_LT(BitString("1"), BitString("10"));  // prefix first
+  EXPECT_FALSE(BitString("10") < BitString("10"));
+}
+
+// --- Border patterns (Section 5.2) -----------------------------------------
+
+TEST(PatternsTest, TwoDimensionalPaperPatterns) {
+  // p_h = (X0)*X? : free in dim 0, zero at odd positions.
+  EXPECT_TRUE(MatchesBorderPattern(BitString("1010"), 2, 0));
+  EXPECT_TRUE(MatchesBorderPattern(BitString("00"), 2, 0));
+  EXPECT_FALSE(MatchesBorderPattern(BitString("01"), 2, 0));
+  // p_v = (0X)*0? : free in dim 1.
+  EXPECT_TRUE(MatchesBorderPattern(BitString("0101"), 2, 1));
+  EXPECT_FALSE(MatchesBorderPattern(BitString("10"), 2, 1));
+}
+
+TEST(PatternsTest, RootMatchesEverything) {
+  EXPECT_TRUE(MatchesAnyBorderPattern(BitString(), 2));
+  EXPECT_TRUE(MatchesAnyBorderPattern(BitString(), 5));
+}
+
+TEST(PatternsTest, AnyPatternIsUnionOfPerDimension) {
+  // "11" in 2-d violates both patterns.
+  EXPECT_FALSE(MatchesAnyBorderPattern(BitString("11"), 2));
+  // "10" matches p_0, "01" matches p_1.
+  EXPECT_TRUE(MatchesAnyBorderPattern(BitString("10"), 2));
+  EXPECT_TRUE(MatchesAnyBorderPattern(BitString("01"), 2));
+}
+
+TEST(PatternsTest, ThreeDimensionalPatterns) {
+  // In 3-d, rounds are (b0 b1 b2); p_1 requires b0 = b2 = 0 in each round.
+  EXPECT_TRUE(MatchesBorderPattern(BitString("010010"), 3, 1));
+  EXPECT_FALSE(MatchesBorderPattern(BitString("010100"), 3, 1));
+  // Partial final round.
+  EXPECT_TRUE(MatchesBorderPattern(BitString("0100"), 3, 1));
+}
+
+TEST(PatternsTest, NonMatchingPrefixNeverRecovers) {
+  // Property from the paper: a peer id not matching any pattern prefixes
+  // only non-matching ids.
+  BitString bad("11");  // matches nothing in 2-d
+  ASSERT_FALSE(MatchesAnyBorderPattern(bad, 2));
+  for (int ext = 0; ext < 16; ++ext) {
+    BitString b = bad;
+    for (int i = 0; i < 4; ++i) b.Append((ext >> i) & 1);
+    EXPECT_FALSE(MatchesAnyBorderPattern(b, 2)) << b.ToString();
+  }
+}
+
+TEST(PatternsTest, PrefixCanMatchAgreesWithMatching) {
+  for (int v = 0; v < 64; ++v) {
+    BitString b = BitString::FromUint(static_cast<uint64_t>(v), 6);
+    EXPECT_EQ(PrefixCanMatchBorderPattern(b, 2),
+              MatchesAnyBorderPattern(b, 2));
+  }
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,124 @@
+#include "overlay/can/can.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace ripple {
+namespace {
+
+CanOverlay GrowCan(size_t peers, int dims, uint64_t seed) {
+  CanOptions opt;
+  opt.dims = dims;
+  opt.seed = seed;
+  CanOverlay overlay(opt);
+  while (overlay.NumPeers() < peers) overlay.Join();
+  return overlay;
+}
+
+TEST(CanTest, Bootstrap) {
+  CanOverlay overlay(CanOptions{.dims = 2, .seed = 1});
+  EXPECT_EQ(overlay.NumPeers(), 1u);
+  EXPECT_TRUE(overlay.Validate().ok());
+}
+
+TEST(CanTest, FirstJoinCreatesMutualNeighbors) {
+  CanOverlay overlay(CanOptions{.dims = 2, .seed = 1});
+  overlay.Join();
+  ASSERT_EQ(overlay.NumPeers(), 2u);
+  const auto live = overlay.LivePeers();
+  EXPECT_EQ(overlay.GetPeer(live[0]).neighbors.size(), 1u);
+  EXPECT_EQ(overlay.GetPeer(live[1]).neighbors.size(), 1u);
+  ASSERT_TRUE(overlay.Validate().ok()) << overlay.Validate().ToString();
+}
+
+TEST(CanTest, GrowthInvariants) {
+  for (int dims : {2, 3, 5}) {
+    CanOverlay overlay = GrowCan(128, dims, 17);
+    ASSERT_TRUE(overlay.Validate().ok())
+        << "dims=" << dims << ": " << overlay.Validate().ToString();
+  }
+}
+
+TEST(CanTest, NeighborCountGrowsWithDims) {
+  // The paper notes DSL exploits CAN's larger neighborhoods at high
+  // dimensionality.
+  auto avg_neighbors = [](const CanOverlay& overlay) {
+    size_t total = 0;
+    for (PeerId id : overlay.LivePeers()) {
+      total += overlay.GetPeer(id).neighbors.size();
+    }
+    return static_cast<double>(total) / overlay.NumPeers();
+  };
+  CanOverlay low = GrowCan(256, 2, 5);
+  CanOverlay high = GrowCan(256, 6, 5);
+  EXPECT_GT(avg_neighbors(high), avg_neighbors(low));
+}
+
+TEST(CanTest, RoutingReachesResponsiblePeer) {
+  CanOverlay overlay = GrowCan(200, 3, 23);
+  Rng rng(7);
+  const auto live = overlay.LivePeers();
+  for (int trial = 0; trial < 100; ++trial) {
+    Point p{rng.UniformDouble(), rng.UniformDouble(), rng.UniformDouble()};
+    const PeerId from = live[rng.UniformU64(live.size())];
+    uint64_t hops = 0;
+    EXPECT_EQ(overlay.RouteFrom(from, p, &hops), overlay.ResponsiblePeer(p));
+    EXPECT_LT(hops, overlay.NumPeers());
+  }
+}
+
+TEST(CanTest, FloodVisitsEveryPeerOnce) {
+  CanOverlay overlay = GrowCan(100, 2, 29);
+  Rng rng(11);
+  std::set<PeerId> visited;
+  uint64_t depth = overlay.Flood(overlay.RandomPeer(&rng),
+                                 [&](PeerId id, uint64_t) {
+                                   EXPECT_TRUE(visited.insert(id).second);
+                                 });
+  EXPECT_EQ(visited.size(), overlay.NumPeers());
+  EXPECT_GT(depth, 0u);
+  EXPECT_LT(depth, overlay.NumPeers());
+}
+
+TEST(CanTest, TuplesFollowZoneSplits) {
+  CanOverlay overlay(CanOptions{.dims = 2, .seed = 31});
+  Rng rng(13);
+  for (uint64_t i = 0; i < 300; ++i) {
+    overlay.InsertTuple(
+        Tuple{i, Point{rng.UniformDouble(), rng.UniformDouble()}});
+  }
+  while (overlay.NumPeers() < 64) overlay.Join();
+  EXPECT_EQ(overlay.TotalTuples(), 300u);
+  ASSERT_TRUE(overlay.Validate().ok()) << overlay.Validate().ToString();
+}
+
+TEST(CanTest, ChurnKeepsInvariantsAndData) {
+  CanOverlay overlay = GrowCan(96, 3, 37);
+  Rng rng(17);
+  for (uint64_t i = 0; i < 400; ++i) {
+    overlay.InsertTuple(Tuple{i, Point{rng.UniformDouble(),
+                                       rng.UniformDouble(),
+                                       rng.UniformDouble()}});
+  }
+  Rng churn(19);
+  while (overlay.NumPeers() > 10) {
+    ASSERT_TRUE(overlay.LeaveRandom(&churn).ok());
+    ASSERT_TRUE(overlay.Validate().ok()) << overlay.Validate().ToString();
+  }
+  EXPECT_EQ(overlay.TotalTuples(), 400u);
+  while (overlay.NumPeers() < 50) overlay.Join();
+  ASSERT_TRUE(overlay.Validate().ok()) << overlay.Validate().ToString();
+  EXPECT_EQ(overlay.TotalTuples(), 400u);
+}
+
+TEST(CanTest, LeaveLastPeerFails) {
+  CanOverlay overlay(CanOptions{.dims = 2, .seed = 1});
+  EXPECT_EQ(overlay.Leave(overlay.LivePeers()[0]).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,119 @@
+#include "overlay/chord/chord.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "queries/topk.h"
+#include "ripple/engine.h"
+#include "store/local_algos.h"
+
+namespace ripple {
+namespace {
+
+TEST(ChordTest, StructureInvariants) {
+  for (size_t n : {1u, 2u, 5u, 64u, 300u}) {
+    ChordOverlay overlay(n, ChordOptions{.dims = 2, .seed = 3});
+    ASSERT_TRUE(overlay.Validate().ok())
+        << "n=" << n << ": " << overlay.Validate().ToString();
+  }
+}
+
+TEST(ChordTest, FingerCountIsLogarithmic) {
+  ChordOverlay overlay(512, ChordOptions{.dims = 2, .seed = 5});
+  size_t total = 0;
+  for (PeerId id = 0; id < overlay.NumPeers(); ++id) {
+    total += overlay.GetPeer(id).links.size();
+  }
+  const double avg = static_cast<double>(total) / overlay.NumPeers();
+  EXPECT_GE(avg, 5.0);
+  EXPECT_LE(avg, 64.0);
+}
+
+TEST(ChordTest, RoutingReachesKeyOwner) {
+  ChordOverlay overlay(300, ChordOptions{.dims = 3, .seed = 7});
+  Rng rng(11);
+  uint64_t max_hops = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t key = rng.UniformU64(overlay.zorder().key_space_size());
+    uint64_t hops = 0;
+    EXPECT_EQ(overlay.RouteToKey(overlay.RandomPeer(&rng), key, &hops),
+              overlay.ResponsibleForKey(key));
+    max_hops = std::max(max_hops, hops);
+  }
+  EXPECT_LE(max_hops, 64u);  // Chord: O(log n) w.h.p.
+}
+
+TEST(ChordTest, AreaIntersection) {
+  ChordOverlay overlay(4, ChordOptions{.dims = 2, .seed = 9});
+  ChordArea a{&overlay.zorder(), {{10, 100}, {200, 300}}};
+  ChordArea b{&overlay.zorder(), {{50, 250}}};
+  ChordArea out;
+  ASSERT_TRUE(ChordOverlay::IntersectArea(a, b, &out));
+  ASSERT_EQ(out.segments.size(), 2u);
+  EXPECT_EQ(out.segments[0], (std::pair<uint64_t, uint64_t>{50, 100}));
+  EXPECT_EQ(out.segments[1], (std::pair<uint64_t, uint64_t>{200, 250}));
+  ChordArea disjoint{&overlay.zorder(), {{100, 200}}};
+  ChordArea c{&overlay.zorder(), {{200, 300}}};
+  EXPECT_FALSE(ChordOverlay::IntersectArea(disjoint, c, &out));
+}
+
+TEST(ChordTest, AreaForEachRectCoversArcExactly) {
+  ChordOverlay overlay(4, ChordOptions{.dims = 2, .seed = 13});
+  const ZOrder& z = overlay.zorder();
+  // A small arc; decomposed cells must contain exactly the arc's keys.
+  ChordArea area{&z, {{5, 37}}};
+  uint64_t keys_covered = 0;
+  ForEachRect(area, [&](const Rect& r) {
+    keys_covered += static_cast<uint64_t>(
+        std::llround(r.Volume() * static_cast<double>(z.key_space_size())));
+  });
+  EXPECT_EQ(keys_covered, 32u);
+}
+
+TEST(ChordTest, GenericRippleTopKMatchesOracle) {
+  // The paper's genericity claim: the same engine + policy over Chord.
+  ChordOverlay overlay(64, ChordOptions{.dims = 2, .seed = 17});
+  Rng rng(19);
+  TupleVec all;
+  for (uint64_t i = 0; i < 800; ++i) {
+    Tuple t{i, Point{rng.UniformDouble(), rng.UniformDouble()}};
+    all.push_back(t);
+    overlay.InsertTuple(t);
+  }
+  LinearScorer scorer({-0.7, -0.3});
+  TopKQuery q{&scorer, 10};
+  const TupleVec want = SelectTopK(
+      all, [&](const Point& p) { return scorer.Score(p); }, q.k);
+  Engine<ChordOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
+  for (int r : {0, 3, kRippleSlow}) {
+    const auto result = engine.Run(overlay.RandomPeer(&rng), q, r);
+    ASSERT_EQ(result.answer.size(), want.size()) << "r=" << r;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(result.answer[i].id, want[i].id) << "r=" << r;
+    }
+  }
+}
+
+TEST(ChordTest, GenericRippleVisitsFewerPeersThanBroadcast) {
+  ChordOverlay overlay(128, ChordOptions{.dims = 2, .seed = 23});
+  Rng rng(29);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    overlay.InsertTuple(
+        Tuple{i, Point{rng.UniformDouble(), rng.UniformDouble()}});
+  }
+  LinearScorer scorer({-0.5, -0.5});
+  TopKQuery q{&scorer, 5};
+  Engine<ChordOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
+  uint64_t visits = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    visits += engine.Run(overlay.RandomPeer(&rng), q, kRippleSlow)
+                  .stats.peers_visited;
+  }
+  EXPECT_LT(visits / trials, overlay.NumPeers());
+}
+
+}  // namespace
+}  // namespace ripple

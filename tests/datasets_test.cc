@@ -1,0 +1,155 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "store/local_algos.h"
+
+namespace ripple {
+namespace {
+
+using data::MakeByName;
+
+double Correlation(const TupleVec& ts, int d1, int d2) {
+  double m1 = 0, m2 = 0;
+  for (const Tuple& t : ts) {
+    m1 += t.key[d1];
+    m2 += t.key[d2];
+  }
+  m1 /= ts.size();
+  m2 /= ts.size();
+  double cov = 0, v1 = 0, v2 = 0;
+  for (const Tuple& t : ts) {
+    cov += (t.key[d1] - m1) * (t.key[d2] - m2);
+    v1 += (t.key[d1] - m1) * (t.key[d1] - m1);
+    v2 += (t.key[d2] - m2) * (t.key[d2] - m2);
+  }
+  return cov / std::sqrt(v1 * v2);
+}
+
+TEST(DatasetsTest, AllGeneratorsEmitValidTuples) {
+  Rng rng(1);
+  for (const char* name : {"uniform", "synth", "correlated",
+                           "anticorrelated", "nba", "mirflickr"}) {
+    Rng local = rng.Fork();
+    const TupleVec ts = MakeByName(name, 500, 5, &local);
+    ASSERT_EQ(ts.size(), 500u) << name;
+    std::set<uint64_t> ids;
+    for (const Tuple& t : ts) {
+      EXPECT_EQ(t.key.dims(), 5) << name;
+      for (int d = 0; d < 5; ++d) {
+        EXPECT_GE(t.key[d], 0.0) << name;
+        EXPECT_LE(t.key[d], 1.0) << name;
+      }
+      EXPECT_TRUE(ids.insert(t.id).second) << name;
+    }
+  }
+}
+
+TEST(DatasetsTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  const TupleVec ta = MakeByName("synth", 200, 3, &a);
+  const TupleVec tb = MakeByName("synth", 200, 3, &b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
+}
+
+TEST(DatasetsTest, CorrelatedHasHighCorrelation) {
+  Rng rng(7);
+  const TupleVec ts = data::MakeCorrelated(5000, 3, &rng);
+  EXPECT_GT(Correlation(ts, 0, 1), 0.8);
+  EXPECT_GT(Correlation(ts, 1, 2), 0.8);
+}
+
+TEST(DatasetsTest, AnticorrelatedHasNegativeCorrelation) {
+  Rng rng(11);
+  const TupleVec ts = data::MakeAnticorrelated(5000, 2, &rng);
+  EXPECT_LT(Correlation(ts, 0, 1), -0.3);
+}
+
+TEST(DatasetsTest, SkylineSizesOrderAsExpected) {
+  // Classic skyline workload fact: |sky(correlated)| << |sky(uniform)| <<
+  // |sky(anticorrelated)|.
+  Rng rng(13);
+  const size_t n = 3000;
+  const size_t s_cor = ComputeSkyline(data::MakeCorrelated(n, 3, &rng)).size();
+  const size_t s_uni = ComputeSkyline(data::MakeUniform(n, 3, &rng)).size();
+  const size_t s_ant =
+      ComputeSkyline(data::MakeAnticorrelated(n, 3, &rng)).size();
+  EXPECT_LT(s_cor, s_uni);
+  EXPECT_LT(s_uni, s_ant);
+}
+
+TEST(DatasetsTest, NbaLikeIsCorrelatedWithSmallSkyline) {
+  Rng rng(17);
+  const TupleVec ts = data::MakeNbaLike(22000, 6, &rng);
+  // Stats couple through the latent skill: positive correlation.
+  EXPECT_GT(Correlation(ts, 0, 1), 0.25);
+  EXPECT_GT(Correlation(ts, 0, 5), 0.35);
+  // A small elite: the skyline is a tiny fraction of the dataset, as with
+  // the real NBA data.
+  const size_t sky = ComputeSkyline(ts).size();
+  EXPECT_LT(sky, ts.size() / 20);
+  EXPECT_GT(sky, 5u);
+}
+
+TEST(DatasetsTest, NbaLikeHasEliteTail) {
+  Rng rng(19);
+  const TupleVec ts = data::MakeNbaLike(22000, 6, &rng);
+  // Count "stars": tuples whose average oriented stat is below 0.25
+  // (remember 0 = best). They must exist but be rare.
+  size_t stars = 0;
+  for (const Tuple& t : ts) {
+    double avg = 0;
+    for (int d = 0; d < 6; ++d) avg += t.key[d];
+    if (avg / 6 < 0.25) ++stars;
+  }
+  EXPECT_GT(stars, 10u);
+  EXPECT_LT(stars, ts.size() / 10);
+}
+
+TEST(DatasetsTest, MirflickrLikeLiesOnSimplex) {
+  Rng rng(23);
+  const TupleVec ts = data::MakeMirflickrLike(2000, 5, &rng);
+  for (const Tuple& t : ts) {
+    double sum = 0;
+    for (int d = 0; d < 5; ++d) sum += t.key[d];
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DatasetsTest, MirflickrLikeIsClustered) {
+  // Clustered data: the average L1 distance to the nearest of a sample
+  // must be clearly below the all-pairs average.
+  Rng rng(29);
+  const TupleVec ts = data::MakeMirflickrLike(1000, 5, &rng);
+  double all_pairs = 0;
+  size_t pairs = 0;
+  double nearest_sum = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    double nearest = 1e18;
+    for (size_t j = 0; j < ts.size(); ++j) {
+      if (i == j) continue;
+      const double d = L1Distance(ts[i].key, ts[j].key);
+      nearest = std::min(nearest, d);
+      if (j < 200) {
+        all_pairs += d;
+        ++pairs;
+      }
+    }
+    nearest_sum += nearest;
+  }
+  EXPECT_LT(nearest_sum / 200, 0.3 * (all_pairs / pairs));
+}
+
+TEST(DatasetsTest, SynthClusterCountScalesWithN) {
+  Rng rng(31);
+  // Just exercise the scaling path: n/20 centers.
+  const TupleVec ts = MakeByName("synth", 2000, 4, &rng);
+  EXPECT_EQ(ts.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/scoring.h"
+#include "overlay/midas/midas.h"
+#include "queries/topk.h"
+#include "queries/topk_driver.h"
+#include "ripple/engine.h"
+#include "store/local_algos.h"
+
+namespace ripple {
+namespace {
+
+struct TestNet {
+  MidasOverlay overlay;
+  TupleVec all_tuples;
+};
+
+TestNet MakeNet(size_t peers, size_t tuples, int dims, uint64_t seed) {
+  MidasOptions opt;
+  opt.dims = dims;
+  opt.seed = seed;
+  TestNet net{MidasOverlay(opt), {}};
+  while (net.overlay.NumPeers() < peers) net.overlay.Join();
+  Rng rng(seed ^ 0xabcdef);
+  for (uint64_t i = 0; i < tuples; ++i) {
+    Point p(dims);
+    for (int d = 0; d < dims; ++d) p[d] = rng.UniformDouble();
+    Tuple t{i, p};
+    net.all_tuples.push_back(t);
+    net.overlay.InsertTuple(t);
+  }
+  return net;
+}
+
+using TopKEngine = Engine<MidasOverlay, TopKPolicy>;
+
+void ExpectSameIds(const TupleVec& got, const TupleVec& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "position " << i;
+  }
+}
+
+TEST(EngineTopKTest, MatchesOracleAcrossModes) {
+  TestNet net = MakeNet(128, 2000, 3, 101);
+  LinearScorer scorer({-0.5, -0.3, -0.2});  // min-weighted-sum is best
+  TopKQuery q{&scorer, 10};
+  const TupleVec want = SelectTopK(
+      net.all_tuples, [&](const Point& p) { return scorer.Score(p); }, q.k);
+  TopKEngine engine(&net.overlay, TopKPolicy{});
+  Rng rng(7);
+  for (int r : {0, 2, 5, kRippleSlow}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const PeerId initiator = net.overlay.RandomPeer(&rng);
+      const auto result = engine.Run(initiator, q, r);
+      ExpectSameIds(result.answer, want);
+    }
+  }
+}
+
+TEST(EngineTopKTest, MatchesOracleForVariousK) {
+  TestNet net = MakeNet(64, 1000, 2, 103);
+  LinearScorer scorer({-1.0, -1.0});
+  TopKEngine engine(&net.overlay, TopKPolicy{});
+  Rng rng(11);
+  for (size_t k : {1u, 5u, 25u, 100u}) {
+    TopKQuery q{&scorer, k};
+    const TupleVec want = SelectTopK(
+        net.all_tuples, [&](const Point& p) { return scorer.Score(p); }, k);
+    const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+    ExpectSameIds(result.answer, want);
+  }
+}
+
+TEST(EngineTopKTest, NearestScorerQueries) {
+  TestNet net = MakeNet(64, 1500, 4, 107);
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    Point anchor(4);
+    for (int d = 0; d < 4; ++d) anchor[d] = rng.UniformDouble();
+    NearestScorer scorer(anchor, Norm::kL2);
+    TopKQuery q{&scorer, 10};
+    const TupleVec want = SelectTopK(
+        net.all_tuples, [&](const Point& p) { return scorer.Score(p); }, q.k);
+    TopKEngine engine(&net.overlay, TopKPolicy{});
+    const auto fast = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+    const auto slow = engine.Run(net.overlay.RandomPeer(&rng), q,
+                                 kRippleSlow);
+    ExpectSameIds(fast.answer, want);
+    ExpectSameIds(slow.answer, want);
+  }
+}
+
+TEST(EngineTopKTest, FastLatencyBoundedByMaxDepth) {
+  TestNet net = MakeNet(256, 3000, 3, 109);
+  LinearScorer scorer({-0.4, -0.4, -0.2});
+  TopKQuery q{&scorer, 10};
+  TopKEngine engine(&net.overlay, TopKPolicy{});
+  Rng rng(17);
+  const uint64_t delta = static_cast<uint64_t>(net.overlay.MaxDepth());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+    EXPECT_LE(result.stats.latency_hops, delta);  // Lemma 1
+    EXPECT_LE(result.stats.peers_visited, net.overlay.NumPeers());
+    EXPECT_GE(result.stats.peers_visited, 1u);
+  }
+}
+
+TEST(EngineTopKTest, SlowVisitsNoMorePeersThanFast) {
+  TestNet net = MakeNet(256, 3000, 3, 113);
+  LinearScorer scorer({-0.4, -0.4, -0.2});
+  TopKQuery q{&scorer, 10};
+  TopKEngine engine(&net.overlay, TopKPolicy{});
+  Rng rng(19);
+  uint64_t fast_visits = 0, slow_visits = 0;
+  uint64_t fast_latency = 0, slow_latency = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const PeerId initiator = net.overlay.RandomPeer(&rng);
+    const auto fast = engine.Run(initiator, q, 0);
+    const auto slow = engine.Run(initiator, q, kRippleSlow);
+    fast_visits += fast.stats.peers_visited;
+    slow_visits += slow.stats.peers_visited;
+    fast_latency += fast.stats.latency_hops;
+    slow_latency += slow.stats.latency_hops;
+    ExpectSameIds(fast.answer, slow.answer);
+  }
+  // The paper's trade-off: slow prunes strictly better on average. (Its
+  // latency is sequential — equal to its visits — which may still come in
+  // under fast's parallel-hop latency when pruning is extreme, so only the
+  // congestion ordering is universal.)
+  EXPECT_LT(slow_visits, fast_visits);
+  // Sequential forwarding: per query, latency = visits - 1 (every visit
+  // except the initiator's costs one forward); 20 queries were summed.
+  EXPECT_EQ(slow_latency, slow_visits - 20);
+}
+
+TEST(EngineTopKTest, RippleParameterInterpolates) {
+  TestNet net = MakeNet(512, 5000, 3, 127);
+  LinearScorer scorer({-0.3, -0.3, -0.4});
+  TopKQuery q{&scorer, 10};
+  TopKEngine engine(&net.overlay, TopKPolicy{});
+  Rng rng(23);
+  const int delta = net.overlay.MaxDepth();
+  double visits_r0 = 0, visits_mid = 0, visits_slow = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    const PeerId initiator = net.overlay.RandomPeer(&rng);
+    visits_r0 += engine.Run(initiator, q, 0).stats.peers_visited;
+    visits_mid += engine.Run(initiator, q, delta / 2).stats.peers_visited;
+    visits_slow += engine.Run(initiator, q, kRippleSlow).stats.peers_visited;
+  }
+  EXPECT_LE(visits_slow, visits_mid + 1e-9);
+  EXPECT_LE(visits_mid, visits_r0 + 1e-9);
+}
+
+TEST(EngineTopKTest, KLargerThanDatasetReturnsEverything) {
+  TestNet net = MakeNet(16, 40, 2, 131);
+  LinearScorer scorer({-1.0, -0.5});
+  TopKQuery q{&scorer, 100};
+  TopKEngine engine(&net.overlay, TopKPolicy{});
+  Rng rng(29);
+  const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+  EXPECT_EQ(result.answer.size(), 40u);
+}
+
+TEST(EngineTopKTest, EmptyNetworkAnswersEmpty) {
+  MidasOptions opt;
+  opt.dims = 2;
+  opt.seed = 3;
+  MidasOverlay overlay(opt);
+  while (overlay.NumPeers() < 16) overlay.Join();
+  LinearScorer scorer({-1.0, -1.0});
+  TopKQuery q{&scorer, 5};
+  TopKEngine engine(&overlay, TopKPolicy{});
+  Rng rng(31);
+  const auto result = engine.Run(overlay.RandomPeer(&rng), q, 0);
+  EXPECT_TRUE(result.answer.empty());
+  EXPECT_EQ(result.stats.tuples_shipped, 0u);
+}
+
+TEST(EngineTopKTest, SurvivesChurn) {
+  TestNet net = MakeNet(128, 2000, 3, 137);
+  LinearScorer scorer({-0.2, -0.5, -0.3});
+  TopKQuery q{&scorer, 10};
+  const TupleVec want = SelectTopK(
+      net.all_tuples, [&](const Point& p) { return scorer.Score(p); }, q.k);
+  Rng churn(41);
+  // Shrink the network: tuples survive on merged peers.
+  while (net.overlay.NumPeers() > 32) {
+    ASSERT_TRUE(net.overlay.LeaveRandom(&churn).ok());
+  }
+  TopKEngine engine(&net.overlay, TopKPolicy{});
+  const auto after_shrink = engine.Run(net.overlay.RandomPeer(&churn), q, 0);
+  ExpectSameIds(after_shrink.answer, want);
+  // Grow back and re-check with slow.
+  while (net.overlay.NumPeers() < 200) net.overlay.Join();
+  const auto after_grow =
+      engine.Run(net.overlay.RandomPeer(&churn), q, kRippleSlow);
+  ExpectSameIds(after_grow.answer, want);
+}
+
+TEST(EngineTopKTest, SeededRunMatchesOracleAcrossModes) {
+  TestNet net = MakeNet(128, 400, 3, 139);  // sparse: ~3 tuples per peer
+  LinearScorer scorer({-0.5, -0.25, -0.25});
+  TopKQuery q{&scorer, 10};
+  const TupleVec want = SelectTopK(
+      net.all_tuples, [&](const Point& p) { return scorer.Score(p); }, q.k);
+  TopKEngine engine(&net.overlay, TopKPolicy{});
+  Rng rng(37);
+  for (int r : {0, 3, kRippleSlow}) {
+    const auto result = SeededTopK(net.overlay, engine,
+                                   net.overlay.RandomPeer(&rng), q, r);
+    ExpectSameIds(result.answer, want);
+  }
+}
+
+TEST(EngineTopKTest, SeedingCutsSparseFastCongestion) {
+  // At the paper's density (~1.4 tuples/peer) an unseeded fast run floods
+  // while m < k; the seeded initiation restores f+ pruning.
+  TestNet net = MakeNet(512, 700, 3, 149);
+  LinearScorer scorer({-0.4, -0.3, -0.3});
+  TopKQuery q{&scorer, 10};
+  TopKEngine engine(&net.overlay, TopKPolicy{});
+  Rng rng(41);
+  uint64_t plain = 0, seeded = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const PeerId initiator = net.overlay.RandomPeer(&rng);
+    plain += engine.Run(initiator, q, 0).stats.peers_visited;
+    seeded += SeededTopK(net.overlay, engine, initiator, q, 0)
+                  .stats.peers_visited;
+  }
+  EXPECT_LT(seeded, plain / 2);
+}
+
+TEST(EngineTopKTest, SeededRunWorksWithNearestScorer) {
+  TestNet net = MakeNet(64, 800, 4, 151);
+  Rng rng(43);
+  Point anchor{0.3, 0.7, 0.5, 0.2};
+  NearestScorer scorer(anchor, Norm::kL2);
+  TopKQuery q{&scorer, 15};
+  const TupleVec want = SelectTopK(
+      net.all_tuples, [&](const Point& p) { return scorer.Score(p); }, q.k);
+  TopKEngine engine(&net.overlay, TopKPolicy{});
+  const auto result = SeededTopK(net.overlay, engine,
+                                 net.overlay.RandomPeer(&rng), q, 0);
+  ExpectSameIds(result.answer, want);
+}
+
+TEST(EngineTopKTest, ThresholdWitnessTupleIsNotDropped) {
+  // Regression: when a state whose threshold equals a tuple's score
+  // reaches that tuple's owner, Algorithm 4's "strictly better than tau"
+  // selection would drop the witness and the answer would come up one
+  // tuple short. The inclusive selection keeps it.
+  MidasOptions opt;
+  opt.dims = 2;
+  opt.seed = 77;
+  MidasOverlay overlay(opt);
+  while (overlay.NumPeers() < 16) overlay.Join();
+  Rng rng(79);
+  TupleVec all;
+  for (uint64_t i = 0; i < 200; ++i) {
+    Tuple t{i, Point{rng.UniformDouble(), rng.UniformDouble()}};
+    all.push_back(t);
+    overlay.InsertTuple(t);
+  }
+  LinearScorer scorer({-1.0, -1.0});
+  TopKQuery q{&scorer, 5};
+  const TupleVec want = SelectTopK(
+      all, [&](const Point& p) { return scorer.Score(p); }, q.k);
+  // Seed the run with a state whose threshold is EXACTLY the 5th best
+  // score, witnessed by the true top-5.
+  TopKState seed{5, scorer.Score(want.back().key)};
+  Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
+  for (int r : {0, kRippleSlow}) {
+    const auto result = engine.Run(overlay.RandomPeer(&rng), q, r, seed);
+    ASSERT_EQ(result.answer.size(), q.k) << "r=" << r;
+    for (size_t i = 0; i < q.k; ++i) {
+      EXPECT_EQ(result.answer[i].id, want[i].id);
+    }
+  }
+}
+
+TEST(EngineTopKTest, StatsAccumulatorAggregates) {
+  StatsAccumulator acc;
+  acc.Add(QueryStats{10, 5, 7, 3});
+  acc.Add(QueryStats{20, 15, 9, 5});
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.MeanLatency(), 15.0);
+  EXPECT_DOUBLE_EQ(acc.MeanCongestion(), 10.0);
+  EXPECT_DOUBLE_EQ(acc.MeanMessages(), 8.0);
+  EXPECT_DOUBLE_EQ(acc.MeanTuplesShipped(), 4.0);
+  EXPECT_EQ(acc.MaxLatency(), 20u);
+  EXPECT_EQ(acc.LatencyPercentile(0), 10u);
+  EXPECT_EQ(acc.LatencyPercentile(100), 20u);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,100 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ripple {
+namespace {
+
+struct Fixture {
+  std::string name = "default";
+  int64_t count = 7;
+  double ratio = 0.5;
+  bool verbose = false;
+  FlagParser parser{"test program"};
+
+  Fixture() {
+    parser.AddString("name", "a name", &name);
+    parser.AddInt("count", "a count", &count);
+    parser.AddDouble("ratio", "a ratio", &ratio);
+    parser.AddBool("verbose", "talk more", &verbose);
+  }
+
+  Status Parse(std::vector<const char*> args) {
+    args.insert(args.begin(), "prog");
+    return parser.Parse(static_cast<int>(args.size()), args.data());
+  }
+};
+
+TEST(FlagsTest, DefaultsSurviveEmptyParse) {
+  Fixture f;
+  ASSERT_TRUE(f.Parse({}).ok());
+  EXPECT_EQ(f.name, "default");
+  EXPECT_EQ(f.count, 7);
+  EXPECT_DOUBLE_EQ(f.ratio, 0.5);
+  EXPECT_FALSE(f.verbose);
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Fixture f;
+  ASSERT_TRUE(
+      f.Parse({"--name=widget", "--count=42", "--ratio=0.25"}).ok());
+  EXPECT_EQ(f.name, "widget");
+  EXPECT_EQ(f.count, 42);
+  EXPECT_DOUBLE_EQ(f.ratio, 0.25);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Fixture f;
+  ASSERT_TRUE(f.Parse({"--count", "13", "--name", "x"}).ok());
+  EXPECT_EQ(f.count, 13);
+  EXPECT_EQ(f.name, "x");
+}
+
+TEST(FlagsTest, BoolForms) {
+  Fixture f;
+  ASSERT_TRUE(f.Parse({"--verbose"}).ok());
+  EXPECT_TRUE(f.verbose);
+  Fixture g;
+  ASSERT_TRUE(g.Parse({"--verbose=true", "--noverbose"}).ok());
+  EXPECT_FALSE(g.verbose);
+  Fixture h;
+  ASSERT_TRUE(h.Parse({"--verbose=false"}).ok());
+  EXPECT_FALSE(h.verbose);
+}
+
+TEST(FlagsTest, NegativeNumbersAndPositionals) {
+  Fixture f;
+  ASSERT_TRUE(f.Parse({"--count=-5", "input.txt", "--ratio=-0.5"}).ok());
+  EXPECT_EQ(f.count, -5);
+  EXPECT_DOUBLE_EQ(f.ratio, -0.5);
+  ASSERT_EQ(f.parser.positional().size(), 1u);
+  EXPECT_EQ(f.parser.positional()[0], "input.txt");
+}
+
+TEST(FlagsTest, ErrorsOnUnknownFlag) {
+  Fixture f;
+  const Status s = f.Parse({"--bogus=1"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("bogus"), std::string::npos);
+}
+
+TEST(FlagsTest, ErrorsOnBadValues) {
+  Fixture f;
+  EXPECT_EQ(f.Parse({"--count=abc"}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(f.Parse({"--ratio=xyz"}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(f.Parse({"--verbose=maybe"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(f.Parse({"--count"}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, HelpListsFlagsWithDefaults) {
+  Fixture f;
+  const Status s = f.Parse({"--help"});
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("--count"), std::string::npos);
+  EXPECT_NE(s.message().find("default 7"), std::string::npos);
+  EXPECT_NE(s.message().find("test program"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ripple

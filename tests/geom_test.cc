@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/dominance.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/scoring.h"
+
+namespace ripple {
+namespace {
+
+TEST(PointTest, ConstructionAndAccess) {
+  Point p{0.5, 0.25, 1.0};
+  EXPECT_EQ(p.dims(), 3);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[2], 1.0);
+  p[1] = 0.75;
+  EXPECT_DOUBLE_EQ(p[1], 0.75);
+}
+
+TEST(PointTest, OriginAndFill) {
+  Point p(4);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(p[i], 0.0);
+  p.Fill(2.0);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(p[i], 2.0);
+}
+
+TEST(PointTest, Distances) {
+  Point a{0.0, 0.0};
+  Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(L2Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(L2DistanceSquared(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(LInfDistance(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b, Norm::kL1), 7.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b, Norm::kL2), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b, Norm::kLInf), 4.0);
+}
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ((Point{1.0, 2.0}), (Point{1.0, 2.0}));
+  EXPECT_NE((Point{1.0, 2.0}), (Point{1.0, 2.1}));
+  EXPECT_NE((Point{1.0}), (Point{1.0, 0.0}));
+}
+
+TEST(RectTest, UnitCube) {
+  Rect r = Rect::Unit(3);
+  EXPECT_EQ(r.dims(), 3);
+  EXPECT_DOUBLE_EQ(r.Volume(), 1.0);
+  EXPECT_TRUE(r.Contains(Point{0.5, 0.5, 0.5}));
+  EXPECT_TRUE(r.Contains(Point{1.0, 1.0, 1.0}));  // closed
+  EXPECT_FALSE(r.Contains(Point{1.1, 0.5, 0.5}));
+}
+
+TEST(RectTest, HalfOpenContainment) {
+  const Rect domain = Rect::Unit(2);
+  const auto [left, right] = domain.Split(0, 0.5);
+  // The split face belongs to the upper half only.
+  EXPECT_FALSE(left.ContainsHalfOpen(Point{0.5, 0.2}, domain));
+  EXPECT_TRUE(right.ContainsHalfOpen(Point{0.5, 0.2}, domain));
+  // The domain's upper boundary stays inclusive.
+  EXPECT_TRUE(right.ContainsHalfOpen(Point{1.0, 1.0}, domain));
+  EXPECT_TRUE(left.ContainsHalfOpen(Point{0.0, 1.0}, domain));
+}
+
+TEST(RectTest, IntersectionAndCover) {
+  Rect a(Point{0.0, 0.0}, Point{0.6, 0.6});
+  Rect b(Point{0.4, 0.4}, Point{1.0, 1.0});
+  ASSERT_TRUE(a.Intersects(b));
+  const Rect i = a.Intersection(b);
+  EXPECT_EQ(i, Rect(Point{0.4, 0.4}, Point{0.6, 0.6}));
+  EXPECT_TRUE(Rect::Unit(2).Covers(a));
+  EXPECT_FALSE(a.Covers(b));
+  Rect far(Point{0.7, 0.7}, Point{0.9, 0.9});
+  EXPECT_FALSE(a.Intersects(far));
+}
+
+TEST(RectTest, DegenerateTouching) {
+  Rect a(Point{0.0, 0.0}, Point{0.5, 1.0});
+  Rect b(Point{0.5, 0.0}, Point{1.0, 1.0});
+  ASSERT_TRUE(a.Intersects(b));  // closed rects share the face
+  EXPECT_TRUE(a.Intersection(b).Degenerate());
+}
+
+TEST(RectTest, SplitPartitionsVolume) {
+  Rect r(Point{0.0, 0.0, 0.0}, Point{2.0, 1.0, 1.0});
+  const auto [lo, hi] = r.Split(0, 0.5);
+  EXPECT_DOUBLE_EQ(lo.Volume() + hi.Volume(), r.Volume());
+  EXPECT_DOUBLE_EQ(lo.hi()[0], 0.5);
+  EXPECT_DOUBLE_EQ(hi.lo()[0], 0.5);
+}
+
+TEST(RectTest, MinMaxDist) {
+  Rect r(Point{1.0, 1.0}, Point{2.0, 2.0});
+  Point inside{1.5, 1.5};
+  EXPECT_DOUBLE_EQ(r.MinDist(inside, Norm::kL2), 0.0);
+  Point outside{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(r.MinDist(outside, Norm::kL2), 1.0);
+  EXPECT_DOUBLE_EQ(r.MinDist(outside, Norm::kL1), 1.0);
+  // Farthest corner from (0,1) is (2,2).
+  EXPECT_DOUBLE_EQ(r.MaxDist(outside, Norm::kL1), 3.0);
+  EXPECT_DOUBLE_EQ(r.MaxDist(outside, Norm::kL2), std::sqrt(5.0));
+}
+
+TEST(RectTest, MinMaxDistBracketsSampledPoints) {
+  Rng rng(5);
+  Rect r(Point{0.2, 0.3, 0.1}, Point{0.7, 0.9, 0.4});
+  for (int trial = 0; trial < 200; ++trial) {
+    Point q{rng.UniformDouble(-1, 2), rng.UniformDouble(-1, 2),
+            rng.UniformDouble(-1, 2)};
+    Point inside{rng.UniformDouble(0.2, 0.7), rng.UniformDouble(0.3, 0.9),
+                 rng.UniformDouble(0.1, 0.4)};
+    for (Norm norm : {Norm::kL1, Norm::kL2, Norm::kLInf}) {
+      const double d = Distance(q, inside, norm);
+      EXPECT_LE(r.MinDist(q, norm), d + 1e-12);
+      EXPECT_GE(r.MaxDist(q, norm), d - 1e-12);
+    }
+  }
+}
+
+// --- Dominance --------------------------------------------------------------
+
+TEST(DominanceTest, BasicCases) {
+  EXPECT_TRUE(Dominates(Point{0.1, 0.1}, Point{0.2, 0.2}));
+  EXPECT_TRUE(Dominates(Point{0.1, 0.2}, Point{0.1, 0.3}));
+  EXPECT_FALSE(Dominates(Point{0.1, 0.2}, Point{0.1, 0.2}));  // equal
+  EXPECT_FALSE(Dominates(Point{0.1, 0.3}, Point{0.2, 0.2}));  // incomparable
+  EXPECT_FALSE(Dominates(Point{0.2, 0.2}, Point{0.1, 0.1}));
+}
+
+TEST(DominanceTest, IrreflexiveAntisymmetricTransitive) {
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    Point a{rng.UniformDouble(), rng.UniformDouble(), rng.UniformDouble()};
+    Point b{rng.UniformDouble(), rng.UniformDouble(), rng.UniformDouble()};
+    Point c{rng.UniformDouble(), rng.UniformDouble(), rng.UniformDouble()};
+    EXPECT_FALSE(Dominates(a, a));
+    EXPECT_FALSE(Dominates(a, b) && Dominates(b, a));
+    if (Dominates(a, b) && Dominates(b, c)) {
+      EXPECT_TRUE(Dominates(a, c));
+    }
+  }
+}
+
+TEST(DominanceTest, DominatesRectMeansDominatesEveryPoint) {
+  Rng rng(13);
+  Rect r(Point{0.4, 0.5}, Point{0.8, 0.9});
+  const Point s1{0.1, 0.1};
+  ASSERT_TRUE(DominatesRect(s1, r));
+  for (int i = 0; i < 200; ++i) {
+    Point p{rng.UniformDouble(0.4, 0.8), rng.UniformDouble(0.5, 0.9)};
+    EXPECT_TRUE(Dominates(s1, p));
+  }
+  // A point equal to the rect's lower corner does not dominate the corner.
+  EXPECT_FALSE(DominatesRect(Point{0.4, 0.5}, r));
+  // A point inside the rect never dominates the whole rect.
+  EXPECT_FALSE(DominatesRect(Point{0.5, 0.6}, r));
+}
+
+TEST(DominanceTest, RectMayDominate) {
+  Rect r(Point{0.4, 0.5}, Point{0.8, 0.9});
+  EXPECT_TRUE(RectMayDominate(r, Point{0.9, 0.95}));
+  EXPECT_FALSE(RectMayDominate(r, Point{0.1, 0.9}));
+  EXPECT_FALSE(RectMayDominate(r, Point{0.4, 0.5}));  // equal to corner
+}
+
+// --- Scorers ----------------------------------------------------------------
+
+TEST(ScorerTest, LinearScore) {
+  LinearScorer s({1.0, -2.0});
+  EXPECT_DOUBLE_EQ(s.Score(Point{0.5, 0.25}), 0.0);
+  EXPECT_DOUBLE_EQ(s.Score(Point{1.0, 0.0}), 1.0);
+}
+
+TEST(ScorerTest, LinearUpperBoundIsTight) {
+  LinearScorer s({1.0, -2.0});
+  Rect r(Point{0.0, 0.0}, Point{1.0, 1.0});
+  // Max at (1, 0) since the second weight is negative.
+  EXPECT_DOUBLE_EQ(s.UpperBound(r), 1.0);
+}
+
+TEST(ScorerTest, UpperBoundSoundOverSamples) {
+  Rng rng(17);
+  LinearScorer lin({0.3, 0.7, -0.2});
+  Rect r(Point{0.1, 0.2, 0.3}, Point{0.5, 0.8, 0.6});
+  NearestScorer near(Point{0.9, 0.1, 0.2}, Norm::kL2);
+  for (int i = 0; i < 300; ++i) {
+    Point p{rng.UniformDouble(0.1, 0.5), rng.UniformDouble(0.2, 0.8),
+            rng.UniformDouble(0.3, 0.6)};
+    EXPECT_LE(lin.Score(p), lin.UpperBound(r) + 1e-12);
+    EXPECT_LE(near.Score(p), near.UpperBound(r) + 1e-12);
+  }
+}
+
+TEST(ScorerTest, NearestScoreIsNegatedDistance) {
+  NearestScorer s(Point{0.0, 0.0}, Norm::kL2);
+  EXPECT_DOUBLE_EQ(s.Score(Point{3.0, 4.0}), -5.0);
+  Rect r(Point{3.0, 0.0}, Point{5.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.UpperBound(r), -3.0);
+}
+
+}  // namespace
+}  // namespace ripple

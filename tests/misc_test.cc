@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.h"
+#include "net/metrics.h"
+
+namespace ripple {
+namespace {
+
+TEST(EnvTest, IntParsingAndFallbacks) {
+  ::setenv("RIPPLE_TEST_INT", "42", 1);
+  EXPECT_EQ(GetEnvInt("RIPPLE_TEST_INT", 7), 42);
+  ::setenv("RIPPLE_TEST_INT", "-13", 1);
+  EXPECT_EQ(GetEnvInt("RIPPLE_TEST_INT", 7), -13);
+  ::setenv("RIPPLE_TEST_INT", "abc", 1);
+  EXPECT_EQ(GetEnvInt("RIPPLE_TEST_INT", 7), 7);
+  ::setenv("RIPPLE_TEST_INT", "12xy", 1);
+  EXPECT_EQ(GetEnvInt("RIPPLE_TEST_INT", 7), 7);
+  ::setenv("RIPPLE_TEST_INT", "", 1);
+  EXPECT_EQ(GetEnvInt("RIPPLE_TEST_INT", 7), 7);
+  ::unsetenv("RIPPLE_TEST_INT");
+  EXPECT_EQ(GetEnvInt("RIPPLE_TEST_INT", 7), 7);
+}
+
+TEST(EnvTest, DoubleParsingAndFallbacks) {
+  ::setenv("RIPPLE_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("RIPPLE_TEST_DBL", 1.0), 2.5);
+  ::setenv("RIPPLE_TEST_DBL", "nope", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("RIPPLE_TEST_DBL", 1.0), 1.0);
+  ::unsetenv("RIPPLE_TEST_DBL");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("RIPPLE_TEST_DBL", 1.0), 1.0);
+}
+
+TEST(EnvTest, StringFallback) {
+  ::setenv("RIPPLE_TEST_STR", "hello", 1);
+  EXPECT_EQ(GetEnvString("RIPPLE_TEST_STR", "d"), "hello");
+  ::unsetenv("RIPPLE_TEST_STR");
+  EXPECT_EQ(GetEnvString("RIPPLE_TEST_STR", "d"), "d");
+}
+
+TEST(MetricsTest, QueryStatsAccumulateAndPrint) {
+  QueryStats a{3, 4, 5, 6};
+  QueryStats b{1, 1, 1, 1};
+  a += b;
+  EXPECT_EQ(a.latency_hops, 4u);
+  EXPECT_EQ(a.peers_visited, 5u);
+  EXPECT_EQ(a.messages, 6u);
+  EXPECT_EQ(a.tuples_shipped, 7u);
+  const std::string s = a.ToString();
+  EXPECT_NE(s.find("latency=4"), std::string::npos);
+  EXPECT_NE(s.find("visited=5"), std::string::npos);
+}
+
+TEST(MetricsTest, EmptyAccumulator) {
+  StatsAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.MeanLatency(), 0.0);
+  EXPECT_EQ(acc.MaxLatency(), 0u);
+  EXPECT_EQ(acc.LatencyPercentile(50), 0u);
+}
+
+TEST(MetricsTest, PercentilesAreNearestRank) {
+  StatsAccumulator acc;
+  for (uint64_t v : {10u, 20u, 30u, 40u, 50u, 60u, 70u, 80u, 90u, 100u}) {
+    acc.Add(QueryStats{v, 0, 0, 0});
+  }
+  EXPECT_EQ(acc.LatencyPercentile(0), 10u);
+  EXPECT_EQ(acc.LatencyPercentile(50), 60u);
+  EXPECT_EQ(acc.LatencyPercentile(100), 100u);
+  EXPECT_EQ(acc.LatencyPercentile(-5), 10u);   // clamped
+  EXPECT_EQ(acc.LatencyPercentile(250), 100u);  // clamped
+}
+
+}  // namespace
+}  // namespace ripple

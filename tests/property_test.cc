@@ -1,0 +1,166 @@
+// Property-style parameterized sweeps: distributed answers must equal
+// centralized oracles for every (dataset, dimensionality, overlay shape,
+// ripple parameter) combination, and structural invariants must hold for
+// every overlay seed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "overlay/midas/midas.h"
+#include "queries/skyline_driver.h"
+#include "queries/topk_driver.h"
+#include "store/local_algos.h"
+
+namespace ripple {
+namespace {
+
+// --- Distributed == centralized across the configuration grid ---------------
+
+using GridParam = std::tuple<std::string /*dataset*/, int /*dims*/,
+                             int /*ripple r*/, bool /*median splits*/>;
+
+class AnswerEquivalenceTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(AnswerEquivalenceTest, TopKAndSkylineMatchOracle) {
+  const auto& [dataset, dims, r, median] = GetParam();
+  Rng data_rng(static_cast<uint64_t>(dims) * 1000 + r);
+  const TupleVec tuples = data::MakeByName(dataset, 600, dims, &data_rng);
+
+  MidasOptions opt;
+  opt.dims = dims;
+  opt.seed = static_cast<uint64_t>(dims) * 77 + r;
+  opt.split_rule =
+      median ? MidasSplitRule::kDataMedian : MidasSplitRule::kMidpoint;
+  MidasOverlay overlay(opt);
+  for (const Tuple& t : tuples) overlay.InsertTuple(t);
+  while (overlay.NumPeers() < 96) overlay.Join();
+  ASSERT_TRUE(overlay.Validate().ok()) << overlay.Validate().ToString();
+
+  Rng rng(5);
+  // Top-k.
+  std::vector<double> weights(dims);
+  for (int d = 0; d < dims; ++d) weights[d] = -(1.0 + d) / dims;
+  LinearScorer scorer(weights);
+  TopKQuery q{&scorer, 10};
+  const TupleVec want_topk = SelectTopK(
+      tuples, [&](const Point& p) { return scorer.Score(p); }, q.k);
+  Engine<MidasOverlay, TopKPolicy> topk_engine(&overlay, TopKPolicy{});
+  const auto topk = SeededTopK(overlay, topk_engine,
+                               overlay.RandomPeer(&rng), q, r);
+  ASSERT_EQ(topk.answer.size(), want_topk.size());
+  for (size_t i = 0; i < want_topk.size(); ++i) {
+    EXPECT_EQ(topk.answer[i].id, want_topk[i].id) << "top-k rank " << i;
+  }
+
+  // Skyline.
+  TupleVec want_sky = ComputeSkyline(tuples);
+  Engine<MidasOverlay, SkylinePolicy> sky_engine(&overlay, SkylinePolicy{});
+  auto sky = SeededSkyline(overlay, sky_engine, overlay.RandomPeer(&rng),
+                           SkylineQuery{}, r);
+  std::sort(sky.answer.begin(), sky.answer.end(), TupleIdLess());
+  ASSERT_EQ(sky.answer.size(), want_sky.size());
+  for (size_t i = 0; i < want_sky.size(); ++i) {
+    EXPECT_EQ(sky.answer[i].id, want_sky[i].id) << "skyline member " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AnswerEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values("uniform", "synth", "correlated", "anticorrelated",
+                          "nba"),
+        ::testing::Values(2, 4, 6),
+        ::testing::Values(0, 2, kRippleSlow),
+        ::testing::Bool()),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      const int r = std::get<2>(info.param);
+      return std::get<0>(info.param) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_r" +
+             (r == kRippleSlow ? std::string("slow") : std::to_string(r)) +
+             (std::get<3>(info.param) ? "_median" : "_midpoint");
+    });
+
+// --- Overlay invariants across seeds -----------------------------------------
+
+class MidasSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MidasSeedTest, InvariantsHoldThroughChurn) {
+  MidasOptions opt;
+  opt.dims = 3;
+  opt.seed = GetParam();
+  opt.split_rule = MidasSplitRule::kDataMedian;
+  opt.border_pattern_links = (GetParam() % 2) == 0;
+  MidasOverlay overlay(opt);
+  Rng rng(GetParam() * 3 + 1);
+  for (uint64_t i = 0; i < 400; ++i) {
+    overlay.InsertTuple(Tuple{i, Point{rng.UniformDouble(),
+                                       rng.UniformDouble(),
+                                       rng.UniformDouble()}});
+  }
+  while (overlay.NumPeers() < 80) overlay.Join();
+  ASSERT_TRUE(overlay.Validate().ok()) << overlay.Validate().ToString();
+  Rng churn(GetParam() * 7 + 3);
+  while (overlay.NumPeers() > 20) {
+    ASSERT_TRUE(overlay.LeaveRandom(&churn).ok());
+  }
+  ASSERT_TRUE(overlay.Validate().ok()) << overlay.Validate().ToString();
+  while (overlay.NumPeers() < 50) overlay.Join();
+  ASSERT_TRUE(overlay.Validate().ok()) << overlay.Validate().ToString();
+  EXPECT_EQ(overlay.TotalTuples(), 400u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MidasSeedTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+// --- State soundness under random merges -------------------------------------
+
+class TopKStateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKStateTest, MergedStatesRemainTrueClaims) {
+  // The Algorithm 7 merge is sound for claims about DISJOINT tuple sets —
+  // exactly what the engine feeds it (states describe disjoint subtrees /
+  // local stores). Partition a ground score multiset into random groups,
+  // let each group claim (its size, its minimum), and check every merge
+  // of such claims stays a true statement about the ground set.
+  Rng rng(GetParam());
+  std::vector<double> scores;
+  for (int i = 0; i < 200; ++i) scores.push_back(rng.UniformDouble());
+  const size_t k = 10;
+  TopKPolicy policy;
+  TopKQuery q{nullptr, k};
+
+  auto truthful = [&](const TopKState& s) {
+    if (s.m == 0) return true;
+    size_t count = 0;
+    for (double v : scores) {
+      if (v >= s.tau) ++count;
+    }
+    return count >= s.m;
+  };
+  // Disjoint claims: deal scores into 12 random groups.
+  std::vector<std::vector<double>> groups(12);
+  for (double v : scores) groups[rng.UniformU64(groups.size())].push_back(v);
+  std::vector<TopKState> claims;
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    claims.push_back(
+        TopKState{g.size(), *std::min_element(g.begin(), g.end())});
+    ASSERT_TRUE(truthful(claims.back()));
+  }
+  TopKState merged = claims[0];
+  for (size_t i = 1; i < claims.size(); ++i) {
+    policy.MergeLocalStates(q, &merged, {claims[i]});
+    EXPECT_TRUE(truthful(merged)) << "after merge " << i;
+  }
+  // With all 200 scores witnessed, the merge must guarantee k of them.
+  EXPECT_GE(merged.m, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKStateTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ripple

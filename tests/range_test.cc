@@ -1,0 +1,170 @@
+#include "queries/range.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "overlay/chord/chord.h"
+#include "overlay/midas/midas.h"
+#include "queries/skyline_driver.h"
+#include "ripple/engine.h"
+#include "store/local_algos.h"
+
+namespace ripple {
+namespace {
+
+struct Net {
+  MidasOverlay overlay;
+  TupleVec all;
+};
+
+Net MakeNet(size_t peers, size_t tuples, int dims, uint64_t seed) {
+  MidasOptions opt;
+  opt.dims = dims;
+  opt.seed = seed;
+  Net net{MidasOverlay(opt), {}};
+  Rng rng(seed ^ 0xdeadbeef);
+  net.all = data::MakeUniform(tuples, dims, &rng);
+  for (const Tuple& t : net.all) net.overlay.InsertTuple(t);
+  while (net.overlay.NumPeers() < peers) net.overlay.Join();
+  return net;
+}
+
+TupleVec OracleRange(const TupleVec& all, const RangeQuery& q) {
+  TupleVec out;
+  for (const Tuple& t : all) {
+    if (q.Matches(t.key)) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end(), TupleIdLess());
+  return out;
+}
+
+TEST(RangeTest, MatchesOracleAcrossRadiiAndModes) {
+  Net net = MakeNet(96, 1200, 3, 501);
+  Engine<MidasOverlay, RangePolicy> engine(&net.overlay, RangePolicy{});
+  Rng rng(7);
+  for (double radius : {0.05, 0.15, 0.4}) {
+    for (int r : {0, kRippleSlow}) {
+      RangeQuery q{Point{rng.UniformDouble(), rng.UniformDouble(),
+                         rng.UniformDouble()},
+                   radius, Norm::kL2};
+      const TupleVec want = OracleRange(net.all, q);
+      const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, r);
+      ASSERT_EQ(result.answer.size(), want.size())
+          << "radius=" << radius << " r=" << r;
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(result.answer[i].id, want[i].id);
+      }
+    }
+  }
+}
+
+TEST(RangeTest, SmallRadiusVisitsFewPeers) {
+  Net net = MakeNet(256, 3000, 3, 503);
+  Engine<MidasOverlay, RangePolicy> engine(&net.overlay, RangePolicy{});
+  Rng rng(11);
+  RangeQuery q{Point{0.5, 0.5, 0.5}, 0.05, Norm::kL2};
+  const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+  // The explicit search area keeps the visit set near the ball's zones.
+  EXPECT_LT(result.stats.peers_visited, net.overlay.NumPeers() / 4);
+}
+
+TEST(RangeTest, ZeroRadiusFindsExactPoint) {
+  Net net = MakeNet(32, 500, 2, 507);
+  Engine<MidasOverlay, RangePolicy> engine(&net.overlay, RangePolicy{});
+  Rng rng(13);
+  const Tuple& target = net.all[42];
+  RangeQuery q{target.key, 0.0, Norm::kL2};
+  const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+  ASSERT_GE(result.answer.size(), 1u);
+  EXPECT_EQ(result.answer[0].id, target.id);
+}
+
+TEST(RangeTest, L1AndLInfNorms) {
+  Net net = MakeNet(64, 800, 3, 509);
+  Engine<MidasOverlay, RangePolicy> engine(&net.overlay, RangePolicy{});
+  Rng rng(17);
+  for (Norm norm : {Norm::kL1, Norm::kLInf}) {
+    RangeQuery q{Point{0.3, 0.6, 0.4}, 0.2, norm};
+    const TupleVec want = OracleRange(net.all, q);
+    const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+    ASSERT_EQ(result.answer.size(), want.size());
+  }
+}
+
+TEST(RangeTest, WorksOverChord) {
+  ChordOverlay overlay(48, ChordOptions{.dims = 2, .seed = 511});
+  Rng rng(19);
+  const TupleVec all = data::MakeUniform(600, 2, &rng);
+  for (const Tuple& t : all) overlay.InsertTuple(t);
+  Engine<ChordOverlay, RangePolicy> engine(&overlay, RangePolicy{});
+  RangeQuery q{Point{0.5, 0.5}, 0.2, Norm::kL2};
+  const TupleVec want = OracleRange(all, q);
+  const auto result = engine.Run(overlay.RandomPeer(&rng), q, 0);
+  ASSERT_EQ(result.answer.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(result.answer[i].id, want[i].id);
+  }
+}
+
+// --- Constrained skylines -----------------------------------------------------
+
+TEST(ConstrainedSkylineTest, MatchesConstrainedOracle) {
+  Net net = MakeNet(96, 1500, 3, 513);
+  Engine<MidasOverlay, SkylinePolicy> engine(&net.overlay, SkylinePolicy{});
+  Rng rng(23);
+  SkylineQuery q;
+  q.constraint = Rect(Point{0.3, 0.3, 0.3}, Point{0.8, 0.8, 0.8});
+  // Oracle: skyline over the tuples inside the box.
+  TupleVec inside;
+  for (const Tuple& t : net.all) {
+    if (q.constraint->Contains(t.key)) inside.push_back(t);
+  }
+  const TupleVec want = ComputeSkyline(inside);
+  for (int r : {0, kRippleSlow}) {
+    auto result = SeededSkyline(net.overlay, engine,
+                                net.overlay.RandomPeer(&rng), q, r);
+    std::sort(result.answer.begin(), result.answer.end(), TupleIdLess());
+    ASSERT_EQ(result.answer.size(), want.size()) << "r=" << r;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(result.answer[i].id, want[i].id);
+    }
+  }
+}
+
+TEST(ConstrainedSkylineTest, ConstraintPrunesVisits) {
+  Net net = MakeNet(256, 3000, 3, 517);
+  Engine<MidasOverlay, SkylinePolicy> engine(&net.overlay, SkylinePolicy{});
+  Rng rng(29);
+  SkylineQuery unconstrained;
+  SkylineQuery constrained;
+  constrained.constraint =
+      Rect(Point{0.4, 0.4, 0.4}, Point{0.6, 0.6, 0.6});
+  const PeerId initiator = net.overlay.RandomPeer(&rng);
+  const auto full = SeededSkyline(net.overlay, engine, initiator,
+                                  unconstrained, 0);
+  const auto boxed = SeededSkyline(net.overlay, engine, initiator,
+                                   constrained, 0);
+  EXPECT_LT(boxed.stats.peers_visited, full.stats.peers_visited + 64);
+}
+
+TEST(ConstrainedSkylineTest, EmptyConstraintYieldsEmptySkyline) {
+  Net net = MakeNet(32, 400, 2, 519);
+  Engine<MidasOverlay, SkylinePolicy> engine(&net.overlay, SkylinePolicy{});
+  Rng rng(31);
+  SkylineQuery q;
+  // A box guaranteed empty: zero-volume sliver outside the data range is
+  // hard to construct; instead use a tiny corner box and verify against
+  // the oracle (which may also be empty).
+  q.constraint = Rect(Point{0.0, 0.0}, Point{1e-9, 1e-9});
+  TupleVec inside;
+  for (const Tuple& t : net.all) {
+    if (q.constraint->Contains(t.key)) inside.push_back(t);
+  }
+  const auto result = SeededSkyline(net.overlay, engine,
+                                    net.overlay.RandomPeer(&rng), q, 0);
+  EXPECT_EQ(result.answer.size(), ComputeSkyline(inside).size());
+}
+
+}  // namespace
+}  // namespace ripple

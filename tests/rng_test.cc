@@ -1,0 +1,165 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/zipf.h"
+
+namespace ripple {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformU64InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformU64CoversAllResidues) {
+  Rng rng(7);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[rng.UniformU64(10)];
+  for (int h : hits) EXPECT_GT(h, 700);  // expectation 1000 each
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // Child should not replay the parent stream.
+  Rng parent_copy(31);
+  parent_copy.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.NextU64() == parent.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  ZipfSampler z(4, 0.0);
+  for (uint64_t r = 0; r < 4; ++r) EXPECT_NEAR(z.Pmf(r), 0.25, 1e-12);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(1000, 0.8);
+  double sum = 0;
+  for (uint64_t r = 0; r < 1000; ++r) sum += z.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, LowerRanksMoreLikely) {
+  ZipfSampler z(100, 1.0);
+  EXPECT_GT(z.Pmf(0), z.Pmf(1));
+  EXPECT_GT(z.Pmf(1), z.Pmf(50));
+}
+
+TEST(ZipfTest, SamplesMatchPmf) {
+  ZipfSampler z(5, 1.0);
+  Rng rng(37);
+  std::vector<int> hits(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++hits[z.Sample(&rng)];
+  for (uint64_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(static_cast<double>(hits[r]) / n, z.Pmf(r), 0.01);
+  }
+}
+
+TEST(ZipfTest, PaperSkewIsNearlyUniform) {
+  // SYNTH uses sigma = 0.1: the most popular cluster should not dwarf the
+  // typical one.
+  ZipfSampler z(50000, 0.1);
+  EXPECT_LT(z.Pmf(0) / z.Pmf(25000), 3.0);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "geom/dominance.h"
+#include "geom/scoring.h"
+#include "store/kd_index.h"
+#include "store/local_algos.h"
+#include "store/local_store.h"
+
+namespace ripple {
+namespace {
+
+TupleVec RandomTuples(size_t n, int dims, Rng* rng, uint64_t base_id = 0) {
+  TupleVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point p(dims);
+    for (int d = 0; d < dims; ++d) p[d] = rng->UniformDouble();
+    out.push_back(Tuple{base_id + i, p});
+  }
+  return out;
+}
+
+// --- ComputeSkyline ---------------------------------------------------------
+
+TEST(SkylineTest, EmptyAndSingleton) {
+  EXPECT_TRUE(ComputeSkyline({}).empty());
+  TupleVec one = {Tuple{1, Point{0.5, 0.5}}};
+  EXPECT_EQ(ComputeSkyline(one).size(), 1u);
+}
+
+TEST(SkylineTest, DominatedTupleRemoved) {
+  TupleVec ts = {Tuple{1, Point{0.1, 0.1}}, Tuple{2, Point{0.5, 0.5}},
+                 Tuple{3, Point{0.05, 0.9}}};
+  const TupleVec sky = ComputeSkyline(ts);
+  ASSERT_EQ(sky.size(), 2u);
+  EXPECT_EQ(sky[0].id, 1u);
+  EXPECT_EQ(sky[1].id, 3u);
+}
+
+TEST(SkylineTest, DuplicateIdsCollapsed) {
+  TupleVec ts = {Tuple{1, Point{0.1, 0.9}}, Tuple{1, Point{0.1, 0.9}},
+                 Tuple{2, Point{0.9, 0.1}}};
+  EXPECT_EQ(ComputeSkyline(ts).size(), 2u);
+}
+
+TEST(SkylineTest, MatchesBruteForce) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TupleVec ts = RandomTuples(200, 3, &rng);
+    const TupleVec sky = ComputeSkyline(ts);
+    // Brute force.
+    std::set<uint64_t> expected;
+    for (const Tuple& t : ts) {
+      bool dominated = false;
+      for (const Tuple& s : ts) {
+        if (Dominates(s.key, t.key)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) expected.insert(t.id);
+    }
+    std::set<uint64_t> got;
+    for (const Tuple& t : sky) got.insert(t.id);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(SkylineTest, SkylineOfSkylineIsIdempotent) {
+  Rng rng(43);
+  const TupleVec ts = RandomTuples(500, 4, &rng);
+  const TupleVec sky = ComputeSkyline(ts);
+  EXPECT_EQ(ComputeSkyline(sky), sky);
+}
+
+TEST(SkylineTest, EqualPointsBothSurvive) {
+  TupleVec ts = {Tuple{1, Point{0.3, 0.3}}, Tuple{2, Point{0.3, 0.3}}};
+  EXPECT_EQ(ComputeSkyline(ts).size(), 2u);
+}
+
+TEST(SkylineTest, MergeSkylinesEqualsJointSkyline) {
+  Rng rng(97);
+  for (int trial = 0; trial < 30; ++trial) {
+    const TupleVec all = RandomTuples(300, 3, &rng);
+    // Split into two halves, skyline each, merge, compare with the oracle.
+    TupleVec a(all.begin(), all.begin() + 150);
+    TupleVec b(all.begin() + 150, all.end());
+    const TupleVec merged =
+        MergeSkylines(ComputeSkyline(a), ComputeSkyline(b));
+    EXPECT_EQ(merged, ComputeSkyline(all));
+  }
+}
+
+TEST(SkylineTest, MergeSkylinesHandlesOverlap) {
+  Rng rng(101);
+  const TupleVec all = RandomTuples(200, 2, &rng);
+  const TupleVec sky = ComputeSkyline(all);
+  // Merging a skyline with itself (and with a superset-ish overlap) must
+  // not duplicate or drop anything.
+  EXPECT_EQ(MergeSkylines(sky, sky), sky);
+  TupleVec half(sky.begin(), sky.begin() + sky.size() / 2);
+  EXPECT_EQ(MergeSkylines(half, sky), sky);
+}
+
+TEST(SkylineTest, MergeSkylinesEmptySides) {
+  Rng rng(103);
+  const TupleVec sky = ComputeSkyline(RandomTuples(50, 2, &rng));
+  EXPECT_EQ(MergeSkylines({}, sky), sky);
+  EXPECT_EQ(MergeSkylines(sky, {}), sky);
+  EXPECT_TRUE(MergeSkylines({}, {}).empty());
+}
+
+// --- SelectTopK -------------------------------------------------------------
+
+TEST(SelectTopKTest, OrdersByScoreThenId) {
+  LinearScorer s({1.0, 0.0});
+  TupleVec ts = {Tuple{5, Point{0.5, 0.0}}, Tuple{2, Point{0.9, 0.0}},
+                 Tuple{3, Point{0.5, 0.0}}};
+  auto got = SelectTopK(ts, [&](const Point& p) { return s.Score(p); }, 2);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].id, 2u);
+  EXPECT_EQ(got[1].id, 3u);  // tie with id 5 broken by smaller id
+}
+
+TEST(SelectTopKTest, KLargerThanInput) {
+  LinearScorer s({1.0});
+  TupleVec ts = {Tuple{1, Point{0.5}}, Tuple{2, Point{0.7}}};
+  auto got = SelectTopK(ts, [&](const Point& p) { return s.Score(p); }, 10);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].id, 2u);
+}
+
+// --- KdIndex ----------------------------------------------------------------
+
+TEST(KdIndexTest, TopKAgreesWithScan) {
+  Rng rng(47);
+  const TupleVec ts = RandomTuples(400, 3, &rng);
+  KdIndex idx(ts);
+  LinearScorer s({0.2, 0.5, 0.3});
+  auto score = [&](const Point& p) { return s.Score(p); };
+  auto upper = [&](const Rect& r) { return s.UpperBound(r); };
+  for (size_t k : {1u, 5u, 17u, 100u}) {
+    const TupleVec got = idx.TopK(score, upper, k);
+    const TupleVec want = SelectTopK(ts, score, k);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(KdIndexTest, TopKRespectsFloor) {
+  Rng rng(53);
+  const TupleVec ts = RandomTuples(300, 2, &rng);
+  KdIndex idx(ts);
+  LinearScorer s({1.0, 1.0});
+  auto score = [&](const Point& p) { return s.Score(p); };
+  auto upper = [&](const Rect& r) { return s.UpperBound(r); };
+  const double floor = 1.4;
+  const TupleVec got = idx.TopK(score, upper, 1000, floor);
+  size_t expected = 0;
+  for (const Tuple& t : ts) {
+    if (score(t.key) > floor) ++expected;
+  }
+  EXPECT_EQ(got.size(), expected);
+  for (const Tuple& t : got) EXPECT_GT(score(t.key), floor);
+}
+
+TEST(KdIndexTest, CollectAtLeastAgreesWithScan) {
+  Rng rng(59);
+  const TupleVec ts = RandomTuples(500, 4, &rng);
+  KdIndex idx(ts);
+  LinearScorer s({0.25, 0.25, 0.25, 0.25});
+  auto score = [&](const Point& p) { return s.Score(p); };
+  auto upper = [&](const Rect& r) { return s.UpperBound(r); };
+  for (double tau : {0.2, 0.5, 0.8}) {
+    TupleVec got;
+    idx.CollectAtLeast(score, upper, tau, &got);
+    size_t expected = 0;
+    for (const Tuple& t : ts) {
+      if (score(t.key) >= tau) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected) << "tau=" << tau;
+  }
+}
+
+TEST(KdIndexTest, ArgMinAgreesWithScanAndRespectsAdmit) {
+  Rng rng(61);
+  const TupleVec ts = RandomTuples(400, 3, &rng);
+  KdIndex idx(ts);
+  const Point q{0.4, 0.4, 0.4};
+  auto cost = [&](const Point& p) { return L2Distance(p, q); };
+  auto lower = [&](const Rect& r) { return r.MinDist(q, Norm::kL2); };
+  std::set<uint64_t> excluded = {ts[0].id, ts[10].id, ts[20].id};
+  auto admit = [&](const Tuple& t) { return !excluded.count(t.id); };
+  double best_cost = 0;
+  const Tuple* got = idx.ArgMin(cost, lower, admit, &best_cost);
+  ASSERT_NE(got, nullptr);
+  const Tuple* want = nullptr;
+  double want_cost = 1e18;
+  for (const Tuple& t : ts) {
+    if (!admit(t)) continue;
+    const double c = cost(t.key);
+    if (c < want_cost) {
+      want_cost = c;
+      want = &t;
+    }
+  }
+  EXPECT_EQ(got->id, want->id);
+  EXPECT_DOUBLE_EQ(best_cost, want_cost);
+  EXPECT_FALSE(excluded.count(got->id));
+}
+
+TEST(KdIndexTest, EmptyIndex) {
+  KdIndex idx;
+  EXPECT_TRUE(idx.empty());
+  auto zero = [](const Point&) { return 0.0; };
+  auto zero_r = [](const Rect&) { return 0.0; };
+  EXPECT_TRUE(idx.TopK(zero, zero_r, 5).empty());
+  double c = 0;
+  EXPECT_EQ(idx.ArgMin(zero, zero_r, [](const Tuple&) { return true; }, &c),
+            nullptr);
+}
+
+// --- LocalStore -------------------------------------------------------------
+
+TEST(LocalStoreTest, ExtractOutsideMovesCorrectTuples) {
+  LocalStore store;
+  const Rect domain = Rect::Unit(2);
+  store.Add(Tuple{1, Point{0.2, 0.2}});
+  store.Add(Tuple{2, Point{0.8, 0.8}});
+  store.Add(Tuple{3, Point{0.5, 0.1}});  // on the split face -> upper half
+  const auto [lower, upper] = domain.Split(0, 0.5);
+  TupleVec moved = store.ExtractOutside(lower, domain);
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.tuples()[0].id, 1u);
+}
+
+TEST(LocalStoreTest, TopKAboveIsThresholdInclusive) {
+  // Inclusive so a tuple witnessing the threshold itself is selected — the
+  // boundary case that would otherwise drop the k-th answer tuple.
+  LocalStore store;
+  LinearScorer s({1.0});
+  store.Add(Tuple{1, Point{0.3}});
+  store.Add(Tuple{2, Point{0.5}});
+  store.Add(Tuple{3, Point{0.7}});
+  TupleVec got = store.TopKAbove(s, 5, 0.5);
+  ASSERT_EQ(got.size(), 2u);  // 0.7 and the 0.5 witness
+  EXPECT_EQ(got[0].id, 3u);
+  EXPECT_EQ(got[1].id, 2u);
+}
+
+TEST(LocalStoreTest, BestBelowIsStrict) {
+  LocalStore store;
+  LinearScorer s({1.0});
+  store.Add(Tuple{1, Point{0.3}});
+  store.Add(Tuple{2, Point{0.5}});
+  store.Add(Tuple{3, Point{0.7}});
+  TupleVec got = store.BestBelow(s, 2, 0.5);
+  ASSERT_EQ(got.size(), 1u);  // only 0.3: the 0.5 tuple belongs "above"
+  EXPECT_EQ(got[0].id, 1u);
+}
+
+TEST(LocalStoreTest, ScanAndIndexPathsAgree) {
+  // Exercise both the small-store scan path and the indexed path with the
+  // same logical data.
+  Rng rng(67);
+  const TupleVec ts = RandomTuples(200, 3, &rng);  // above index threshold
+  LocalStore big;
+  big.AddAll(ts);
+  LocalStore small;  // split across many small stores would scan; here we
+  small.AddAll(TupleVec(ts.begin(), ts.begin() + 20));
+  LinearScorer s({0.5, 0.3, 0.2});
+  const TupleVec got_big = big.TopKAbove(s, 10, 0.0);
+  const TupleVec want_big =
+      SelectTopK(ts, [&](const Point& p) { return s.Score(p); }, 10);
+  ASSERT_EQ(got_big.size(), want_big.size());
+  for (size_t i = 0; i < got_big.size(); ++i) {
+    EXPECT_EQ(got_big[i].id, want_big[i].id);
+  }
+  const TupleVec got_small = small.TopKAbove(s, 3, 0.0);
+  const TupleVec want_small =
+      SelectTopK(TupleVec(ts.begin(), ts.begin() + 20),
+                 [&](const Point& p) { return s.Score(p); }, 3);
+  ASSERT_EQ(got_small.size(), want_small.size());
+  for (size_t i = 0; i < got_small.size(); ++i) {
+    EXPECT_EQ(got_small[i].id, want_small[i].id);
+  }
+}
+
+TEST(LocalStoreTest, MutationInvalidatesIndex) {
+  Rng rng(71);
+  LocalStore store;
+  store.AddAll(RandomTuples(100, 2, &rng));
+  LinearScorer s({1.0, 0.0});
+  (void)store.TopKAbove(s, 1, 0.0);  // builds the index
+  store.Add(Tuple{9999, Point{0.999, 0.0}});
+  const TupleVec got = store.TopKAbove(s, 1, 0.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 9999u);
+}
+
+TEST(LocalStoreTest, LocalSkylineMatchesComputeSkyline) {
+  Rng rng(73);
+  const TupleVec ts = RandomTuples(150, 3, &rng);
+  LocalStore store;
+  store.AddAll(ts);
+  EXPECT_EQ(store.LocalSkyline(), ComputeSkyline(ts));
+}
+
+}  // namespace
+}  // namespace ripple
