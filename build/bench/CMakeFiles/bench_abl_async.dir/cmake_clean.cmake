@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_async.dir/bench_abl_async.cc.o"
+  "CMakeFiles/bench_abl_async.dir/bench_abl_async.cc.o.d"
+  "bench_abl_async"
+  "bench_abl_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_chord.dir/bench_abl_chord.cc.o"
+  "CMakeFiles/bench_abl_chord.dir/bench_abl_chord.cc.o.d"
+  "bench_abl_chord"
+  "bench_abl_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_churn.dir/bench_abl_churn.cc.o"
+  "CMakeFiles/bench_abl_churn.dir/bench_abl_churn.cc.o.d"
+  "bench_abl_churn"
+  "bench_abl_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_lemmas.dir/bench_abl_lemmas.cc.o"
+  "CMakeFiles/bench_abl_lemmas.dir/bench_abl_lemmas.cc.o.d"
+  "bench_abl_lemmas"
+  "bench_abl_lemmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_lemmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_load_skew.dir/bench_abl_load_skew.cc.o"
+  "CMakeFiles/bench_abl_load_skew.dir/bench_abl_load_skew.cc.o.d"
+  "bench_abl_load_skew"
+  "bench_abl_load_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_load_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

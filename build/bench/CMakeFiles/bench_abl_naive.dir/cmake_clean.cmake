@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_naive.dir/bench_abl_naive.cc.o"
+  "CMakeFiles/bench_abl_naive.dir/bench_abl_naive.cc.o.d"
+  "bench_abl_naive"
+  "bench_abl_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_ripple_sweep.dir/bench_abl_ripple_sweep.cc.o"
+  "CMakeFiles/bench_abl_ripple_sweep.dir/bench_abl_ripple_sweep.cc.o.d"
+  "bench_abl_ripple_sweep"
+  "bench_abl_ripple_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ripple_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

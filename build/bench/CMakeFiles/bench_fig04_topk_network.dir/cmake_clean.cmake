@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_topk_network.dir/bench_fig04_topk_network.cc.o"
+  "CMakeFiles/bench_fig04_topk_network.dir/bench_fig04_topk_network.cc.o.d"
+  "bench_fig04_topk_network"
+  "bench_fig04_topk_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_topk_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

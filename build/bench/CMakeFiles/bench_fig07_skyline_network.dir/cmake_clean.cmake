@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_skyline_network.dir/bench_fig07_skyline_network.cc.o"
+  "CMakeFiles/bench_fig07_skyline_network.dir/bench_fig07_skyline_network.cc.o.d"
+  "bench_fig07_skyline_network"
+  "bench_fig07_skyline_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_skyline_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

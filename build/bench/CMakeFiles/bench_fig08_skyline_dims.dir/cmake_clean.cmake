@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_skyline_dims.dir/bench_fig08_skyline_dims.cc.o"
+  "CMakeFiles/bench_fig08_skyline_dims.dir/bench_fig08_skyline_dims.cc.o.d"
+  "bench_fig08_skyline_dims"
+  "bench_fig08_skyline_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_skyline_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

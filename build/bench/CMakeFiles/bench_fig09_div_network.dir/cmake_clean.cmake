@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_div_network.dir/bench_fig09_div_network.cc.o"
+  "CMakeFiles/bench_fig09_div_network.dir/bench_fig09_div_network.cc.o.d"
+  "bench_fig09_div_network"
+  "bench_fig09_div_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_div_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

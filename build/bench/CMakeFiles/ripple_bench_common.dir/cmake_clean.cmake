@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ripple_bench_common.dir/bench_common.cc.o.d"
+  "libripple_bench_common.a"
+  "libripple_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nba_scouting.dir/nba_scouting.cpp.o"
+  "CMakeFiles/nba_scouting.dir/nba_scouting.cpp.o.d"
+  "nba_scouting"
+  "nba_scouting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nba_scouting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_churn.dir/overlay_churn.cpp.o"
+  "CMakeFiles/overlay_churn.dir/overlay_churn.cpp.o.d"
+  "overlay_churn"
+  "overlay_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

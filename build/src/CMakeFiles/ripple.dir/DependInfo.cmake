@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/div_baseline.cc" "src/CMakeFiles/ripple.dir/baselines/div_baseline.cc.o" "gcc" "src/CMakeFiles/ripple.dir/baselines/div_baseline.cc.o.d"
+  "/root/repo/src/baselines/dsl.cc" "src/CMakeFiles/ripple.dir/baselines/dsl.cc.o" "gcc" "src/CMakeFiles/ripple.dir/baselines/dsl.cc.o.d"
+  "/root/repo/src/baselines/ssp.cc" "src/CMakeFiles/ripple.dir/baselines/ssp.cc.o" "gcc" "src/CMakeFiles/ripple.dir/baselines/ssp.cc.o.d"
+  "/root/repo/src/common/bitstring.cc" "src/CMakeFiles/ripple.dir/common/bitstring.cc.o" "gcc" "src/CMakeFiles/ripple.dir/common/bitstring.cc.o.d"
+  "/root/repo/src/common/env.cc" "src/CMakeFiles/ripple.dir/common/env.cc.o" "gcc" "src/CMakeFiles/ripple.dir/common/env.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/ripple.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/ripple.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/ripple.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/ripple.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/ripple.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ripple.dir/common/status.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/ripple.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/ripple.dir/common/zipf.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/CMakeFiles/ripple.dir/data/datasets.cc.o" "gcc" "src/CMakeFiles/ripple.dir/data/datasets.cc.o.d"
+  "/root/repo/src/geom/dominance.cc" "src/CMakeFiles/ripple.dir/geom/dominance.cc.o" "gcc" "src/CMakeFiles/ripple.dir/geom/dominance.cc.o.d"
+  "/root/repo/src/geom/point.cc" "src/CMakeFiles/ripple.dir/geom/point.cc.o" "gcc" "src/CMakeFiles/ripple.dir/geom/point.cc.o.d"
+  "/root/repo/src/geom/rect.cc" "src/CMakeFiles/ripple.dir/geom/rect.cc.o" "gcc" "src/CMakeFiles/ripple.dir/geom/rect.cc.o.d"
+  "/root/repo/src/geom/scoring.cc" "src/CMakeFiles/ripple.dir/geom/scoring.cc.o" "gcc" "src/CMakeFiles/ripple.dir/geom/scoring.cc.o.d"
+  "/root/repo/src/geom/zorder.cc" "src/CMakeFiles/ripple.dir/geom/zorder.cc.o" "gcc" "src/CMakeFiles/ripple.dir/geom/zorder.cc.o.d"
+  "/root/repo/src/net/metrics.cc" "src/CMakeFiles/ripple.dir/net/metrics.cc.o" "gcc" "src/CMakeFiles/ripple.dir/net/metrics.cc.o.d"
+  "/root/repo/src/overlay/baton/baton.cc" "src/CMakeFiles/ripple.dir/overlay/baton/baton.cc.o" "gcc" "src/CMakeFiles/ripple.dir/overlay/baton/baton.cc.o.d"
+  "/root/repo/src/overlay/can/can.cc" "src/CMakeFiles/ripple.dir/overlay/can/can.cc.o" "gcc" "src/CMakeFiles/ripple.dir/overlay/can/can.cc.o.d"
+  "/root/repo/src/overlay/chord/chord.cc" "src/CMakeFiles/ripple.dir/overlay/chord/chord.cc.o" "gcc" "src/CMakeFiles/ripple.dir/overlay/chord/chord.cc.o.d"
+  "/root/repo/src/overlay/midas/midas.cc" "src/CMakeFiles/ripple.dir/overlay/midas/midas.cc.o" "gcc" "src/CMakeFiles/ripple.dir/overlay/midas/midas.cc.o.d"
+  "/root/repo/src/overlay/midas/patterns.cc" "src/CMakeFiles/ripple.dir/overlay/midas/patterns.cc.o" "gcc" "src/CMakeFiles/ripple.dir/overlay/midas/patterns.cc.o.d"
+  "/root/repo/src/queries/diversify.cc" "src/CMakeFiles/ripple.dir/queries/diversify.cc.o" "gcc" "src/CMakeFiles/ripple.dir/queries/diversify.cc.o.d"
+  "/root/repo/src/queries/diversify_driver.cc" "src/CMakeFiles/ripple.dir/queries/diversify_driver.cc.o" "gcc" "src/CMakeFiles/ripple.dir/queries/diversify_driver.cc.o.d"
+  "/root/repo/src/queries/skyband.cc" "src/CMakeFiles/ripple.dir/queries/skyband.cc.o" "gcc" "src/CMakeFiles/ripple.dir/queries/skyband.cc.o.d"
+  "/root/repo/src/queries/skyline.cc" "src/CMakeFiles/ripple.dir/queries/skyline.cc.o" "gcc" "src/CMakeFiles/ripple.dir/queries/skyline.cc.o.d"
+  "/root/repo/src/queries/topk.cc" "src/CMakeFiles/ripple.dir/queries/topk.cc.o" "gcc" "src/CMakeFiles/ripple.dir/queries/topk.cc.o.d"
+  "/root/repo/src/store/kd_index.cc" "src/CMakeFiles/ripple.dir/store/kd_index.cc.o" "gcc" "src/CMakeFiles/ripple.dir/store/kd_index.cc.o.d"
+  "/root/repo/src/store/local_algos.cc" "src/CMakeFiles/ripple.dir/store/local_algos.cc.o" "gcc" "src/CMakeFiles/ripple.dir/store/local_algos.cc.o.d"
+  "/root/repo/src/store/local_store.cc" "src/CMakeFiles/ripple.dir/store/local_store.cc.o" "gcc" "src/CMakeFiles/ripple.dir/store/local_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baton_test.dir/baton_test.cc.o"
+  "CMakeFiles/baton_test.dir/baton_test.cc.o.d"
+  "baton_test"
+  "baton_test.pdb"
+  "baton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_diversify_test.dir/engine_diversify_test.cc.o"
+  "CMakeFiles/engine_diversify_test.dir/engine_diversify_test.cc.o.d"
+  "engine_diversify_test"
+  "engine_diversify_test.pdb"
+  "engine_diversify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_diversify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_skyline_test.dir/engine_skyline_test.cc.o"
+  "CMakeFiles/engine_skyline_test.dir/engine_skyline_test.cc.o.d"
+  "engine_skyline_test"
+  "engine_skyline_test.pdb"
+  "engine_skyline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

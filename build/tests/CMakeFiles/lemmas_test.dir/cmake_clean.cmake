@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemmas_test.dir/lemmas_test.cc.o"
+  "CMakeFiles/lemmas_test.dir/lemmas_test.cc.o.d"
+  "lemmas_test"
+  "lemmas_test.pdb"
+  "lemmas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemmas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_test.dir/midas_test.cc.o"
+  "CMakeFiles/midas_test.dir/midas_test.cc.o.d"
+  "midas_test"
+  "midas_test.pdb"
+  "midas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

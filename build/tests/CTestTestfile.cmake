@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/bitstring_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/zorder_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/midas_test[1]_include.cmake")
+include("/root/repo/build/tests/can_test[1]_include.cmake")
+include("/root/repo/build/tests/baton_test[1]_include.cmake")
+include("/root/repo/build/tests/chord_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_topk_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_skyline_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_diversify_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/datasets_test[1]_include.cmake")
+include("/root/repo/build/tests/lemmas_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/range_test[1]_include.cmake")
+include("/root/repo/build/tests/async_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/skyband_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/death_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")

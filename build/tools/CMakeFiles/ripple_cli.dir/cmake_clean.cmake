@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_cli.dir/ripple_cli.cc.o"
+  "CMakeFiles/ripple_cli.dir/ripple_cli.cc.o.d"
+  "ripple_cli"
+  "ripple_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
