@@ -126,6 +126,38 @@ void PrintPanel(const std::string& title, const std::string& x_label,
   std::fflush(stdout);
 }
 
+bool HistSummariesEnabled() { return GetEnvInt("RIPPLE_BENCH_HIST", 0) != 0; }
+
+void PrintStatsSummary(const std::string& title,
+                       const std::vector<std::string>& names,
+                       const StatsAccumulator* accs, size_t count) {
+  if (!HistSummariesEnabled()) return;
+  std::printf("\n-- %s: percentiles (p50/p90/p99/max) --\n", title.c_str());
+  static constexpr struct {
+    const char* label;
+    uint64_t QueryStats::* field;
+  } kFields[] = {
+      {"latency", &QueryStats::latency_hops},
+      {"congestion", &QueryStats::peers_visited},
+      {"messages", &QueryStats::messages},
+      {"tuples", &QueryStats::tuples_shipped},
+  };
+  for (size_t i = 0; i < count; ++i) {
+    const StatsAccumulator& acc = accs[i];
+    std::printf("%16s", i < names.size() ? names[i].c_str() : "?");
+    for (const auto& f : kFields) {
+      std::printf("  %s %llu/%llu/%llu/%llu", f.label,
+                  static_cast<unsigned long long>(acc.Percentile(f.field, 50)),
+                  static_cast<unsigned long long>(acc.Percentile(f.field, 90)),
+                  static_cast<unsigned long long>(acc.Percentile(f.field, 99)),
+                  static_cast<unsigned long long>(acc.Percentile(f.field,
+                                                                 100)));
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
 MidasOverlay BuildMidas(size_t peers, int dims, uint64_t seed,
                         const TupleVec& tuples, bool border_patterns) {
   MidasOptions opt;

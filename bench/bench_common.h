@@ -73,6 +73,19 @@ void PrintPanel(const std::string& title, const std::string& x_label,
                 const std::vector<std::string>& x_values,
                 const std::vector<Series>& series);
 
+/// True when RIPPLE_BENCH_HIST=1: the figure benches then follow their
+/// mean panels with nearest-rank percentile summaries (p50/p90/p99/max
+/// per cost metric). Off by default, so default bench output stays
+/// byte-identical to a build without the observability layer.
+bool HistSummariesEnabled();
+
+/// Prints the percentile summary block for one batch of accumulators
+/// (one row per series name, the four QueryStats costs as columns).
+/// No-op unless HistSummariesEnabled().
+void PrintStatsSummary(const std::string& title,
+                       const std::vector<std::string>& names,
+                       const StatsAccumulator* accs, size_t count);
+
 /// Builders ------------------------------------------------------------------
 
 MidasOverlay BuildMidas(size_t peers, int dims, uint64_t seed,

@@ -33,6 +33,9 @@ int main() {
       latency[i].values.push_back(point.acc[i].MeanLatency());
       congestion[i].values.push_back(point.acc[i].MeanCongestion());
     }
+    PrintStatsSummary(
+        "n=" + std::to_string(n),
+        {kTopKVariantNames, kTopKVariantNames + 4}, point.acc, 4);
   }
   PrintPanel("(a) latency (hops)", "network size", xs, latency);
   PrintPanel("(b) congestion (peers per query)", "network size", xs,

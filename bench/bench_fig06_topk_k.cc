@@ -38,6 +38,9 @@ int main() {
       latency[i].values.push_back(point.acc[i].MeanLatency());
       congestion[i].values.push_back(point.acc[i].MeanCongestion());
     }
+    PrintStatsSummary(
+        "k=" + std::to_string(k),
+        {kTopKVariantNames, kTopKVariantNames + 4}, point.acc, 4);
   }
   PrintPanel("(a) latency (hops)", "result size k", xs, latency);
   PrintPanel("(b) congestion (peers per query)", "result size k", xs,

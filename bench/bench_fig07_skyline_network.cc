@@ -35,6 +35,9 @@ int main() {
       latency[i].values.push_back(point.acc[i].MeanLatency());
       congestion[i].values.push_back(point.acc[i].MeanCongestion());
     }
+    PrintStatsSummary(
+        "n=" + std::to_string(n),
+        {kSkylineMethodNames, kSkylineMethodNames + 4}, point.acc, 4);
   }
   PrintPanel("(a) latency (hops)", "network size", xs, latency);
   PrintPanel("(b) congestion (peers per query)", "network size", xs,

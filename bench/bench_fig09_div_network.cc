@@ -37,6 +37,9 @@ int main() {
       latency[i].values.push_back(point.acc[i].MeanLatency());
       congestion[i].values.push_back(point.acc[i].MeanCongestion());
     }
+    PrintStatsSummary(
+        "n=" + std::to_string(n),
+        {kDivMethodNames, kDivMethodNames + 3}, point.acc, 3);
   }
   PrintPanel("(a) latency (hops)", "network size", xs, latency);
   PrintPanel("(b) congestion (peers per query)", "network size", xs,

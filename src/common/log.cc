@@ -1,0 +1,72 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/env.h"
+
+namespace ripple {
+namespace {
+
+/// -1 = not yet initialized from the environment.
+std::atomic<int> g_level{-1};
+
+int LoadLevelFromEnv() {
+  const std::string name = GetEnvString("RIPPLE_LOG_LEVEL", "warn");
+  return static_cast<int>(ParseLogLevel(name, LogLevel::kWarn));
+}
+
+}  // namespace
+
+LogLevel ParseLogLevel(const std::string& name, LogLevel fallback) {
+  if (name == "error" || name == "e") return LogLevel::kError;
+  if (name == "warn" || name == "warning" || name == "w") {
+    return LogLevel::kWarn;
+  }
+  if (name == "info" || name == "i") return LogLevel::kInfo;
+  if (name == "debug" || name == "d") return LogLevel::kDebug;
+  if (name == "trace" || name == "t") return LogLevel::kTrace;
+  return fallback;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "?";
+}
+
+LogLevel GlobalLogLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = LoadLevelFromEnv();
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void SetGlobalLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(GlobalLogLevel());
+}
+
+void LogMessage(LogLevel level, const char* fmt, ...) {
+  char buf[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[ripple %c] %s\n",
+               static_cast<char>(std::toupper(LogLevelName(level)[0])), buf);
+}
+
+}  // namespace ripple

@@ -1,0 +1,53 @@
+#ifndef RIPPLE_COMMON_LOG_H_
+#define RIPPLE_COMMON_LOG_H_
+
+#include <string>
+
+namespace ripple {
+
+/// Leveled diagnostic logging to stderr.
+///
+/// The level is read once from the RIPPLE_LOG_LEVEL environment variable
+/// (error | warn | info | debug | trace; default warn) and can be
+/// overridden programmatically (the CLI's --log-level flag does). Logging
+/// never writes to stdout, so tool and bench output stays byte-identical
+/// whatever the level.
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Parses a level name; returns `fallback` for unknown strings. Accepts
+/// the canonical names and single-letter abbreviations (e/w/i/d/t).
+LogLevel ParseLogLevel(const std::string& name, LogLevel fallback);
+
+/// Canonical name of a level ("error", "warn", ...).
+const char* LogLevelName(LogLevel level);
+
+/// The active level. Initialized lazily from RIPPLE_LOG_LEVEL.
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+/// True when a message at `level` would be emitted. Callers building
+/// expensive log arguments should gate on this (the RIPPLE_LOG macro
+/// does).
+bool LogEnabled(LogLevel level);
+
+/// Emits one formatted line to stderr: "[ripple <L>] <message>". Prefer
+/// the RIPPLE_LOG macro, which skips argument evaluation when disabled.
+void LogMessage(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace ripple
+
+/// RIPPLE_LOG(kInfo, "joined peer %u at depth %d", id, depth);
+#define RIPPLE_LOG(level, ...)                          \
+  do {                                                  \
+    if (::ripple::LogEnabled(::ripple::LogLevel::level)) \
+      ::ripple::LogMessage(::ripple::LogLevel::level, __VA_ARGS__); \
+  } while (0)
+
+#endif  // RIPPLE_COMMON_LOG_H_

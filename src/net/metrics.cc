@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace ripple {
 
 std::string QueryStats::ToString() const {
@@ -17,16 +19,19 @@ std::string QueryStats::ToString() const {
 }
 
 uint64_t StatsAccumulator::LatencyPercentile(double p) const {
-  if (batch_.empty()) return 0;
-  std::vector<uint64_t> values;
+  return Percentile(&QueryStats::latency_hops, p);
+}
+
+uint64_t StatsAccumulator::Percentile(uint64_t QueryStats::* field,
+                                      double p) const {
+  // Single percentile implementation for the whole codebase: the
+  // nearest-rank rule in obs (empty batch -> 0, p = 0 -> min,
+  // p = 100 -> max, p clamped to [0, 100]).
+  std::vector<double> values;
   values.reserve(batch_.size());
-  for (const auto& s : batch_) values.push_back(s.latency_hops);
+  for (const auto& s : batch_) values.push_back(static_cast<double>(s.*field));
   std::sort(values.begin(), values.end());
-  const double clamped = std::min(std::max(p, 0.0), 100.0);
-  size_t rank = static_cast<size_t>(clamped / 100.0 *
-                                    static_cast<double>(values.size()));
-  if (rank >= values.size()) rank = values.size() - 1;
-  return values[rank];
+  return static_cast<uint64_t>(obs::NearestRankPercentile(values, p));
 }
 
 }  // namespace ripple

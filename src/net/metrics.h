@@ -56,8 +56,15 @@ class StatsAccumulator {
 
   uint64_t MaxLatency() const { return Max(&QueryStats::latency_hops); }
 
-  /// p in [0,100]; nearest-rank percentile of latency.
+  /// p in [0,100]; nearest-rank percentile of latency (empty batch -> 0,
+  /// p = 0 -> minimum, p = 100 -> maximum; implemented by
+  /// obs::NearestRankPercentile so all percentile logic lives in one
+  /// place).
   uint64_t LatencyPercentile(double p) const;
+
+  /// Nearest-rank percentile of any stat field, e.g.
+  /// `acc.Percentile(&QueryStats::peers_visited, 99)`.
+  uint64_t Percentile(uint64_t QueryStats::* field, double p) const;
 
  private:
   double Mean(uint64_t QueryStats::* field) const {

@@ -1,0 +1,168 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace ripple::obs {
+namespace {
+
+/// JSON-legal rendering of a double (JSON has no inf/nan literals).
+std::string Num(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "1e308" : "-1e308";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string Num(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+class FileWriter {
+ public:
+  explicit FileWriter(const std::string& path)
+      : path_(path), file_(std::fopen(path.c_str(), "w")) {}
+  ~FileWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  bool ok() const { return file_ != nullptr; }
+  void Write(const std::string& s) {
+    std::fwrite(s.data(), 1, s.size(), file_);
+  }
+
+  Status Close() {
+    const bool had_error = std::ferror(file_) != 0;
+    const bool close_ok = std::fclose(file_) == 0;
+    file_ = nullptr;
+    if (had_error || !close_ok) {
+      return Status::Internal("write failed: " + path_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  std::FILE* file_;
+};
+
+Status CannotOpen(const std::string& path) {
+  return Status::InvalidArgument("cannot open for writing: " + path);
+}
+
+}  // namespace
+
+std::string SpanToJson(const Span& s) {
+  std::string out = "{";
+  out += "\"span\":" + Num(uint64_t{s.id});
+  out += ",\"parent\":";
+  out += s.parent == kNoSpan ? std::string("null")
+                             : Num(uint64_t{s.parent});
+  out += ",\"peer\":" + Num(uint64_t{s.peer});
+  out += ",\"kind\":\"" + std::string(SpanKindName(s.kind)) + "\"";
+  out += ",\"r\":" + std::to_string(s.r);
+  out += ",\"depth\":" + std::to_string(s.depth);
+  out += ",\"start\":" + Num(s.start);
+  out += ",\"end\":" + Num(s.end);
+  out += ",\"tuples_in\":" + Num(s.tuples_in);
+  out += ",\"links_pruned\":" + Num(s.links_pruned);
+  out += ",\"links_forwarded\":" + Num(s.links_forwarded);
+  out += ",\"states_merged\":" + Num(s.states_merged);
+  out += ",\"state_tuples\":" + Num(s.state_tuples);
+  out += ",\"answer_tuples\":" + Num(s.answer_tuples);
+  out += "}";
+  return out;
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  FileWriter f(path);
+  if (!f.ok()) return CannotOpen(path);
+  f.Write("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  char buf[256];
+  for (const Span& s : tracer.spans()) {
+    if (!first) f.Write(",");
+    first = false;
+    // 1 hop = 1 ms = 1000 trace microseconds; zero-latency leaf visits
+    // get a sliver of 1 us so every span is visible.
+    const double ts = s.start * 1000.0;
+    const double dur = std::max((s.end - s.start) * 1000.0, 1.0);
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"%s p%u\",\"cat\":\"ripple\",\"ph\":\"X\","
+                  "\"pid\":0,\"tid\":%u,\"ts\":%s,\"dur\":%s,\"args\":",
+                  SpanKindName(s.kind), s.peer, s.peer, Num(ts).c_str(),
+                  Num(dur).c_str());
+    f.Write(buf);
+    f.Write(SpanToJson(s));
+    f.Write("}");
+  }
+  f.Write("\n]}\n");
+  return f.Close();
+}
+
+Status WriteTraceJsonl(const Tracer& tracer, const std::string& path) {
+  FileWriter f(path);
+  if (!f.ok()) return CannotOpen(path);
+  for (const Span& s : tracer.spans()) {
+    f.Write(SpanToJson(s));
+    f.Write("\n");
+  }
+  return f.Close();
+}
+
+std::string HistogramToJson(const Histogram& h) {
+  std::string out = "{";
+  out += "\"count\":" + Num(h.count());
+  out += ",\"sum\":" + Num(h.sum());
+  out += ",\"min\":" + Num(h.min());
+  out += ",\"max\":" + Num(h.max());
+  out += ",\"mean\":" + Num(h.mean());
+  out += ",\"p50\":" + Num(h.Percentile(50));
+  out += ",\"p90\":" + Num(h.Percentile(90));
+  out += ",\"p99\":" + Num(h.Percentile(99));
+  out += ",\"buckets\":[";
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < h.bucket_counts().size(); ++i) {
+    if (i > 0) out += ",";
+    cumulative += h.bucket_counts()[i];
+    const std::string le =
+        i < h.bounds().size() ? Num(h.bounds()[i]) : "\"+inf\"";
+    out += "{\"le\":" + le + ",\"count\":" + Num(cumulative) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteMetricsJson(const Registry& registry, const std::string& path) {
+  FileWriter f(path);
+  if (!f.ok()) return CannotOpen(path);
+  f.Write("{\n\"counters\":{");
+  bool first = true;
+  for (const auto& [name, c] : registry.counters()) {
+    if (!first) f.Write(",");
+    first = false;
+    f.Write("\n\"" + name + "\":" + Num(c->value()));
+  }
+  f.Write("},\n\"gauges\":{");
+  first = true;
+  for (const auto& [name, g] : registry.gauges()) {
+    if (!first) f.Write(",");
+    first = false;
+    f.Write("\n\"" + name + "\":" + Num(g->value()));
+  }
+  f.Write("},\n\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : registry.histograms()) {
+    if (!first) f.Write(",");
+    first = false;
+    f.Write("\n\"" + name + "\":" + HistogramToJson(*h));
+  }
+  f.Write("}\n}\n");
+  return f.Close();
+}
+
+}  // namespace ripple::obs

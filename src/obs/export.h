@@ -1,0 +1,35 @@
+#ifndef RIPPLE_OBS_EXPORT_H_
+#define RIPPLE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ripple::obs {
+
+/// Writes the tracer's span forest in the Chrome Trace Event format
+/// (JSON object form, "traceEvents" array of complete events), openable
+/// in chrome://tracing and Perfetto. One "X" event per span; pid 0 is the
+/// query, tid is the peer id, and one logical time unit (a hop) renders
+/// as 1 ms. Span counters travel in the event's "args".
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+/// Writes one JSON object per span, one per line (JSONL) — the format for
+/// programmatic post-processing (jq, pandas).
+Status WriteTraceJsonl(const Tracer& tracer, const std::string& path);
+
+/// Writes a registry as one JSON object: counters and gauges as scalars,
+/// histograms with count/sum/min/max, nearest-rank p50/p90/p99, and the
+/// fixed cumulative buckets.
+Status WriteMetricsJson(const Registry& registry, const std::string& path);
+
+/// The JSON fragments the writers above are built from (exposed for reuse
+/// and tests).
+std::string SpanToJson(const Span& span);
+std::string HistogramToJson(const Histogram& histogram);
+
+}  // namespace ripple::obs
+
+#endif  // RIPPLE_OBS_EXPORT_H_

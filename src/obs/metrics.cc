@@ -1,0 +1,125 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace ripple::obs {
+
+double NearestRankPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  const double n = static_cast<double>(sorted.size());
+  size_t rank = static_cast<size_t>(std::ceil(clamped / 100.0 * n));
+  if (rank < 1) rank = 1;                // p = 0 -> minimum
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+Histogram::Histogram(std::vector<double> bounds) {
+  bounds_ = bounds.empty() ? DefaultBounds() : std::move(bounds);
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::DefaultBounds() {
+  std::vector<double> b;
+  for (double v = 1.0; v <= 65536.0; v *= 2.0) b.push_back(v);
+  return b;
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<size_t>(it - bounds_.begin())] += 1;
+  if (!samples_.empty() && v < samples_.back()) sorted_ = false;
+  samples_.push_back(v);
+  count_ += 1;
+  sum_ += v;
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0.0;
+  if (sorted_) return samples_.front();
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0.0;
+  if (sorted_) return samples_.back();
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::Percentile(double p) const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return NearestRankPercentile(samples_, p);
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f p50=%g p90=%g p99=%g max=%g",
+                static_cast<unsigned long long>(count_), mean(),
+                Percentile(50), Percentile(90), Percentile(99), max());
+  return buf;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::string Registry::Summary() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "counter %s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "gauge %s = %g\n", name.c_str(),
+                  g->value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf), "histogram %s: %s\n", name.c_str(),
+                  h->Summary().c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::atomic<bool> Registry::g_global_enabled{false};
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // leaked: process lifetime
+  return *registry;
+}
+
+void RecordRouteHops(const char* overlay, uint64_t hops) {
+  if (!Registry::GlobalEnabled()) return;
+  Registry& r = Registry::Global();
+  const std::string prefix(overlay);
+  r.GetCounter(prefix + ".route.calls").Inc();
+  r.GetHistogram(prefix + ".route.hops").Observe(static_cast<double>(hops));
+}
+
+}  // namespace ripple::obs

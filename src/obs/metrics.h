@@ -1,0 +1,139 @@
+#ifndef RIPPLE_OBS_METRICS_H_
+#define RIPPLE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ripple::obs {
+
+/// Nearest-rank percentile over an ascending-sorted sample vector:
+/// the smallest sample such that at least p percent of the data is <= it
+/// (rank = ceil(p/100 * N), 1-based; p is clamped to [0, 100]). Returns 0
+/// for an empty vector. p = 0 yields the minimum, p = 100 the maximum.
+///
+/// This is the single percentile implementation in the codebase —
+/// Histogram and StatsAccumulator both route through it.
+double NearestRankPercentile(const std::vector<double>& sorted, double p);
+
+/// A monotonically increasing count (messages sent, spans recorded, ...).
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// A point-in-time value (overlay size, tree depth, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A distribution: fixed upper-bound buckets for cheap aggregated export
+/// plus the raw samples for exact nearest-rank percentiles (the paper's
+/// workloads are small enough that keeping samples is the right
+/// trade-off; bucket counts survive export even if a consumer drops the
+/// samples).
+class Histogram {
+ public:
+  /// `bounds` are ascending bucket upper bounds; a final +inf bucket is
+  /// implicit. An empty list uses DefaultBounds().
+  explicit Histogram(std::vector<double> bounds = {});
+
+  /// 1, 2, 4, ... 65536: powers of two covering hop counts, peer loads
+  /// and message sizes at the paper's scales.
+  static std::vector<double> DefaultBounds();
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Exact nearest-rank percentile of everything observed so far.
+  double Percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bucket_counts()[i] counts samples <= bounds()[i]; the last entry
+  /// (index bounds().size()) is the +inf overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return buckets_; }
+
+  /// "count=12 mean=3.41 p50=3 p90=6 p99=8 max=9" — the one-line form the
+  /// bench harness appends to its panels.
+  std::string Summary() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// A named collection of metrics. Instruments are created on first use
+/// and live as long as the registry; returned references stay valid.
+/// Iteration order is the lexicographic name order, so exports are
+/// deterministic.
+class Registry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` only applies on first creation of `name`.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms()
+      const {
+    return histograms_;
+  }
+
+  /// Multi-line human-readable dump (one metric per line).
+  std::string Summary() const;
+
+  /// The process-wide registry instrumented library code (overlay
+  /// routing, ...) records into. Recording is off unless explicitly
+  /// enabled, so the hot paths only pay one relaxed atomic load.
+  static Registry& Global();
+  static bool GlobalEnabled() {
+    return g_global_enabled.load(std::memory_order_relaxed);
+  }
+  static void EnableGlobal(bool on) {
+    g_global_enabled.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<bool> g_global_enabled;
+
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Instrumentation hook for the overlays' routing loops: records one
+/// completed route (path length in hops) under `<overlay>.route.*` in the
+/// global registry. No-op unless Registry::EnableGlobal(true) was called.
+void RecordRouteHops(const char* overlay, uint64_t hops);
+
+}  // namespace ripple::obs
+
+#endif  // RIPPLE_OBS_METRICS_H_

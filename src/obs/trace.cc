@@ -1,0 +1,76 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ripple::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kFast: return "fast";
+    case SpanKind::kSlow: return "slow";
+    case SpanKind::kRoute: return "route";
+    case SpanKind::kWalk: return "walk";
+  }
+  return "?";
+}
+
+uint32_t Tracer::StartSpan(uint32_t peer, uint32_t parent, SpanKind kind,
+                           int r, double start) {
+  const uint32_t id = static_cast<uint32_t>(spans_.size());
+  Span s;
+  s.id = id;
+  s.parent = parent;
+  s.peer = peer;
+  s.kind = kind;
+  s.r = r;
+  s.depth = parent == kNoSpan ? 0 : spans_[parent].depth + 1;
+  s.start = start + time_offset_;
+  s.end = s.start;
+  spans_.push_back(s);
+  return id;
+}
+
+void Tracer::EndSpan(uint32_t id, double end) {
+  RIPPLE_CHECK(id < spans_.size());
+  spans_[id].end = end + time_offset_;
+}
+
+std::vector<uint32_t> Tracer::Roots() const {
+  std::vector<uint32_t> out;
+  for (const Span& s : spans_) {
+    if (s.parent == kNoSpan) out.push_back(s.id);
+  }
+  return out;
+}
+
+std::vector<uint32_t> Tracer::ChildrenOf(uint32_t id) const {
+  std::vector<uint32_t> out;
+  for (const Span& s : spans_) {
+    if (s.parent == id) out.push_back(s.id);
+  }
+  return out;
+}
+
+std::string Tracer::ToAscii() const {
+  std::string out;
+  char buf[256];
+  // Recording order is a pre-order walk per root, so indenting by depth
+  // renders the forest without extra bookkeeping.
+  for (const Span& s : spans_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%*s%s p%u [%g,%g] r=%d fwd=%llu pruned=%llu merged=%llu "
+                  "answer=%llu\n",
+                  2 * s.depth, "", SpanKindName(s.kind), s.peer, s.start,
+                  s.end, s.r,
+                  static_cast<unsigned long long>(s.links_forwarded),
+                  static_cast<unsigned long long>(s.links_pruned),
+                  static_cast<unsigned long long>(s.states_merged),
+                  static_cast<unsigned long long>(s.answer_tuples));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ripple::obs

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace ripple {
 
@@ -153,8 +154,8 @@ size_t BatonOverlay::TotalTuples() const {
   return total;
 }
 
-PeerId BatonOverlay::RouteToKey(PeerId from, uint64_t key,
-                                uint64_t* hops) const {
+PeerId BatonOverlay::RouteToKey(PeerId from, uint64_t key, uint64_t* hops,
+                                std::vector<PeerId>* path) const {
   PeerId current = from;
   uint64_t h = 0;
   auto range_distance = [&](PeerId id) -> uint64_t {
@@ -166,6 +167,7 @@ PeerId BatonOverlay::RouteToKey(PeerId from, uint64_t key,
   for (size_t guard = 0; guard <= 2 * peers_.size() + 64; ++guard) {
     if (range_distance(current) == 0) {
       if (hops != nullptr) *hops = h;
+      obs::RecordRouteHops("baton", h);
       return current;
     }
     // BATON forwarding: among all linked peers, take the one whose range is
@@ -190,6 +192,7 @@ PeerId BatonOverlay::RouteToKey(PeerId from, uint64_t key,
     consider(p.adj_right);
     consider(p.parent);
     RIPPLE_CHECK(next != kInvalidPeer && "BATON routing stuck");
+    if (path != nullptr) path->push_back(current);
     current = next;
     ++h;
   }

@@ -83,7 +83,14 @@ class BatonOverlay {
 
   /// BATON routing from `from` to the owner of `key`; every hop goes to a
   /// linked peer (routing tables / children / parent / adjacent).
-  PeerId RouteToKey(PeerId from, uint64_t key, uint64_t* hops) const;
+  /// `path` (optional) receives the forwarding peers in order (destination
+  /// excluded); completed routes are recorded under "baton.route.*" in
+  /// obs::Registry::Global() when globally enabled.
+  PeerId RouteToKey(PeerId from, uint64_t key, uint64_t* hops,
+                    std::vector<PeerId>* path) const;
+  PeerId RouteToKey(PeerId from, uint64_t key, uint64_t* hops) const {
+    return RouteToKey(from, key, hops, nullptr);
+  }
 
   /// The multi-dimensional region a peer is responsible for: the Z-curve
   /// decomposition of its key range into maximal aligned rectangles.

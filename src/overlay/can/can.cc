@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace ripple {
 
@@ -275,14 +276,15 @@ size_t CanOverlay::TotalTuples() const {
   return total;
 }
 
-PeerId CanOverlay::RouteFrom(PeerId from, const Point& p,
-                             uint64_t* hops) const {
+PeerId CanOverlay::RouteFrom(PeerId from, const Point& p, uint64_t* hops,
+                             std::vector<PeerId>* path) const {
   PeerId current = from;
   uint64_t h = 0;
   for (size_t guard = 0; guard <= peers_.size(); ++guard) {
     const Peer& peer = GetPeer(current);
     if (peer.zone.ContainsHalfOpen(p, options_.domain)) {
       if (hops != nullptr) *hops = h;
+      obs::RecordRouteHops("can", h);
       return current;
     }
     // Greedy: the neighbor whose zone is closest to the target. Distance
@@ -297,6 +299,7 @@ PeerId CanOverlay::RouteFrom(PeerId from, const Point& p,
       }
     }
     RIPPLE_CHECK(next != kInvalidPeer);
+    if (path != nullptr) path->push_back(current);
     current = next;
     ++h;
   }

@@ -67,8 +67,15 @@ class CanOverlay {
   size_t TotalTuples() const;
 
   /// Greedy CAN routing from `from` to the peer responsible for `p`;
-  /// `hops` (optional) receives the number of forwards.
-  PeerId RouteFrom(PeerId from, const Point& p, uint64_t* hops) const;
+  /// `hops` (optional) receives the number of forwards. `path` (optional)
+  /// receives the forwarding peers in order (destination excluded);
+  /// completed routes are recorded under "can.route.*" in
+  /// obs::Registry::Global() when globally enabled.
+  PeerId RouteFrom(PeerId from, const Point& p, uint64_t* hops,
+                   std::vector<PeerId>* path) const;
+  PeerId RouteFrom(PeerId from, const Point& p, uint64_t* hops) const {
+    return RouteFrom(from, p, hops, nullptr);
+  }
 
   /// Breadth-first flood over the neighbor graph starting at `from` —
   /// the spanning broadcast the naive/baseline methods rely on. Calls

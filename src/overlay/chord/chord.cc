@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace ripple {
 
@@ -111,8 +112,8 @@ size_t ChordOverlay::TotalTuples() const {
   return total;
 }
 
-PeerId ChordOverlay::RouteToKey(PeerId from, uint64_t key,
-                                uint64_t* hops) const {
+PeerId ChordOverlay::RouteToKey(PeerId from, uint64_t key, uint64_t* hops,
+                                std::vector<PeerId>* path) const {
   const uint64_t ring = RingSize();
   PeerId current = from;
   uint64_t h = 0;
@@ -125,6 +126,7 @@ PeerId ChordOverlay::RouteToKey(PeerId from, uint64_t key,
   for (size_t guard = 0; guard <= peers_.size(); ++guard) {
     if (owns(current)) {
       if (hops != nullptr) *hops = h;
+      obs::RecordRouteHops("chord", h);
       return current;
     }
     // Classic Chord: the farthest link that does not overshoot the key.
@@ -140,6 +142,7 @@ PeerId ChordOverlay::RouteToKey(PeerId from, uint64_t key,
       }
     }
     RIPPLE_CHECK(next != kInvalidPeer);
+    if (path != nullptr) path->push_back(current);
     current = next;
     ++h;
   }

@@ -103,7 +103,14 @@ class ChordOverlay {
   PeerId ResponsiblePeer(const Point& p) const;
 
   /// Greedy clockwise finger routing; `hops` receives the hop count.
-  PeerId RouteToKey(PeerId from, uint64_t key, uint64_t* hops) const;
+  /// `path` (optional) receives the forwarding peers in order (destination
+  /// excluded); completed routes are recorded under "chord.route.*" in
+  /// obs::Registry::Global() when globally enabled.
+  PeerId RouteToKey(PeerId from, uint64_t key, uint64_t* hops,
+                    std::vector<PeerId>* path) const;
+  PeerId RouteToKey(PeerId from, uint64_t key, uint64_t* hops) const {
+    return RouteToKey(from, key, hops, nullptr);
+  }
 
   /// The whole ring (every peer's own zone is excluded from its link
   /// regions, so the engine's initial restriction is simply everything).

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/log.h"
+#include "obs/metrics.h"
 #include "overlay/midas/patterns.h"
 
 namespace ripple {
@@ -107,8 +109,8 @@ PeerId MidasOverlay::ResponsiblePeer(const Point& p) const {
   return tree_[node].leaf_peer;
 }
 
-PeerId MidasOverlay::RouteFrom(PeerId from, const Point& p,
-                               uint64_t* hops) const {
+PeerId MidasOverlay::RouteFrom(PeerId from, const Point& p, uint64_t* hops,
+                               std::vector<PeerId>* path) const {
   PeerId current = from;
   uint64_t h = 0;
   // Each hop strictly deepens the subtree shared with the target, so the
@@ -117,6 +119,7 @@ PeerId MidasOverlay::RouteFrom(PeerId from, const Point& p,
     const Peer& peer = GetPeer(current);
     if (peer.zone.ContainsHalfOpen(p, options_.domain)) {
       if (hops != nullptr) *hops = h;
+      obs::RecordRouteHops("midas", h);
       return current;
     }
     PeerId next = kInvalidPeer;
@@ -127,6 +130,7 @@ PeerId MidasOverlay::RouteFrom(PeerId from, const Point& p,
       }
     }
     RIPPLE_CHECK(next != kInvalidPeer);  // regions partition the domain
+    if (path != nullptr) path->push_back(current);
     current = next;
     ++h;
   }
@@ -319,6 +323,8 @@ PeerId MidasOverlay::JoinSplitting(PeerId split_peer) {
       BackRef{fresh_id, static_cast<int>(n.links.size()) - 1});
 
   ++alive_count_;
+  RIPPLE_LOG(kDebug, "midas: peer %u joined splitting %u (depth %d, dim %d)",
+             fresh_id, split_peer, depth + 1, dim);
   return fresh_id;
 }
 

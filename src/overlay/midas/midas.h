@@ -123,7 +123,15 @@ class MidasOverlay {
   /// Peer-level greedy routing from `from` towards the peer responsible for
   /// `p`, following link regions; `hops` (optional) receives the hop count.
   /// This is how a real MIDAS node performs lookups in O(depth).
-  PeerId RouteFrom(PeerId from, const Point& p, uint64_t* hops) const;
+  /// `path` (optional) receives the forwarding peers in order — `from`
+  /// first, the destination excluded — so observability layers can
+  /// attribute per-hop cost. Completed routes are recorded under
+  /// "midas.route.*" in obs::Registry::Global() when globally enabled.
+  PeerId RouteFrom(PeerId from, const Point& p, uint64_t* hops,
+                   std::vector<PeerId>* path) const;
+  PeerId RouteFrom(PeerId from, const Point& p, uint64_t* hops) const {
+    return RouteFrom(from, p, hops, nullptr);
+  }
 
   /// Area algebra for the RIPPLE engine: intersection with empty/degenerate
   /// results reported as false (subtree rects either nest or have disjoint

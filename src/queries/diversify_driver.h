@@ -134,6 +134,10 @@ class RippleDivService : public SingleTupleService {
     return t;
   }
 
+  /// The underlying engine, e.g. to attach a tracer (Engine::SetTracer);
+  /// spans of successive FindBest calls accumulate in recording order.
+  Engine<Overlay, DivPolicy>* mutable_engine() { return &engine_; }
+
  private:
   Engine<Overlay, DivPolicy> engine_;
   PeerId initiator_;

@@ -1,6 +1,8 @@
 #ifndef RIPPLE_QUERIES_SKYLINE_DRIVER_H_
 #define RIPPLE_QUERIES_SKYLINE_DRIVER_H_
 
+#include <vector>
+
 #include "queries/skyline.h"
 #include "ripple/engine.h"
 
@@ -23,13 +25,33 @@ typename Engine<Overlay, SkylinePolicy>::RunResult SeededSkyline(
     const Overlay& overlay, const Engine<Overlay, SkylinePolicy>& engine,
     PeerId initiator, const SkylineQuery& query, int r) {
   uint64_t hops = 0;
+  obs::Tracer* tracer = engine.tracer();
   // Constrained queries aim at the constraint's lower corner (the spot DSL
   // roots its hierarchy at); unconstrained ones at the domain origin.
   const Point corner = query.constraint.has_value()
                            ? query.constraint->lo()
                            : overlay.domain().lo();
-  const PeerId start = overlay.RouteFrom(initiator, corner, &hops);
+  std::vector<PeerId> route_path;
+  const PeerId start = overlay.RouteFrom(initiator, corner, &hops,
+                                         tracer ? &route_path : nullptr);
+  double saved_offset = 0.0;
+  if (tracer) {
+    // One route span per forwarding peer, so the trace covers exactly the
+    // peers the stats charge; the engine's clock starts after them.
+    uint32_t last_span = obs::kNoSpan;
+    double t = 0.0;
+    for (PeerId p : route_path) {
+      last_span =
+          tracer->StartSpan(p, last_span, obs::SpanKind::kRoute, /*r=*/0, t);
+      tracer->span(last_span).links_forwarded = 1;
+      tracer->EndSpan(last_span, t + 1.0);
+      t += 1.0;
+    }
+    saved_offset = tracer->time_offset();
+    tracer->set_time_offset(saved_offset + static_cast<double>(hops));
+  }
   auto result = engine.Run(start, query, r);
+  if (tracer) tracer->set_time_offset(saved_offset);
   result.stats.latency_hops += hops;
   result.stats.messages += hops;
   result.stats.peers_visited += hops;  // forwarding peers handle the query

@@ -2,6 +2,7 @@
 #define RIPPLE_QUERIES_TOPK_DRIVER_H_
 
 #include <set>
+#include <vector>
 
 #include "queries/topk.h"
 #include "ripple/engine.h"
@@ -33,14 +34,30 @@ typename Engine<Overlay, TopKPolicy>::RunResult SeededTopK(
     PeerId initiator, const TopKQuery& query, int r) {
   QueryStats bootstrap;
   const TopKPolicy& policy = engine.policy();
+  obs::Tracer* tracer = engine.tracer();
 
-  // Phase 1: route to the peer owning the score peak.
+  // Phase 1: route to the peer owning the score peak. With a tracer
+  // attached, every forwarding peer gets a route span (one hop each,
+  // chained), so the trace covers exactly the peers the stats charge.
   const Point peak = query.scorer->Peak(overlay.domain());
   uint64_t hops = 0;
-  const PeerId start = overlay.RouteFrom(initiator, peak, &hops);
+  std::vector<PeerId> route_path;
+  const PeerId start = overlay.RouteFrom(initiator, peak, &hops,
+                                         tracer ? &route_path : nullptr);
   bootstrap.latency_hops += hops;
   bootstrap.messages += hops;
   bootstrap.peers_visited += hops;  // forwarding peers handle the query
+  uint32_t last_span = obs::kNoSpan;
+  if (tracer) {
+    double t = 0.0;
+    for (PeerId p : route_path) {
+      last_span = tracer->StartSpan(p, last_span, obs::SpanKind::kRoute,
+                                    /*r=*/0, t);
+      tracer->span(last_span).links_forwarded = 1;
+      tracer->EndSpan(last_span, t + 1.0);
+      t += 1.0;
+    }
+  }
 
   // Phase 2: greedy walk gathering local states until k tuples are known.
   TopKState seed;
@@ -54,6 +71,12 @@ typename Engine<Overlay, TopKPolicy>::RunResult SeededTopK(
     if (step > 0) {
       bootstrap.latency_hops += 1;
       bootstrap.messages += 1;
+    }
+    if (tracer) {
+      const double t = static_cast<double>(hops + static_cast<uint64_t>(step));
+      last_span = tracer->StartSpan(current, last_span, obs::SpanKind::kWalk,
+                                    /*r=*/0, t);
+      tracer->EndSpan(last_span, t + 1.0);
     }
     const auto& peer = overlay.GetPeer(current);
     const TopKState local = policy.ComputeLocalState(peer.store, query, seed);
@@ -76,7 +99,16 @@ typename Engine<Overlay, TopKPolicy>::RunResult SeededTopK(
   }
 
   // Phase 3: the RIPPLE run proper, seeded, initiated at the peak owner.
+  // The engine counts hops from zero; shifting its trace clock by the
+  // bootstrap latency splices both phases into one sequential timeline.
+  double saved_offset = 0.0;
+  if (tracer) {
+    saved_offset = tracer->time_offset();
+    tracer->set_time_offset(saved_offset +
+                            static_cast<double>(bootstrap.latency_hops));
+  }
   auto result = engine.Run(start, query, r, seed);
+  if (tracer) tracer->set_time_offset(saved_offset);
   result.stats.latency_hops += bootstrap.latency_hops;
   result.stats.messages += bootstrap.messages;
   result.stats.peers_visited += bootstrap.peers_visited;

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "net/metrics.h"
+#include "obs/trace.h"
 #include "overlay/types.h"
 #include "ripple/policy.h"
 
@@ -78,6 +79,15 @@ class Engine {
     visit_observer_ = std::move(observer);
   }
 
+  /// Attaches a per-query tracer recording one span per peer visit (phase,
+  /// remaining r, links pruned/forwarded, states merged, tuples carried)
+  /// with logical hop timestamps matching the Lemma 1-3 accounting. Pass
+  /// nullptr to disable; the disabled path costs one pointer test per
+  /// visit and leaves QueryStats untouched either way. The tracer must
+  /// outlive all Run() calls and is not owned.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   struct RunContext {
     Answer answer{};
@@ -95,11 +105,23 @@ class Engine {
   };
 
   NodeOutcome Process(PeerId w, const Query& query, const GlobalState& sg,
-                      const Area& restrict_area, int r,
-                      RunContext* ctx) const {
+                      const Area& restrict_area, int r, RunContext* ctx,
+                      uint32_t parent_span = obs::kNoSpan,
+                      double arrival = 0.0) const {
     const auto& peer = overlay_->GetPeer(w);
     ctx->stats.peers_visited += 1;
     if (visit_observer_) visit_observer_(w);
+
+    // `arrival` is this visit's position on the logical hop clock (the
+    // Lemma 1-3 clock: 1 hop per forward); it exists purely for tracing
+    // and never feeds back into stats or results.
+    uint32_t span = obs::kNoSpan;
+    if (tracer_) {
+      span = tracer_->StartSpan(
+          w, parent_span, r > 0 ? obs::SpanKind::kSlow : obs::SpanKind::kFast,
+          r, arrival);
+      tracer_->span(span).tuples_in = policy_.GlobalStateTupleCount(sg);
+    }
 
     // Lines 1-2 of Algorithms 1/2/3.
     LocalState local = policy_.ComputeLocalState(peer.store, query, sg);
@@ -131,17 +153,25 @@ class Engine {
       for (const Candidate& c : candidates) {
         // Relevance is re-evaluated with the state updated so far: links
         // pruned by knowledge from earlier iterations are never contacted.
-        if (!policy_.IsLinkRelevant(query, global, c.area)) continue;
+        if (!policy_.IsLinkRelevant(query, global, c.area)) {
+          if (tracer_) tracer_->span(span).links_pruned += 1;
+          continue;
+        }
         ctx->stats.messages += 1;  // query forward
         ctx->stats.tuples_shipped += policy_.GlobalStateTupleCount(global);
+        if (tracer_) tracer_->span(span).links_forwarded += 1;
+        // The child receives the query one hop after everything forwarded
+        // so far has come back: slow-phase children are sequential.
         NodeOutcome child =
-            Process(c.target, query, global, c.area, r - 1, ctx);
+            Process(c.target, query, global, c.area, r - 1, ctx, span,
+                    arrival + static_cast<double>(out.latency) + 1.0);
         out.latency += 1 + child.latency;
         // Response messages: one per state flowing back to us.
         ctx->stats.messages += child.states.size();
         for (const LocalState& s : child.states) {
           ctx->stats.tuples_shipped += policy_.StateTupleCount(s);
         }
+        if (tracer_) tracer_->span(span).states_merged += child.states.size();
         policy_.MergeLocalStates(query, &local, child.states);
         global = policy_.ComputeGlobalState(query, sg, local);
       }
@@ -157,10 +187,17 @@ class Engine {
         if (!Overlay::IntersectArea(link.region, restrict_area, &area)) {
           continue;
         }
-        if (!policy_.IsLinkRelevant(query, global, area)) continue;
+        if (!policy_.IsLinkRelevant(query, global, area)) {
+          if (tracer_) tracer_->span(span).links_pruned += 1;
+          continue;
+        }
         ctx->stats.messages += 1;
         ctx->stats.tuples_shipped += policy_.GlobalStateTupleCount(global);
-        NodeOutcome child = Process(link.target, query, global, area, 0, ctx);
+        if (tracer_) tracer_->span(span).links_forwarded += 1;
+        // Fast-phase children are contacted at once: all arrive one hop
+        // after us.
+        NodeOutcome child = Process(link.target, query, global, area, 0, ctx,
+                                    span, arrival + 1.0);
         forwarded = true;
         max_child_latency = std::max(max_child_latency, 1 + child.latency);
         // Fast-phase states pass through to the nearest slow ancestor.
@@ -182,6 +219,12 @@ class Engine {
       ctx->stats.messages += 1;  // answer delivery to the initiator
       ctx->stats.tuples_shipped += answer_tuples;
     }
+    if (tracer_) {
+      obs::Span& s = tracer_->span(span);
+      s.state_tuples = policy_.StateTupleCount(out.states.back());
+      s.answer_tuples = answer_tuples;
+      tracer_->EndSpan(span, arrival + static_cast<double>(out.latency));
+    }
     policy_.MergeAnswer(&ctx->answer, std::move(answer), query);
     return out;
   }
@@ -189,6 +232,7 @@ class Engine {
   const Overlay* overlay_;
   Policy policy_;
   std::function<void(PeerId)> visit_observer_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ripple

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "net/metrics.h"
+#include "obs/trace.h"
 #include "overlay/types.h"
 #include "ripple/policy.h"
 #include "sim/event_sim.h"
@@ -62,6 +63,13 @@ class AsyncEngine {
     double completion_time = 0;
   };
 
+  /// Attaches a tracer recording one span per session, stamped with
+  /// simulator time (so wire delays from the LatencyModel are visible in
+  /// the trace). Same contract as Engine::SetTracer: nullptr disables,
+  /// not owned, QueryStats are identical either way.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
   RunResult Run(PeerId initiator, const Query& query, int r) const {
     return Run(initiator, query, r, policy_.InitialGlobalState(query));
   }
@@ -104,6 +112,8 @@ class AsyncEngine {
     // Fast phase: state bundle accumulated for the slow ancestor.
     std::vector<LocalState> bundle;
     bool fast = false;
+    // Trace span of this session (kNoSpan when tracing is off).
+    uint32_t span = obs::kNoSpan;
   };
 
   struct Runtime {
@@ -135,6 +145,16 @@ class AsyncEngine {
       s.fast = r <= 0;
       ++open_sessions;
       result.stats.peers_visited += 1;
+      if (obs::Tracer* tracer = self->tracer_) {
+        const uint32_t parent_span =
+            parent < 0 ? obs::kNoSpan : sessions[parent].span;
+        s.span = tracer->StartSpan(
+            peer, parent_span,
+            s.fast ? obs::SpanKind::kFast : obs::SpanKind::kSlow, r,
+            sim.now());
+        tracer->span(s.span).tuples_in =
+            policy().GlobalStateTupleCount(s.incoming);
+      }
 
       const auto& node = overlay().GetPeer(peer);
       s.local = policy().ComputeLocalState(node.store, *query, s.incoming);
@@ -150,9 +170,15 @@ class AsyncEngine {
             continue;
           }
           if (!policy().IsLinkRelevant(*query, s.global, restricted)) {
+            if (s.span != obs::kNoSpan) {
+              self->tracer_->span(s.span).links_pruned += 1;
+            }
             continue;
           }
           targets.emplace_back(link.target, std::move(restricted));
+        }
+        if (s.span != obs::kNoSpan) {
+          self->tracer_->span(s.span).links_forwarded = targets.size();
         }
         s.outstanding_children = static_cast<int>(targets.size());
         for (auto& [target, restricted] : targets) {
@@ -184,7 +210,15 @@ class AsyncEngine {
       Session& s = sessions[id];
       while (s.next_candidate < s.pending.size()) {
         auto& c = s.pending[s.next_candidate++];
-        if (!policy().IsLinkRelevant(*query, s.global, c.area)) continue;
+        if (!policy().IsLinkRelevant(*query, s.global, c.area)) {
+          if (s.span != obs::kNoSpan) {
+            self->tracer_->span(s.span).links_pruned += 1;
+          }
+          continue;
+        }
+        if (s.span != obs::kNoSpan) {
+          self->tracer_->span(s.span).links_forwarded += 1;
+        }
         SendQuery(id, c.target, s.global, std::move(c.area), s.r - 1);
         return;  // wait for the response
       }
@@ -224,6 +258,9 @@ class AsyncEngine {
         for (LocalState& st : bundle) s.bundle.push_back(std::move(st));
         if (--s.outstanding_children == 0) FinishSession(id);
       } else {
+        if (s.span != obs::kNoSpan) {
+          self->tracer_->span(s.span).states_merged += bundle.size();
+        }
         policy().MergeLocalStates(*query, &s.local, bundle);
         s.global =
             policy().ComputeGlobalState(*query, s.incoming, s.local);
@@ -246,6 +283,13 @@ class AsyncEngine {
         self->sim_schedule(&sim, s.peer, initiator, [] {});
       }
       policy().MergeAnswer(&result.answer, std::move(answer), *query);
+      if (s.span != obs::kNoSpan) {
+        obs::Tracer* tracer = self->tracer_;
+        obs::Span& sp = tracer->span(s.span);
+        sp.state_tuples = policy().StateTupleCount(s.local);
+        sp.answer_tuples = tuples;
+        tracer->EndSpan(s.span, sim.now());
+      }
 
       std::vector<LocalState> bundle;
       if (s.fast) {
@@ -275,6 +319,7 @@ class AsyncEngine {
   const Overlay* overlay_;
   Policy policy_;
   LatencyModel latency_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ripple

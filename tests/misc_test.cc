@@ -66,7 +66,10 @@ TEST(MetricsTest, PercentilesAreNearestRank) {
     acc.Add(QueryStats{v, 0, 0, 0});
   }
   EXPECT_EQ(acc.LatencyPercentile(0), 10u);
-  EXPECT_EQ(acc.LatencyPercentile(50), 60u);
+  // Nearest rank: ceil(50/100 * 10) = 5 -> the 5th smallest sample.
+  EXPECT_EQ(acc.LatencyPercentile(50), 50u);
+  EXPECT_EQ(acc.LatencyPercentile(90), 90u);
+  EXPECT_EQ(acc.LatencyPercentile(99), 100u);
   EXPECT_EQ(acc.LatencyPercentile(100), 100u);
   EXPECT_EQ(acc.LatencyPercentile(-5), 10u);   // clamped
   EXPECT_EQ(acc.LatencyPercentile(250), 100u);  // clamped

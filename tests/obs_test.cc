@@ -1,0 +1,420 @@
+// Unit tests for the observability subsystem: percentiles, histograms,
+// the metrics registry, the JSON exporters and the leveled logger.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "common/log.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ripple {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON checker — enough to assert the
+// exporters emit syntactically valid JSON without pulling a parser dep.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '}') return false;
+    ++pos_;
+    return true;
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!Value()) return false;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != ']') return false;
+    ++pos_;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// NearestRankPercentile
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile({}, 100), 0.0);
+}
+
+TEST(PercentileTest, SingleSample) {
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(one, 0), 7.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(one, 50), 7.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(one, 100), 7.0);
+}
+
+TEST(PercentileTest, NearestRankSemantics) {
+  const std::vector<double> v = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(v, 0), 10.0);    // minimum
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(v, 10), 10.0);   // rank 1
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(v, 50), 50.0);   // rank 5
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(v, 51), 60.0);   // rank 6
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(v, 90), 90.0);   // rank 9
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(v, 99), 100.0);  // rank 10
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(v, 100), 100.0);
+}
+
+TEST(PercentileTest, ClampsOutOfRangeP) {
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(v, -10), 1.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(v, 400), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, EmptyHistogram) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, PercentilesMatchNearestRank) {
+  obs::Histogram h;
+  for (int v = 1; v <= 100; ++v) h.Observe(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(90), 90.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, ObserveOutOfOrderStillSorts) {
+  obs::Histogram h;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) h.Observe(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  h.Observe(0.5);  // re-dirty after a sorted read
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.5);
+}
+
+TEST(HistogramTest, BucketCountsAreCumulativePerBound) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0 (<= 1)
+  h.Observe(1.0);    // bucket 0 (<= 1, inclusive bound)
+  h.Observe(5.0);    // bucket 1 (<= 10)
+  h.Observe(50.0);   // bucket 2 (<= 100)
+  h.Observe(500.0);  // +inf overflow bucket
+  ASSERT_EQ(h.bounds().size(), 3u);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(HistogramTest, SummaryMentionsTheHeadlineStats) {
+  obs::Histogram h;
+  for (int v = 1; v <= 4; ++v) h.Observe(v);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("count=4"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+  EXPECT_NE(s.find("max="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(RegistryTest, CreateOnFirstUseAndStableIdentity) {
+  obs::Registry reg;
+  obs::Counter& c = reg.GetCounter("msgs");
+  c.Inc(3);
+  EXPECT_EQ(&reg.GetCounter("msgs"), &c);
+  EXPECT_EQ(reg.GetCounter("msgs").value(), 3u);
+  reg.GetGauge("peers").Set(42);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("peers").value(), 42.0);
+  reg.GetHistogram("hops").Observe(2);
+  reg.GetHistogram("hops").Observe(4);
+  EXPECT_EQ(reg.GetHistogram("hops").count(), 2u);
+  EXPECT_EQ(reg.counters().size(), 1u);
+  EXPECT_EQ(reg.gauges().size(), 1u);
+  EXPECT_EQ(reg.histograms().size(), 1u);
+}
+
+TEST(RegistryTest, CustomBoundsOnlyApplyAtCreation) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.GetHistogram("sizes", {5.0, 50.0});
+  EXPECT_EQ(h.bounds().size(), 2u);
+  // Asking again with different bounds returns the existing instrument.
+  EXPECT_EQ(&reg.GetHistogram("sizes", {1.0}), &h);
+  EXPECT_EQ(h.bounds().size(), 2u);
+}
+
+TEST(RegistryTest, GlobalRecordingIsOffByDefault) {
+  // Default state: RecordRouteHops must not touch the global registry.
+  ASSERT_FALSE(obs::Registry::GlobalEnabled());
+  const size_t before = obs::Registry::Global().counters().size();
+  obs::RecordRouteHops("testoverlay", 3);
+  EXPECT_EQ(obs::Registry::Global().counters().size(), before);
+
+  obs::Registry::EnableGlobal(true);
+  obs::RecordRouteHops("testoverlay", 3);
+  obs::RecordRouteHops("testoverlay", 5);
+  obs::Registry::EnableGlobal(false);
+  obs::Registry& g = obs::Registry::Global();
+  EXPECT_EQ(g.GetCounter("testoverlay.route.calls").value(), 2u);
+  EXPECT_EQ(g.GetHistogram("testoverlay.route.hops").count(), 2u);
+  EXPECT_DOUBLE_EQ(g.GetHistogram("testoverlay.route.hops").Percentile(100),
+                   5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+obs::Tracer MakeSmallTrace() {
+  obs::Tracer t;
+  const uint32_t root =
+      t.StartSpan(/*peer=*/1, obs::kNoSpan, obs::SpanKind::kSlow, 2, 0.0);
+  t.span(root).tuples_in = 5;
+  const uint32_t child =
+      t.StartSpan(/*peer=*/2, root, obs::SpanKind::kFast, 0, 1.0);
+  t.span(child).answer_tuples = 3;
+  t.EndSpan(child, 2.0);
+  t.EndSpan(root, 3.0);
+  return t;
+}
+
+TEST(ExportTest, SpanToJsonIsValidJson) {
+  const obs::Tracer t = MakeSmallTrace();
+  for (const obs::Span& s : t.spans()) {
+    const std::string json = obs::SpanToJson(s);
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.Valid()) << json;
+  }
+}
+
+TEST(ExportTest, ChromeTraceIsValidJsonWithOneEventPerSpan) {
+  const obs::Tracer t = MakeSmallTrace();
+  const std::string path = TempPath("obs_chrome_trace.json");
+  ASSERT_TRUE(obs::WriteChromeTrace(t, path).ok());
+  const std::string text = ReadAll(path);
+  JsonChecker checker(text);
+  EXPECT_TRUE(checker.Valid()) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+  // One complete ("X") event per span.
+  size_t events = 0;
+  for (size_t pos = 0; (pos = text.find("\"ph\":\"X\"", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++events;
+  }
+  EXPECT_EQ(events, t.span_count());
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, JsonlHasOneValidObjectPerSpan) {
+  const obs::Tracer t = MakeSmallTrace();
+  const std::string path = TempPath("obs_trace.jsonl");
+  ASSERT_TRUE(obs::WriteTraceJsonl(t, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonChecker checker(line);
+    EXPECT_TRUE(checker.Valid()) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, t.span_count());
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, MetricsJsonIsValidAndCoversAllInstruments) {
+  obs::Registry reg;
+  reg.GetCounter("q.messages").Inc(12);
+  reg.GetGauge("overlay.peers").Set(256);
+  obs::Histogram& h = reg.GetHistogram("q.hops");
+  for (int v = 1; v <= 16; ++v) h.Observe(v);
+  const std::string path = TempPath("obs_metrics.json");
+  ASSERT_TRUE(obs::WriteMetricsJson(reg, path).ok());
+  const std::string text = ReadAll(path);
+  JsonChecker checker(text);
+  EXPECT_TRUE(checker.Valid()) << text;
+  EXPECT_NE(text.find("\"q.messages\""), std::string::npos);
+  EXPECT_NE(text.find("\"overlay.peers\""), std::string::npos);
+  EXPECT_NE(text.find("\"q.hops\""), std::string::npos);
+  EXPECT_NE(text.find("\"+inf\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, WriteToUnwritablePathFails) {
+  const obs::Tracer t = MakeSmallTrace();
+  EXPECT_FALSE(
+      obs::WriteChromeTrace(t, "/nonexistent-dir/trace.json").ok());
+}
+
+TEST(ExportTest, HistogramJsonKeepsBucketsCumulative) {
+  obs::Histogram h({2.0, 4.0});
+  h.Observe(1);
+  h.Observe(3);
+  h.Observe(9);
+  const std::string json = obs::HistogramToJson(h);
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+  // Cumulative counts: <=2 holds 1 sample, <=4 holds 2, +inf holds 3.
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+
+TEST(LogTest, ParseLevelNamesAndFallback) {
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("warn", LogLevel::kInfo), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("info", LogLevel::kWarn), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("trace", LogLevel::kWarn), LogLevel::kTrace);
+  EXPECT_EQ(ParseLogLevel("bogus", LogLevel::kDebug), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(LogTest, LevelGatesEnablement) {
+  const LogLevel saved = GlobalLogLevel();
+  SetGlobalLogLevel(LogLevel::kWarn);
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_FALSE(LogEnabled(LogLevel::kTrace));
+  SetGlobalLogLevel(LogLevel::kTrace);
+  EXPECT_TRUE(LogEnabled(LogLevel::kTrace));
+  SetGlobalLogLevel(saved);
+}
+
+TEST(LogTest, LevelNamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kError, LogLevel::kWarn, LogLevel::kInfo,
+                         LogLevel::kDebug, LogLevel::kTrace}) {
+    EXPECT_EQ(ParseLogLevel(LogLevelName(level), LogLevel::kError), level);
+  }
+}
+
+}  // namespace
+}  // namespace ripple

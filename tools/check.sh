@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Builds the tree under a sanitizer and runs the test suite.
+#
+#   tools/check.sh            # ASan + UBSan-less default: address
+#   tools/check.sh undefined  # UBSan
+#   tools/check.sh address tests/obs_test   # limit ctest to a regex
+#
+# The sanitized build lives in build-san-<kind> next to the regular
+# build directory, so it never disturbs an existing configure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZER="${1:-address}"
+FILTER="${2:-}"
+case "$SANITIZER" in
+  address|undefined) ;;
+  *)
+    echo "usage: tools/check.sh [address|undefined] [ctest -R regex]" >&2
+    exit 2
+    ;;
+esac
+
+BUILD_DIR="build-san-$SANITIZER"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRIPPLE_SANITIZE="$SANITIZER" \
+  -DRIPPLE_BUILD_BENCHMARKS=OFF \
+  -DRIPPLE_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+CTEST_ARGS=(--test-dir "$BUILD_DIR" --output-on-failure)
+if [[ -n "$FILTER" ]]; then
+  CTEST_ARGS+=(-R "$FILTER")
+fi
+ctest "${CTEST_ARGS[@]}"
+echo "check.sh: $SANITIZER build clean"

@@ -11,10 +11,15 @@
 // (latency in hops, peers visited, messages, tuples shipped).
 
 #include <cstdio>
+#include <map>
 
 #include "common/flags.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "data/datasets.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "overlay/midas/midas.h"
 #include "queries/diversify_driver.h"
 #include "queries/range.h"
@@ -40,6 +45,9 @@ int Run(int argc, char** argv) {
   double epsilon = 0.0;
   bool patterns = false;
   int64_t show = 10;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string log_level;
 
   FlagParser flags(
       "ripple_cli: distributed rank queries over a simulated MIDAS overlay");
@@ -63,6 +71,17 @@ int Run(int argc, char** argv) {
   flags.AddBool("patterns", "enable the border-pattern optimization",
                 &patterns);
   flags.AddInt("show", "answer tuples to print", &show);
+  flags.AddString("trace-out",
+                  "write the query's span tree here: Chrome Trace Event "
+                  "JSON, or JSONL when the path ends in .jsonl",
+                  &trace_out);
+  flags.AddString("metrics-out",
+                  "write counters / gauges / histograms here as JSON",
+                  &metrics_out);
+  flags.AddString("log-level",
+                  "error | warn | info | debug | trace (default: "
+                  "RIPPLE_LOG_LEVEL or warn)",
+                  &log_level);
 
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -74,6 +93,15 @@ int Run(int argc, char** argv) {
     tuples = 22000;
   }
   if (dataset == "mirflickr") dims = 5;
+  if (!log_level.empty()) {
+    SetGlobalLogLevel(ParseLogLevel(log_level, LogLevel::kWarn));
+  }
+  // Enable the global registry before the overlay is built so the
+  // bootstrap joins' routing shows up under midas.route.* too.
+  if (!metrics_out.empty()) obs::Registry::EnableGlobal(true);
+  obs::Tracer tracer;
+  obs::Tracer* tracer_ptr =
+      (!trace_out.empty() || !metrics_out.empty()) ? &tracer : nullptr;
 
   // Build the network: data first, then joins (median splits follow data).
   Rng data_rng(static_cast<uint64_t>(seed) * 7919);
@@ -104,18 +132,21 @@ int Run(int argc, char** argv) {
     LinearScorer scorer(weights);
     TopKQuery q{&scorer, static_cast<size_t>(k), epsilon};
     Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
+    engine.SetTracer(tracer_ptr);
     auto result = SeededTopK(overlay, engine, initiator, q, r);
     std::printf("scoring: %s\n", scorer.ToString().c_str());
     answer = std::move(result.answer);
     stats = result.stats;
   } else if (query == "skyline") {
     Engine<MidasOverlay, SkylinePolicy> engine(&overlay, SkylinePolicy{});
+    engine.SetTracer(tracer_ptr);
     auto result = SeededSkyline(overlay, engine, initiator, SkylineQuery{},
                                 r);
     answer = std::move(result.answer);
     stats = result.stats;
   } else if (query == "skyband") {
     Engine<MidasOverlay, SkybandPolicy> engine(&overlay, SkybandPolicy{});
+    engine.SetTracer(tracer_ptr);
     SkybandQuery q;
     q.band = static_cast<size_t>(band);
     auto result = engine.Run(initiator, q, r);
@@ -128,6 +159,7 @@ int Run(int argc, char** argv) {
     std::printf("range center: %s radius %.3f\n", q.center.ToString().c_str(),
                 radius);
     Engine<MidasOverlay, RangePolicy> engine(&overlay, RangePolicy{});
+    engine.SetTracer(tracer_ptr);
     auto result = engine.Run(initiator, q, r);
     answer = std::move(result.answer);
     stats = result.stats;
@@ -139,6 +171,7 @@ int Run(int argc, char** argv) {
     std::printf("diversify around %s, lambda %.2f\n",
                 obj.query.ToString().c_str(), lambda);
     RippleDivService<MidasOverlay> service(&overlay, initiator, r);
+    service.mutable_engine()->SetTracer(tracer_ptr);
     DiversifyOptions options;
     options.k = static_cast<size_t>(k);
     options.service_init = true;
@@ -162,6 +195,50 @@ int Run(int argc, char** argv) {
   if (answer.size() > static_cast<size_t>(show)) {
     std::printf("  ... and %zu more\n",
                 answer.size() - static_cast<size_t>(show));
+  }
+
+  if (!trace_out.empty()) {
+    const bool jsonl = trace_out.size() >= 6 &&
+                       trace_out.compare(trace_out.size() - 6, 6, ".jsonl") ==
+                           0;
+    const Status st = jsonl ? obs::WriteTraceJsonl(tracer, trace_out)
+                            : obs::WriteChromeTrace(tracer, trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.message().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu spans -> %s (%s)\n", tracer.span_count(),
+                trace_out.c_str(), jsonl ? "jsonl" : "chrome-trace");
+  }
+  if (!metrics_out.empty()) {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.GetCounter("query.peers_visited").Inc(stats.peers_visited);
+    reg.GetCounter("query.messages").Inc(stats.messages);
+    reg.GetCounter("query.tuples_shipped").Inc(stats.tuples_shipped);
+    reg.GetGauge("query.latency_hops")
+        .Set(static_cast<double>(stats.latency_hops));
+    reg.GetGauge("overlay.peers").Set(static_cast<double>(overlay.NumPeers()));
+    reg.GetGauge("overlay.depth").Set(static_cast<double>(overlay.MaxDepth()));
+    obs::Histogram& arrival = reg.GetHistogram("query.span_arrival_hops");
+    obs::Histogram& load = reg.GetHistogram("query.peer_load");
+    std::map<uint32_t, uint64_t> visits_per_peer;
+    for (const obs::Span& s : tracer.spans()) {
+      arrival.Observe(s.start);
+      ++visits_per_peer[s.peer];
+    }
+    for (const auto& [peer, visits] : visits_per_peer) {
+      (void)peer;
+      load.Observe(static_cast<double>(visits));
+    }
+    const Status st = obs::WriteMetricsJson(reg, metrics_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   st.message().c_str());
+      return 1;
+    }
+    std::printf("metrics -> %s\n%s", metrics_out.c_str(),
+                reg.Summary().c_str());
   }
   return 0;
 }
