@@ -5,6 +5,11 @@
 // Work (visits, messages) must match exactly; completion time shows what
 // an operator would actually wait, under uniform and heterogeneous
 // (10x cross-partition) delay models.
+//
+// Panel (c) arms the fault layer: the same workload under increasing
+// message loss, reporting what reliability costs (retransmissions, spent
+// timeouts, stretched completion time) and what it buys (fraction of
+// queries still answered completely within the retry budget).
 
 #include "bench_common.h"
 #include "queries/topk.h"
@@ -30,8 +35,10 @@ int main() {
     fast[i].name = cols[i];
     slow[i].name = cols[i];
   }
+  size_t fault_n = 0;  // largest size the perfect-network sweep reached
   for (size_t n : config.NetworkSizes()) {
     if (n > 4096) break;  // the async run allocates per-session state
+    fault_n = n;
     StatsAccumulator hop_f, hop_s;
     double unit_f = 0, unit_s = 0, wan_f = 0, wan_s = 0, vis_f = 0,
            vis_s = 0;
@@ -52,14 +59,18 @@ int main() {
         const LinearScorer scorer = RandomPreferenceScorer(6, &rng);
         const TopKQuery query{&scorer, 10};
         const PeerId initiator = overlay.RandomPeer(&rng);
-        for (int r : {0, kRippleSlow}) {
-          const auto sync = engine.Run(initiator, query, r);
-          const auto a_unit = unit.Run(initiator, query, r);
-          const auto a_wan = wan.Run(initiator, query, r);
-          (r == 0 ? hop_f : hop_s).Add(sync.stats);
-          (r == 0 ? unit_f : unit_s) += a_unit.completion_time;
-          (r == 0 ? wan_f : wan_s) += a_wan.completion_time;
-          (r == 0 ? vis_f : vis_s) += a_unit.stats.peers_visited;
+        for (const RippleParam ripple :
+             {RippleParam::Fast(), RippleParam::Slow()}) {
+          const QueryRequest<TopKPolicy> request{
+              .initiator = initiator, .query = query, .ripple = ripple};
+          const auto sync = engine.Run(request);
+          const auto a_unit = unit.Run(request);
+          const auto a_wan = wan.Run(request);
+          const bool is_fast = ripple.is_fast();
+          (is_fast ? hop_f : hop_s).Add(sync.stats);
+          (is_fast ? unit_f : unit_s) += a_unit.completion_time;
+          (is_fast ? wan_f : wan_s) += a_wan.completion_time;
+          (is_fast ? vis_f : vis_s) += a_unit.stats.peers_visited;
         }
         ++samples;
       }
@@ -77,5 +88,56 @@ int main() {
   }
   PrintPanel("(a) ripple-fast", "network size", xs, fast);
   PrintPanel("(b) ripple-slow", "network size", xs, slow);
+
+  // Panel (c): fault sweep at the largest size above, ripple-fast.
+  if (fault_n > 0) {
+    const double losses[4] = {0.0, 0.01, 0.05, 0.10};
+    std::vector<std::string> loss_xs;
+    std::vector<Series> faulty(5);
+    faulty[0].name = "time(unit)";
+    faulty[1].name = "retries";
+    faulty[2].name = "timeouts";
+    faulty[3].name = "messages";
+    faulty[4].name = "complete%";
+    for (double loss : losses) {
+      double time_sum = 0, retries = 0, timeouts = 0, msgs = 0, complete = 0;
+      size_t samples = 0;
+      for (size_t net = 0; net < config.nets; ++net) {
+        const uint64_t seed = config.seed + net * 151 + fault_n;
+        const MidasOverlay overlay = BuildMidas(fault_n, 6, seed, nba);
+        AsyncEngine<MidasOverlay, TopKPolicy> async(&overlay, TopKPolicy{});
+        Rng rng(seed ^ 0x777);
+        const size_t queries = std::max<size_t>(1, config.queries / 4);
+        for (size_t q = 0; q < queries; ++q) {
+          const LinearScorer scorer = RandomPreferenceScorer(6, &rng);
+          const TopKQuery query{&scorer, 10};
+          const QueryRequest<TopKPolicy> request{
+              .initiator = overlay.RandomPeer(&rng),
+              .query = query,
+              .ripple = RippleParam::Fast(),
+              .fault = {.loss_rate = loss, .seed = seed + q}};
+          const auto result = async.Run(request);
+          time_sum += result.completion_time;
+          retries += static_cast<double>(result.coverage.retries);
+          timeouts += static_cast<double>(result.coverage.timeouts);
+          msgs += static_cast<double>(result.stats.messages);
+          complete += result.complete ? 1.0 : 0.0;
+          ++samples;
+        }
+      }
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.0f%%", loss * 100.0);
+      loss_xs.push_back(buf);
+      const double d = static_cast<double>(samples);
+      faulty[0].values.push_back(time_sum / d);
+      faulty[1].values.push_back(retries / d);
+      faulty[2].values.push_back(timeouts / d);
+      faulty[3].values.push_back(msgs / d);
+      faulty[4].values.push_back(100.0 * complete / d);
+    }
+    PrintPanel("(c) ripple-fast under message loss, n=" +
+                   std::to_string(fault_n),
+               "loss rate", loss_xs, faulty);
+  }
   return 0;
 }

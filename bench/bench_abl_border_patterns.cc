@@ -40,10 +40,14 @@ int main() {
       for (size_t q = 0; q < queries; ++q) {
         const PeerId p1 = plain.RandomPeer(&rng);
         const PeerId p2 = optimized.RandomPeer(&rng);
-        acc[0].Add(e_plain.Run(p1, SkylineQuery{}, 0).stats);
-        acc[1].Add(e_opt.Run(p2, SkylineQuery{}, 0).stats);
-        acc[2].Add(e_plain.Run(p1, SkylineQuery{}, kRippleSlow).stats);
-        acc[3].Add(e_opt.Run(p2, SkylineQuery{}, kRippleSlow).stats);
+        acc[0].Add(e_plain.Run({.initiator = p1}).stats);
+        acc[1].Add(e_opt.Run({.initiator = p2}).stats);
+        acc[2].Add(e_plain.Run({.initiator = p1,
+                                .ripple = RippleParam::Slow()})
+                       .stats);
+        acc[3].Add(e_opt.Run({.initiator = p2,
+                              .ripple = RippleParam::Slow()})
+                       .stats);
       }
     }
     xs.push_back(std::to_string(n));

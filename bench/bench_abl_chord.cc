@@ -42,10 +42,14 @@ int main() {
       for (size_t q = 0; q < queries; ++q) {
         const LinearScorer scorer = RandomPreferenceScorer(dims, &rng);
         const TopKQuery query{&scorer, 10};
-        acc[0].Add(e_midas.Run(midas.RandomPeer(&rng), query,
-                               kRippleSlow).stats);
-        acc[1].Add(e_chord.Run(chord.RandomPeer(&rng), query,
-                               kRippleSlow).stats);
+        acc[0].Add(e_midas.Run({.initiator = midas.RandomPeer(&rng),
+                                .query = query,
+                                .ripple = RippleParam::Slow()})
+                       .stats);
+        acc[1].Add(e_chord.Run({.initiator = chord.RandomPeer(&rng),
+                                .query = query,
+                                .ripple = RippleParam::Slow()})
+                       .stats);
       }
     }
     xs.push_back(std::to_string(n));

@@ -70,14 +70,21 @@ int main() {
     const PeerId initiator = overlay.RandomPeer(&rng);
     xs.push_back("D=" + std::to_string(levels));
     series[0].values.push_back(static_cast<double>(
-        engine.Run(initiator, q, 0).stats.latency_hops));
+        engine.Run({.initiator = initiator, .query = q})
+            .stats.latency_hops));
     series[1].values.push_back(static_cast<double>(levels));
     series[2].values.push_back(static_cast<double>(
-        engine.Run(initiator, q, 2).stats.latency_hops));
+        engine.Run({.initiator = initiator,
+                    .query = q,
+                    .ripple = RippleParam::Hops(2)})
+            .stats.latency_hops));
     series[3].values.push_back(
         static_cast<double>(LemmaLatency(0, 2, levels)));
     series[4].values.push_back(static_cast<double>(
-        engine.Run(initiator, q, kRippleSlow).stats.latency_hops));
+        engine.Run({.initiator = initiator,
+                    .query = q,
+                    .ripple = RippleParam::Slow()})
+            .stats.latency_hops));
     series[5].values.push_back(
         static_cast<double>((uint64_t{1} << levels) - 1));
   }

@@ -38,7 +38,9 @@ int main() {
     for (size_t q = 0; q < queries; ++q) {
       const LinearScorer scorer = RandomPreferenceScorer(6, &rng);
       const TopKQuery query{&scorer, 10};
-      (void)SeededTopK(overlay, engine, overlay.RandomPeer(&rng), query, 0);
+      (void)SeededTopK(overlay, engine,
+                       {.initiator = overlay.RandomPeer(&rng),
+                        .query = query});
     }
     std::sort(load.begin(), load.end());
     const double total = [&] {

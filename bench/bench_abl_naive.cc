@@ -40,10 +40,16 @@ int main() {
         const LinearScorer scorer = RandomPreferenceScorer(6, &rng);
         const TopKQuery query{&scorer, 10};
         const PeerId initiator = overlay.RandomPeer(&rng);
-        acc[0].Add(naive.Run(initiator, query, 0).stats);
-        acc[1].Add(SeededTopK(overlay, smart, initiator, query, 0).stats);
-        acc[2].Add(
-            SeededTopK(overlay, smart, initiator, query, kRippleSlow).stats);
+        acc[0].Add(
+            naive.Run({.initiator = initiator, .query = query}).stats);
+        acc[1].Add(SeededTopK(overlay, smart,
+                              {.initiator = initiator, .query = query})
+                       .stats);
+        acc[2].Add(SeededTopK(overlay, smart,
+                              {.initiator = initiator,
+                               .query = query,
+                               .ripple = RippleParam::Slow()})
+                       .stats);
       }
     }
     xs.push_back(std::to_string(n));

@@ -34,8 +34,11 @@ int main() {
     for (size_t q = 0; q < config.queries; ++q) {
       const LinearScorer scorer = RandomPreferenceScorer(6, &rng);
       const TopKQuery query{&scorer, 10};
-      acc.Add(SeededTopK(overlay, engine, overlay.RandomPeer(&rng), query,
-                         r).stats);
+      acc.Add(SeededTopK(overlay, engine,
+                         {.initiator = overlay.RandomPeer(&rng),
+                          .query = query,
+                          .ripple = RippleParam::Hops(r)})
+                  .stats);
     }
     xs.push_back("r=" + std::to_string(r));
     panels[0].values.push_back(acc.MeanLatency());

@@ -228,7 +228,9 @@ DivWorkload MakeDivWorkload(const TupleVec& tuples, size_t k, double lambda,
 void RunTopKFourWay(const MidasOverlay& overlay, size_t k, size_t queries,
                     uint64_t seed, FourWay* out) {
   const int delta = overlay.MaxDepth();
-  const int rs[4] = {0, delta / 3, 2 * delta / 3, kRippleSlow};
+  const RippleParam rs[4] = {RippleParam::Fast(), RippleParam::Hops(delta / 3),
+                             RippleParam::Hops(2 * delta / 3),
+                             RippleParam::Slow()};
   Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
   Rng rng(seed);
   for (size_t q = 0; q < queries; ++q) {
@@ -236,8 +238,11 @@ void RunTopKFourWay(const MidasOverlay& overlay, size_t k, size_t queries,
     const TopKQuery query{&scorer, k};
     const PeerId initiator = overlay.RandomPeer(&rng);
     for (int i = 0; i < 4; ++i) {
-      out->acc[i].Add(
-          SeededTopK(overlay, engine, initiator, query, rs[i]).stats);
+      out->acc[i].Add(SeededTopK(overlay, engine,
+                                 {.initiator = initiator,
+                                  .query = query,
+                                  .ripple = rs[i]})
+                          .stats);
     }
   }
 }
@@ -256,11 +261,14 @@ void RunSkylineMethods(size_t peers, int dims, const TupleVec& tuples,
     const PeerId m_init = midas.RandomPeer(&rng);
     const PeerId c_init = can.RandomPeer(&rng);
     const PeerId b_init = baton.RandomPeer(&rng);
-    out->acc[0].Add(
-        SeededSkyline(midas, engine, m_init, SkylineQuery{}, 0).stats);
-    out->acc[1].Add(
-        SeededSkyline(midas, engine, m_init, SkylineQuery{}, kRippleSlow)
-            .stats);
+    out->acc[0].Add(SeededSkyline(midas, engine,
+                                  {.initiator = m_init,
+                                   .ripple = RippleParam::Fast()})
+                        .stats);
+    out->acc[1].Add(SeededSkyline(midas, engine,
+                                  {.initiator = m_init,
+                                   .ripple = RippleParam::Slow()})
+                        .stats);
     out->acc[2].Add(RunDslSkyline(can, c_init).stats);
     out->acc[3].Add(RunSspSkyline(baton, b_init).stats);
   }
@@ -282,8 +290,10 @@ void RunDivMethods(size_t peers, int dims, const TupleVec& tuples, size_t k,
     const DivWorkload w = MakeDivWorkload(tuples, k, lambda, &rng);
     const PeerId m_init = midas.RandomPeer(&rng);
     const PeerId c_init = can.RandomPeer(&rng);
-    RippleDivService<MidasOverlay> fast(&midas, m_init, 0);
-    RippleDivService<MidasOverlay> slow(&midas, m_init, kRippleSlow);
+    RippleDivService<MidasOverlay> fast(
+        &midas, {.initiator = m_init, .ripple = RippleParam::Fast()});
+    RippleDivService<MidasOverlay> slow(
+        &midas, {.initiator = m_init, .ripple = RippleParam::Slow()});
     CanFloodDivService flood(&can, c_init);
     SingleTupleService* measured[3] = {&fast, &slow, &flood};
     for (int m = 0; m < 3; ++m) {

@@ -38,7 +38,8 @@ int main() {
     objective.query = query_image.key;
     objective.lambda = lambda;
     objective.norm = Norm::kL1;
-    RippleDivService<MidasOverlay> service(&overlay, me, /*ripple_r=*/0);
+    RippleDivService<MidasOverlay> service(
+        &overlay, {.initiator = me, .ripple = RippleParam::Fast()});
     DiversifyOptions div_options;
     div_options.k = 6;
     div_options.service_init = true;

@@ -62,9 +62,12 @@ int main() {
   for (const Profile& profile : profiles) {
     LinearScorer scorer(profile.weights);
     TopKQuery query{&scorer, 5};
-    const auto fast = SeededTopK(overlay, topk_engine, scout, query, 0);
-    const auto slow =
-        SeededTopK(overlay, topk_engine, scout, query, kRippleSlow);
+    const auto fast = SeededTopK(overlay, topk_engine,
+                                 {.initiator = scout, .query = query});
+    const auto slow = SeededTopK(overlay, topk_engine,
+                                 {.initiator = scout,
+                                  .query = query,
+                                  .ripple = RippleParam::Slow()});
     std::printf("\ntop-5 %s  [fast: %llu hops, %llu peers | slow: %llu "
                 "hops, %llu peers]\n",
                 profile.name,
@@ -76,8 +79,7 @@ int main() {
   }
 
   Engine<MidasOverlay, SkylinePolicy> sky_engine(&overlay, SkylinePolicy{});
-  const auto sky = SeededSkyline(overlay, sky_engine, scout,
-                                 SkylineQuery{}, 0);
+  const auto sky = SeededSkyline(overlay, sky_engine, {.initiator = scout});
   std::printf("\nskyline: %zu players excel in some stat combination "
               "(%llu hops, %llu peers visited)\n",
               sky.answer.size(),

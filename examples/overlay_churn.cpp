@@ -36,7 +36,8 @@ int main() {
   auto check = [&](const char* stage) {
     Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
     const auto result = SeededTopK(overlay, engine,
-                                   overlay.RandomPeer(&rng), query, 0);
+                                   {.initiator = overlay.RandomPeer(&rng),
+                                    .query = query});
     bool exact = result.answer.size() == oracle.size();
     for (size_t i = 0; exact && i < oracle.size(); ++i) {
       exact = result.answer[i].id == oracle[i].id;

@@ -37,9 +37,12 @@ int main() {
   TopKQuery topk{&scorer, 5};
   Engine<MidasOverlay, TopKPolicy> topk_engine(&overlay, TopKPolicy{});
   const PeerId me = overlay.RandomPeer(&rng);
-  for (int r : {0, kRippleSlow}) {
-    const auto result = SeededTopK(overlay, topk_engine, me, topk, r);
-    std::printf("\ntop-5 (%s): %s\n", r == 0 ? "fast" : "slow",
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Slow()}) {
+    const auto result = SeededTopK(overlay, topk_engine,
+                                   {.initiator = me,
+                                    .query = topk,
+                                    .ripple = r});
+    std::printf("\ntop-5 (%s): %s\n", r.ToString().c_str(),
                 result.stats.ToString().c_str());
     for (const Tuple& t : result.answer) {
       std::printf("  %s  score=%.4f\n", t.ToString().c_str(),
@@ -49,7 +52,7 @@ int main() {
 
   // 4. Skyline: all Pareto-optimal tuples.
   Engine<MidasOverlay, SkylinePolicy> sky_engine(&overlay, SkylinePolicy{});
-  const auto sky = SeededSkyline(overlay, sky_engine, me, SkylineQuery{}, 0);
+  const auto sky = SeededSkyline(overlay, sky_engine, {.initiator = me});
   std::printf("\nskyline: %zu tuples, %s\n", sky.answer.size(),
               sky.stats.ToString().c_str());
 
@@ -59,7 +62,8 @@ int main() {
   objective.query = Point{0.5, 0.5, 0.5};
   objective.lambda = 0.5;
   objective.norm = Norm::kL1;
-  RippleDivService<MidasOverlay> service(&overlay, me, /*ripple_r=*/0);
+  RippleDivService<MidasOverlay> service(
+      &overlay, {.initiator = me, .ripple = RippleParam::Fast()});
   DiversifyOptions div_options;
   div_options.k = 5;
   div_options.service_init = true;

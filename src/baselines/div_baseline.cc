@@ -4,7 +4,8 @@ namespace ripple {
 
 std::optional<Tuple> CanFloodDivService::FindBest(const DivQuery& query,
                                                   double tau,
-                                                  QueryStats* stats) {
+                                                  QueryStats* stats,
+                                                  net::Coverage*) {
   std::optional<Tuple> best;
   double best_phi = tau;
   uint64_t flood_messages = 0;

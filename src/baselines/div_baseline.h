@@ -23,7 +23,8 @@ class CanFloodDivService : public SingleTupleService {
       : overlay_(overlay), initiator_(initiator) {}
 
   std::optional<Tuple> FindBest(const DivQuery& query, double tau,
-                                QueryStats* stats) override;
+                                QueryStats* stats,
+                                net::Coverage* coverage = nullptr) override;
 
  private:
   const CanOverlay* overlay_;

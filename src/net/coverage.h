@@ -1,0 +1,67 @@
+#ifndef RIPPLE_NET_COVERAGE_H_
+#define RIPPLE_NET_COVERAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "overlay/types.h"
+
+namespace ripple::net {
+
+/// What a fault-tolerant execution could and could not resolve. A query
+/// whose coverage is clean (`complete()`) produced the exact answer; one
+/// with unresolved links or lost answers folded in everything it received
+/// and returns a flagged partial result.
+///
+/// Counter semantics (all per query execution):
+///  * retries              — retransmissions sent (queries and answers).
+///  * timeouts             — requester timers that expired unanswered.
+///  * messages_lost        — transmissions the network dropped.
+///  * messages_duplicated  — extra copies the network injected.
+///  * duplicates_suppressed— deliveries ignored by message-id dedup.
+///  * acks                 — progress acks sent for in-flight duplicates.
+///  * late_responses       — responses arriving after the requester gave up.
+///  * crash_drops          — deliveries addressed to an already-crashed peer.
+///  * links_unresolved     — forwards abandoned after the retry budget;
+///                           every abandoned target is in unreachable_peers.
+///  * answers_lost         — answer deliveries lost beyond the retry budget.
+struct Coverage {
+  uint64_t retries = 0;
+  uint64_t timeouts = 0;
+  uint64_t messages_lost = 0;
+  uint64_t messages_duplicated = 0;
+  uint64_t duplicates_suppressed = 0;
+  uint64_t acks = 0;
+  uint64_t late_responses = 0;
+  uint64_t crash_drops = 0;
+  uint64_t links_unresolved = 0;
+  uint64_t answers_lost = 0;
+  /// Distinct peers a requester gave up on (sorted, deduplicated).
+  std::vector<PeerId> unreachable_peers;
+  /// Distinct crashed peers that actually affected this query (sorted).
+  std::vector<PeerId> crashed_peers;
+
+  /// True when nothing the answer depends on was abandoned: every forward
+  /// was resolved and every answer delivery landed.
+  bool complete() const { return links_unresolved == 0 && answers_lost == 0; }
+
+  /// True when any fault-layer activity happened at all (useful to assert
+  /// that a fault-free run had a silent network).
+  bool quiet() const;
+
+  Coverage& operator+=(const Coverage& o);
+
+  /// "complete" or "partial(links=2 answers_lost=1): retries=5 ..." — only
+  /// non-zero counters are printed.
+  std::string ToString() const;
+};
+
+/// Records one execution's coverage into the global metrics registry under
+/// `net.*` (net.retry.count, net.timeout.count, net.loss.count, ...).
+/// No-op unless obs::Registry::EnableGlobal(true) was called.
+void RecordCoverageMetrics(const Coverage& c);
+
+}  // namespace ripple::net
+
+#endif  // RIPPLE_NET_COVERAGE_H_

@@ -1,0 +1,79 @@
+#ifndef RIPPLE_NET_ENVELOPE_H_
+#define RIPPLE_NET_ENVELOPE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "overlay/types.h"
+
+namespace ripple::net {
+
+/// Wire-level message classes of the fault-tolerant protocol. Query,
+/// response and answer exist in the fault-free protocol too; acks only
+/// appear as reactions to retransmitted queries.
+enum class MessageKind : uint8_t {
+  kQuery,     // query forward (carries the global state)
+  kResponse,  // state bundle back to the requester
+  kAck,       // progress ack: "request received, session still running"
+  kAnswer,    // qualifying tuples to the initiator
+};
+
+inline const char* MessageKindName(MessageKind k) {
+  switch (k) {
+    case MessageKind::kQuery: return "query";
+    case MessageKind::kResponse: return "response";
+    case MessageKind::kAck: return "ack";
+    case MessageKind::kAnswer: return "answer";
+  }
+  return "?";
+}
+
+/// Identity of one logical message. Retransmissions reuse the id (that is
+/// what makes receiver-side dedup and reply caching work); `attempt` only
+/// distinguishes copies for tracing.
+struct Envelope {
+  uint64_t id = 0;
+  PeerId from = kInvalidPeer;
+  PeerId to = kInvalidPeer;
+  MessageKind kind = MessageKind::kQuery;
+  int attempt = 0;
+};
+
+/// A bounded map of recently seen message ids -> small payload (a session
+/// index for reply caching, or just presence for answer dedup). FIFO
+/// eviction once `capacity` ids are tracked — the window a peer remembers
+/// duplicates within.
+class DedupWindow {
+ public:
+  explicit DedupWindow(size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Returns the value stored for `id`, or nullptr if unseen (or evicted).
+  const int64_t* Lookup(uint64_t id) const {
+    auto it = seen_.find(id);
+    return it == seen_.end() ? nullptr : &it->second;
+  }
+
+  /// Records `id` (first sighting wins; re-inserting refreshes nothing).
+  void Insert(uint64_t id, int64_t value) {
+    if (capacity_ == 0) return;
+    if (!seen_.emplace(id, value).second) return;
+    order_.push_back(id);
+    while (order_.size() > capacity_) {
+      seen_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+
+  size_t size() const { return seen_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::unordered_map<uint64_t, int64_t> seen_;
+  std::deque<uint64_t> order_;
+};
+
+}  // namespace ripple::net
+
+#endif  // RIPPLE_NET_ENVELOPE_H_

@@ -74,6 +74,8 @@ std::string SpanToJson(const Span& s) {
   out += ",\"states_merged\":" + Num(s.states_merged);
   out += ",\"state_tuples\":" + Num(s.state_tuples);
   out += ",\"answer_tuples\":" + Num(s.answer_tuples);
+  if (s.retries > 0) out += ",\"retries\":" + Num(s.retries);
+  if (s.timeouts > 0) out += ",\"timeouts\":" + Num(s.timeouts);
   out += "}";
   return out;
 }

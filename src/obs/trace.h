@@ -47,6 +47,11 @@ struct Span {
   uint64_t state_tuples = 0;
   /// Qualifying tuples shipped to the initiator from this peer.
   uint64_t answer_tuples = 0;
+  /// Retransmissions this peer issued for its pending forwards (fault
+  /// layer; zero on a perfect network).
+  uint64_t retries = 0;
+  /// Timeouts that fired on this peer's pending forwards (fault layer).
+  uint64_t timeouts = 0;
 };
 
 /// Records the span tree(s) of one or more query executions. Not

@@ -7,8 +7,8 @@
 namespace ripple {
 
 std::optional<Tuple> CentralizedDivService::FindBest(const DivQuery& query,
-                                                     double tau,
-                                                     QueryStats*) {
+                                                     double tau, QueryStats*,
+                                                     net::Coverage*) {
   const Tuple* best = nullptr;
   double best_phi = std::numeric_limits<double>::infinity();
   for (const Tuple& t : *all_) {
@@ -39,7 +39,7 @@ TupleVec Without(const TupleVec& o, uint64_t victim_id) {
 }  // namespace
 
 bool DivImprove(SingleTupleService* service, const DiversifyObjective& obj,
-                TupleVec* o, QueryStats* stats) {
+                TupleVec* o, QueryStats* stats, net::Coverage* coverage) {
   RIPPLE_CHECK(!o->empty());
   const double f_o = obj.Value(*o);
 
@@ -74,7 +74,8 @@ bool DivImprove(SingleTupleService* service, const DiversifyObjective& obj,
       tau = best_delta;  // require beating the current best swap
     }
     const DivQuery query = MakeDivQuery(obj, residual);
-    const std::optional<Tuple> cand = service->FindBest(query, tau, stats);
+    const std::optional<Tuple> cand =
+        service->FindBest(query, tau, stats, coverage);
     if (!cand.has_value()) continue;
     // Acceptance on the actual objective delta (see header comment).
     TupleVec swapped = residual;
@@ -106,12 +107,14 @@ DiversifyResult Diversify(SingleTupleService* service,
     while (result.set.size() < options.k) {
       const DivQuery query = MakeDivQuery(obj, result.set);
       const std::optional<Tuple> next = service->FindBest(
-          query, std::numeric_limits<double>::infinity(), &result.stats);
+          query, std::numeric_limits<double>::infinity(), &result.stats,
+          &result.coverage);
       if (!next.has_value()) break;  // fewer than k tuples in the network
       result.set.push_back(*next);
     }
     if (result.set.size() < options.k) {
       result.objective = obj.Value(result.set);
+      result.complete = result.coverage.complete();
       return result;
     }
   } else {
@@ -119,11 +122,15 @@ DiversifyResult Diversify(SingleTupleService* service,
     result.set = std::move(initial);
   }
   for (int i = 0; i < options.max_iters; ++i) {
-    if (!DivImprove(service, obj, &result.set, &result.stats)) break;
+    if (!DivImprove(service, obj, &result.set, &result.stats,
+                    &result.coverage)) {
+      break;
+    }
     result.improve_rounds = i + 1;
   }
   std::sort(result.set.begin(), result.set.end(), TupleIdLess());
   result.objective = obj.Value(result.set);
+  result.complete = result.coverage.complete();
   return result;
 }
 

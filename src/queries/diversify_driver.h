@@ -2,9 +2,12 @@
 #define RIPPLE_QUERIES_DIVERSIFY_DRIVER_H_
 
 #include <optional>
+#include <utility>
 
+#include "net/coverage.h"
 #include "net/metrics.h"
 #include "queries/diversify.h"
+#include "ripple/api.h"
 #include "ripple/engine.h"
 
 namespace ripple {
@@ -20,12 +23,17 @@ namespace ripple {
 /// produced result — is identical for both, as the paper's evaluation
 /// mandates ("we force both heuristic diversification algorithms to
 /// produce the same result at each step").
+/// `coverage`, when non-null, accumulates fault-layer degradation of the
+/// underlying network operations (always untouched by centralized and
+/// perfect-network services): a non-complete() coverage means some
+/// FindBest answer may have missed reachable tuples.
 class SingleTupleService {
  public:
   virtual ~SingleTupleService() = default;
 
   virtual std::optional<Tuple> FindBest(const DivQuery& query, double tau,
-                                        QueryStats* stats) = 0;
+                                        QueryStats* stats,
+                                        net::Coverage* coverage = nullptr) = 0;
 };
 
 /// Options for the greedy k-diversification driver.
@@ -47,6 +55,11 @@ struct DiversifyResult {
   double objective = 0.0;
   QueryStats stats;
   int improve_rounds = 0;  // iterations of Alg. 22 actually executed
+  /// Accumulated fault-layer degradation across every service call.
+  net::Coverage coverage;
+  /// False when any underlying run was partial: the greedy refinement is
+  /// then a sound walk over what was reachable, not the exact heuristic.
+  bool complete = true;
 };
 
 /// Algorithm 23 (div-improve): one greedy pass trying to swap a tuple of
@@ -58,7 +71,8 @@ struct DiversifyResult {
 /// delta so that every accepted swap strictly improves f (keeping Alg. 22
 /// monotone, which the pseudocode's threshold alone does not guarantee).
 bool DivImprove(SingleTupleService* service, const DiversifyObjective& obj,
-                TupleVec* o, QueryStats* stats);
+                TupleVec* o, QueryStats* stats,
+                net::Coverage* coverage = nullptr);
 
 /// Algorithm 22 (diversify): greedy refinement from `initial` (which must
 /// hold k tuples; see the drivers in bench/ and examples/ for how the
@@ -76,7 +90,8 @@ class CentralizedDivService : public SingleTupleService {
   explicit CentralizedDivService(const TupleVec* all) : all_(all) {}
 
   std::optional<Tuple> FindBest(const DivQuery& query, double tau,
-                                QueryStats* stats) override;
+                                QueryStats* stats,
+                                net::Coverage* coverage = nullptr) override;
 
  private:
   const TupleVec* all_;
@@ -100,10 +115,11 @@ class ForcedResultService : public SingleTupleService {
       : measured_(measured), reference_(reference) {}
 
   std::optional<Tuple> FindBest(const DivQuery& query, double tau,
-                                QueryStats* stats) override {
+                                QueryStats* stats,
+                                net::Coverage* coverage = nullptr) override {
     QueryStats discard;
-    (void)measured_->FindBest(query, tau, stats);
-    return reference_->FindBest(query, tau, &discard);
+    (void)measured_->FindBest(query, tau, stats, coverage);
+    return reference_->FindBest(query, tau, &discard, nullptr);
   }
 
  private:
@@ -112,19 +128,28 @@ class ForcedResultService : public SingleTupleService {
 };
 
 /// The RIPPLE-based service (Section 6.2): each FindBest call is one
-/// div-ripple run over the overlay with the given ripple parameter.
-template <typename Overlay>
+/// div-ripple run over the overlay. `base` carries everything but the
+/// per-call query and threshold: initiator, ripple parameter, and (for an
+/// async engine) fault/retry/deadline options, which apply to every
+/// FindBest call independently. Generic over the engine, like the seeded
+/// drivers: EngineT is the recursive Engine by default; instantiate with
+/// AsyncEngine<Overlay, DivPolicy> for message-level (and fault-injected)
+/// execution.
+template <typename Overlay, typename EngineT = Engine<Overlay, DivPolicy>>
 class RippleDivService : public SingleTupleService {
  public:
-  RippleDivService(const Overlay* overlay, PeerId initiator, int ripple_r)
-      : engine_(overlay, DivPolicy{}),
-        initiator_(initiator),
-        ripple_r_(ripple_r) {}
+  RippleDivService(const Overlay* overlay, QueryRequest<DivPolicy> base)
+      : engine_(overlay, DivPolicy{}), base_(std::move(base)) {}
 
   std::optional<Tuple> FindBest(const DivQuery& query, double tau,
-                                QueryStats* stats) override {
-    auto result = engine_.Run(initiator_, query, ripple_r_, DivState{tau});
+                                QueryStats* stats,
+                                net::Coverage* coverage = nullptr) override {
+    QueryRequest<DivPolicy> request = base_;
+    request.query = query;
+    request.initial_state = DivState{tau};
+    auto result = engine_.Run(request);
     *stats += result.stats;
+    if (coverage != nullptr) *coverage += result.coverage;
     if (result.answer.empty()) return std::nullopt;
     // Guard against threshold-equality answers (Alg. 18 emits on phi ==
     // tau_L, which can match the initial tau itself): require strict
@@ -134,14 +159,13 @@ class RippleDivService : public SingleTupleService {
     return t;
   }
 
-  /// The underlying engine, e.g. to attach a tracer (Engine::SetTracer);
-  /// spans of successive FindBest calls accumulate in recording order.
-  Engine<Overlay, DivPolicy>* mutable_engine() { return &engine_; }
+  /// The underlying engine, e.g. to attach a tracer (SetTracer); spans of
+  /// successive FindBest calls accumulate in recording order.
+  EngineT* mutable_engine() { return &engine_; }
 
  private:
-  Engine<Overlay, DivPolicy> engine_;
-  PeerId initiator_;
-  int ripple_r_;
+  EngineT engine_;
+  QueryRequest<DivPolicy> base_;
 };
 
 }  // namespace ripple

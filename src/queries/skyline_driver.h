@@ -3,7 +3,9 @@
 
 #include <vector>
 
+#include "obs/trace.h"
 #include "queries/skyline.h"
+#include "ripple/api.h"
 #include "ripple/engine.h"
 
 namespace ripple {
@@ -20,19 +22,23 @@ namespace ripple {
 /// zone reaches into the most dominating area, so its local skyline prunes
 /// aggressively) and initiate processing there. Routing hops are charged
 /// to the query.
-template <typename Overlay>
-typename Engine<Overlay, SkylinePolicy>::RunResult SeededSkyline(
-    const Overlay& overlay, const Engine<Overlay, SkylinePolicy>& engine,
-    PeerId initiator, const SkylineQuery& query, int r) {
+/// Generic over the engine, like SeededTopK: the request's `initiator` is
+/// where the bootstrap routing starts; the run proper is initiated at the
+/// corner owner. Fault/retry/deadline fields pass through to the engine.
+template <typename Overlay, typename EngineT>
+typename EngineT::Result SeededSkyline(
+    const Overlay& overlay, const EngineT& engine,
+    const QueryRequest<SkylinePolicy>& request) {
   uint64_t hops = 0;
   obs::Tracer* tracer = engine.tracer();
+  const SkylineQuery& query = request.query;
   // Constrained queries aim at the constraint's lower corner (the spot DSL
   // roots its hierarchy at); unconstrained ones at the domain origin.
   const Point corner = query.constraint.has_value()
                            ? query.constraint->lo()
                            : overlay.domain().lo();
   std::vector<PeerId> route_path;
-  const PeerId start = overlay.RouteFrom(initiator, corner, &hops,
+  const PeerId start = overlay.RouteFrom(request.initiator, corner, &hops,
                                          tracer ? &route_path : nullptr);
   double saved_offset = 0.0;
   if (tracer) {
@@ -50,11 +56,16 @@ typename Engine<Overlay, SkylinePolicy>::RunResult SeededSkyline(
     saved_offset = tracer->time_offset();
     tracer->set_time_offset(saved_offset + static_cast<double>(hops));
   }
-  auto result = engine.Run(start, query, r);
+  QueryRequest<SkylinePolicy> seeded = request;
+  seeded.initiator = start;
+  auto result = engine.Run(seeded);
   if (tracer) tracer->set_time_offset(saved_offset);
   result.stats.latency_hops += hops;
   result.stats.messages += hops;
   result.stats.peers_visited += hops;  // forwarding peers handle the query
+  if (result.completion_time > 0) {
+    result.completion_time += static_cast<double>(hops);
+  }
   return result;
 }
 

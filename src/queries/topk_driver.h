@@ -4,7 +4,9 @@
 #include <set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "queries/topk.h"
+#include "ripple/api.h"
 #include "ripple/engine.h"
 
 namespace ripple {
@@ -28,13 +30,20 @@ namespace ripple {
 /// latency). Soundness is untouched: seed states are true claims, and the
 /// main run still covers the whole domain, so the seed peers' tuples are
 /// collected by the run itself.
-template <typename Overlay>
-typename Engine<Overlay, TopKPolicy>::RunResult SeededTopK(
-    const Overlay& overlay, const Engine<Overlay, TopKPolicy>& engine,
-    PeerId initiator, const TopKQuery& query, int r) {
+/// Generic over the engine: works for both the recursive `Engine` (whose
+/// Run ignores fault/retry/deadline) and the discrete-event `AsyncEngine`
+/// (which honors them; the bootstrap itself runs on the analytic perfect
+/// network either way). The request's `initiator` is where the bootstrap
+/// routing starts; the engine run proper is initiated at the peak owner
+/// with the witnessed seed state.
+template <typename Overlay, typename EngineT>
+typename EngineT::Result SeededTopK(const Overlay& overlay,
+                                    const EngineT& engine,
+                                    const QueryRequest<TopKPolicy>& request) {
   QueryStats bootstrap;
   const TopKPolicy& policy = engine.policy();
   obs::Tracer* tracer = engine.tracer();
+  const TopKQuery& query = request.query;
 
   // Phase 1: route to the peer owning the score peak. With a tracer
   // attached, every forwarding peer gets a route span (one hop each,
@@ -42,7 +51,7 @@ typename Engine<Overlay, TopKPolicy>::RunResult SeededTopK(
   const Point peak = query.scorer->Peak(overlay.domain());
   uint64_t hops = 0;
   std::vector<PeerId> route_path;
-  const PeerId start = overlay.RouteFrom(initiator, peak, &hops,
+  const PeerId start = overlay.RouteFrom(request.initiator, peak, &hops,
                                          tracer ? &route_path : nullptr);
   bootstrap.latency_hops += hops;
   bootstrap.messages += hops;
@@ -107,11 +116,19 @@ typename Engine<Overlay, TopKPolicy>::RunResult SeededTopK(
     tracer->set_time_offset(saved_offset +
                             static_cast<double>(bootstrap.latency_hops));
   }
-  auto result = engine.Run(start, query, r, seed);
+  QueryRequest<TopKPolicy> seeded = request;
+  seeded.initiator = start;
+  seeded.initial_state = seed;
+  auto result = engine.Run(seeded);
   if (tracer) tracer->set_time_offset(saved_offset);
   result.stats.latency_hops += bootstrap.latency_hops;
   result.stats.messages += bootstrap.messages;
   result.stats.peers_visited += bootstrap.peers_visited;
+  // Async runs report simulated wall-clock; the sequential bootstrap
+  // happens before their clock starts.
+  if (result.completion_time > 0) {
+    result.completion_time += static_cast<double>(bootstrap.latency_hops);
+  }
   return result;
 }
 

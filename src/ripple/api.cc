@@ -1,0 +1,33 @@
+#include "ripple/api.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ripple {
+
+std::string RippleParam::ToString() const {
+  if (is_fast()) return "fast";
+  if (is_slow()) return "slow";
+  return std::to_string(hops_);
+}
+
+Result<RippleParam> RippleParam::Parse(const std::string& text) {
+  if (text == "fast") return RippleParam::Fast();
+  if (text == "slow") return RippleParam::Slow();
+  if (text.empty()) {
+    return Status::InvalidArgument("empty ripple parameter");
+  }
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument(
+          "ripple parameter must be 'fast', 'slow' or a non-negative "
+          "integer, got '" +
+          text + "'");
+    }
+  }
+  const long v = std::strtol(text.c_str(), nullptr, 10);
+  if (v >= kSlowHops) return RippleParam::Slow();
+  return RippleParam::Hops(static_cast<int>(v));
+}
+
+}  // namespace ripple

@@ -1,0 +1,55 @@
+#ifndef RIPPLE_RIPPLE_COMPAT_H_
+#define RIPPLE_RIPPLE_COMPAT_H_
+
+// DEPRECATED pre-QueryRequest entry points, kept as thin shims for exactly
+// one PR so out-of-tree callers can migrate. Nothing in this repository
+// may include this header or call ripple::compat::* — tools/
+// lint_deprecated.sh fails the build on any in-tree use outside this file.
+//
+// Migration:
+//   engine.Run(initiator, q, r)            -> engine.Run({.initiator = initiator,
+//                                                         .query = q,
+//                                                         .ripple = RippleParam::FromLegacy(r)})
+//   engine.Run(initiator, q, r, state)     -> add .initial_state = state
+//   kRippleSlow                            -> RippleParam::Slow()
+
+#include <utility>
+
+#include "ripple/api.h"
+
+namespace ripple::compat {
+
+/// The legacy "larger than any overlay depth" sentinel that used to mean
+/// `slow`. New code writes RippleParam::Slow().
+inline constexpr int kRippleSlow = 1 << 20;
+
+/// Shim for the old `engine.Run(initiator, query, r)` overload. Works for
+/// both Engine and AsyncEngine.
+template <typename EngineT>
+[[deprecated("build a QueryRequest and call engine.Run(request)")]]
+typename EngineT::Result Run(const EngineT& engine, PeerId initiator,
+                             const typename EngineT::Query& query, int r) {
+  typename EngineT::Request request;
+  request.initiator = initiator;
+  request.query = query;
+  request.ripple = RippleParam::FromLegacy(r);
+  return engine.Run(request);
+}
+
+/// Shim for the old explicit-initial-state overload.
+template <typename EngineT>
+[[deprecated("build a QueryRequest and call engine.Run(request)")]]
+typename EngineT::Result Run(const EngineT& engine, PeerId initiator,
+                             const typename EngineT::Query& query, int r,
+                             typename EngineT::GlobalState initial_state) {
+  typename EngineT::Request request;
+  request.initiator = initiator;
+  request.query = query;
+  request.ripple = RippleParam::FromLegacy(r);
+  request.initial_state = std::move(initial_state);
+  return engine.Run(request);
+}
+
+}  // namespace ripple::compat
+
+#endif  // RIPPLE_RIPPLE_COMPAT_H_

@@ -10,13 +10,10 @@
 #include "net/metrics.h"
 #include "obs/trace.h"
 #include "overlay/types.h"
+#include "ripple/api.h"
 #include "ripple/policy.h"
 
 namespace ripple {
-
-/// The ripple parameter value that makes Run() behave as the paper's `slow`
-/// extreme regardless of overlay depth (r > Delta degenerates to slow).
-inline constexpr int kRippleSlow = 1 << 20;
 
 /// The generic RIPPLE engine: one implementation of the paper's
 /// Algorithms 1 (fast), 2 (slow) and 3 (ripple), shared by every query
@@ -27,6 +24,10 @@ inline constexpr int kRippleSlow = 1 << 20;
 /// do: `fast` contacts all relevant links at once, so children combine
 /// with 1 + max; `slow`/`ripple` wait for each prioritized link's response
 /// before the next forward, so children combine additively.
+///
+/// This engine is the analytic model of a *perfect* network: it ignores
+/// the fault/retry/deadline fields of the QueryRequest and always returns
+/// complete results (AsyncEngine in sim/async_engine.h honors them).
 ///
 /// Overlay requirements: `Area`, `GetPeer(PeerId)` exposing `.links`
 /// (each with `.target` and `.region`) and `.store`, `FullArea()`, and
@@ -41,32 +42,30 @@ class Engine {
   using LocalState = typename Policy::LocalState;
   using GlobalState = typename Policy::GlobalState;
   using Answer = typename Policy::Answer;
+  using Request = QueryRequest<Policy>;
+  using Result = QueryResult<Answer>;
 
   /// The overlay must outlive the engine.
   Engine(const Overlay* overlay, Policy policy)
       : overlay_(overlay), policy_(std::move(policy)) {}
 
-  struct RunResult {
-    Answer answer{};
-    QueryStats stats;
-  };
-
-  /// Processes `query` from `initiator` with ripple parameter `r`
-  /// (r = 0: fast; r >= overlay depth, e.g. kRippleSlow: slow).
-  RunResult Run(PeerId initiator, const Query& query, int r) const {
-    return Run(initiator, query, r, policy_.InitialGlobalState(query));
-  }
-
-  /// As above with an explicit initial global state (used by the
-  /// diversification driver to pre-prune the search, Alg. 23 line 10).
-  RunResult Run(PeerId initiator, const Query& query, int r,
-                GlobalState initial_state) const {
+  /// Processes `request.query` from `request.initiator` with the given
+  /// ripple parameter and optional initial global state.
+  Result Run(const Request& request) const {
     RunContext ctx;
-    const NodeOutcome outcome = Process(initiator, query, initial_state,
-                                        overlay_->FullArea(), r, &ctx);
+    const GlobalState initial =
+        request.initial_state.has_value()
+            ? *request.initial_state
+            : policy_.InitialGlobalState(request.query);
+    const NodeOutcome outcome =
+        Process(request.initiator, request.query, initial,
+                overlay_->FullArea(), request.ripple.hops(), &ctx);
     ctx.stats.latency_hops = outcome.latency;
-    policy_.FinalizeAnswer(&ctx.answer, query);
-    return RunResult{std::move(ctx.answer), ctx.stats};
+    policy_.FinalizeAnswer(&ctx.answer, request.query);
+    Result result;
+    result.answer = std::move(ctx.answer);
+    result.stats = ctx.stats;
+    return result;
   }
 
   const Policy& policy() const { return policy_; }

@@ -2,17 +2,25 @@
 #define RIPPLE_SIM_ASYNC_ENGINE_H_
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "net/coverage.h"
+#include "net/envelope.h"
+#include "net/fault.h"
 #include "net/metrics.h"
 #include "obs/trace.h"
 #include "overlay/types.h"
+#include "ripple/api.h"
 #include "ripple/policy.h"
 #include "sim/event_sim.h"
+#include "sim/fault_model.h"
 
 namespace ripple {
 
@@ -33,12 +41,27 @@ inline LatencyModel UnitLatency() {
 /// subtrees convergecast their state bundles), and answer deliveries to
 /// the initiator, each taking LatencyModel time on the wire.
 ///
-/// Cross-validation contract (exercised by tests): for any query, overlay
-/// and ripple parameter, the async execution produces exactly the same
-/// answer, the same set of visited peers and the same message count as
-/// the recursive engine; its completion time upper-bounds the engine's
-/// forward-hop latency (responses ride the clock here, not in the
-/// lemma-style accounting).
+/// Fault tolerance: when the request's FaultOptions describe an imperfect
+/// network (AnyFault()), every transmission runs through a deterministic
+/// FaultModel (loss, duplication, delay jitter, peer crashes) and the
+/// protocol arms itself:
+///  * every logical message carries an id; retransmissions reuse it and
+///    receivers suppress duplicates through per-peer dedup windows;
+///  * requesters arm per-message timers with capped exponential backoff;
+///    a finished callee answers retransmitted queries from its reply
+///    cache, a still-running callee sends a progress ack that restores the
+///    requester's patience;
+///  * after `max_retries` consecutive silent timeouts the requester gives
+///    up on the link, folds in what it has, and the result is returned
+///    flagged `complete = false` with a Coverage report.
+/// With the default (perfect-network) options none of this machinery
+/// exists at runtime and the engine keeps its cross-validation contract:
+///
+/// For any query, overlay and ripple parameter, the fault-free async
+/// execution produces exactly the same answer, the same set of visited
+/// peers and the same message count as the recursive engine; its
+/// completion time upper-bounds the engine's forward-hop latency
+/// (responses ride the clock here, not in the lemma-style accounting).
 template <typename Overlay, typename Policy>
   requires QueryPolicy<Policy, typename Overlay::Area>
 class AsyncEngine {
@@ -48,6 +71,8 @@ class AsyncEngine {
   using LocalState = typename Policy::LocalState;
   using GlobalState = typename Policy::GlobalState;
   using Answer = typename Policy::Answer;
+  using Request = QueryRequest<Policy>;
+  using Result = QueryResult<Answer>;
 
   AsyncEngine(const Overlay* overlay, Policy policy,
               LatencyModel latency = UnitLatency())
@@ -55,42 +80,30 @@ class AsyncEngine {
         policy_(std::move(policy)),
         latency_(std::move(latency)) {}
 
-  struct RunResult {
-    Answer answer{};
-    QueryStats stats;
-    /// Simulated time from query issue until the last event (final answer
-    /// or state response) lands.
-    double completion_time = 0;
-  };
-
   /// Attaches a tracer recording one span per session, stamped with
   /// simulator time (so wire delays from the LatencyModel are visible in
   /// the trace). Same contract as Engine::SetTracer: nullptr disables,
-  /// not owned, QueryStats are identical either way.
+  /// not owned, QueryStats are identical either way. Under faults, spans
+  /// additionally carry per-session retry/timeout counts.
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
 
-  RunResult Run(PeerId initiator, const Query& query, int r) const {
-    return Run(initiator, query, r, policy_.InitialGlobalState(query));
-  }
+  const Policy& policy() const { return policy_; }
 
-  RunResult Run(PeerId initiator, const Query& query, int r,
-                GlobalState initial_state) const {
-    Runtime rt(this, &query, initiator);
-    // The initiator's root session has no parent.
-    rt.StartSession(initiator, std::move(initial_state),
-                    overlay_->FullArea(), r, /*parent=*/-1);
+  Result Run(const Request& request) const {
+    Runtime rt(this, &request);
+    rt.Start();
     rt.sim.Run();
-    RIPPLE_CHECK(rt.open_sessions == 0 && "async run left dangling sessions");
-    policy_.FinalizeAnswer(&rt.result.answer, query);
-    rt.result.completion_time = rt.sim.now();
-    return std::move(rt.result);
+    return rt.Finalize();
   }
 
  private:
+  static constexpr int kNoSession = -1;
+  static constexpr int64_t kNoRequest = -1;
+
   /// One activation of the per-peer procedure (each peer is activated at
-  /// most once per query thanks to disjoint restriction areas, but the
-  /// session abstraction does not rely on that).
+  /// most once per query thanks to disjoint restriction areas and the
+  /// dedup windows).
   struct Session {
     PeerId peer = kInvalidPeer;
     GlobalState incoming{};   // S^G as received
@@ -98,7 +111,8 @@ class AsyncEngine {
     LocalState local{};       // S^L_w
     Area area{};
     int r = 0;
-    int parent = -1;          // session index to respond to; -1 == root
+    int parent = kNoSession;  // session index to respond to; -1 == root
+    int64_t origin_req = kNoRequest;  // request id that spawned us
     // Slow phase: prioritized candidates still to consider.
     struct Candidate {
       PeerId target;
@@ -112,28 +126,158 @@ class AsyncEngine {
     // Fast phase: state bundle accumulated for the slow ancestor.
     std::vector<LocalState> bundle;
     bool fast = false;
+    bool finished = false;
+    // Reply cache: the state bundle this session reported, kept so a
+    // retransmitted query can be answered without re-execution.
+    std::vector<LocalState> bundle_out;
     // Trace span of this session (kNoSpan when tracing is off).
     uint32_t span = obs::kNoSpan;
   };
 
+  /// One logical query forward awaiting a response. Retransmissions reuse
+  /// the entry (and its message id); the payload snapshot is kept so a
+  /// retransmission resends exactly what the first attempt carried.
+  struct PendingRequest {
+    int requester = kNoSession;  // session waiting for the response
+    PeerId from = kInvalidPeer;
+    PeerId target = kInvalidPeer;
+    GlobalState state{};
+    Area area{};
+    int r = 0;
+    int attempt = 0;       // transmissions so far
+    int strikes = 0;       // consecutive timeouts without response/ack
+    double timeout = 0;    // current (backed-off) patience
+    bool resolved = false; // response consumed, or given up
+    bool failed = false;   // given up after the retry budget
+    uint64_t timer = 0;    // live TimerWheel handle
+  };
+
+  /// One answer delivery to the initiator, with sender-side retransmission
+  /// on loss (the answer channel models a reliable transport whose acks
+  /// are elided from the accounting; retransmissions are not).
+  struct PendingAnswer {
+    PeerId from = kInvalidPeer;
+    Answer payload{};
+    size_t tuples = 0;
+    int attempt = 0;
+    bool settled = false;  // delivered once, or lost for good
+  };
+
   struct Runtime {
-    Runtime(const AsyncEngine* engine, const Query* q, PeerId init)
-        : self(engine), query(q), initiator(init) {}
+    Runtime(const AsyncEngine* engine, const Request* req)
+        : self(engine),
+          request(req),
+          ft(req->fault.AnyFault()),
+          fault(req->fault, req->initiator),
+          timers(&sim) {}
 
     const AsyncEngine* self;
-    const Query* query;
-    PeerId initiator;
+    const Request* request;
+    const bool ft;  // fault machinery armed
+    FaultModel fault;
     EventSimulator sim;
+    TimerWheel timers;
     std::vector<Session> sessions;
-    RunResult result;
+    std::vector<PendingRequest> requests;  // indexed by message id
+    std::vector<PendingAnswer> answers;
+    std::unordered_map<PeerId, net::DedupWindow> query_dedup;
+    Result result;
     int open_sessions = 0;
+    int answers_outstanding = 0;
+    bool root_done = false;
+    bool deadline_hit = false;
+    double root_finish_time = 0;
+    double last_answer_time = 0;
 
     const Policy& policy() const { return self->policy_; }
     const Overlay& overlay() const { return *self->overlay_; }
+    const net::RetryOptions& retry() const { return request->retry; }
+
+    // --- entry / exit ----------------------------------------------------
+
+    void Start() {
+      if (ft && std::isfinite(request->deadline)) {
+        sim.Schedule(request->deadline, [this] { OnDeadline(); });
+      }
+      GlobalState initial =
+          request->initial_state.has_value()
+              ? *request->initial_state
+              : policy().InitialGlobalState(request->query);
+      // The initiator's root session has no parent and no envelope.
+      StartSession(request->initiator, std::move(initial),
+                   overlay().FullArea(), request->ripple.hops(),
+                   /*parent=*/kNoSession, kNoRequest);
+    }
+
+    Result Finalize() {
+      if (!ft && !std::isfinite(request->deadline)) {
+        RIPPLE_CHECK(open_sessions == 0 &&
+                     "async run left dangling sessions");
+      }
+      policy().FinalizeAnswer(&result.answer, request->query);
+      result.completion_time = std::max(root_finish_time, last_answer_time);
+      if (deadline_hit) {
+        result.completion_time = std::max(result.completion_time, sim.now());
+      }
+      result.complete = result.coverage.complete() && !deadline_hit;
+      net::RecordCoverageMetrics(result.coverage);
+      return std::move(result);
+    }
+
+    // --- wire ------------------------------------------------------------
+
+    /// Schedules a delivery callback at `to` after wire delay, dropping it
+    /// if the receiver has crashed by then. `deliver` must be idempotent
+    /// against duplicate copies (all receive paths dedup).
+    void ScheduleDelivery(PeerId to, double delay,
+                          std::function<void()> deliver) {
+      sim.Schedule(delay, [this, to, deliver = std::move(deliver)] {
+        if (ft && fault.CrashedAt(to, sim.now())) {
+          result.coverage.crash_drops += 1;
+          NoteCrashed(to);
+          return;
+        }
+        deliver();
+      });
+    }
+
+    /// One wire transmission from -> to, subject to loss / jitter /
+    /// duplication. The caller has already charged the message to stats.
+    void Transmit(PeerId from, PeerId to, std::function<void()> deliver) {
+      const double base = self->latency_(from, to);
+      if (!ft) {
+        sim.Schedule(base, std::move(deliver));
+        return;
+      }
+      if (fault.DropMessage()) {
+        result.coverage.messages_lost += 1;
+        return;
+      }
+      const double d = fault.Jitter(base);
+      if (fault.DuplicateMessage()) {
+        result.coverage.messages_duplicated += 1;
+        ScheduleDelivery(to, fault.Jitter(base), deliver);
+      }
+      ScheduleDelivery(to, d, std::move(deliver));
+    }
+
+    void NoteCrashed(PeerId peer) {
+      auto& v = result.coverage.crashed_peers;
+      auto it = std::lower_bound(v.begin(), v.end(), peer);
+      if (it == v.end() || *it != peer) v.insert(it, peer);
+    }
+
+    void NoteUnreachable(PeerId peer) {
+      auto& v = result.coverage.unreachable_peers;
+      auto it = std::lower_bound(v.begin(), v.end(), peer);
+      if (it == v.end() || *it != peer) v.insert(it, peer);
+    }
+
+    // --- sessions (the RIPPLE procedure itself) --------------------------
 
     /// Delivers the query to `peer` (caller already charged the message).
     void StartSession(PeerId peer, GlobalState state, Area area, int r,
-                      int parent) {
+                      int parent, int64_t origin_req) {
       const int id = static_cast<int>(sessions.size());
       sessions.push_back(Session{});
       Session& s = sessions[id];
@@ -142,6 +286,7 @@ class AsyncEngine {
       s.area = std::move(area);
       s.r = r;
       s.parent = parent;
+      s.origin_req = origin_req;
       s.fast = r <= 0;
       ++open_sessions;
       result.stats.peers_visited += 1;
@@ -157,8 +302,11 @@ class AsyncEngine {
       }
 
       const auto& node = overlay().GetPeer(peer);
-      s.local = policy().ComputeLocalState(node.store, *query, s.incoming);
-      s.global = policy().ComputeGlobalState(*query, s.incoming, s.local);
+      s.local = policy().ComputeLocalState(node.store, request->query,
+                                           s.incoming);
+      s.global =
+          policy().ComputeGlobalState(request->query, s.incoming,
+                                      s.local);
 
       if (s.fast) {
         // Algorithm 1 / Algorithm 3 second loop: forward everywhere at
@@ -169,7 +317,8 @@ class AsyncEngine {
           if (!Overlay::IntersectArea(link.region, s.area, &restricted)) {
             continue;
           }
-          if (!policy().IsLinkRelevant(*query, s.global, restricted)) {
+          if (!policy().IsLinkRelevant(request->query, s.global,
+                                       restricted)) {
             if (s.span != obs::kNoSpan) {
               self->tracer_->span(s.span).links_pruned += 1;
             }
@@ -180,11 +329,12 @@ class AsyncEngine {
         if (s.span != obs::kNoSpan) {
           self->tracer_->span(s.span).links_forwarded = targets.size();
         }
-        s.outstanding_children = static_cast<int>(targets.size());
+        sessions[id].outstanding_children = static_cast<int>(targets.size());
         for (auto& [target, restricted] : targets) {
-          SendQuery(id, target, s.global, std::move(restricted), 0);
+          NewRequest(id, target, sessions[id].global, std::move(restricted),
+                     0);
         }
-        if (s.outstanding_children == 0) FinishSession(id);
+        if (sessions[id].outstanding_children == 0) FinishSession(id);
       } else {
         // Algorithm 2 / Algorithm 3 first loop: prioritized, sequential.
         for (const auto& link : node.links) {
@@ -193,7 +343,7 @@ class AsyncEngine {
             continue;
           }
           const double priority =
-              policy().LinkPriority(*query, restricted);
+              policy().LinkPriority(request->query, restricted);
           s.pending.push_back(typename Session::Candidate{
               link.target, std::move(restricted), priority});
         }
@@ -207,10 +357,11 @@ class AsyncEngine {
 
     /// Slow phase: contact the next relevant candidate or finish.
     void AdvanceSlow(int id) {
-      Session& s = sessions[id];
-      while (s.next_candidate < s.pending.size()) {
+      while (sessions[id].next_candidate < sessions[id].pending.size()) {
+        Session& s = sessions[id];
         auto& c = s.pending[s.next_candidate++];
-        if (!policy().IsLinkRelevant(*query, s.global, c.area)) {
+        if (!policy().IsLinkRelevant(request->query, s.global,
+                                     c.area)) {
           if (s.span != obs::kNoSpan) {
             self->tracer_->span(s.span).links_pruned += 1;
           }
@@ -219,41 +370,15 @@ class AsyncEngine {
         if (s.span != obs::kNoSpan) {
           self->tracer_->span(s.span).links_forwarded += 1;
         }
-        SendQuery(id, c.target, s.global, std::move(c.area), s.r - 1);
-        return;  // wait for the response
+        NewRequest(id, c.target, s.global, std::move(c.area), s.r - 1);
+        return;  // wait for the response (or the retry budget)
       }
       FinishSession(id);
     }
 
-    void SendQuery(int from_session, PeerId target, GlobalState state,
-                   Area area, int r) {
-      result.stats.messages += 1;
-      result.stats.tuples_shipped +=
-          policy().GlobalStateTupleCount(state);
-      const PeerId from = sessions[from_session].peer;
-      self->sim_schedule(&sim, from, target,
-                         [this, from_session, target,
-                          state = std::move(state), area = std::move(area),
-                          r]() mutable {
-                           StartSession(target, std::move(state),
-                                        std::move(area), r, from_session);
-                         });
-    }
-
     /// A child (or fast-subtree) responded with a bundle of local states.
-    /// In the protocol, fast-phase peers address their states directly to
-    /// the nearest slow ancestor u (Alg. 3 keeps forwarding u through the
-    /// fast phase), so state messages are accounted exactly once — at the
-    /// slow session that consumes them; the convergecast through fast
-    /// sessions only exists for completion detection.
     void OnResponse(int id, std::vector<LocalState> bundle) {
       Session& s = sessions[id];
-      if (!s.fast) {
-        result.stats.messages += bundle.size();
-        for (const LocalState& st : bundle) {
-          result.stats.tuples_shipped += policy().StateTupleCount(st);
-        }
-      }
       if (s.fast) {
         for (LocalState& st : bundle) s.bundle.push_back(std::move(st));
         if (--s.outstanding_children == 0) FinishSession(id);
@@ -261,9 +386,20 @@ class AsyncEngine {
         if (s.span != obs::kNoSpan) {
           self->tracer_->span(s.span).states_merged += bundle.size();
         }
-        policy().MergeLocalStates(*query, &s.local, bundle);
-        s.global =
-            policy().ComputeGlobalState(*query, s.incoming, s.local);
+        policy().MergeLocalStates(request->query, &s.local, bundle);
+        s.global = policy().ComputeGlobalState(request->query,
+                                               s.incoming, s.local);
+        AdvanceSlow(id);
+      }
+    }
+
+    /// A child could not be reached within the retry budget: fold in what
+    /// we have and continue without its subtree.
+    void ChildFailed(int id) {
+      Session& s = sessions[id];
+      if (s.fast) {
+        if (--s.outstanding_children == 0) FinishSession(id);
+      } else {
         AdvanceSlow(id);
       }
     }
@@ -271,18 +407,15 @@ class AsyncEngine {
     /// Lines 12-13 / 19-21: report the state upward, ship the answer.
     void FinishSession(int id) {
       Session& s = sessions[id];
+      s.finished = true;
       // The final local state drives the answer extraction (fast sessions
       // never merged, so s.local is the line-1 state, as in Alg. 1).
       Answer answer = policy().ComputeLocalAnswer(
-          overlay().GetPeer(s.peer).store, *query, s.local);
+          overlay().GetPeer(s.peer).store, request->query, s.local);
       const size_t tuples = policy().AnswerTupleCount(answer);
       if (tuples > 0) {
-        result.stats.messages += 1;
-        result.stats.tuples_shipped += tuples;
-        // Answer delivery rides the clock but needs no handler state.
-        self->sim_schedule(&sim, s.peer, initiator, [] {});
+        SendAnswer(s.peer, std::move(answer), tuples);
       }
-      policy().MergeAnswer(&result.answer, std::move(answer), *query);
       if (s.span != obs::kNoSpan) {
         obs::Tracer* tracer = self->tracer_;
         obs::Span& sp = tracer->span(s.span);
@@ -291,30 +424,279 @@ class AsyncEngine {
         tracer->EndSpan(s.span, sim.now());
       }
 
-      std::vector<LocalState> bundle;
+      // In the protocol, fast-phase peers address their states directly to
+      // the nearest slow ancestor u (Alg. 3 keeps forwarding u through the
+      // fast phase), so state messages are accounted exactly once — at the
+      // slow session that consumes them; the convergecast through fast
+      // sessions only exists for completion detection.
       if (s.fast) {
-        bundle = std::move(s.bundle);
-        bundle.push_back(s.local);
+        s.bundle_out = std::move(s.bundle);
+        s.bundle_out.push_back(s.local);
       } else {
-        bundle.push_back(s.local);
+        s.bundle_out.push_back(s.local);
       }
-      const int parent = s.parent;
-      const PeerId peer = s.peer;
       --open_sessions;
-      if (parent >= 0) {
-        self->sim_schedule(&sim, peer, sessions[parent].peer,
-                           [this, parent,
-                            bundle = std::move(bundle)]() mutable {
-                             OnResponse(parent, std::move(bundle));
-                           });
+      if (s.parent >= 0) {
+        SendResponse(id);
+      } else {
+        root_done = true;
+        root_finish_time = sim.now();
+        MaybeStop();
       }
     }
-  };
 
-  void sim_schedule(EventSimulator* sim, PeerId from, PeerId to,
-                    std::function<void()> fn) const {
-    sim->Schedule(latency_(from, to), std::move(fn));
-  }
+    // --- requests, timeouts, retries -------------------------------------
+
+    /// Issues a new logical query forward from session `requester`.
+    void NewRequest(int requester, PeerId target, GlobalState state,
+                    Area area, int r) {
+      const int64_t id = static_cast<int64_t>(requests.size());
+      requests.push_back(PendingRequest{});
+      PendingRequest& rq = requests[id];
+      rq.requester = requester;
+      rq.from = sessions[requester].peer;
+      rq.target = target;
+      rq.state = std::move(state);
+      rq.area = std::move(area);
+      rq.r = r;
+      rq.timeout = retry().timeout;
+      TransmitQuery(id);
+    }
+
+    void TransmitQuery(int64_t id) {
+      PendingRequest& rq = requests[id];
+      rq.attempt += 1;
+      result.stats.messages += 1;
+      result.stats.tuples_shipped += policy().GlobalStateTupleCount(rq.state);
+      Transmit(rq.from, rq.target, [this, id] { DeliverQuery(id); });
+      if (ft) {
+        requests[id].timer =
+            timers.Arm(requests[id].timeout, [this, id] { OnTimeout(id); });
+      }
+    }
+
+    void DeliverQuery(int64_t id) {
+      PendingRequest& rq = requests[id];
+      if (ft) {
+        net::DedupWindow& window = DedupOf(rq.target);
+        if (const int64_t* session = window.Lookup(static_cast<uint64_t>(id))) {
+          // Retransmission or network duplicate of a query we have seen:
+          // answer from the reply cache, or ack that we are still on it.
+          result.coverage.duplicates_suppressed += 1;
+          const int s = static_cast<int>(*session);
+          if (sessions[s].finished) {
+            ResendResponse(s);
+          } else {
+            SendAck(id);
+          }
+          return;
+        }
+        window.Insert(static_cast<uint64_t>(id),
+                      static_cast<int64_t>(sessions.size()));
+      }
+      StartSession(rq.target, rq.state, rq.area, rq.r, rq.requester, id);
+    }
+
+    void OnTimeout(int64_t id) {
+      PendingRequest& rq = requests[id];
+      if (rq.resolved) return;
+      // A crashed requester stops timing out; its own parent handles it.
+      if (fault.CrashedAt(rq.from, sim.now())) return;
+      result.coverage.timeouts += 1;
+      const uint32_t span = sessions[rq.requester].span;
+      if (span != obs::kNoSpan) self->tracer_->span(span).timeouts += 1;
+      if (rq.strikes >= retry().max_retries) {
+        GiveUp(id);
+        return;
+      }
+      rq.strikes += 1;
+      rq.timeout = std::min(rq.timeout * retry().backoff,
+                            retry().timeout_cap);
+      result.coverage.retries += 1;
+      if (span != obs::kNoSpan) self->tracer_->span(span).retries += 1;
+      TransmitQuery(id);
+    }
+
+    /// The retry budget for this link is spent: degrade gracefully.
+    void GiveUp(int64_t id) {
+      PendingRequest& rq = requests[id];
+      rq.resolved = true;
+      rq.failed = true;
+      result.coverage.links_unresolved += 1;
+      NoteUnreachable(rq.target);
+      if (fault.CrashedAt(rq.target, sim.now())) NoteCrashed(rq.target);
+      ChildFailed(rq.requester);
+    }
+
+    /// Progress ack for a request whose session is still running.
+    void SendAck(int64_t id) {
+      PendingRequest& rq = requests[id];
+      result.coverage.acks += 1;
+      result.stats.messages += 1;
+      Transmit(rq.target, rq.from, [this, id] {
+        PendingRequest& r = requests[id];
+        if (!r.resolved) r.strikes = 0;  // patience restored
+      });
+    }
+
+    // --- responses --------------------------------------------------------
+
+    /// Ships session `id`'s cached state bundle to its requester. Response
+    /// messages are charged one per state, and only at slow requesters
+    /// (see FinishSession); retransmissions are charged again.
+    void SendResponseWire(int id, bool charge_retry) {
+      Session& s = sessions[id];
+      const int64_t req_id = s.origin_req;
+      const int parent = s.parent;
+      if (!sessions[parent].fast) {
+        result.stats.messages += s.bundle_out.size();
+        for (const LocalState& st : s.bundle_out) {
+          result.stats.tuples_shipped += policy().StateTupleCount(st);
+        }
+      }
+      if (charge_retry) result.coverage.retries += 1;
+      Transmit(s.peer, sessions[parent].peer,
+               [this, req_id, bundle = s.bundle_out]() mutable {
+                 DeliverResponse(req_id, std::move(bundle));
+               });
+    }
+
+    void SendResponse(int id) { SendResponseWire(id, /*charge_retry=*/false); }
+    void ResendResponse(int id) { SendResponseWire(id, /*charge_retry=*/true); }
+
+    void DeliverResponse(int64_t req_id, std::vector<LocalState> bundle) {
+      if (req_id < 0) return;
+      PendingRequest& rq = requests[req_id];
+      if (rq.resolved) {
+        // Duplicate of a consumed response, or a response arriving after
+        // the requester gave up on the link.
+        if (rq.failed) {
+          result.coverage.late_responses += 1;
+        } else {
+          result.coverage.duplicates_suppressed += 1;
+        }
+        return;
+      }
+      rq.resolved = true;
+      if (ft) timers.Cancel(rq.timer);
+      OnResponse(rq.requester, std::move(bundle));
+    }
+
+    // --- answers ----------------------------------------------------------
+
+    /// Answer deliveries ride a (bounded-retry) reliable channel: the
+    /// sender retransmits lost answers after the retry timeout until the
+    /// budget is spent, then the loss is recorded in coverage and the
+    /// result is flagged partial.
+    void SendAnswer(PeerId from, Answer&& payload, size_t tuples) {
+      const size_t idx = answers.size();
+      answers.push_back(PendingAnswer{});
+      PendingAnswer& a = answers[idx];
+      a.from = from;
+      a.payload = std::move(payload);
+      a.tuples = tuples;
+      ++answers_outstanding;
+      TransmitAnswer(idx);
+    }
+
+    void TransmitAnswer(size_t idx) {
+      PendingAnswer& a = answers[idx];
+      a.attempt += 1;
+      result.stats.messages += 1;
+      result.stats.tuples_shipped += a.tuples;
+      if (!ft) {
+        // Answer delivery rides the clock but needs no handler state.
+        const PeerId from = a.from;
+        sim.Schedule(self->latency_(from, request->initiator),
+                     [this, idx] { DeliverAnswer(idx); });
+        return;
+      }
+      const double base = self->latency_(a.from, request->initiator);
+      if (fault.DropMessage()) {
+        result.coverage.messages_lost += 1;
+        if (a.attempt > retry().max_retries) {
+          result.coverage.answers_lost += 1;
+          SettleAnswer(idx);
+          return;
+        }
+        result.coverage.retries += 1;
+        const PeerId from = a.from;
+        timers.Arm(retry().timeout, [this, idx, from] {
+          if (answers[idx].settled) return;
+          if (fault.CrashedAt(from, sim.now())) {
+            // The sender died holding the only copy.
+            result.coverage.answers_lost += 1;
+            SettleAnswer(idx);
+            return;
+          }
+          TransmitAnswer(idx);
+        });
+        return;
+      }
+      const double d = fault.Jitter(base);
+      if (fault.DuplicateMessage()) {
+        result.coverage.messages_duplicated += 1;
+        ScheduleDelivery(request->initiator, fault.Jitter(base),
+                         [this, idx] { DeliverAnswer(idx); });
+      }
+      ScheduleDelivery(request->initiator, d,
+                       [this, idx] { DeliverAnswer(idx); });
+    }
+
+    void DeliverAnswer(size_t idx) {
+      PendingAnswer& a = answers[idx];
+      if (a.settled) {
+        result.coverage.duplicates_suppressed += 1;
+        return;
+      }
+      policy().MergeAnswer(&result.answer, std::move(a.payload),
+                           request->query);
+      last_answer_time = std::max(last_answer_time, sim.now());
+      SettleAnswer(idx);
+    }
+
+    void SettleAnswer(size_t idx) {
+      answers[idx].settled = true;
+      --answers_outstanding;
+      MaybeStop();
+    }
+
+    // --- termination ------------------------------------------------------
+
+    /// Once the initiator's session closed and every answer settled, the
+    /// query is over; surviving events are lapsed retry timers and
+    /// convergecast bookkeeping of abandoned subtrees.
+    void MaybeStop() {
+      if (root_done && answers_outstanding == 0) sim.Stop();
+    }
+
+    /// The request deadline fired before the root closed: every pending
+    /// forward is declared unresolved and the initiator returns what it
+    /// folded so far.
+    void OnDeadline() {
+      if (root_done && answers_outstanding == 0) return;
+      deadline_hit = true;
+      for (size_t i = 0; i < requests.size(); ++i) {
+        PendingRequest& rq = requests[i];
+        if (rq.resolved) continue;
+        rq.resolved = true;
+        rq.failed = true;
+        result.coverage.links_unresolved += 1;
+        NoteUnreachable(rq.target);
+      }
+      sim.Stop();
+    }
+
+    net::DedupWindow& DedupOf(PeerId peer) {
+      auto it = query_dedup.find(peer);
+      if (it == query_dedup.end()) {
+        it = query_dedup
+                 .emplace(peer, net::DedupWindow(retry().dedup_window))
+                 .first;
+      }
+      return it->second;
+    }
+  };
 
   const Overlay* overlay_;
   Policy policy_;

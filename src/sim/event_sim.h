@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -28,9 +29,11 @@ class EventSimulator {
     queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
   }
 
-  /// Runs events until the queue drains. Returns the final clock value.
+  /// Runs events until the queue drains or Stop() is called. Returns the
+  /// final clock value.
   Clock Run() {
-    while (!queue_.empty()) {
+    stopped_ = false;
+    while (!queue_.empty() && !stopped_) {
       Event e = std::move(const_cast<Event&>(queue_.top()));
       queue_.pop();
       RIPPLE_DCHECK(e.at >= now_);
@@ -40,6 +43,13 @@ class EventSimulator {
     }
     return now_;
   }
+
+  /// Ends the current Run() after the in-flight event returns; pending
+  /// events stay queued (a later Run() would resume them). Used by the
+  /// async engine once the root query completed — any surviving events are
+  /// lapsed retry timers with nothing left to do.
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
 
  private:
   struct Event {
@@ -56,6 +66,40 @@ class EventSimulator {
   Clock now_ = 0;
   uint64_t next_seq_ = 0;
   size_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+/// Cancellable timers on top of EventSimulator, the way a kernel timer
+/// wheel exposes them: Arm() returns a handle, Cancel() revokes it, firing
+/// consumes it. Cancellation is lazy — the underlying event still pops at
+/// its timestamp but finds its handle dead and does nothing — so Cancel is
+/// O(1) and the scheduler needs no queue surgery.
+class TimerWheel {
+ public:
+  /// The simulator must outlive the wheel.
+  explicit TimerWheel(EventSimulator* sim) : sim_(sim) {}
+
+  /// Arms a one-shot timer `delay` units from now.
+  uint64_t Arm(double delay, std::function<void()> fn) {
+    const uint64_t id = next_id_++;
+    live_.insert(id);
+    sim_->Schedule(delay, [this, id, fn = std::move(fn)] {
+      if (live_.erase(id) == 0) return;  // cancelled
+      fn();
+    });
+    return id;
+  }
+
+  /// Revokes a timer; firing and double-cancel are harmless no-ops.
+  void Cancel(uint64_t id) { live_.erase(id); }
+
+  /// Timers armed and neither fired nor cancelled yet.
+  size_t armed() const { return live_.size(); }
+
+ private:
+  EventSimulator* sim_;
+  std::unordered_set<uint64_t> live_;
+  uint64_t next_id_ = 1;
 };
 
 }  // namespace ripple

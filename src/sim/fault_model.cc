@@ -1,0 +1,65 @@
+#include "sim/fault_model.h"
+
+#include <limits>
+
+namespace ripple {
+
+namespace {
+
+/// splitmix64 finalizer — a cheap, well-mixed stateless hash.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double HashU01(uint64_t x) {
+  return static_cast<double>(Mix(x) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultModel::FaultModel(const net::FaultOptions& options, PeerId protected_peer)
+    : options_(options),
+      protected_peer_(protected_peer),
+      rng_(options.seed * 0x9e3779b97f4a7c15ULL + 0x2545F4914F6CDD1DULL) {
+  for (const net::CrashEvent& c : options_.crashes) {
+    explicit_crashes_.emplace(c.peer, c.at);
+  }
+}
+
+bool FaultModel::DropMessage() {
+  if (options_.loss_rate <= 0) return false;
+  return rng_.Bernoulli(options_.loss_rate);
+}
+
+bool FaultModel::DuplicateMessage() {
+  if (options_.dup_rate <= 0) return false;
+  return rng_.Bernoulli(options_.dup_rate);
+}
+
+double FaultModel::Jitter(double delay) {
+  if (options_.delay_jitter <= 0) return delay;
+  return delay * (1.0 + rng_.UniformDouble() * options_.delay_jitter);
+}
+
+double FaultModel::CrashTimeOf(PeerId peer) const {
+  if (peer == protected_peer_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  auto it = explicit_crashes_.find(peer);
+  if (it != explicit_crashes_.end()) return it->second;
+  if (options_.crash_rate <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Two independent hashes of (seed, peer): one decides *whether* the peer
+  // crashes, the other *when* within the window.
+  const uint64_t base = Mix(options_.seed) ^ (uint64_t{peer} << 1);
+  if (HashU01(base) >= options_.crash_rate) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return HashU01(base ^ 0xD6E8FEB86659FD93ULL) * options_.crash_window;
+}
+
+}  // namespace ripple

@@ -78,12 +78,12 @@ Net MakeNet(size_t peers, size_t tuples, int dims, uint64_t seed) {
 }
 
 template <typename Policy, typename Query>
-void CrossValidate(const Net& net, const Query& q, int r,
+void CrossValidate(const Net& net, const Query& q, RippleParam r,
                    PeerId initiator) {
   Engine<MidasOverlay, Policy> sync_engine(&net.overlay, Policy{});
   AsyncEngine<MidasOverlay, Policy> async_engine(&net.overlay, Policy{});
-  const auto sync = sync_engine.Run(initiator, q, r);
-  const auto async = async_engine.Run(initiator, q, r);
+  const auto sync = sync_engine.Run({.initiator = initiator, .query = q, .ripple = r});
+  const auto async = async_engine.Run({.initiator = initiator, .query = q, .ripple = r});
   // Identical answers.
   ASSERT_EQ(async.answer.size(), sync.answer.size()) << "r=" << r;
   for (size_t i = 0; i < sync.answer.size(); ++i) {
@@ -103,7 +103,7 @@ TEST(AsyncEngineTest, TopKMatchesRecursiveEngine) {
   LinearScorer scorer({-0.5, -0.3, -0.2});
   TopKQuery q{&scorer, 10};
   Rng rng(5);
-  for (int r : {0, 1, 3, kRippleSlow}) {
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Hops(1), RippleParam::Hops(3), RippleParam::Slow()}) {
     CrossValidate<TopKPolicy>(net, q, r, net.overlay.RandomPeer(&rng));
   }
 }
@@ -111,7 +111,7 @@ TEST(AsyncEngineTest, TopKMatchesRecursiveEngine) {
 TEST(AsyncEngineTest, SkylineMatchesRecursiveEngine) {
   Net net = MakeNet(64, 800, 3, 603);
   Rng rng(7);
-  for (int r : {0, 2, kRippleSlow}) {
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Hops(2), RippleParam::Slow()}) {
     CrossValidate<SkylinePolicy>(net, SkylineQuery{}, r,
                                  net.overlay.RandomPeer(&rng));
   }
@@ -121,7 +121,7 @@ TEST(AsyncEngineTest, RangeMatchesRecursiveEngine) {
   Net net = MakeNet(64, 900, 2, 607);
   Rng rng(11);
   RangeQuery q{Point{0.4, 0.6}, 0.15, Norm::kL2};
-  for (int r : {0, kRippleSlow}) {
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Slow()}) {
     CrossValidate<RangePolicy>(net, q, r, net.overlay.RandomPeer(&rng));
   }
 }
@@ -137,8 +137,8 @@ TEST(AsyncEngineTest, SlowModeCompletionTracksSequentialHops) {
                                                      TopKPolicy{});
   Rng rng(13);
   const PeerId initiator = net.overlay.RandomPeer(&rng);
-  const auto sync = sync_engine.Run(initiator, q, kRippleSlow);
-  const auto async = async_engine.Run(initiator, q, kRippleSlow);
+  const auto sync = sync_engine.Run({.initiator = initiator, .query = q, .ripple = RippleParam::Slow()});
+  const auto async = async_engine.Run({.initiator = initiator, .query = q, .ripple = RippleParam::Slow()});
   EXPECT_GE(async.completion_time,
             2.0 * static_cast<double>(sync.stats.latency_hops));
 }
@@ -156,8 +156,8 @@ TEST(AsyncEngineTest, HeterogeneousDelaysChangeTimeNotWork) {
       &net.overlay, TopKPolicy{}, [](PeerId a, PeerId b) {
         return ((a < 32) != (b < 32)) ? 10.0 : 1.0;
       });
-  const auto fast_unit = unit.Run(initiator, q, 0);
-  const auto fast_wan = wan.Run(initiator, q, 0);
+  const auto fast_unit = unit.Run({.initiator = initiator, .query = q});
+  const auto fast_wan = wan.Run({.initiator = initiator, .query = q});
   EXPECT_EQ(fast_unit.stats.peers_visited, fast_wan.stats.peers_visited);
   EXPECT_EQ(fast_unit.stats.messages, fast_wan.stats.messages);
   EXPECT_GT(fast_wan.completion_time, fast_unit.completion_time);
@@ -177,8 +177,8 @@ TEST(AsyncEngineTest, FastCompletionBeatsSlowCompletion) {
   double fast_total = 0, slow_total = 0;
   for (int trial = 0; trial < 5; ++trial) {
     const PeerId initiator = net.overlay.RandomPeer(&rng);
-    fast_total += engine.Run(initiator, q, 0).completion_time;
-    slow_total += engine.Run(initiator, q, kRippleSlow).completion_time;
+    fast_total += engine.Run({.initiator = initiator, .query = q}).completion_time;
+    slow_total += engine.Run({.initiator = initiator, .query = q, .ripple = RippleParam::Slow()}).completion_time;
   }
   EXPECT_LT(fast_total, slow_total);
 }

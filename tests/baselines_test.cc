@@ -41,14 +41,14 @@ TEST(NaiveTest, MatchesOracleAndVisitsEveryone) {
       all, [&](const Point& p) { return scorer.Score(p); }, q.k);
 
   Engine<MidasOverlay, NaiveTopKPolicy> naive(&overlay, NaiveTopKPolicy{});
-  const auto result = naive.Run(overlay.RandomPeer(&rng), q, 0);
+  const auto result = naive.Run({.initiator = overlay.RandomPeer(&rng), .query = q});
   ExpectSameSet(result.answer, want);
   // Broadcast reaches everybody; every non-empty peer ships k tuples.
   EXPECT_EQ(result.stats.peers_visited, overlay.NumPeers());
   EXPECT_GE(result.stats.tuples_shipped, 10u);
 
   Engine<MidasOverlay, TopKPolicy> smart(&overlay, TopKPolicy{});
-  const auto pruned = smart.Run(overlay.RandomPeer(&rng), q, 0);
+  const auto pruned = smart.Run({.initiator = overlay.RandomPeer(&rng), .query = q});
   EXPECT_LT(pruned.stats.tuples_shipped, result.stats.tuples_shipped);
 }
 
@@ -199,8 +199,7 @@ TEST(DivBaselineTest, CostsExceedRippleService) {
   Rng pick(89);
   CanFloodDivService baseline(&can_net.overlay,
                               can_net.overlay.RandomPeer(&pick));
-  RippleDivService<MidasOverlay> ripple(&midas, midas.RandomPeer(&pick),
-                                        kRippleSlow);
+  RippleDivService<MidasOverlay> ripple(&midas, {.initiator = midas.RandomPeer(&pick), .ripple = RippleParam::Slow()});
   const DiversifyObjective obj{tuples[0].key, 0.5, Norm::kL1};
   DiversifyOptions options;
   options.k = 5;

@@ -87,8 +87,8 @@ TEST(ChordTest, GenericRippleTopKMatchesOracle) {
   const TupleVec want = SelectTopK(
       all, [&](const Point& p) { return scorer.Score(p); }, q.k);
   Engine<ChordOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
-  for (int r : {0, 3, kRippleSlow}) {
-    const auto result = engine.Run(overlay.RandomPeer(&rng), q, r);
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Hops(3), RippleParam::Slow()}) {
+    const auto result = engine.Run({.initiator = overlay.RandomPeer(&rng), .query = q, .ripple = r});
     ASSERT_EQ(result.answer.size(), want.size()) << "r=" << r;
     for (size_t i = 0; i < want.size(); ++i) {
       EXPECT_EQ(result.answer[i].id, want[i].id) << "r=" << r;
@@ -109,7 +109,7 @@ TEST(ChordTest, GenericRippleVisitsFewerPeersThanBroadcast) {
   uint64_t visits = 0;
   const int trials = 10;
   for (int t = 0; t < trials; ++t) {
-    visits += engine.Run(overlay.RandomPeer(&rng), q, kRippleSlow)
+    visits += engine.Run({.initiator = overlay.RandomPeer(&rng), .query = q, .ripple = RippleParam::Slow()})
                   .stats.peers_visited;
   }
   EXPECT_LT(visits / trials, overlay.NumPeers());

@@ -41,13 +41,13 @@ TEST(SeededTopKTest, BootstrapCostsAreCharged) {
   Engine<MidasOverlay, TopKPolicy> engine(&net.overlay, TopKPolicy{});
   Rng rng(7);
   const PeerId initiator = net.overlay.RandomPeer(&rng);
-  const auto seeded = SeededTopK(net.overlay, engine, initiator, q, 0);
+  const auto seeded = SeededTopK(net.overlay, engine, {.initiator = initiator, .query = q, .ripple = RippleParam::Fast()});
   // The same query run raw from the peak owner starts with m < k and must
   // flood its first hops; the bootstrap's witnesses are exactly what
   // avoids that, so the seeded run (bootstrap included) is cheaper.
   const PeerId peak_owner =
       net.overlay.ResponsiblePeer(scorer.Peak(net.overlay.domain()));
-  const auto raw = engine.Run(peak_owner, q, 0);
+  const auto raw = engine.Run({.initiator = peak_owner, .query = q});
   EXPECT_LT(seeded.stats.peers_visited, raw.stats.peers_visited);
   // And the bootstrap itself is visible in the accounting: at least the
   // routing to the peak owner plus one gathered peer.
@@ -67,7 +67,7 @@ TEST(SeededTopKTest, InitiatorAtPeakHasMinimalBootstrap) {
   Engine<MidasOverlay, TopKPolicy> engine(&net.overlay, TopKPolicy{});
   const PeerId peak_owner =
       net.overlay.ResponsiblePeer(scorer.Peak(net.overlay.domain()));
-  const auto result = SeededTopK(net.overlay, engine, peak_owner, q, 0);
+  const auto result = SeededTopK(net.overlay, engine, {.initiator = peak_owner, .query = q, .ripple = RippleParam::Fast()});
   // Routing is free (already there) and the walk stops at the first peer.
   const TupleVec want = SelectTopK(
       net.all, [&](const Point& p) { return scorer.Score(p); }, q.k);
@@ -85,8 +85,7 @@ TEST(SeededSkylineTest, ConstraintCornerSeedsTheRun) {
   for (const Tuple& t : net.all) {
     if (q.constraint->Contains(t.key)) inside.push_back(t);
   }
-  auto result = SeededSkyline(net.overlay, engine,
-                              net.overlay.RandomPeer(&rng), q, 0);
+  auto result = SeededSkyline(net.overlay, engine, {.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = RippleParam::Fast()});
   std::sort(result.answer.begin(), result.answer.end(), TupleIdLess());
   EXPECT_EQ(result.answer, ComputeSkyline(inside));
 }
@@ -100,10 +99,10 @@ TEST(AsyncOverChordTest, TopKAgreesWithRecursiveEngine) {
   TopKQuery q{&scorer, 8};
   Engine<ChordOverlay, TopKPolicy> sync_engine(&overlay, TopKPolicy{});
   AsyncEngine<ChordOverlay, TopKPolicy> async_engine(&overlay, TopKPolicy{});
-  for (int r : {0, kRippleSlow}) {
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Slow()}) {
     const PeerId initiator = overlay.RandomPeer(&rng);
-    const auto s = sync_engine.Run(initiator, q, r);
-    const auto a = async_engine.Run(initiator, q, r);
+    const auto s = sync_engine.Run({.initiator = initiator, .query = q, .ripple = r});
+    const auto a = async_engine.Run({.initiator = initiator, .query = q, .ripple = r});
     ASSERT_EQ(a.answer.size(), s.answer.size()) << "r=" << r;
     for (size_t i = 0; i < s.answer.size(); ++i) {
       EXPECT_EQ(a.answer[i].id, s.answer[i].id);
@@ -124,8 +123,7 @@ TEST(ApproximateTopKTest, EpsilonInteractsSoundlyWithSeeding) {
   const double exact_kth = scorer.Score(want.back().key);
   for (double eps : {0.0, 0.05, 0.25}) {
     TopKQuery q{&scorer, 10, eps};
-    const auto run = SeededTopK(net.overlay, engine, initiator, q,
-                                kRippleSlow);
+    const auto run = SeededTopK(net.overlay, engine, {.initiator = initiator, .query = q, .ripple = RippleParam::Slow()});
     ASSERT_EQ(run.answer.size(), 10u) << "eps=" << eps;
     // The returned k-th score is within eps of the exact k-th.
     EXPECT_GE(scorer.Score(run.answer.back().key) + eps, exact_kth);

@@ -69,7 +69,7 @@ TEST(EdgeCaseTest, MidasSplitsDegenerateDataViaMidpointFallback) {
   Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
   Rng rng(7);
   const auto result =
-      SeededTopK(overlay, engine, overlay.RandomPeer(&rng), q, 0);
+      SeededTopK(overlay, engine, {.initiator = overlay.RandomPeer(&rng), .query = q, .ripple = RippleParam::Fast()});
   EXPECT_EQ(result.answer.size(), 5u);
 }
 
@@ -88,7 +88,7 @@ TEST(EdgeCaseTest, TopKWithKEqualsOne) {
   TopKQuery q{&s, 1};
   Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
   const auto result =
-      SeededTopK(overlay, engine, overlay.RandomPeer(&rng), q, 0);
+      SeededTopK(overlay, engine, {.initiator = overlay.RandomPeer(&rng), .query = q, .ripple = RippleParam::Fast()});
   const TupleVec want = SelectTopK(
       ts, [&](const Point& p) { return s.Score(p); }, 1);
   ASSERT_EQ(result.answer.size(), 1u);
@@ -110,9 +110,7 @@ TEST(EdgeCaseTest, OneDimensionalDomain) {
   ASSERT_TRUE(overlay.Validate().ok());
   // 1-d skyline == the single minimum (no ties in continuous data).
   Engine<MidasOverlay, SkylinePolicy> engine(&overlay, SkylinePolicy{});
-  const auto result = SeededSkyline(overlay, engine,
-                                    overlay.RandomPeer(&rng),
-                                    SkylineQuery{}, 0);
+  const auto result = SeededSkyline(overlay, engine, {.initiator = overlay.RandomPeer(&rng), .query = SkylineQuery{}, .ripple = RippleParam::Fast()});
   EXPECT_EQ(result.answer, ComputeSkyline(ts));
   EXPECT_EQ(result.answer.size(), 1u);
 }
@@ -130,7 +128,7 @@ TEST(EdgeCaseTest, MaxDimensionalDomain) {
   LinearScorer s(std::vector<double>(kMaxDims, -0.1));
   TopKQuery q{&s, 3};
   Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
-  const auto result = engine.Run(overlay.RandomPeer(&rng), q, kRippleSlow);
+  const auto result = engine.Run({.initiator = overlay.RandomPeer(&rng), .query = q, .ripple = RippleParam::Slow()});
   const TupleVec want = SelectTopK(
       ts, [&](const Point& p) { return s.Score(p); }, 3);
   ASSERT_EQ(result.answer.size(), 3u);
@@ -146,7 +144,7 @@ TEST(EdgeCaseTest, SingleTupleAndSinglePeer) {
   LinearScorer s({-1.0, -1.0});
   TopKQuery q{&s, 10};
   Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
-  const auto result = engine.Run(overlay.LivePeers()[0], q, 0);
+  const auto result = engine.Run({.initiator = overlay.LivePeers()[0], .query = q});
   ASSERT_EQ(result.answer.size(), 1u);
   EXPECT_EQ(result.stats.latency_hops, 0u);
   EXPECT_EQ(result.stats.peers_visited, 1u);
@@ -178,7 +176,7 @@ TEST(EdgeCaseTest, ZeroKTopKReturnsEmpty) {
   LinearScorer s({-1.0, -1.0});
   TopKQuery q{&s, 0};
   Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
-  const auto result = engine.Run(overlay.RandomPeer(&rng), q, 0);
+  const auto result = engine.Run({.initiator = overlay.RandomPeer(&rng), .query = q});
   EXPECT_TRUE(result.answer.empty());
 }
 

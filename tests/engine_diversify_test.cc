@@ -115,7 +115,7 @@ TEST(DivEngineTest, SingleTupleMatchesOracle) {
   Net net = MakeNet(64, tuples, 5, 409);
   Engine<MidasOverlay, DivPolicy> engine(&net.overlay, DivPolicy{});
   Rng pick(7);
-  for (int r : {0, 2, kRippleSlow}) {
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Hops(2), RippleParam::Slow()}) {
     for (size_t osize : {0u, 1u, 5u}) {
       const DivQuery q = MakeDivQuery(
           MakeObjective(tuples[3].key, 0.5),
@@ -123,7 +123,7 @@ TEST(DivEngineTest, SingleTupleMatchesOracle) {
       double want_phi = 0.0;
       const Tuple* want = OracleBest(tuples, q, &want_phi);
       ASSERT_NE(want, nullptr);
-      const auto result = engine.Run(net.overlay.RandomPeer(&pick), q, r);
+      const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&pick), .query = q, .ripple = r});
       ASSERT_EQ(result.answer.size(), 1u) << "r=" << r << " |O|=" << osize;
       // Ties on phi are legitimate (the phi = 0 plateau), so compare the
       // attained phi, not the tuple identity.
@@ -148,19 +148,15 @@ TEST(DivEngineTest, InitialTauPrunesAndFiltersResults) {
   // tau at the best achievable phi: Algorithm 18 may still emit the
   // threshold-attaining tuple (its == check), but never anything better,
   // and the service layer filters non-improvements to nullopt.
-  const auto result = engine.Run(net.overlay.RandomPeer(&pick), q,
-                                 kRippleSlow, DivState{best_phi});
+  const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&pick), .query = q, .ripple = RippleParam::Slow(), .initial_state = DivState{best_phi}});
   if (!result.answer.empty()) {
     EXPECT_GE(q.objective.Phi(result.answer[0].key, q.exclude), best_phi);
   }
-  RippleDivService<MidasOverlay> service(&net.overlay,
-                                         net.overlay.RandomPeer(&pick),
-                                         kRippleSlow);
+  RippleDivService<MidasOverlay> service(&net.overlay, {.initiator = net.overlay.RandomPeer(&pick), .ripple = RippleParam::Slow()});
   QueryStats stats;
   EXPECT_FALSE(service.FindBest(q, best_phi, &stats).has_value());
   // tau slightly above: the best tuple is found, with few peers visited.
-  const auto result2 = engine.Run(net.overlay.RandomPeer(&pick), q,
-                                  kRippleSlow, DivState{best_phi + 1e-9});
+  const auto result2 = engine.Run({.initiator = net.overlay.RandomPeer(&pick), .query = q, .ripple = RippleParam::Slow(), .initial_state = DivState{best_phi + 1e-9}});
   ASSERT_EQ(result2.answer.size(), 1u);
   EXPECT_LT(result2.stats.peers_visited, net.overlay.NumPeers());
 }
@@ -183,8 +179,7 @@ TEST(DivDriverTest, ForcedServiceReproducesReferenceTrajectory) {
   const DiversifyResult want = Diversify(&oracle, obj, initial, options);
 
   Rng pick(13);
-  RippleDivService<MidasOverlay> measured(&net.overlay,
-                                          net.overlay.RandomPeer(&pick), 0);
+  RippleDivService<MidasOverlay> measured(&net.overlay, {.initiator = net.overlay.RandomPeer(&pick), .ripple = RippleParam::Fast()});
   CentralizedDivService reference(&tuples);
   ForcedResultService forced(&measured, &reference);
   const DiversifyResult got = Diversify(&forced, obj, initial, options);
@@ -207,8 +202,7 @@ TEST(DivDriverTest, UnforcedRippleDriverImprovesObjective) {
   const DiversifyObjective obj = MakeObjective(tuples[2].key, 0.5);
   TupleVec initial(tuples.begin() + 200, tuples.begin() + 210);
   Rng pick(15);
-  RippleDivService<MidasOverlay> service(&net.overlay,
-                                         net.overlay.RandomPeer(&pick), 0);
+  RippleDivService<MidasOverlay> service(&net.overlay, {.initiator = net.overlay.RandomPeer(&pick), .ripple = RippleParam::Fast()});
   DiversifyOptions options;
   options.k = 10;
   const DiversifyResult result = Diversify(&service, obj, initial, options);
@@ -242,8 +236,7 @@ TEST(DivDriverTest, LambdaExtremesTerminate) {
   Rng pick(17);
   for (double lambda : {0.0, 1.0}) {
     const DiversifyObjective obj = MakeObjective(tuples[5].key, lambda);
-    RippleDivService<MidasOverlay> service(&net.overlay,
-                                           net.overlay.RandomPeer(&pick), 0);
+    RippleDivService<MidasOverlay> service(&net.overlay, {.initiator = net.overlay.RandomPeer(&pick), .ripple = RippleParam::Fast()});
     DiversifyOptions options;
     options.k = 5;
     TupleVec initial(tuples.begin() + 50, tuples.begin() + 55);

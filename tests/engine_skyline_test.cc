@@ -45,9 +45,9 @@ TEST(EngineSkylineTest, MatchesOracleOnUniformData) {
   const TupleVec want = ComputeSkyline(tuples);
   SkyEngine engine(&net.overlay, SkylinePolicy{});
   Rng pick(7);
-  for (int r : {0, 3, kRippleSlow}) {
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Hops(3), RippleParam::Slow()}) {
     const auto result =
-        engine.Run(net.overlay.RandomPeer(&pick), SkylineQuery{}, r);
+        engine.Run({.initiator = net.overlay.RandomPeer(&pick), .query = SkylineQuery{}, .ripple = r});
     ExpectSameSet(result.answer, want);
   }
 }
@@ -61,10 +61,9 @@ TEST(EngineSkylineTest, MatchesOracleOnCorrelatedAndAnticorrelated) {
     SkyEngine engine(&net.overlay, SkylinePolicy{});
     Rng pick(11);
     const auto fast =
-        engine.Run(net.overlay.RandomPeer(&pick), SkylineQuery{}, 0);
+        engine.Run({.initiator = net.overlay.RandomPeer(&pick), .query = SkylineQuery{}});
     ExpectSameSet(fast.answer, want);
-    const auto slow = engine.Run(net.overlay.RandomPeer(&pick),
-                                 SkylineQuery{}, kRippleSlow);
+    const auto slow = engine.Run({.initiator = net.overlay.RandomPeer(&pick), .query = SkylineQuery{}, .ripple = RippleParam::Slow()});
     ExpectSameSet(slow.answer, want);
   }
 }
@@ -77,7 +76,7 @@ TEST(EngineSkylineTest, MatchesOracleOnNbaLikeData) {
   SkyEngine engine(&net.overlay, SkylinePolicy{});
   Rng pick(13);
   const auto result =
-      engine.Run(net.overlay.RandomPeer(&pick), SkylineQuery{}, 0);
+      engine.Run({.initiator = net.overlay.RandomPeer(&pick), .query = SkylineQuery{}});
   ExpectSameSet(result.answer, want);
 }
 
@@ -92,8 +91,8 @@ TEST(EngineSkylineTest, BorderPatternOptimizationPreservesAnswer) {
   Rng pick(17);
   const PeerId p1 = plain.overlay.RandomPeer(&pick);
   const PeerId p2 = optimized.overlay.RandomPeer(&pick);
-  ExpectSameSet(e1.Run(p1, SkylineQuery{}, 0).answer, want);
-  ExpectSameSet(e2.Run(p2, SkylineQuery{}, 0).answer, want);
+  ExpectSameSet(e1.Run({.initiator = p1, .query = SkylineQuery{}}).answer, want);
+  ExpectSameSet(e2.Run({.initiator = p2, .query = SkylineQuery{}}).answer, want);
 }
 
 TEST(EngineSkylineTest, SlowVisitsFewerPeersAtHigherLatency) {
@@ -109,8 +108,8 @@ TEST(EngineSkylineTest, SlowVisitsFewerPeersAtHigherLatency) {
   uint64_t fast_latency = 0, slow_latency = 0;
   for (int trial = 0; trial < 10; ++trial) {
     const PeerId initiator = net.overlay.RandomPeer(&pick);
-    const auto fast = engine.Run(initiator, SkylineQuery{}, 0);
-    const auto slow = engine.Run(initiator, SkylineQuery{}, kRippleSlow);
+    const auto fast = engine.Run({.initiator = initiator, .query = SkylineQuery{}});
+    const auto slow = engine.Run({.initiator = initiator, .query = SkylineQuery{}, .ripple = RippleParam::Slow()});
     fast_visits += fast.stats.peers_visited;
     slow_visits += slow.stats.peers_visited;
     fast_latency += fast.stats.latency_hops;
@@ -128,8 +127,7 @@ TEST(EngineSkylineTest, PrunedRunVisitsFewPeersOnCorrelatedData) {
   Net net = MakeNet(256, tuples, 3, 317);
   SkyEngine engine(&net.overlay, SkylinePolicy{});
   Rng pick(23);
-  const auto result = engine.Run(net.overlay.RandomPeer(&pick),
-                                 SkylineQuery{}, kRippleSlow);
+  const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&pick), .query = SkylineQuery{}, .ripple = RippleParam::Slow()});
   EXPECT_LT(result.stats.peers_visited, net.overlay.NumPeers() / 2);
 }
 
@@ -144,7 +142,7 @@ TEST(EngineSkylineTest, SurvivesChurn) {
   }
   SkyEngine engine(&net.overlay, SkylinePolicy{});
   ExpectSameSet(
-      engine.Run(net.overlay.RandomPeer(&churn), SkylineQuery{}, 0).answer,
+      engine.Run({.initiator = net.overlay.RandomPeer(&churn), .query = SkylineQuery{}}).answer,
       want);
 }
 
@@ -154,7 +152,7 @@ TEST(EngineSkylineTest, SingleTupleNetwork) {
   SkyEngine engine(&net.overlay, SkylinePolicy{});
   Rng pick(31);
   const auto result =
-      engine.Run(net.overlay.RandomPeer(&pick), SkylineQuery{}, 0);
+      engine.Run({.initiator = net.overlay.RandomPeer(&pick), .query = SkylineQuery{}});
   ASSERT_EQ(result.answer.size(), 1u);
   EXPECT_EQ(result.answer[0].id, 7u);
 }

@@ -50,10 +50,10 @@ TEST(EngineTopKTest, MatchesOracleAcrossModes) {
       net.all_tuples, [&](const Point& p) { return scorer.Score(p); }, q.k);
   TopKEngine engine(&net.overlay, TopKPolicy{});
   Rng rng(7);
-  for (int r : {0, 2, 5, kRippleSlow}) {
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Hops(2), RippleParam::Hops(5), RippleParam::Slow()}) {
     for (int trial = 0; trial < 5; ++trial) {
       const PeerId initiator = net.overlay.RandomPeer(&rng);
-      const auto result = engine.Run(initiator, q, r);
+      const auto result = engine.Run({.initiator = initiator, .query = q, .ripple = r});
       ExpectSameIds(result.answer, want);
     }
   }
@@ -68,7 +68,7 @@ TEST(EngineTopKTest, MatchesOracleForVariousK) {
     TopKQuery q{&scorer, k};
     const TupleVec want = SelectTopK(
         net.all_tuples, [&](const Point& p) { return scorer.Score(p); }, k);
-    const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+    const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q});
     ExpectSameIds(result.answer, want);
   }
 }
@@ -84,9 +84,8 @@ TEST(EngineTopKTest, NearestScorerQueries) {
     const TupleVec want = SelectTopK(
         net.all_tuples, [&](const Point& p) { return scorer.Score(p); }, q.k);
     TopKEngine engine(&net.overlay, TopKPolicy{});
-    const auto fast = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
-    const auto slow = engine.Run(net.overlay.RandomPeer(&rng), q,
-                                 kRippleSlow);
+    const auto fast = engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q});
+    const auto slow = engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = RippleParam::Slow()});
     ExpectSameIds(fast.answer, want);
     ExpectSameIds(slow.answer, want);
   }
@@ -100,7 +99,7 @@ TEST(EngineTopKTest, FastLatencyBoundedByMaxDepth) {
   Rng rng(17);
   const uint64_t delta = static_cast<uint64_t>(net.overlay.MaxDepth());
   for (int trial = 0; trial < 10; ++trial) {
-    const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+    const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q});
     EXPECT_LE(result.stats.latency_hops, delta);  // Lemma 1
     EXPECT_LE(result.stats.peers_visited, net.overlay.NumPeers());
     EXPECT_GE(result.stats.peers_visited, 1u);
@@ -117,8 +116,8 @@ TEST(EngineTopKTest, SlowVisitsNoMorePeersThanFast) {
   uint64_t fast_latency = 0, slow_latency = 0;
   for (int trial = 0; trial < 20; ++trial) {
     const PeerId initiator = net.overlay.RandomPeer(&rng);
-    const auto fast = engine.Run(initiator, q, 0);
-    const auto slow = engine.Run(initiator, q, kRippleSlow);
+    const auto fast = engine.Run({.initiator = initiator, .query = q});
+    const auto slow = engine.Run({.initiator = initiator, .query = q, .ripple = RippleParam::Slow()});
     fast_visits += fast.stats.peers_visited;
     slow_visits += slow.stats.peers_visited;
     fast_latency += fast.stats.latency_hops;
@@ -146,9 +145,9 @@ TEST(EngineTopKTest, RippleParameterInterpolates) {
   const int trials = 20;
   for (int trial = 0; trial < trials; ++trial) {
     const PeerId initiator = net.overlay.RandomPeer(&rng);
-    visits_r0 += engine.Run(initiator, q, 0).stats.peers_visited;
-    visits_mid += engine.Run(initiator, q, delta / 2).stats.peers_visited;
-    visits_slow += engine.Run(initiator, q, kRippleSlow).stats.peers_visited;
+    visits_r0 += engine.Run({.initiator = initiator, .query = q}).stats.peers_visited;
+    visits_mid += engine.Run({.initiator = initiator, .query = q, .ripple = RippleParam::Hops(delta / 2)}).stats.peers_visited;
+    visits_slow += engine.Run({.initiator = initiator, .query = q, .ripple = RippleParam::Slow()}).stats.peers_visited;
   }
   EXPECT_LE(visits_slow, visits_mid + 1e-9);
   EXPECT_LE(visits_mid, visits_r0 + 1e-9);
@@ -160,7 +159,7 @@ TEST(EngineTopKTest, KLargerThanDatasetReturnsEverything) {
   TopKQuery q{&scorer, 100};
   TopKEngine engine(&net.overlay, TopKPolicy{});
   Rng rng(29);
-  const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+  const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q});
   EXPECT_EQ(result.answer.size(), 40u);
 }
 
@@ -174,7 +173,7 @@ TEST(EngineTopKTest, EmptyNetworkAnswersEmpty) {
   TopKQuery q{&scorer, 5};
   TopKEngine engine(&overlay, TopKPolicy{});
   Rng rng(31);
-  const auto result = engine.Run(overlay.RandomPeer(&rng), q, 0);
+  const auto result = engine.Run({.initiator = overlay.RandomPeer(&rng), .query = q});
   EXPECT_TRUE(result.answer.empty());
   EXPECT_EQ(result.stats.tuples_shipped, 0u);
 }
@@ -191,12 +190,12 @@ TEST(EngineTopKTest, SurvivesChurn) {
     ASSERT_TRUE(net.overlay.LeaveRandom(&churn).ok());
   }
   TopKEngine engine(&net.overlay, TopKPolicy{});
-  const auto after_shrink = engine.Run(net.overlay.RandomPeer(&churn), q, 0);
+  const auto after_shrink = engine.Run({.initiator = net.overlay.RandomPeer(&churn), .query = q});
   ExpectSameIds(after_shrink.answer, want);
   // Grow back and re-check with slow.
   while (net.overlay.NumPeers() < 200) net.overlay.Join();
   const auto after_grow =
-      engine.Run(net.overlay.RandomPeer(&churn), q, kRippleSlow);
+      engine.Run({.initiator = net.overlay.RandomPeer(&churn), .query = q, .ripple = RippleParam::Slow()});
   ExpectSameIds(after_grow.answer, want);
 }
 
@@ -208,9 +207,8 @@ TEST(EngineTopKTest, SeededRunMatchesOracleAcrossModes) {
       net.all_tuples, [&](const Point& p) { return scorer.Score(p); }, q.k);
   TopKEngine engine(&net.overlay, TopKPolicy{});
   Rng rng(37);
-  for (int r : {0, 3, kRippleSlow}) {
-    const auto result = SeededTopK(net.overlay, engine,
-                                   net.overlay.RandomPeer(&rng), q, r);
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Hops(3), RippleParam::Slow()}) {
+    const auto result = SeededTopK(net.overlay, engine, {.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = r});
     ExpectSameIds(result.answer, want);
   }
 }
@@ -226,8 +224,8 @@ TEST(EngineTopKTest, SeedingCutsSparseFastCongestion) {
   uint64_t plain = 0, seeded = 0;
   for (int trial = 0; trial < 10; ++trial) {
     const PeerId initiator = net.overlay.RandomPeer(&rng);
-    plain += engine.Run(initiator, q, 0).stats.peers_visited;
-    seeded += SeededTopK(net.overlay, engine, initiator, q, 0)
+    plain += engine.Run({.initiator = initiator, .query = q}).stats.peers_visited;
+    seeded += SeededTopK(net.overlay, engine, {.initiator = initiator, .query = q, .ripple = RippleParam::Fast()})
                   .stats.peers_visited;
   }
   EXPECT_LT(seeded, plain / 2);
@@ -242,8 +240,7 @@ TEST(EngineTopKTest, SeededRunWorksWithNearestScorer) {
   const TupleVec want = SelectTopK(
       net.all_tuples, [&](const Point& p) { return scorer.Score(p); }, q.k);
   TopKEngine engine(&net.overlay, TopKPolicy{});
-  const auto result = SeededTopK(net.overlay, engine,
-                                 net.overlay.RandomPeer(&rng), q, 0);
+  const auto result = SeededTopK(net.overlay, engine, {.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = RippleParam::Fast()});
   ExpectSameIds(result.answer, want);
 }
 
@@ -272,8 +269,8 @@ TEST(EngineTopKTest, ThresholdWitnessTupleIsNotDropped) {
   // score, witnessed by the true top-5.
   TopKState seed{5, scorer.Score(want.back().key)};
   Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
-  for (int r : {0, kRippleSlow}) {
-    const auto result = engine.Run(overlay.RandomPeer(&rng), q, r, seed);
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Slow()}) {
+    const auto result = engine.Run({.initiator = overlay.RandomPeer(&rng), .query = q, .ripple = r, .initial_state = seed});
     ASSERT_EQ(result.answer.size(), q.k) << "r=" << r;
     for (size_t i = 0; i < q.k; ++i) {
       EXPECT_EQ(result.answer[i].id, want[i].id);

@@ -57,7 +57,7 @@ TEST(IntegrationTest, MixedQueriesOverOneDeployment) {
   TopKQuery topk{&scorer, 10};
   Engine<MidasOverlay, TopKPolicy> topk_engine(&d.overlay, TopKPolicy{});
   ExpectSameIds(
-      SeededTopK(d.overlay, topk_engine, me, topk, 0).answer,
+      SeededTopK(d.overlay, topk_engine, {.initiator = me, .query = topk, .ripple = RippleParam::Fast()}).answer,
       SelectTopK(tuples, [&](const Point& p) { return scorer.Score(p); },
                  topk.k),
       "topk");
@@ -66,7 +66,7 @@ TEST(IntegrationTest, MixedQueriesOverOneDeployment) {
   Engine<MidasOverlay, SkylinePolicy> sky_engine(&d.overlay,
                                                  SkylinePolicy{});
   ExpectSameIds(
-      SeededSkyline(d.overlay, sky_engine, me, SkylineQuery{}, 0).answer,
+      SeededSkyline(d.overlay, sky_engine, {.initiator = me, .query = SkylineQuery{}, .ripple = RippleParam::Fast()}).answer,
       ComputeSkyline(tuples), "skyline");
 
   // 3-skyband.
@@ -74,7 +74,7 @@ TEST(IntegrationTest, MixedQueriesOverOneDeployment) {
                                                   SkybandPolicy{});
   SkybandQuery band;
   band.band = 3;
-  ExpectSameIds(band_engine.Run(me, band, 0).answer,
+  ExpectSameIds(band_engine.Run({.initiator = me, .query = band}).answer,
                 ComputeKSkyband(tuples, 3), "skyband");
 
   // Range.
@@ -84,12 +84,12 @@ TEST(IntegrationTest, MixedQueriesOverOneDeployment) {
   for (const Tuple& t : tuples) {
     if (range.Matches(t.key)) range_want.push_back(t);
   }
-  ExpectSameIds(range_engine.Run(me, range, kRippleSlow).answer, range_want,
+  ExpectSameIds(range_engine.Run({.initiator = me, .query = range, .ripple = RippleParam::Slow()}).answer, range_want,
                 "range");
 
   // Diversification (forced to the centralized trajectory).
   DiversifyObjective obj{tuples[3].key, 0.5, Norm::kL1};
-  RippleDivService<MidasOverlay> measured(&d.overlay, me, 0);
+  RippleDivService<MidasOverlay> measured(&d.overlay, {.initiator = me, .ripple = RippleParam::Fast()});
   CentralizedDivService reference(&tuples);
   ForcedResultService forced(&measured, &reference);
   CentralizedDivService oracle(&tuples);
@@ -123,16 +123,16 @@ TEST(IntegrationTest, AllQueriesSurviveFullChurnCycle) {
     ASSERT_TRUE(d.overlay.Validate().ok());
     const PeerId me = d.overlay.RandomPeer(&churn);
     Engine<MidasOverlay, TopKPolicy> te(&d.overlay, TopKPolicy{});
-    ExpectSameIds(SeededTopK(d.overlay, te, me, topk, 0).answer, want_topk,
+    ExpectSameIds(SeededTopK(d.overlay, te, {.initiator = me, .query = topk, .ripple = RippleParam::Fast()}).answer, want_topk,
                   "churn topk");
     Engine<MidasOverlay, SkylinePolicy> se(&d.overlay, SkylinePolicy{});
     ExpectSameIds(
-        SeededSkyline(d.overlay, se, me, SkylineQuery{}, kRippleSlow).answer,
+        SeededSkyline(d.overlay, se, {.initiator = me, .query = SkylineQuery{}, .ripple = RippleParam::Slow()}).answer,
         want_sky, "churn skyline");
     Engine<MidasOverlay, SkybandPolicy> be(&d.overlay, SkybandPolicy{});
     SkybandQuery band;
     band.band = 2;
-    ExpectSameIds(be.Run(me, band, 0).answer, want_band, "churn skyband");
+    ExpectSameIds(be.Run({.initiator = me, .query = band}).answer, want_band, "churn skyband");
   }
 }
 
@@ -148,9 +148,9 @@ TEST(IntegrationTest, AsyncEngineAgreesOnSkybandAndRange) {
                                                       SkybandPolicy{});
   SkybandQuery band;
   band.band = 2;
-  for (int r : {0, kRippleSlow}) {
-    const auto s = sync_band.Run(me, band, r);
-    const auto a = async_band.Run(me, band, r);
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Slow()}) {
+    const auto s = sync_band.Run({.initiator = me, .query = band, .ripple = r});
+    const auto a = async_band.Run({.initiator = me, .query = band, .ripple = r});
     ExpectSameIds(a.answer, s.answer, "async skyband");
     EXPECT_EQ(a.stats.peers_visited, s.stats.peers_visited);
     EXPECT_EQ(a.stats.messages, s.stats.messages);
@@ -160,8 +160,8 @@ TEST(IntegrationTest, AsyncEngineAgreesOnSkybandAndRange) {
   AsyncEngine<MidasOverlay, RangePolicy> async_range(&d.overlay,
                                                      RangePolicy{});
   RangeQuery range{Point{0.4, 0.5, 0.6}, 0.2, Norm::kL1};
-  const auto s = sync_range.Run(me, range, 2);
-  const auto a = async_range.Run(me, range, 2);
+  const auto s = sync_range.Run({.initiator = me, .query = range, .ripple = RippleParam::Hops(2)});
+  const auto a = async_range.Run({.initiator = me, .query = range, .ripple = RippleParam::Hops(2)});
   ExpectSameIds(a.answer, s.answer, "async range");
   EXPECT_EQ(a.stats.tuples_shipped, s.stats.tuples_shipped);
 }
@@ -176,10 +176,10 @@ TEST(IntegrationTest, VisitObserverCountsMatchStats) {
   LinearScorer scorer({-0.6, -0.4});
   TopKQuery q{&scorer, 5};
   Rng rng(17);
-  const auto result = engine.Run(d.overlay.RandomPeer(&rng), q, 0);
+  const auto result = engine.Run({.initiator = d.overlay.RandomPeer(&rng), .query = q});
   EXPECT_EQ(observed, result.stats.peers_visited);
   engine.SetVisitObserver(nullptr);
-  (void)engine.Run(d.overlay.RandomPeer(&rng), q, 0);
+  (void)engine.Run({.initiator = d.overlay.RandomPeer(&rng), .query = q});
   EXPECT_EQ(observed, result.stats.peers_visited);  // unchanged
 }
 

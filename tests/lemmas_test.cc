@@ -60,14 +60,14 @@ TEST_P(LemmaTest, EngineLatencyMatchesRecurrenceOnPerfectTree) {
   const PeerId initiator = overlay.RandomPeer(&rng);
 
   // Lemma 1: fast == Delta.
-  EXPECT_EQ(engine.Run(initiator, q, 0).stats.latency_hops,
+  EXPECT_EQ(engine.Run({.initiator = initiator, .query = q}).stats.latency_hops,
             static_cast<uint64_t>(levels));
   // Lemma 2: slow == 2^Delta - 1 == n - 1.
-  EXPECT_EQ(engine.Run(initiator, q, kRippleSlow).stats.latency_hops,
+  EXPECT_EQ(engine.Run({.initiator = initiator, .query = q, .ripple = RippleParam::Slow()}).stats.latency_hops,
             overlay.NumPeers() - 1);
   // Lemma 3: intermediate r matches the recurrence exactly.
   for (int r = 1; r <= levels; ++r) {
-    EXPECT_EQ(engine.Run(initiator, q, r).stats.latency_hops,
+    EXPECT_EQ(engine.Run({.initiator = initiator, .query = q, .ripple = RippleParam::Hops(r)}).stats.latency_hops,
               LemmaLatency(0, r, levels))
         << "r=" << r;
   }
@@ -117,7 +117,7 @@ TEST(LemmaTest, FastLatencyBoundHoldsOnRandomTrees) {
   Rng rng(23);
   for (int trial = 0; trial < 20; ++trial) {
     const auto stats =
-        engine.Run(overlay.RandomPeer(&rng), q, 0).stats;
+        engine.Run({.initiator = overlay.RandomPeer(&rng), .query = q}).stats;
     EXPECT_LE(stats.latency_hops,
               static_cast<uint64_t>(overlay.MaxDepth()));
     EXPECT_EQ(stats.peers_visited, overlay.NumPeers());  // broadcast
@@ -135,8 +135,7 @@ TEST(LemmaTest, SlowLatencyEqualsVisitsMinusOneWithoutPruning) {
   TopKQuery q{&scorer, 1};
   Engine<MidasOverlay, NaiveTopKPolicy> engine(&overlay, NaiveTopKPolicy{});
   Rng rng(31);
-  const auto stats = engine.Run(overlay.RandomPeer(&rng), q,
-                                kRippleSlow).stats;
+  const auto stats = engine.Run({.initiator = overlay.RandomPeer(&rng), .query = q, .ripple = RippleParam::Slow()}).stats;
   EXPECT_EQ(stats.latency_hops, overlay.NumPeers() - 1);
   EXPECT_EQ(stats.peers_visited, overlay.NumPeers());
 }

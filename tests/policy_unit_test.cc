@@ -224,10 +224,10 @@ TEST(EngineInvariantTest, RestrictionAreasVisitEachPeerOnce) {
   while (overlay.NumPeers() < 200) overlay.Join();
 
   Engine<MidasOverlay, SkylinePolicy> engine(&overlay, SkylinePolicy{});
-  for (int r : {0, 2, kRippleSlow}) {
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Hops(2), RippleParam::Slow()}) {
     std::vector<int> visits(overlay.NumPeers() + 256, 0);
     engine.SetVisitObserver([&](PeerId id) { ++visits[id]; });
-    (void)engine.Run(overlay.RandomPeer(&rng), SkylineQuery{}, r);
+    (void)engine.Run({.initiator = overlay.RandomPeer(&rng), .query = SkylineQuery{}, .ripple = r});
     for (size_t i = 0; i < visits.size(); ++i) {
       EXPECT_LE(visits[i], 1) << "peer " << i << " r=" << r;
     }

@@ -21,18 +21,18 @@ namespace {
 // --- Distributed == centralized across the configuration grid ---------------
 
 using GridParam = std::tuple<std::string /*dataset*/, int /*dims*/,
-                             int /*ripple r*/, bool /*median splits*/>;
+                             RippleParam /*ripple*/, bool /*median splits*/>;
 
 class AnswerEquivalenceTest : public ::testing::TestWithParam<GridParam> {};
 
 TEST_P(AnswerEquivalenceTest, TopKAndSkylineMatchOracle) {
   const auto& [dataset, dims, r, median] = GetParam();
-  Rng data_rng(static_cast<uint64_t>(dims) * 1000 + r);
+  Rng data_rng(static_cast<uint64_t>(dims) * 1000 + r.hops());
   const TupleVec tuples = data::MakeByName(dataset, 600, dims, &data_rng);
 
   MidasOptions opt;
   opt.dims = dims;
-  opt.seed = static_cast<uint64_t>(dims) * 77 + r;
+  opt.seed = static_cast<uint64_t>(dims) * 77 + r.hops();
   opt.split_rule =
       median ? MidasSplitRule::kDataMedian : MidasSplitRule::kMidpoint;
   MidasOverlay overlay(opt);
@@ -49,8 +49,7 @@ TEST_P(AnswerEquivalenceTest, TopKAndSkylineMatchOracle) {
   const TupleVec want_topk = SelectTopK(
       tuples, [&](const Point& p) { return scorer.Score(p); }, q.k);
   Engine<MidasOverlay, TopKPolicy> topk_engine(&overlay, TopKPolicy{});
-  const auto topk = SeededTopK(overlay, topk_engine,
-                               overlay.RandomPeer(&rng), q, r);
+  const auto topk = SeededTopK(overlay, topk_engine, {.initiator = overlay.RandomPeer(&rng), .query = q, .ripple = r});
   ASSERT_EQ(topk.answer.size(), want_topk.size());
   for (size_t i = 0; i < want_topk.size(); ++i) {
     EXPECT_EQ(topk.answer[i].id, want_topk[i].id) << "top-k rank " << i;
@@ -59,8 +58,7 @@ TEST_P(AnswerEquivalenceTest, TopKAndSkylineMatchOracle) {
   // Skyline.
   TupleVec want_sky = ComputeSkyline(tuples);
   Engine<MidasOverlay, SkylinePolicy> sky_engine(&overlay, SkylinePolicy{});
-  auto sky = SeededSkyline(overlay, sky_engine, overlay.RandomPeer(&rng),
-                           SkylineQuery{}, r);
+  auto sky = SeededSkyline(overlay, sky_engine, {.initiator = overlay.RandomPeer(&rng), .query = SkylineQuery{}, .ripple = r});
   std::sort(sky.answer.begin(), sky.answer.end(), TupleIdLess());
   ASSERT_EQ(sky.answer.size(), want_sky.size());
   for (size_t i = 0; i < want_sky.size(); ++i) {
@@ -74,13 +72,13 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values("uniform", "synth", "correlated", "anticorrelated",
                           "nba"),
         ::testing::Values(2, 4, 6),
-        ::testing::Values(0, 2, kRippleSlow),
+        ::testing::Values(RippleParam::Fast(), RippleParam::Hops(2),
+                          RippleParam::Slow()),
         ::testing::Bool()),
     [](const ::testing::TestParamInfo<GridParam>& info) {
-      const int r = std::get<2>(info.param);
       return std::get<0>(info.param) + "_d" +
              std::to_string(std::get<1>(info.param)) + "_r" +
-             (r == kRippleSlow ? std::string("slow") : std::to_string(r)) +
+             std::get<2>(info.param).ToString() +
              (std::get<3>(info.param) ? "_median" : "_midpoint");
     });
 

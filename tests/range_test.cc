@@ -44,12 +44,12 @@ TEST(RangeTest, MatchesOracleAcrossRadiiAndModes) {
   Engine<MidasOverlay, RangePolicy> engine(&net.overlay, RangePolicy{});
   Rng rng(7);
   for (double radius : {0.05, 0.15, 0.4}) {
-    for (int r : {0, kRippleSlow}) {
+    for (const RippleParam r : {RippleParam::Fast(), RippleParam::Slow()}) {
       RangeQuery q{Point{rng.UniformDouble(), rng.UniformDouble(),
                          rng.UniformDouble()},
                    radius, Norm::kL2};
       const TupleVec want = OracleRange(net.all, q);
-      const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, r);
+      const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = r});
       ASSERT_EQ(result.answer.size(), want.size())
           << "radius=" << radius << " r=" << r;
       for (size_t i = 0; i < want.size(); ++i) {
@@ -64,7 +64,7 @@ TEST(RangeTest, SmallRadiusVisitsFewPeers) {
   Engine<MidasOverlay, RangePolicy> engine(&net.overlay, RangePolicy{});
   Rng rng(11);
   RangeQuery q{Point{0.5, 0.5, 0.5}, 0.05, Norm::kL2};
-  const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+  const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q});
   // The explicit search area keeps the visit set near the ball's zones.
   EXPECT_LT(result.stats.peers_visited, net.overlay.NumPeers() / 4);
 }
@@ -75,7 +75,7 @@ TEST(RangeTest, ZeroRadiusFindsExactPoint) {
   Rng rng(13);
   const Tuple& target = net.all[42];
   RangeQuery q{target.key, 0.0, Norm::kL2};
-  const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+  const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q});
   ASSERT_GE(result.answer.size(), 1u);
   EXPECT_EQ(result.answer[0].id, target.id);
 }
@@ -87,7 +87,7 @@ TEST(RangeTest, L1AndLInfNorms) {
   for (Norm norm : {Norm::kL1, Norm::kLInf}) {
     RangeQuery q{Point{0.3, 0.6, 0.4}, 0.2, norm};
     const TupleVec want = OracleRange(net.all, q);
-    const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+    const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q});
     ASSERT_EQ(result.answer.size(), want.size());
   }
 }
@@ -100,7 +100,7 @@ TEST(RangeTest, WorksOverChord) {
   Engine<ChordOverlay, RangePolicy> engine(&overlay, RangePolicy{});
   RangeQuery q{Point{0.5, 0.5}, 0.2, Norm::kL2};
   const TupleVec want = OracleRange(all, q);
-  const auto result = engine.Run(overlay.RandomPeer(&rng), q, 0);
+  const auto result = engine.Run({.initiator = overlay.RandomPeer(&rng), .query = q});
   ASSERT_EQ(result.answer.size(), want.size());
   for (size_t i = 0; i < want.size(); ++i) {
     EXPECT_EQ(result.answer[i].id, want[i].id);
@@ -121,9 +121,8 @@ TEST(ConstrainedSkylineTest, MatchesConstrainedOracle) {
     if (q.constraint->Contains(t.key)) inside.push_back(t);
   }
   const TupleVec want = ComputeSkyline(inside);
-  for (int r : {0, kRippleSlow}) {
-    auto result = SeededSkyline(net.overlay, engine,
-                                net.overlay.RandomPeer(&rng), q, r);
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Slow()}) {
+    auto result = SeededSkyline(net.overlay, engine, {.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = r});
     std::sort(result.answer.begin(), result.answer.end(), TupleIdLess());
     ASSERT_EQ(result.answer.size(), want.size()) << "r=" << r;
     for (size_t i = 0; i < want.size(); ++i) {
@@ -141,10 +140,8 @@ TEST(ConstrainedSkylineTest, ConstraintPrunesVisits) {
   constrained.constraint =
       Rect(Point{0.4, 0.4, 0.4}, Point{0.6, 0.6, 0.6});
   const PeerId initiator = net.overlay.RandomPeer(&rng);
-  const auto full = SeededSkyline(net.overlay, engine, initiator,
-                                  unconstrained, 0);
-  const auto boxed = SeededSkyline(net.overlay, engine, initiator,
-                                   constrained, 0);
+  const auto full = SeededSkyline(net.overlay, engine, {.initiator = initiator, .query = unconstrained, .ripple = RippleParam::Fast()});
+  const auto boxed = SeededSkyline(net.overlay, engine, {.initiator = initiator, .query = constrained, .ripple = RippleParam::Fast()});
   EXPECT_LT(boxed.stats.peers_visited, full.stats.peers_visited + 64);
 }
 
@@ -161,8 +158,7 @@ TEST(ConstrainedSkylineTest, EmptyConstraintYieldsEmptySkyline) {
   for (const Tuple& t : net.all) {
     if (q.constraint->Contains(t.key)) inside.push_back(t);
   }
-  const auto result = SeededSkyline(net.overlay, engine,
-                                    net.overlay.RandomPeer(&rng), q, 0);
+  const auto result = SeededSkyline(net.overlay, engine, {.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = RippleParam::Fast()});
   EXPECT_EQ(result.answer.size(), ComputeSkyline(inside).size());
 }
 

@@ -88,8 +88,8 @@ TEST(SkybandEngineTest, DistributedBandMatchesOracle) {
     SkybandQuery q;
     q.band = band;
     const TupleVec want = ComputeKSkyband(net.all, band);
-    for (int r : {0, kRippleSlow}) {
-      const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, r);
+    for (const RippleParam r : {RippleParam::Fast(), RippleParam::Slow()}) {
+      const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = r});
       ASSERT_EQ(result.answer.size(), want.size())
           << "band=" << band << " r=" << r;
       for (size_t i = 0; i < want.size(); ++i) {
@@ -108,8 +108,8 @@ TEST(SkybandEngineTest, WiderBandVisitsMorePeers) {
   narrow.band = 1;
   SkybandQuery wide;
   wide.band = 6;
-  const auto a = engine.Run(initiator, narrow, kRippleSlow);
-  const auto b = engine.Run(initiator, wide, kRippleSlow);
+  const auto a = engine.Run({.initiator = initiator, .query = narrow, .ripple = RippleParam::Slow()});
+  const auto b = engine.Run({.initiator = initiator, .query = wide, .ripple = RippleParam::Slow()});
   EXPECT_LE(a.stats.peers_visited, b.stats.peers_visited);
   EXPECT_LT(a.answer.size(), b.answer.size());
 }
@@ -125,7 +125,7 @@ TEST(ApproxTopKTest, EpsilonZeroIsExactAndSlackIsHonored) {
   TopKQuery exact{&scorer, 10, 0.0};
   const TupleVec want = SelectTopK(
       net.all, [&](const Point& p) { return scorer.Score(p); }, exact.k);
-  const auto exact_run = SeededTopK(net.overlay, engine, initiator, exact, 0);
+  const auto exact_run = SeededTopK(net.overlay, engine, {.initiator = initiator, .query = exact, .ripple = RippleParam::Fast()});
   ASSERT_EQ(exact_run.answer.size(), want.size());
   for (size_t i = 0; i < want.size(); ++i) {
     EXPECT_EQ(exact_run.answer[i].id, want[i].id);
@@ -133,7 +133,7 @@ TEST(ApproxTopKTest, EpsilonZeroIsExactAndSlackIsHonored) {
   // Approximate: every returned score within epsilon of the exact rank.
   for (double eps : {0.02, 0.1}) {
     TopKQuery approx{&scorer, 10, eps};
-    const auto run = SeededTopK(net.overlay, engine, initiator, approx, 0);
+    const auto run = SeededTopK(net.overlay, engine, {.initiator = initiator, .query = approx, .ripple = RippleParam::Fast()});
     ASSERT_EQ(run.answer.size(), want.size()) << "eps=" << eps;
     for (size_t i = 0; i < want.size(); ++i) {
       EXPECT_GE(scorer.Score(run.answer[i].key) + eps,
@@ -155,8 +155,7 @@ TEST(ApproxTopKTest, LargerEpsilonNeverVisitsMore) {
     uint64_t visits = 0;
     Rng pick(17);
     for (int trial = 0; trial < 5; ++trial) {
-      visits += SeededTopK(net.overlay, engine,
-                           net.overlay.RandomPeer(&pick), q, 0)
+      visits += SeededTopK(net.overlay, engine, {.initiator = net.overlay.RandomPeer(&pick), .query = q, .ripple = RippleParam::Fast()})
                     .stats.peers_visited;
     }
     EXPECT_LE(visits, prev) << "eps=" << eps;

@@ -73,7 +73,7 @@ TEST(TraceTest, FastPhaseSpanTreeShape) {
   engine.SetTracer(&tracer);
   Rng rng(3);
   const PeerId initiator = net.overlay.RandomPeer(&rng);
-  const auto result = engine.Run(initiator, q, /*r=*/0);
+  const auto result = engine.Run({.initiator = initiator, .query = q, .ripple = RippleParam::Fast()});
 
   // One engine span per peer visit, every one a fast-phase span.
   ASSERT_EQ(tracer.span_count(), result.stats.peers_visited);
@@ -107,7 +107,7 @@ TEST(TraceTest, SlowPhaseSpanTreeShape) {
   engine.SetTracer(&tracer);
   Rng rng(5);
   const auto result =
-      engine.Run(net.overlay.RandomPeer(&rng), q, kRippleSlow);
+      engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = RippleParam::Slow()});
 
   ASSERT_EQ(tracer.span_count(), result.stats.peers_visited);
   for (const obs::Span& s : tracer.spans()) {
@@ -141,7 +141,7 @@ TEST(TraceTest, SpanCountersAccountForTheQuery) {
   obs::Tracer tracer;
   engine.SetTracer(&tracer);
   Rng rng(7);
-  const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, 2);
+  const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = RippleParam::Hops(2)});
 
   // Forwarded links == internal tree edges. Every answer tuple ships from
   // some peer, so the spans' shipped totals cover the merged result (fast
@@ -160,14 +160,14 @@ TEST(TraceTest, DisabledTracerLeavesStatsIdentical) {
   LinearScorer scorer({-0.7, -0.3});
   TopKQuery q{&scorer, 10};
   Rng rng(11);
-  for (int r : {0, 2, kRippleSlow}) {
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Hops(2), RippleParam::Slow()}) {
     const PeerId initiator = net.overlay.RandomPeer(&rng);
     TopKEngine plain(&net.overlay, TopKPolicy{});
-    const auto without = plain.Run(initiator, q, r);
+    const auto without = plain.Run({.initiator = initiator, .query = q, .ripple = r});
     TopKEngine traced(&net.overlay, TopKPolicy{});
     obs::Tracer tracer;
     traced.SetTracer(&tracer);
-    const auto with = traced.Run(initiator, q, r);
+    const auto with = traced.Run({.initiator = initiator, .query = q, .ripple = r});
     EXPECT_EQ(with.stats.latency_hops, without.stats.latency_hops);
     EXPECT_EQ(with.stats.peers_visited, without.stats.peers_visited);
     EXPECT_EQ(with.stats.messages, without.stats.messages);
@@ -188,12 +188,12 @@ TEST(TraceTest, SeededTopKSpansMatchPeersVisited) {
   LinearScorer scorer({-0.4, -0.3, -0.3});
   TopKQuery q{&scorer, 10};
   Rng rng(13);
-  for (int r : {0, kRippleSlow}) {
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Slow()}) {
     TopKEngine engine(&net.overlay, TopKPolicy{});
     obs::Tracer tracer;
     engine.SetTracer(&tracer);
     const auto result =
-        SeededTopK(net.overlay, engine, net.overlay.RandomPeer(&rng), q, r);
+        SeededTopK(net.overlay, engine, {.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = r});
     EXPECT_EQ(tracer.span_count(), result.stats.peers_visited) << "r=" << r;
     // The driver restores the tracer offset when it is done.
     EXPECT_DOUBLE_EQ(tracer.time_offset(), 0.0);
@@ -206,9 +206,7 @@ TEST(TraceTest, SeededSkylineSpansMatchPeersVisited) {
   Engine<MidasOverlay, SkylinePolicy> engine(&net.overlay, SkylinePolicy{});
   obs::Tracer tracer;
   engine.SetTracer(&tracer);
-  const auto result = SeededSkyline(net.overlay, engine,
-                                    net.overlay.RandomPeer(&rng),
-                                    SkylineQuery{}, 0);
+  const auto result = SeededSkyline(net.overlay, engine, {.initiator = net.overlay.RandomPeer(&rng), .query = SkylineQuery{}, .ripple = RippleParam::Fast()});
   EXPECT_EQ(tracer.span_count(), result.stats.peers_visited);
 }
 
@@ -217,11 +215,11 @@ TEST(TraceTest, AsyncEngineSpansMatchPeersVisited) {
   LinearScorer scorer({-0.5, -0.2, -0.3});
   TopKQuery q{&scorer, 10};
   Rng rng(19);
-  for (int r : {0, kRippleSlow}) {
+  for (const RippleParam r : {RippleParam::Fast(), RippleParam::Slow()}) {
     AsyncEngine<MidasOverlay, TopKPolicy> engine(&net.overlay, TopKPolicy{});
     obs::Tracer tracer;
     engine.SetTracer(&tracer);
-    const auto result = engine.Run(net.overlay.RandomPeer(&rng), q, r);
+    const auto result = engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = r});
     EXPECT_EQ(tracer.span_count(), result.stats.peers_visited) << "r=" << r;
     // Spans live in simulator time: none may outlive the run.
     for (const obs::Span& s : tracer.spans()) {
@@ -239,8 +237,7 @@ TEST(TraceTest, ChromeTraceExportOfARealRun) {
   obs::Tracer tracer;
   engine.SetTracer(&tracer);
   Rng rng(23);
-  const auto result = SeededTopK(net.overlay, engine,
-                                 net.overlay.RandomPeer(&rng), q, 0);
+  const auto result = SeededTopK(net.overlay, engine, {.initiator = net.overlay.RandomPeer(&rng), .query = q, .ripple = RippleParam::Fast()});
   const std::string path = ::testing::TempDir() + "/trace_real.json";
   ASSERT_TRUE(obs::WriteChromeTrace(tracer, path).ok());
   std::ifstream in(path);
@@ -275,7 +272,7 @@ TEST(TraceTest, AsciiRenderingMentionsEveryPeer) {
   obs::Tracer tracer;
   engine.SetTracer(&tracer);
   Rng rng(29);
-  engine.Run(net.overlay.RandomPeer(&rng), q, 0);
+  engine.Run({.initiator = net.overlay.RandomPeer(&rng), .query = q});
   const std::string ascii = tracer.ToAscii();
   for (const obs::Span& s : tracer.spans()) {
     EXPECT_NE(ascii.find("p" + std::to_string(s.peer) + " ["),

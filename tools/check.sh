@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Builds the tree under a sanitizer and runs the test suite.
+# Lints, builds the tree under a sanitizer and runs the test suite. The
+# fault-injection tests (ctest label `fault`) are re-run separately so a
+# sanitizer report there is attributed to the fault layer at a glance.
 #
 #   tools/check.sh            # ASan + UBSan-less default: address
 #   tools/check.sh undefined  # UBSan
@@ -10,6 +12,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+tools/lint_deprecated.sh
 
 SANITIZER="${1:-address}"
 FILTER="${2:-}"
@@ -35,4 +39,10 @@ if [[ -n "$FILTER" ]]; then
   CTEST_ARGS+=(-R "$FILTER")
 fi
 ctest "${CTEST_ARGS[@]}"
+
+# The fault-injection suite exercises the retry/dedup/crash machinery the
+# hardest; run it again by label so its sanitizer verdict is explicit.
+if [[ -z "$FILTER" ]]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L fault
+fi
 echo "check.sh: $SANITIZER build clean"

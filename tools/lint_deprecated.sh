@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Fails when in-tree code still uses the deprecated compatibility shims
+# that bridge the pre-QueryRequest engine API. The shims exist for ONE
+# PR to give out-of-tree callers a migration window; nothing in this
+# repository may depend on them.
+#
+# Forbidden outside src/ripple/compat.h itself:
+#   * including ripple/compat.h
+#   * calling through ripple::compat:: (Run shims, kRippleSlow)
+#   * the bare kRippleSlow sentinel (replaced by RippleParam::Slow())
+#
+# Usage: tools/lint_deprecated.sh   (exit 0 clean, 1 on violations)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAIL=0
+check() {
+  local pattern="$1" what="$2"
+  local hits
+  hits=$(grep -rn --include='*.cc' --include='*.h' --include='*.cpp' \
+           -e "$pattern" src bench examples tests tools \
+         | grep -v '^src/ripple/compat\.h:' || true)
+  if [[ -n "$hits" ]]; then
+    echo "lint_deprecated: forbidden $what:" >&2
+    echo "$hits" >&2
+    FAIL=1
+  fi
+}
+
+check 'ripple/compat\.h'  'include of the deprecated compat header'
+check 'compat::'          'use of the ripple::compat shim namespace'
+check '\bkRippleSlow\b'   'legacy kRippleSlow sentinel (use RippleParam::Slow())'
+
+if [[ "$FAIL" -ne 0 ]]; then
+  echo "lint_deprecated: migrate the callers above to QueryRequest/RippleParam" >&2
+  exit 1
+fi
+echo "lint_deprecated: clean"

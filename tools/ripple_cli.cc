@@ -6,12 +6,17 @@
 //   $ ripple_cli --query=skyband --band=3
 //   $ ripple_cli --query=range --radius=0.1
 //   $ ripple_cli --query=diversify --dataset=mirflickr --lambda=0.3
+//   $ ripple_cli --query=topk --engine=async --loss=0.05 --crash-rate=0.01
 //
 // Prints the answer tuples plus the cost metrics the paper reports
-// (latency in hops, peers visited, messages, tuples shipped).
+// (latency in hops, peers visited, messages, tuples shipped). With
+// --engine=async the query runs through the discrete-event simulator;
+// fault flags then inject message loss / duplication / delay jitter /
+// peer crashes, and the coverage report says how the answer degraded.
 
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "common/flags.h"
 #include "common/log.h"
@@ -26,25 +31,54 @@
 #include "queries/skyband.h"
 #include "queries/skyline_driver.h"
 #include "queries/topk_driver.h"
+#include "sim/async_engine.h"
 
 namespace ripple {
 namespace {
 
+/// Runs `drive` against a freshly built engine of the requested kind; both
+/// engines share the QueryRequest/QueryResult API, so the driver callback
+/// is written once.
+template <typename Policy, typename Driver>
+QueryResult<typename Policy::Answer> RunWithEngine(const MidasOverlay& overlay,
+                                                   bool async_mode,
+                                                   obs::Tracer* tracer,
+                                                   Driver&& drive) {
+  if (async_mode) {
+    AsyncEngine<MidasOverlay, Policy> engine(&overlay, Policy{});
+    engine.SetTracer(tracer);
+    return drive(engine);
+  }
+  Engine<MidasOverlay, Policy> engine(&overlay, Policy{});
+  engine.SetTracer(tracer);
+  return drive(engine);
+}
+
 int Run(int argc, char** argv) {
   std::string query = "topk";
   std::string dataset = "uniform";
+  std::string engine_kind = "sync";
   int64_t peers = 1024;
   int64_t dims = 3;
   int64_t tuples = 20000;
   int64_t k = 10;
   int64_t band = 2;
   int64_t seed = 1;
-  std::string ripple_r = "0";
+  std::string ripple_r = "fast";
   double lambda = 0.5;
   double radius = 0.1;
   double epsilon = 0.0;
   bool patterns = false;
   int64_t show = 10;
+  double loss = 0.0;
+  double dup = 0.0;
+  double jitter = 0.0;
+  double crash_rate = 0.0;
+  double crash_window = 64.0;
+  int64_t fault_seed = 0;
+  double timeout = 32.0;
+  int64_t max_retries = 3;
+  double deadline = 0.0;
   std::string trace_out;
   std::string metrics_out;
   std::string log_level;
@@ -57,13 +91,18 @@ int Run(int argc, char** argv) {
                   "uniform | synth | correlated | anticorrelated | nba | "
                   "mirflickr",
                   &dataset);
+  flags.AddString("engine",
+                  "sync (recursive, analytic latency) | async "
+                  "(discrete-event messages; honors the fault flags)",
+                  &engine_kind);
   flags.AddInt("peers", "overlay size", &peers);
   flags.AddInt("dims", "dimensionality (nba fixes 6, mirflickr 5)", &dims);
   flags.AddInt("tuples", "dataset size (nba fixes 22000)", &tuples);
   flags.AddInt("k", "result size for topk/diversify", &k);
   flags.AddInt("band", "skyband depth", &band);
   flags.AddInt("seed", "master seed", &seed);
-  flags.AddString("r", "ripple parameter: 0..Delta or 'slow'", &ripple_r);
+  flags.AddString("r", "ripple parameter: 'fast', 'slow' or a hop count",
+                  &ripple_r);
   flags.AddDouble("lambda", "diversification relevance weight", &lambda);
   flags.AddDouble("radius", "range query radius (L2)", &radius);
   flags.AddDouble("epsilon", "top-k approximation slack (0 = exact)",
@@ -71,6 +110,24 @@ int Run(int argc, char** argv) {
   flags.AddBool("patterns", "enable the border-pattern optimization",
                 &patterns);
   flags.AddInt("show", "answer tuples to print", &show);
+  flags.AddDouble("loss", "message loss probability (async engine)", &loss);
+  flags.AddDouble("dup", "message duplication probability (async)", &dup);
+  flags.AddDouble("jitter", "max extra delay fraction per message (async)",
+                  &jitter);
+  flags.AddDouble("crash-rate", "per-peer crash probability (async)",
+                  &crash_rate);
+  flags.AddDouble("crash-window", "crashes drawn in [0, window) sim time",
+                  &crash_window);
+  flags.AddInt("fault-seed", "fault stream seed (default: --seed)",
+               &fault_seed);
+  flags.AddDouble("timeout", "initial per-message retry timeout (async)",
+                  &timeout);
+  flags.AddInt("max-retries", "retransmissions before giving a link up",
+               &max_retries);
+  flags.AddDouble("deadline",
+                  "return a flagged partial answer after this much sim "
+                  "time (0 = none; async)",
+                  &deadline);
   flags.AddString("trace-out",
                   "write the query's span tree here: Chrome Trace Event "
                   "JSON, or JSONL when the path ends in .jsonl",
@@ -96,6 +153,18 @@ int Run(int argc, char** argv) {
   if (!log_level.empty()) {
     SetGlobalLogLevel(ParseLogLevel(log_level, LogLevel::kWarn));
   }
+  const bool async_mode = engine_kind == "async";
+  if (!async_mode && engine_kind != "sync") {
+    std::fprintf(stderr, "unknown --engine=%s (sync | async)\n",
+                 engine_kind.c_str());
+    return 2;
+  }
+  const Result<RippleParam> ripple = RippleParam::Parse(ripple_r);
+  if (!ripple.ok()) {
+    std::fprintf(stderr, "bad --r: %s\n",
+                 ripple.status().message().c_str());
+    return 2;
+  }
   // Enable the global registry before the overlay is built so the
   // bootstrap joins' routing shows up under midas.route.* too.
   if (!metrics_out.empty()) obs::Registry::EnableGlobal(true);
@@ -114,15 +183,37 @@ int Run(int argc, char** argv) {
   MidasOverlay overlay(opt);
   for (const Tuple& t : data) overlay.InsertTuple(t);
   while (overlay.NumPeers() < static_cast<size_t>(peers)) overlay.Join();
-  const int r = ripple_r == "slow" ? kRippleSlow : std::atoi(ripple_r.c_str());
-  std::printf("%s over %zu peers (depth %d), %zu tuples, r=%s\n",
+  std::printf("%s over %zu peers (depth %d), %zu tuples, r=%s, engine=%s\n",
               dataset.c_str(), overlay.NumPeers(), overlay.MaxDepth(),
-              overlay.TotalTuples(), ripple_r.c_str());
+              overlay.TotalTuples(), ripple->ToString().c_str(),
+              async_mode ? "async" : "sync");
+
+  net::FaultOptions fault;
+  fault.loss_rate = loss;
+  fault.dup_rate = dup;
+  fault.delay_jitter = jitter;
+  fault.crash_rate = crash_rate;
+  fault.crash_window = crash_window;
+  fault.seed = static_cast<uint64_t>(fault_seed != 0 ? fault_seed : seed);
+  net::RetryOptions retry;
+  retry.timeout = timeout;
+  retry.max_retries = static_cast<int>(max_retries);
+  if (fault.AnyFault() && !async_mode) {
+    std::fprintf(stderr,
+                 "fault flags need --engine=async (the sync engine models "
+                 "a perfect network)\n");
+    return 2;
+  }
 
   Rng rng(static_cast<uint64_t>(seed) ^ 0x5555);
   const PeerId initiator = overlay.RandomPeer(&rng);
+  const double deadline_or_inf =
+      deadline > 0 ? deadline : std::numeric_limits<double>::infinity();
   TupleVec answer;
   QueryStats stats;
+  net::Coverage coverage;
+  bool complete = true;
+  double completion_time = 0.0;
 
   if (query == "topk") {
     std::vector<double> weights(dims);
@@ -130,39 +221,73 @@ int Run(int argc, char** argv) {
     for (auto& w : weights) sum += (w = 0.1 + rng.UniformDouble());
     for (auto& w : weights) w = -w / sum;
     LinearScorer scorer(weights);
-    TopKQuery q{&scorer, static_cast<size_t>(k), epsilon};
-    Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
-    engine.SetTracer(tracer_ptr);
-    auto result = SeededTopK(overlay, engine, initiator, q, r);
+    const QueryRequest<TopKPolicy> request{
+        .initiator = initiator,
+        .query = TopKQuery{&scorer, static_cast<size_t>(k), epsilon},
+        .ripple = *ripple,
+        .deadline = deadline_or_inf,
+        .retry = retry,
+        .fault = fault};
+    auto result = RunWithEngine<TopKPolicy>(
+        overlay, async_mode, tracer_ptr,
+        [&](auto& engine) { return SeededTopK(overlay, engine, request); });
     std::printf("scoring: %s\n", scorer.ToString().c_str());
     answer = std::move(result.answer);
     stats = result.stats;
+    coverage = result.coverage;
+    complete = result.complete;
+    completion_time = result.completion_time;
   } else if (query == "skyline") {
-    Engine<MidasOverlay, SkylinePolicy> engine(&overlay, SkylinePolicy{});
-    engine.SetTracer(tracer_ptr);
-    auto result = SeededSkyline(overlay, engine, initiator, SkylineQuery{},
-                                r);
+    const QueryRequest<SkylinePolicy> request{.initiator = initiator,
+                                              .ripple = *ripple,
+                                              .deadline = deadline_or_inf,
+                                              .retry = retry,
+                                              .fault = fault};
+    auto result = RunWithEngine<SkylinePolicy>(
+        overlay, async_mode, tracer_ptr,
+        [&](auto& engine) { return SeededSkyline(overlay, engine, request); });
     answer = std::move(result.answer);
     stats = result.stats;
+    coverage = result.coverage;
+    complete = result.complete;
+    completion_time = result.completion_time;
   } else if (query == "skyband") {
-    Engine<MidasOverlay, SkybandPolicy> engine(&overlay, SkybandPolicy{});
-    engine.SetTracer(tracer_ptr);
     SkybandQuery q;
     q.band = static_cast<size_t>(band);
-    auto result = engine.Run(initiator, q, r);
+    const QueryRequest<SkybandPolicy> request{.initiator = initiator,
+                                              .query = q,
+                                              .ripple = *ripple,
+                                              .deadline = deadline_or_inf,
+                                              .retry = retry,
+                                              .fault = fault};
+    auto result = RunWithEngine<SkybandPolicy>(
+        overlay, async_mode, tracer_ptr,
+        [&](auto& engine) { return engine.Run(request); });
     answer = std::move(result.answer);
     stats = result.stats;
+    coverage = result.coverage;
+    complete = result.complete;
+    completion_time = result.completion_time;
   } else if (query == "range") {
     RangeQuery q;
     q.center = data[rng.UniformU64(data.size())].key;
     q.radius = radius;
     std::printf("range center: %s radius %.3f\n", q.center.ToString().c_str(),
                 radius);
-    Engine<MidasOverlay, RangePolicy> engine(&overlay, RangePolicy{});
-    engine.SetTracer(tracer_ptr);
-    auto result = engine.Run(initiator, q, r);
+    const QueryRequest<RangePolicy> request{.initiator = initiator,
+                                            .query = q,
+                                            .ripple = *ripple,
+                                            .deadline = deadline_or_inf,
+                                            .retry = retry,
+                                            .fault = fault};
+    auto result = RunWithEngine<RangePolicy>(
+        overlay, async_mode, tracer_ptr,
+        [&](auto& engine) { return engine.Run(request); });
     answer = std::move(result.answer);
     stats = result.stats;
+    coverage = result.coverage;
+    complete = result.complete;
+    completion_time = result.completion_time;
   } else if (query == "diversify") {
     DiversifyObjective obj;
     obj.query = data[rng.UniformU64(data.size())].key;
@@ -170,16 +295,34 @@ int Run(int argc, char** argv) {
     obj.norm = Norm::kL1;
     std::printf("diversify around %s, lambda %.2f\n",
                 obj.query.ToString().c_str(), lambda);
-    RippleDivService<MidasOverlay> service(&overlay, initiator, r);
-    service.mutable_engine()->SetTracer(tracer_ptr);
+    const QueryRequest<DivPolicy> base{.initiator = initiator,
+                                       .ripple = *ripple,
+                                       .deadline = deadline_or_inf,
+                                       .retry = retry,
+                                       .fault = fault};
+    std::unique_ptr<SingleTupleService> service;
+    if (async_mode) {
+      auto s = std::make_unique<
+          RippleDivService<MidasOverlay, AsyncEngine<MidasOverlay, DivPolicy>>>(
+          &overlay, base);
+      s->mutable_engine()->SetTracer(tracer_ptr);
+      service = std::move(s);
+    } else {
+      auto s = std::make_unique<RippleDivService<MidasOverlay>>(&overlay,
+                                                                base);
+      s->mutable_engine()->SetTracer(tracer_ptr);
+      service = std::move(s);
+    }
     DiversifyOptions options;
     options.k = static_cast<size_t>(k);
     options.service_init = true;
-    auto result = Diversify(&service, obj, {}, options);
+    auto result = Diversify(service.get(), obj, {}, options);
     std::printf("objective %.4f after %d improve rounds\n", result.objective,
                 result.improve_rounds);
     answer = std::move(result.set);
     stats = result.stats;
+    coverage = result.coverage;
+    complete = result.complete;
   } else {
     std::fprintf(stderr, "unknown --query=%s\n%s\n", query.c_str(),
                  flags.Help().c_str());
@@ -187,6 +330,14 @@ int Run(int argc, char** argv) {
   }
 
   std::printf("cost: %s\n", stats.ToString().c_str());
+  if (async_mode) {
+    std::printf("completion: %.1f sim time units\n", completion_time);
+    std::printf("coverage: %s\n", coverage.ToString().c_str());
+    if (!complete) {
+      std::printf("WARNING: partial answer — a sound digest of what was "
+                  "reachable, not the exact result\n");
+    }
+  }
   std::printf("answer: %zu tuples\n", answer.size());
   for (size_t i = 0; i < answer.size() && i < static_cast<size_t>(show);
        ++i) {
