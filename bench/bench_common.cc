@@ -1,8 +1,10 @@
 #include "bench_common.h"
 
 #include <algorithm>
-#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 #include "baselines/div_baseline.h"
 #include "baselines/dsl.h"
@@ -14,6 +16,16 @@
 #include "queries/topk.h"
 #include "queries/topk_driver.h"
 #include "ripple/engine.h"
+
+// Build provenance stamped into BENCH_<suite>.json (defined by
+// bench/CMakeLists.txt at configure time; fallbacks keep non-CMake builds
+// compiling).
+#ifndef RIPPLE_GIT_SHA
+#define RIPPLE_GIT_SHA "unknown"
+#endif
+#ifndef RIPPLE_BUILD_TYPE
+#define RIPPLE_BUILD_TYPE "unknown"
+#endif
 
 namespace ripple::bench {
 
@@ -32,30 +44,77 @@ BenchConfig LoadConfig() {
 
 namespace {
 
-/// Set by PrintHeader; prefixes CSV file names so panels from different
-/// figure binaries do not collide. Plain char buffer: trivially
-/// destructible static state.
-char g_figure_slug[64] = "";
+/// The process-wide reporter. Before PrintHeader, a placeholder collects
+/// any early AddMetric calls; PrintHeader replaces it with the real one
+/// (suite + provenance) and folds the placeholder's cases over.
+std::unique_ptr<obs::BenchReporter> g_reporter;
 
-std::string Slug(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      out.push_back(static_cast<char>(std::tolower(c)));
-    } else if (!out.empty() && out.back() != '-') {
-      out.push_back('-');
-    }
-  }
-  while (!out.empty() && out.back() == '-') out.pop_back();
-  return out;
+void FlushAtExit() { FlushBenchReport(); }
+
+obs::BenchReporter MakeReporter(const BenchConfig& config,
+                                const std::string& figure) {
+  obs::BenchMeta meta;
+  // "Ablation A8" -> ablations suite; "Figure 4" (and everything else)
+  // -> figs. One file per suite, shared by all that suite's binaries.
+  meta.suite =
+      figure.rfind("Ablation", 0) == 0 ? "ablations" : "figs";
+  meta.binary = obs::Slug(figure);
+  meta.git_sha = RIPPLE_GIT_SHA;
+  meta.build_type = RIPPLE_BUILD_TYPE;
+  meta.seed = config.seed;
+  meta.config = {
+      {"min_log_n", static_cast<double>(config.min_log_n)},
+      {"max_log_n", static_cast<double>(config.max_log_n)},
+      {"queries", static_cast<double>(config.queries)},
+      {"div_queries", static_cast<double>(config.div_queries)},
+      {"nets", static_cast<double>(config.nets)},
+      {"tuples", static_cast<double>(config.tuples)},
+  };
+  return obs::BenchReporter(std::move(meta));
 }
 
 }  // namespace
 
+obs::BenchReporter& Reporter() {
+  if (g_reporter == nullptr) {
+    obs::BenchMeta placeholder;
+    placeholder.suite = "figs";
+    placeholder.binary = "unnamed";
+    g_reporter = std::make_unique<obs::BenchReporter>(std::move(placeholder));
+  }
+  return *g_reporter;
+}
+
+void FlushBenchReport() {
+  if (g_reporter == nullptr) return;
+  const std::string dir = GetEnvString("RIPPLE_BENCH_JSON_DIR", ".");
+  const Status status = g_reporter->WriteMerged(dir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "BENCH json: %s\n", status.ToString().c_str());
+  }
+}
+
 void PrintHeader(const BenchConfig& config, const std::string& figure,
                  const std::string& description) {
-  std::snprintf(g_figure_slug, sizeof(g_figure_slug), "%s",
-                Slug(figure).c_str());
+  obs::BenchReporter fresh = MakeReporter(config, figure);
+  if (g_reporter != nullptr) {
+    // Early metrics were recorded under the placeholder prefix; re-home
+    // them (id is "<old-binary>/<case>", keep the case part).
+    for (const auto& [id, metrics] : g_reporter->cases()) {
+      const size_t slash = id.find('/');
+      const std::string case_id =
+          slash == std::string::npos ? id : id.substr(slash + 1);
+      for (const auto& [name, value] : metrics) {
+        fresh.AddMetric(case_id, name, value);
+      }
+    }
+  }
+  g_reporter = std::make_unique<obs::BenchReporter>(std::move(fresh));
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(FlushAtExit);
+  }
   std::printf("==============================================================="
               "=========\n");
   std::printf("%s — %s\n", figure.c_str(), description.c_str());
@@ -69,43 +128,34 @@ void PrintHeader(const BenchConfig& config, const std::string& figure,
               "=========\n");
 }
 
-namespace {
-
-void MaybeWriteCsv(const std::string& title, const std::string& x_label,
-                   const std::vector<std::string>& x_values,
-                   const std::vector<Series>& series) {
-  const std::string dir = GetEnvString("RIPPLE_BENCH_CSV", "");
-  if (dir.empty()) return;
-  const std::string path =
-      dir + "/" + g_figure_slug + "-" + Slug(title) + ".csv";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "RIPPLE_BENCH_CSV: cannot open %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "%s", x_label.c_str());
-  for (const Series& s : series) std::fprintf(f, ",%s", s.name.c_str());
-  std::fprintf(f, "\n");
-  for (size_t row = 0; row < x_values.size(); ++row) {
-    std::fprintf(f, "%s", x_values[row].c_str());
-    for (const Series& s : series) {
-      if (row < s.values.size()) {
-        std::fprintf(f, ",%.6g", s.values[row]);
-      } else {
-        std::fprintf(f, ",");
-      }
-    }
-    std::fprintf(f, "\n");
-  }
-  std::fclose(f);
-}
-
-}  // namespace
-
 void PrintPanel(const std::string& title, const std::string& x_label,
                 const std::vector<std::string>& x_values,
                 const std::vector<Series>& series) {
-  MaybeWriteCsv(title, x_label, x_values, series);
+  obs::BenchReporter& reporter = Reporter();
+  const std::string panel = obs::Slug(title);
+  for (size_t row = 0; row < x_values.size(); ++row) {
+    for (const Series& s : series) {
+      if (row < s.values.size()) {
+        reporter.AddMetric(panel + "/x=" + x_values[row], s.name,
+                           s.values[row]);
+      }
+    }
+  }
+  const std::string csv_dir = GetEnvString("RIPPLE_BENCH_CSV", "");
+  if (!csv_dir.empty()) {
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> values;
+    for (const Series& s : series) {
+      names.push_back(s.name);
+      values.push_back(s.values);
+    }
+    const Status status = reporter.WritePanelCsv(csv_dir, title, x_label,
+                                                 x_values, names, values);
+    if (!status.ok()) {
+      std::fprintf(stderr, "RIPPLE_BENCH_CSV: %s\n",
+                   status.ToString().c_str());
+    }
+  }
   std::printf("\n-- %s --\n", title.c_str());
   std::printf("%14s", x_label.c_str());
   for (const Series& s : series) {
@@ -124,6 +174,34 @@ void PrintPanel(const std::string& title, const std::string& x_label,
     std::printf("\n");
   }
   std::fflush(stdout);
+}
+
+void ReportQueryPoint(const std::string& x,
+                      const std::vector<std::string>& names,
+                      const StatsAccumulator* accs, const obs::Histogram* wall,
+                      const obs::Profiler* profs, size_t count) {
+  obs::BenchReporter& reporter = Reporter();
+  for (size_t i = 0; i < count; ++i) {
+    const std::string id =
+        "query/" + x + "/" + (i < names.size() ? names[i] : "?");
+    reporter.AddMetric(id, "latency_hops_mean", accs[i].MeanLatency());
+    reporter.AddMetric(id, "congestion_mean", accs[i].MeanCongestion());
+    reporter.AddMetric(id, "messages_mean", accs[i].MeanMessages());
+    reporter.AddMetric(id, "tuples_mean", accs[i].MeanTuplesShipped());
+    if (wall != nullptr && wall[i].count() > 0) {
+      reporter.AddMetric(id, "wall_ms_p50", wall[i].Percentile(50));
+      reporter.AddMetric(id, "wall_ms_p95", wall[i].Percentile(95));
+      reporter.AddMetric(id, "wall_ms_p99", wall[i].Percentile(99));
+    }
+    if (profs != nullptr) {
+      const obs::SkewStats skew = profs[i].Skew(&obs::PeerLoad::spans);
+      if (skew.total > 0) {
+        reporter.AddMetric(id, "peak_peer_load",
+                           static_cast<double>(skew.max));
+        reporter.AddMetric(id, "load_gini", skew.gini);
+      }
+    }
+  }
 }
 
 bool HistSummariesEnabled() { return GetEnvInt("RIPPLE_BENCH_HIST", 0) != 0; }
@@ -225,6 +303,18 @@ DivWorkload MakeDivWorkload(const TupleVec& tuples, size_t k, double lambda,
   return w;
 }
 
+namespace {
+
+/// Milliseconds elapsed since `t0` on the steady clock — the wall metric
+/// the wall[] histograms observe (reported, never regression-gated).
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
 void RunTopKFourWay(const MidasOverlay& overlay, size_t k, size_t queries,
                     uint64_t seed, FourWay* out) {
   const int delta = overlay.MaxDepth();
@@ -232,19 +322,24 @@ void RunTopKFourWay(const MidasOverlay& overlay, size_t k, size_t queries,
                              RippleParam::Hops(2 * delta / 3),
                              RippleParam::Slow()};
   Engine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
+  for (int i = 0; i < 4; ++i) out->prof[i].SetPeerUniverse(overlay.NumPeers());
   Rng rng(seed);
   for (size_t q = 0; q < queries; ++q) {
     const LinearScorer scorer = RandomPreferenceScorer(overlay.dims(), &rng);
     const TopKQuery query{&scorer, k};
     const PeerId initiator = overlay.RandomPeer(&rng);
     for (int i = 0; i < 4; ++i) {
-      out->acc[i].Add(SeededTopK(overlay, engine,
-                                 {.initiator = initiator,
-                                  .query = query,
-                                  .ripple = rs[i]})
-                          .stats);
+      engine.SetProfiler(&out->prof[i]);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto result = SeededTopK(overlay, engine,
+                                     {.initiator = initiator,
+                                      .query = query,
+                                      .ripple = rs[i]});
+      out->wall[i].Observe(MsSince(t0));
+      out->acc[i].Add(result.stats);
     }
   }
+  engine.SetProfiler(nullptr);
 }
 
 void RunSkylineMethods(size_t peers, int dims, const TupleVec& tuples,
@@ -256,22 +351,37 @@ void RunSkylineMethods(size_t peers, int dims, const TupleVec& tuples,
   const CanOverlay can = BuildCan(peers, dims, seed + 1, tuples);
   const BatonOverlay baton = BuildBaton(peers, dims, tuples);
   Engine<MidasOverlay, SkylinePolicy> engine(&midas, SkylinePolicy{});
+  out->prof[0].SetPeerUniverse(midas.NumPeers());
+  out->prof[1].SetPeerUniverse(midas.NumPeers());
   Rng rng(seed ^ 0x5bd1e995);
   for (size_t q = 0; q < queries; ++q) {
     const PeerId m_init = midas.RandomPeer(&rng);
     const PeerId c_init = can.RandomPeer(&rng);
     const PeerId b_init = baton.RandomPeer(&rng);
+    engine.SetProfiler(&out->prof[0]);
+    auto t0 = std::chrono::steady_clock::now();
     out->acc[0].Add(SeededSkyline(midas, engine,
                                   {.initiator = m_init,
                                    .ripple = RippleParam::Fast()})
                         .stats);
+    out->wall[0].Observe(MsSince(t0));
+    engine.SetProfiler(&out->prof[1]);
+    t0 = std::chrono::steady_clock::now();
     out->acc[1].Add(SeededSkyline(midas, engine,
                                   {.initiator = m_init,
                                    .ripple = RippleParam::Slow()})
                         .stats);
+    out->wall[1].Observe(MsSince(t0));
+    // The baselines run outside the RIPPLE engine, so only their wall
+    // clock and QueryStats are observable — their profilers stay empty.
+    t0 = std::chrono::steady_clock::now();
     out->acc[2].Add(RunDslSkyline(can, c_init).stats);
+    out->wall[2].Observe(MsSince(t0));
+    t0 = std::chrono::steady_clock::now();
     out->acc[3].Add(RunSspSkyline(baton, b_init).stats);
+    out->wall[3].Observe(MsSince(t0));
   }
+  engine.SetProfiler(nullptr);
 }
 
 void RunDivMethods(size_t peers, int dims, const TupleVec& tuples, size_t k,
@@ -279,6 +389,8 @@ void RunDivMethods(size_t peers, int dims, const TupleVec& tuples, size_t k,
                    DivPoint* out) {
   const MidasOverlay midas = BuildMidas(peers, dims, seed, tuples);
   const CanOverlay can = BuildCan(peers, dims, seed + 1, tuples);
+  out->prof[0].SetPeerUniverse(midas.NumPeers());
+  out->prof[1].SetPeerUniverse(midas.NumPeers());
   Rng rng(seed ^ 0x2545f491);
   DiversifyOptions options;
   options.k = k;
@@ -294,13 +406,17 @@ void RunDivMethods(size_t peers, int dims, const TupleVec& tuples, size_t k,
         &midas, {.initiator = m_init, .ripple = RippleParam::Fast()});
     RippleDivService<MidasOverlay> slow(
         &midas, {.initiator = m_init, .ripple = RippleParam::Slow()});
+    fast.mutable_engine()->SetProfiler(&out->prof[0]);
+    slow.mutable_engine()->SetProfiler(&out->prof[1]);
     CanFloodDivService flood(&can, c_init);
     SingleTupleService* measured[3] = {&fast, &slow, &flood};
     for (int m = 0; m < 3; ++m) {
       CentralizedDivService reference(&tuples);
       ForcedResultService forced(measured[m], &reference);
+      const auto t0 = std::chrono::steady_clock::now();
       out->acc[m].Add(Diversify(&forced, w.objective, w.initial, options)
                           .stats);
+      out->wall[m].Observe(MsSince(t0));
     }
   }
 }

@@ -10,6 +10,9 @@
 #include "data/datasets.h"
 #include "geom/scoring.h"
 #include "net/metrics.h"
+#include "obs/bench_report.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "overlay/baton/baton.h"
 #include "overlay/can/can.h"
 #include "overlay/midas/midas.h"
@@ -30,6 +33,13 @@ namespace ripple::bench {
 ///   RIPPLE_BENCH_NETS        networks per data point (default 2)
 ///   RIPPLE_BENCH_TUPLES      synthetic tuples        (default 100000)
 ///   RIPPLE_BENCH_SEED        master seed             (default 1)
+///
+/// Output destinations:
+///
+///   RIPPLE_BENCH_JSON_DIR    directory receiving BENCH_<suite>.json
+///                            (default "."); see docs/OBSERVABILITY.md
+///   RIPPLE_BENCH_CSV         directory receiving per-panel CSVs under
+///                            <dir>/<suite>/ (unset = no CSV)
 struct BenchConfig {
   int min_log_n = 10;
   int max_log_n = 13;
@@ -55,9 +65,24 @@ struct BenchConfig {
 BenchConfig LoadConfig();
 
 /// Prints the experiment banner: figure id, what the paper shows, and the
-/// Table 1 configuration in effect.
+/// Table 1 configuration in effect. Also initializes the process-wide
+/// BenchReporter: the suite is derived from the figure id ("Ablation ..."
+/// -> ablations, anything else -> figs), the binary prefix is the slug of
+/// the figure id, and the merged BENCH_<suite>.json is flushed to
+/// RIPPLE_BENCH_JSON_DIR at process exit.
 void PrintHeader(const BenchConfig& config, const std::string& figure,
                  const std::string& description);
+
+/// The process-wide bench result sink (valid after PrintHeader; before it,
+/// a placeholder reporter is used and its cases are folded into the real
+/// one at PrintHeader time). All BENCH_<suite>.json and result-CSV
+/// emission must flow through this reporter — tools/lint_deprecated.sh
+/// enforces it.
+obs::BenchReporter& Reporter();
+
+/// Writes the merged BENCH_<suite>.json now (also happens automatically at
+/// exit). Exposed so tests can flush without exiting.
+void FlushBenchReport();
 
 /// One plotted line: a method/parameter setting across the x sweep.
 struct Series {
@@ -67,11 +92,25 @@ struct Series {
 
 /// Prints one metric panel (latency or congestion) as an aligned table,
 /// one row per x value, one column per series — the same rows the paper's
-/// figures plot. When RIPPLE_BENCH_CSV names a directory, the panel is
-/// also appended as CSV to <dir>/<slug-of-title>.csv for plotting.
+/// figures plot. Every cell is also recorded in the Reporter() as case
+/// `<slug-of-title>/x=<x>` with one metric per series, and when
+/// RIPPLE_BENCH_CSV names a directory the panel is written as CSV to
+/// <dir>/<suite>/<binary>-<slug-of-title>.csv for plotting.
 void PrintPanel(const std::string& title, const std::string& x_label,
                 const std::vector<std::string>& x_values,
                 const std::vector<Series>& series);
+
+/// Records one x point of a query sweep in the Reporter() as cases
+/// `query/<x>/<series-name>`, one per series. Deterministic metrics
+/// (gated by tools/bench_check.py): latency_hops_mean, congestion_mean,
+/// messages_mean, tuples_mean, and — when the matching profiler saw any
+/// spans — peak_peer_load and load_gini. Wall-clock metrics (informational
+/// only, never gated): wall_ms_p50/p95/p99 from the matching histogram.
+/// `wall` and `profs` may be null; `count` bounds all three arrays.
+void ReportQueryPoint(const std::string& x,
+                      const std::vector<std::string>& names,
+                      const StatsAccumulator* accs, const obs::Histogram* wall,
+                      const obs::Profiler* profs, size_t count);
 
 /// True when RIPPLE_BENCH_HIST=1: the figure benches then follow their
 /// mean panels with nearest-rank percentile summaries (p50/p90/p99/max
@@ -110,6 +149,12 @@ DivWorkload MakeDivWorkload(const TupleVec& tuples, size_t k, double lambda,
                             Rng* rng);
 
 /// Sweep runners -------------------------------------------------------------
+///
+/// Each point struct carries, besides the QueryStats accumulators, one
+/// per-query wall-clock histogram (milliseconds, steady clock) and one
+/// per-peer load profiler per series; the RIPPLE-engine series feed the
+/// profiler (baselines leave theirs empty). ReportQueryPoint turns all
+/// three into BENCH_<suite>.json metrics.
 
 /// Figures 4-6: top-k under the four canonical ripple settings
 /// r in {0, Delta/3, 2*Delta/3, Delta}. Index order matches
@@ -118,6 +163,8 @@ inline constexpr const char* kTopKVariantNames[4] = {"r=0", "r=D/3", "r=2D/3",
                                                      "r=D"};
 struct FourWay {
   StatsAccumulator acc[4];
+  obs::Histogram wall[4];
+  obs::Profiler prof[4];
 };
 void RunTopKFourWay(const MidasOverlay& overlay, size_t k, size_t queries,
                     uint64_t seed, FourWay* out);
@@ -127,6 +174,8 @@ inline constexpr const char* kSkylineMethodNames[4] = {
     "ripple-fast", "ripple-slow", "dsl(can)", "ssp(baton)"};
 struct SkylinePoint {
   StatsAccumulator acc[4];
+  obs::Histogram wall[4];
+  obs::Profiler prof[4];
 };
 void RunSkylineMethods(size_t peers, int dims, const TupleVec& tuples,
                        size_t queries, uint64_t seed, SkylinePoint* out);
@@ -140,6 +189,8 @@ inline constexpr const char* kDivMethodNames[3] = {"ripple-fast",
                                                    "baseline(can)"};
 struct DivPoint {
   StatsAccumulator acc[3];
+  obs::Histogram wall[3];
+  obs::Profiler prof[3];
 };
 void RunDivMethods(size_t peers, int dims, const TupleVec& tuples, size_t k,
                    double lambda, size_t queries, uint64_t seed,

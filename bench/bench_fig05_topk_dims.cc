@@ -34,6 +34,9 @@ int main() {
       latency[i].values.push_back(point.acc[i].MeanLatency());
       congestion[i].values.push_back(point.acc[i].MeanCongestion());
     }
+    ReportQueryPoint("d=" + std::to_string(dims),
+                     {kTopKVariantNames, kTopKVariantNames + 4}, point.acc,
+                     point.wall, point.prof, 4);
   }
   PrintPanel("(a) latency (hops)", "dimensionality", xs, latency);
   PrintPanel("(b) congestion (peers per query)", "dimensionality", xs,

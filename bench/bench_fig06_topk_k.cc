@@ -38,6 +38,9 @@ int main() {
       latency[i].values.push_back(point.acc[i].MeanLatency());
       congestion[i].values.push_back(point.acc[i].MeanCongestion());
     }
+    ReportQueryPoint("k=" + std::to_string(k),
+                     {kTopKVariantNames, kTopKVariantNames + 4}, point.acc,
+                     point.wall, point.prof, 4);
     PrintStatsSummary(
         "k=" + std::to_string(k),
         {kTopKVariantNames, kTopKVariantNames + 4}, point.acc, 4);

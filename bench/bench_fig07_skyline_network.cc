@@ -35,6 +35,9 @@ int main() {
       latency[i].values.push_back(point.acc[i].MeanLatency());
       congestion[i].values.push_back(point.acc[i].MeanCongestion());
     }
+    ReportQueryPoint("n=" + std::to_string(n),
+                     {kSkylineMethodNames, kSkylineMethodNames + 4},
+                     point.acc, point.wall, point.prof, 4);
     PrintStatsSummary(
         "n=" + std::to_string(n),
         {kSkylineMethodNames, kSkylineMethodNames + 4}, point.acc, 4);

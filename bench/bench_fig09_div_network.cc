@@ -37,6 +37,9 @@ int main() {
       latency[i].values.push_back(point.acc[i].MeanLatency());
       congestion[i].values.push_back(point.acc[i].MeanCongestion());
     }
+    ReportQueryPoint("n=" + std::to_string(n),
+                     {kDivMethodNames, kDivMethodNames + 3}, point.acc,
+                     point.wall, point.prof, 3);
     PrintStatsSummary(
         "n=" + std::to_string(n),
         {kDivMethodNames, kDivMethodNames + 3}, point.acc, 3);

@@ -43,6 +43,9 @@ int main() {
       latency[i].values.push_back(point.acc[i].MeanLatency());
       congestion[i].values.push_back(point.acc[i].MeanCongestion());
     }
+    ReportQueryPoint("k=" + std::to_string(k),
+                     {kDivMethodNames, kDivMethodNames + 3}, point.acc,
+                     point.wall, point.prof, 3);
   }
   PrintPanel("(a) latency (hops)", "result size k", xs, latency);
   PrintPanel("(b) congestion (peers per query)", "result size k", xs,

@@ -40,6 +40,9 @@ int main() {
       latency[i].values.push_back(point.acc[i].MeanLatency());
       congestion[i].values.push_back(point.acc[i].MeanCongestion());
     }
+    ReportQueryPoint(std::string("lambda=") + buf,
+                     {kDivMethodNames, kDivMethodNames + 3}, point.acc,
+                     point.wall, point.prof, 3);
     ++idx;
   }
   PrintPanel("(a) latency (hops)", "lambda", xs, latency);

@@ -1,0 +1,363 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ripple {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!IsObject()) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue* JsonValue::Find(const std::string& key) {
+  return const_cast<JsonValue*>(
+      static_cast<const JsonValue*>(this)->Find(key));
+}
+
+const JsonValue* JsonValue::FindPath(const std::string& dotted_path) const {
+  const JsonValue* cur = this;
+  size_t start = 0;
+  while (cur != nullptr && start <= dotted_path.size()) {
+    const size_t dot = dotted_path.find('.', start);
+    const std::string key =
+        dotted_path.substr(start, dot == std::string::npos ? std::string::npos
+                                                           : dot - start);
+    cur = cur->Find(key);
+    if (dot == std::string::npos) return cur;
+    start = dot + 1;
+  }
+  return cur;
+}
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.type = Type::kBool;
+  v.bool_value = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double n) {
+  JsonValue v;
+  v.type = Type::kNumber;
+  v.number = n;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.type = Type::kString;
+  v.string = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.type = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.type = Type::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::Add(const std::string& key, JsonValue v) {
+  object.emplace_back(key, std::move(v));
+  return object.back().second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    Status st = Value(&root, /*depth=*/0);
+    if (!st.ok()) return st;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return Object(out, depth);
+      case '[':
+        return Array(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return String(&out->string);
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          *out = JsonValue::MakeBool(true);
+          return Status::OK();
+        }
+        return Error("bad literal");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          *out = JsonValue::MakeBool(false);
+          return Status::OK();
+        }
+        return Error("bad literal");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          *out = JsonValue::MakeNull();
+          return Status::OK();
+        }
+        return Error("bad literal");
+      default:
+        return Number(out);
+    }
+  }
+
+  Status Object(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::MakeObject();
+    SkipSpace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      Status st = String(&key);
+      if (!st.ok()) return st;
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      JsonValue member;
+      st = Value(&member, depth + 1);
+      if (!st.ok()) return st;
+      out->object.emplace_back(std::move(key), std::move(member));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status Array(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::MakeArray();
+    SkipSpace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue element;
+      Status st = Value(&element, depth + 1);
+      if (!st.ok()) return st;
+      out->array.push_back(std::move(element));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status String(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are beyond
+          // what our own artifacts ever contain; encode them raw).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status Number(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("bad number");
+    *out = JsonValue::MakeNumber(v);
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void DumpTo(const JsonValue& v, std::string* out) {
+  switch (v.type) {
+    case JsonValue::Type::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      *out += v.bool_value ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber: {
+      double d = v.number;
+      if (!std::isfinite(d)) d = d > 0 ? 1e308 : -1e308;
+      char buf[40];
+      if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", d);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.10g", d);
+      }
+      *out += buf;
+      return;
+    }
+    case JsonValue::Type::kString:
+      *out += '"';
+      *out += JsonEscape(v.string);
+      *out += '"';
+      return;
+    case JsonValue::Type::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& e : v.array) {
+        if (!first) *out += ',';
+        first = false;
+        DumpTo(e, out);
+      }
+      *out += ']';
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [k, member] : v.object) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        *out += JsonEscape(k);
+        *out += "\":";
+        DumpTo(member, out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+std::string DumpJson(const JsonValue& value) {
+  std::string out;
+  DumpTo(value, &out);
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace ripple

@@ -1,0 +1,77 @@
+#ifndef RIPPLE_COMMON_JSON_H_
+#define RIPPLE_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ripple {
+
+/// A parsed JSON document node. Deliberately minimal — just enough for
+/// the repo's own machine-readable artifacts (BENCH_*.json merging, the
+/// exporter round-trip tests) without an external dependency. Objects
+/// keep insertion order so Dump() round-trips deterministically.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsNull() const { return type == Type::kNull; }
+  bool IsBool() const { return type == Type::kBool; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsString() const { return type == Type::kString; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsObject() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  JsonValue* Find(const std::string& key);
+
+  /// `Find` through a dotted path ("meta.seed"); nullptr when any hop is
+  /// missing.
+  const JsonValue* FindPath(const std::string& dotted_path) const;
+
+  /// Convenience accessors with fallbacks (wrong type -> fallback).
+  double NumberOr(double fallback) const {
+    return IsNumber() ? number : fallback;
+  }
+  std::string StringOr(const std::string& fallback) const {
+    return IsString() ? string : fallback;
+  }
+
+  static JsonValue MakeNull() { return JsonValue{}; }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  /// Appends (object) — no duplicate-key checking, matching the parser.
+  JsonValue& Add(const std::string& key, JsonValue v);
+};
+
+/// Parses a complete JSON document (trailing garbage is an error).
+/// Accepts the interchange subset: no comments, no trailing commas.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Compact single-line serialization; numbers use %.10g (integers print
+/// without a decimal point). Non-finite numbers clamp to +/-1e308 like
+/// the exporters in obs/export.cc.
+std::string DumpJson(const JsonValue& value);
+
+/// JSON string escaping for ", \ and control characters (the exporters'
+/// names are tame, but bench case ids may contain anything).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace ripple
+
+#endif  // RIPPLE_COMMON_JSON_H_

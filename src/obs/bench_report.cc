@@ -1,0 +1,193 @@
+#include "obs/bench_report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace ripple::obs {
+
+std::string Slug(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!out.empty() && out.back() != '-') {
+      out.push_back('-');
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
+void BenchReporter::AddMetric(const std::string& case_id,
+                              const std::string& metric, double value) {
+  cases_[meta_.binary + "/" + case_id][metric] = value;
+}
+
+std::string BenchReporter::FilePath(const std::string& dir,
+                                    const std::string& suite) {
+  return (dir.empty() ? std::string(".") : dir) + "/BENCH_" + suite +
+         ".json";
+}
+
+namespace {
+
+std::string NumToJson(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "1e308" : "-1e308";
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string BenchReporter::JsonDocument(
+    const std::vector<std::pair<std::string, std::string>>& foreign_cases)
+    const {
+  std::string out = "{\n";
+  out += "\"schema_version\":" + std::to_string(kBenchSchemaVersion) + ",\n";
+  out += "\"suite\":\"" + JsonEscape(meta_.suite) + "\",\n";
+  out += "\"meta\":{";
+  out += "\"git_sha\":\"" + JsonEscape(meta_.git_sha) + "\"";
+  out += ",\"build_type\":\"" + JsonEscape(meta_.build_type) + "\"";
+  out += ",\"seed\":" + NumToJson(static_cast<double>(meta_.seed));
+  out += ",\"config\":{";
+  bool first = true;
+  for (const auto& [k, v] : meta_.config) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(k) + "\":" + NumToJson(v);
+  }
+  out += "}},\n";
+  out += "\"cases\":{";
+
+  // Foreign cases (other binaries) and ours, interleaved in one sorted
+  // key order so the file is deterministic no matter the run order.
+  auto foreign_it = foreign_cases.begin();
+  auto ours_it = cases_.begin();
+  first = true;
+  auto emit = [&](const std::string& id, const std::string& body) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"" + JsonEscape(id) + "\":" + body;
+  };
+  auto ours_body = [&](const std::map<std::string, double>& metrics) {
+    std::string body = "{";
+    bool m_first = true;
+    for (const auto& [name, value] : metrics) {
+      if (!m_first) body += ",";
+      m_first = false;
+      body += "\"" + JsonEscape(name) + "\":" + NumToJson(value);
+    }
+    body += "}";
+    return body;
+  };
+  while (foreign_it != foreign_cases.end() || ours_it != cases_.end()) {
+    if (ours_it == cases_.end() ||
+        (foreign_it != foreign_cases.end() &&
+         foreign_it->first < ours_it->first)) {
+      emit(foreign_it->first, foreign_it->second);
+      ++foreign_it;
+    } else {
+      emit(ours_it->first, ours_body(ours_it->second));
+      ++ours_it;
+    }
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+std::string BenchReporter::ToJson() const { return JsonDocument({}); }
+
+Status BenchReporter::WriteMerged(const std::string& dir) const {
+  const std::string path = FilePath(dir, meta_.suite);
+
+  // Retain other binaries' cases from an existing file; ours (prefix
+  // `<binary>/`) are replaced wholesale. A corrupt file is overwritten.
+  std::vector<std::pair<std::string, std::string>> foreign;
+  {
+    std::ifstream in(path);
+    if (in.good()) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const Result<JsonValue> parsed = ParseJson(buffer.str());
+      if (parsed.ok()) {
+        const std::string prefix = meta_.binary + "/";
+        if (const JsonValue* cases = parsed->Find("cases");
+            cases != nullptr && cases->IsObject()) {
+          for (const auto& [id, body] : cases->object) {
+            if (id.compare(0, prefix.size(), prefix) == 0) continue;
+            foreign.emplace_back(id, DumpJson(body));
+          }
+        }
+        std::sort(foreign.begin(), foreign.end());
+      }
+    }
+  }
+
+  const std::string doc = JsonDocument(foreign);
+  std::error_code ec;
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = std::ferror(f) == 0;
+  if (std::fclose(f) != 0 || !ok) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status BenchReporter::WritePanelCsv(
+    const std::string& dir, const std::string& title,
+    const std::string& x_label, const std::vector<std::string>& x_values,
+    const std::vector<std::string>& series_names,
+    const std::vector<std::vector<double>>& series_values) const {
+  const std::filesystem::path suite_dir =
+      std::filesystem::path(dir.empty() ? "." : dir) / meta_.suite;
+  std::error_code ec;
+  std::filesystem::create_directories(suite_dir, ec);
+  const std::string path =
+      (suite_dir / (meta_.binary + "-" + Slug(title) + ".csv")).string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  std::fprintf(f, "%s", x_label.c_str());
+  for (const std::string& name : series_names) {
+    std::fprintf(f, ",%s", name.c_str());
+  }
+  std::fprintf(f, "\n");
+  for (size_t row = 0; row < x_values.size(); ++row) {
+    std::fprintf(f, "%s", x_values[row].c_str());
+    for (const std::vector<double>& values : series_values) {
+      if (row < values.size()) {
+        std::fprintf(f, ",%.6g", values[row]);
+      } else {
+        std::fprintf(f, ",");
+      }
+    }
+    std::fprintf(f, "\n");
+  }
+  const bool ok = std::ferror(f) == 0;
+  if (std::fclose(f) != 0 || !ok) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ripple::obs

@@ -139,7 +139,87 @@ std::string HistogramToJson(const Histogram& h) {
   return out;
 }
 
-Status WriteMetricsJson(const Registry& registry, const std::string& path) {
+std::string SkewToJson(const SkewStats& s) {
+  std::string out = "{";
+  out += "\"peers\":" + Num(uint64_t{s.peers});
+  out += ",\"active\":" + Num(uint64_t{s.active});
+  out += ",\"total\":" + Num(s.total);
+  out += ",\"mean\":" + Num(s.mean);
+  out += ",\"max\":" + Num(s.max);
+  out += ",\"max_peer\":" + Num(uint64_t{s.max_peer});
+  out += ",\"peak_to_mean\":" + Num(s.peak_to_mean);
+  out += ",\"gini\":" + Num(s.gini);
+  out += ",\"idle_fraction\":" + Num(s.idle_fraction);
+  out += "}";
+  return out;
+}
+
+namespace {
+
+std::string PeerLoadToJson(const PeerLoad& l) {
+  std::string out = "{";
+  out += "\"spans\":" + Num(l.spans);
+  out += ",\"messages_in\":" + Num(l.messages_in);
+  out += ",\"messages_out\":" + Num(l.messages_out);
+  out += ",\"tuples_in\":" + Num(l.tuples_in);
+  out += ",\"tuples_out\":" + Num(l.tuples_out);
+  out += ",\"retransmissions\":" + Num(l.retransmissions);
+  out += ",\"queue_depth_hwm\":" + Num(l.queue_depth_hwm);
+  out += ",\"route_hops\":" + Num(l.route_hops);
+  out += ",\"cpu_ms\":" + Num(static_cast<double>(l.cpu_ns) / 1e6);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string ProfileToJson(const Profiler& profiler, size_t top_n) {
+  std::string out = "{";
+  out += "\"schema_version\":1";
+  out += ",\"peers\":" + Num(uint64_t{profiler.peer_count()});
+  out += ",\"totals\":" + PeerLoadToJson(profiler.Totals());
+  out += ",\"skew\":{";
+  static constexpr struct {
+    const char* name;
+    uint64_t PeerLoad::* field;
+  } kSkewFields[] = {
+      {"spans", &PeerLoad::spans},
+      {"messages_in", &PeerLoad::messages_in},
+      {"messages_out", &PeerLoad::messages_out},
+      {"tuples_out", &PeerLoad::tuples_out},
+      {"route_hops", &PeerLoad::route_hops},
+      {"cpu_ns", &PeerLoad::cpu_ns},
+  };
+  bool first = true;
+  for (const auto& f : kSkewFields) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + std::string(f.name) +
+           "\":" + SkewToJson(profiler.Skew(f.field));
+  }
+  out += "},\"hotspots\":[";
+  first = true;
+  for (const Hotspot& h : profiler.TopN(&PeerLoad::spans, top_n)) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"peer\":" + Num(uint64_t{h.peer}) +
+           ",\"load\":" + PeerLoadToJson(h.load) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteProfileJson(const Profiler& profiler, const std::string& path,
+                        size_t top_n) {
+  FileWriter f(path);
+  if (!f.ok()) return CannotOpen(path);
+  f.Write(ProfileToJson(profiler, top_n));
+  f.Write("\n");
+  return f.Close();
+}
+
+Status WriteMetricsJson(const Registry& registry, const std::string& path,
+                        const Profiler* profile) {
   FileWriter f(path);
   if (!f.ok()) return CannotOpen(path);
   f.Write("{\n\"counters\":{");
@@ -163,7 +243,12 @@ Status WriteMetricsJson(const Registry& registry, const std::string& path) {
     first = false;
     f.Write("\n\"" + name + "\":" + HistogramToJson(*h));
   }
-  f.Write("}\n}\n");
+  f.Write("}");
+  if (profile != nullptr) {
+    f.Write(",\n\"profile\":");
+    f.Write(ProfileToJson(*profile));
+  }
+  f.Write("\n}\n");
   return f.Close();
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace ripple::obs {
@@ -22,13 +23,23 @@ Status WriteTraceJsonl(const Tracer& tracer, const std::string& path);
 
 /// Writes a registry as one JSON object: counters and gauges as scalars,
 /// histograms with count/sum/min/max, nearest-rank p50/p90/p99, and the
-/// fixed cumulative buckets.
-Status WriteMetricsJson(const Registry& registry, const std::string& path);
+/// fixed cumulative buckets. When `profile` is non-null, the object gains
+/// a "profile" section (see ProfileToJson).
+Status WriteMetricsJson(const Registry& registry, const std::string& path,
+                        const Profiler* profile = nullptr);
+
+/// Writes one profiler as a standalone JSON object (the --profile-out
+/// payload): totals, per-metric skew statistics and the top-N hotspot
+/// table.
+Status WriteProfileJson(const Profiler& profiler, const std::string& path,
+                        size_t top_n = 10);
 
 /// The JSON fragments the writers above are built from (exposed for reuse
 /// and tests).
 std::string SpanToJson(const Span& span);
 std::string HistogramToJson(const Histogram& histogram);
+std::string SkewToJson(const SkewStats& skew);
+std::string ProfileToJson(const Profiler& profiler, size_t top_n = 10);
 
 }  // namespace ripple::obs
 

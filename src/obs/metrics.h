@@ -20,24 +20,38 @@ namespace ripple::obs {
 double NearestRankPercentile(const std::vector<double>& sorted, double p);
 
 /// A monotonically increasing count (messages sent, spans recorded, ...).
+///
+/// Genuinely atomic (relaxed): instruments may be fed concurrently from
+/// future threaded engines and per-worker profilers without tearing.
+/// Relaxed ordering is the whole contract — counters are statistics, not
+/// synchronization; readers may observe mid-batch values. Enforced by
+/// ObsTest.CounterAndGaugeAreAtomic.
 class Counter {
  public:
-  void Inc(uint64_t n = 1) { value_ += n; }
-  uint64_t value() const { return value_; }
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
-/// A point-in-time value (overlay size, tree depth, ...).
+/// A point-in-time value (overlay size, tree depth, ...). Same atomicity
+/// contract as Counter; Add() uses a CAS loop because fetch_add on
+/// atomic<double> is not universally available pre-C++20 libstdc++.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double d) { value_ += d; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// A distribution: fixed upper-bound buckets for cheap aggregated export

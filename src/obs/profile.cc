@@ -1,0 +1,129 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ripple::obs {
+
+PeerLoad& PeerLoad::operator+=(const PeerLoad& o) {
+  spans += o.spans;
+  messages_in += o.messages_in;
+  messages_out += o.messages_out;
+  tuples_in += o.tuples_in;
+  tuples_out += o.tuples_out;
+  retransmissions += o.retransmissions;
+  queue_depth_hwm = std::max(queue_depth_hwm, o.queue_depth_hwm);
+  route_hops += o.route_hops;
+  cpu_ns += o.cpu_ns;
+  return *this;
+}
+
+std::string SkewStats::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "peers=%zu active=%zu total=%llu mean=%.2f max=%llu@%u "
+                "peak/mean=%.1f gini=%.3f idle=%.0f%%",
+                peers, active, static_cast<unsigned long long>(total), mean,
+                static_cast<unsigned long long>(max), max_peer, peak_to_mean,
+                gini, idle_fraction * 100.0);
+  return buf;
+}
+
+SkewStats ComputeSkew(const std::vector<uint64_t>& loads) {
+  SkewStats s;
+  s.peers = loads.size();
+  if (loads.empty()) return s;
+  for (size_t i = 0; i < loads.size(); ++i) {
+    const uint64_t v = loads[i];
+    s.total += v;
+    if (v > 0) s.active += 1;
+    if (v > s.max) {
+      s.max = v;
+      s.max_peer = static_cast<uint32_t>(i);
+    }
+  }
+  s.mean = static_cast<double>(s.total) / static_cast<double>(s.peers);
+  s.peak_to_mean = s.mean > 0 ? static_cast<double>(s.max) / s.mean : 0.0;
+  s.idle_fraction =
+      static_cast<double>(s.peers - s.active) / static_cast<double>(s.peers);
+  if (s.total > 0) {
+    // Gini over the sorted loads: G = (2 * sum_i i*x_i) / (n * total)
+    // - (n + 1) / n, with 1-based ranks i over ascending x.
+    std::vector<uint64_t> sorted = loads;
+    std::sort(sorted.begin(), sorted.end());
+    double weighted = 0.0;
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+    }
+    const double n = static_cast<double>(sorted.size());
+    s.gini = 2.0 * weighted / (n * static_cast<double>(s.total)) -
+             (n + 1.0) / n;
+    if (s.gini < 0.0) s.gini = 0.0;
+  }
+  return s;
+}
+
+const PeerLoad& Profiler::load(uint32_t peer) const {
+  static const PeerLoad kEmpty{};
+  return peer < loads_.size() ? loads_[peer] : kEmpty;
+}
+
+PeerLoad Profiler::Totals() const {
+  PeerLoad total;
+  for (const PeerLoad& l : loads_) total += l;
+  return total;
+}
+
+SkewStats Profiler::Skew(uint64_t PeerLoad::* field) const {
+  std::vector<uint64_t> values(loads_.size());
+  for (size_t i = 0; i < loads_.size(); ++i) values[i] = loads_[i].*field;
+  return ComputeSkew(values);
+}
+
+std::vector<Hotspot> Profiler::TopN(uint64_t PeerLoad::* field,
+                                    size_t n) const {
+  std::vector<uint32_t> ids;
+  ids.reserve(loads_.size());
+  for (uint32_t i = 0; i < loads_.size(); ++i) {
+    if (loads_[i].*field > 0) ids.push_back(i);
+  }
+  const size_t keep = std::min(n, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<long>(keep),
+                    ids.end(), [&](uint32_t a, uint32_t b) {
+                      if (loads_[a].*field != loads_[b].*field) {
+                        return loads_[a].*field > loads_[b].*field;
+                      }
+                      return a < b;
+                    });
+  std::vector<Hotspot> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    out.push_back(Hotspot{ids[i], loads_[ids[i]]});
+  }
+  return out;
+}
+
+void Profiler::Merge(const Profiler& other) {
+  if (other.loads_.size() > loads_.size()) loads_.resize(other.loads_.size());
+  for (size_t i = 0; i < other.loads_.size(); ++i) {
+    loads_[i] += other.loads_[i];
+  }
+}
+
+std::string Profiler::Summary() const {
+  std::string out;
+  out += "profile spans:    " + Skew(&PeerLoad::spans).ToString() + "\n";
+  out += "profile msgs_out: " + Skew(&PeerLoad::messages_out).ToString() +
+         "\n";
+  out += "profile cpu_ns:   " + Skew(&PeerLoad::cpu_ns).ToString() + "\n";
+  return out;
+}
+
+std::atomic<bool> Profiler::g_global_enabled{false};
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();  // leaked: process lifetime
+  return *profiler;
+}
+
+}  // namespace ripple::obs

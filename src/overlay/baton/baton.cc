@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace ripple {
 
@@ -193,6 +194,7 @@ PeerId BatonOverlay::RouteToKey(PeerId from, uint64_t key, uint64_t* hops,
     consider(p.parent);
     RIPPLE_CHECK(next != kInvalidPeer && "BATON routing stuck");
     if (path != nullptr) path->push_back(current);
+    obs::RecordRouteStep("baton", current, next);
     current = next;
     ++h;
   }

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace ripple {
 
@@ -300,6 +301,7 @@ PeerId CanOverlay::RouteFrom(PeerId from, const Point& p, uint64_t* hops,
     }
     RIPPLE_CHECK(next != kInvalidPeer);
     if (path != nullptr) path->push_back(current);
+    obs::RecordRouteStep("can", current, next);
     current = next;
     ++h;
   }

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace ripple {
 
@@ -143,6 +144,7 @@ PeerId ChordOverlay::RouteToKey(PeerId from, uint64_t key, uint64_t* hops,
     }
     RIPPLE_CHECK(next != kInvalidPeer);
     if (path != nullptr) path->push_back(current);
+    obs::RecordRouteStep("chord", current, next);
     current = next;
     ++h;
   }

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "overlay/midas/patterns.h"
 
 namespace ripple {
@@ -131,6 +132,7 @@ PeerId MidasOverlay::RouteFrom(PeerId from, const Point& p, uint64_t* hops,
     }
     RIPPLE_CHECK(next != kInvalidPeer);  // regions partition the domain
     if (path != nullptr) path->push_back(current);
+    obs::RecordRouteStep("midas", current, next);
     current = next;
     ++h;
   }

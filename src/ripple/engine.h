@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "net/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "overlay/types.h"
 #include "ripple/api.h"
@@ -53,6 +54,7 @@ class Engine {
   /// ripple parameter and optional initial global state.
   Result Run(const Request& request) const {
     RunContext ctx;
+    ctx.initiator = request.initiator;
     const GlobalState initial =
         request.initial_state.has_value()
             ? *request.initial_state
@@ -87,10 +89,21 @@ class Engine {
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
 
+  /// Attaches a per-peer load profiler. Message/tuple charges mirror the
+  /// QueryStats accounting exactly (each message charged once, at its
+  /// sender), so `profiler.Totals().messages_out` summed over runs equals
+  /// the summed `stats.messages` — asserted by ProfileTest. On top the
+  /// profiler records per-peer spans, fan-out high-water marks and
+  /// wall-clock CPU in the policy code (ScopedTimer). nullptr disables;
+  /// the disabled path is one pointer test per charge. Not owned.
+  void SetProfiler(obs::Profiler* profiler) { profiler_ = profiler; }
+  obs::Profiler* profiler() const { return profiler_; }
+
  private:
   struct RunContext {
     Answer answer{};
     QueryStats stats;
+    PeerId initiator = kInvalidPeer;
   };
 
   /// What a processed peer reports back towards its nearest slow-phase
@@ -110,6 +123,7 @@ class Engine {
     const auto& peer = overlay_->GetPeer(w);
     ctx->stats.peers_visited += 1;
     if (visit_observer_) visit_observer_(w);
+    if (profiler_) profiler_->OnSpan(w);
 
     // `arrival` is this visit's position on the logical hop clock (the
     // Lemma 1-3 clock: 1 hop per forward); it exists purely for tracing
@@ -122,9 +136,15 @@ class Engine {
       tracer_->span(span).tuples_in = policy_.GlobalStateTupleCount(sg);
     }
 
-    // Lines 1-2 of Algorithms 1/2/3.
-    LocalState local = policy_.ComputeLocalState(peer.store, query, sg);
-    GlobalState global = policy_.ComputeGlobalState(query, sg, local);
+    // Lines 1-2 of Algorithms 1/2/3. Local policy work is timed per peer
+    // (recursion below is excluded — each peer pays for its own scopes).
+    LocalState local;
+    GlobalState global;
+    {
+      obs::ScopedTimer cpu(profiler_, w);
+      local = policy_.ComputeLocalState(peer.store, query, sg);
+      global = policy_.ComputeGlobalState(query, sg, local);
+    }
 
     NodeOutcome out;
     if (r > 0) {
@@ -156,23 +176,35 @@ class Engine {
           if (tracer_) tracer_->span(span).links_pruned += 1;
           continue;
         }
+        const uint64_t fwd_tuples = policy_.GlobalStateTupleCount(global);
         ctx->stats.messages += 1;  // query forward
-        ctx->stats.tuples_shipped += policy_.GlobalStateTupleCount(global);
+        ctx->stats.tuples_shipped += fwd_tuples;
         if (tracer_) tracer_->span(span).links_forwarded += 1;
+        if (profiler_) {
+          profiler_->OnMessage(w, c.target, fwd_tuples);
+          profiler_->OnQueueDepth(w, 1);  // slow phase is sequential
+        }
         // The child receives the query one hop after everything forwarded
         // so far has come back: slow-phase children are sequential.
         NodeOutcome child =
             Process(c.target, query, global, c.area, r - 1, ctx, span,
                     arrival + static_cast<double>(out.latency) + 1.0);
         out.latency += 1 + child.latency;
-        // Response messages: one per state flowing back to us.
+        // Response messages: one per state flowing back to us, charged to
+        // the direct child (the convergecast representative of its
+        // subtree, matching the protocol's state addressing).
         ctx->stats.messages += child.states.size();
         for (const LocalState& s : child.states) {
-          ctx->stats.tuples_shipped += policy_.StateTupleCount(s);
+          const uint64_t state_tuples = policy_.StateTupleCount(s);
+          ctx->stats.tuples_shipped += state_tuples;
+          if (profiler_) profiler_->OnMessage(c.target, w, state_tuples);
         }
         if (tracer_) tracer_->span(span).states_merged += child.states.size();
-        policy_.MergeLocalStates(query, &local, child.states);
-        global = policy_.ComputeGlobalState(query, sg, local);
+        {
+          obs::ScopedTimer cpu(profiler_, w);
+          policy_.MergeLocalStates(query, &local, child.states);
+          global = policy_.ComputeGlobalState(query, sg, local);
+        }
       }
       out.states.push_back(local);
     } else {
@@ -180,7 +212,7 @@ class Engine {
       // links at once; no feedback between siblings, so the state snapshot
       // taken above is what every child receives.
       uint64_t max_child_latency = 0;
-      bool forwarded = false;
+      uint64_t forwarded = 0;
       for (const auto& link : peer.links) {
         Area area;
         if (!Overlay::IntersectArea(link.region, restrict_area, &area)) {
@@ -190,33 +222,42 @@ class Engine {
           if (tracer_) tracer_->span(span).links_pruned += 1;
           continue;
         }
+        const uint64_t fwd_tuples = policy_.GlobalStateTupleCount(global);
         ctx->stats.messages += 1;
-        ctx->stats.tuples_shipped += policy_.GlobalStateTupleCount(global);
+        ctx->stats.tuples_shipped += fwd_tuples;
         if (tracer_) tracer_->span(span).links_forwarded += 1;
+        if (profiler_) profiler_->OnMessage(w, link.target, fwd_tuples);
         // Fast-phase children are contacted at once: all arrive one hop
         // after us.
         NodeOutcome child = Process(link.target, query, global, area, 0, ctx,
                                     span, arrival + 1.0);
-        forwarded = true;
+        forwarded += 1;
         max_child_latency = std::max(max_child_latency, 1 + child.latency);
         // Fast-phase states pass through to the nearest slow ancestor.
         for (LocalState& s : child.states) {
           out.states.push_back(std::move(s));
         }
       }
-      out.latency = forwarded ? max_child_latency : 0;
+      // Fast-phase fan-out: every relevant link is outstanding at once.
+      if (profiler_ && forwarded > 0) profiler_->OnQueueDepth(w, forwarded);
+      out.latency = forwarded > 0 ? max_child_latency : 0;
       out.states.push_back(local);
     }
 
     // Lines 12-13 / 20-21: extract and ship the local qualifying tuples.
     // The final (post-merge) local state drives the extraction, which is
     // precisely how slow-phase knowledge suppresses non-answers.
-    Answer answer = policy_.ComputeLocalAnswer(peer.store, query,
-                                               out.states.back());
+    Answer answer;
+    {
+      obs::ScopedTimer cpu(profiler_, w);
+      answer = policy_.ComputeLocalAnswer(peer.store, query,
+                                          out.states.back());
+    }
     const size_t answer_tuples = policy_.AnswerTupleCount(answer);
     if (answer_tuples > 0) {
       ctx->stats.messages += 1;  // answer delivery to the initiator
       ctx->stats.tuples_shipped += answer_tuples;
+      if (profiler_) profiler_->OnMessage(w, ctx->initiator, answer_tuples);
     }
     if (tracer_) {
       obs::Span& s = tracer_->span(span);
@@ -232,6 +273,7 @@ class Engine {
   Policy policy_;
   std::function<void(PeerId)> visit_observer_;
   obs::Tracer* tracer_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace ripple

@@ -15,6 +15,7 @@
 #include "net/envelope.h"
 #include "net/fault.h"
 #include "net/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "overlay/types.h"
 #include "ripple/api.h"
@@ -87,6 +88,14 @@ class AsyncEngine {
   /// additionally carry per-session retry/timeout counts.
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
+
+  /// Attaches a per-peer load profiler (same contract as
+  /// Engine::SetProfiler: message charges mirror QueryStats at the
+  /// sender, so totals cross-check; here the profiler additionally sees
+  /// retransmissions, acks and per-peer fan-out high-water marks from
+  /// the fault machinery). nullptr disables; not owned.
+  void SetProfiler(obs::Profiler* profiler) { profiler_ = profiler; }
+  obs::Profiler* profiler() const { return profiler_; }
 
   const Policy& policy() const { return policy_; }
 
@@ -192,6 +201,7 @@ class AsyncEngine {
     const Policy& policy() const { return self->policy_; }
     const Overlay& overlay() const { return *self->overlay_; }
     const net::RetryOptions& retry() const { return request->retry; }
+    obs::Profiler* profiler() const { return self->profiler_; }
 
     // --- entry / exit ----------------------------------------------------
 
@@ -290,6 +300,7 @@ class AsyncEngine {
       s.fast = r <= 0;
       ++open_sessions;
       result.stats.peers_visited += 1;
+      if (profiler() != nullptr) profiler()->OnSpan(peer);
       if (obs::Tracer* tracer = self->tracer_) {
         const uint32_t parent_span =
             parent < 0 ? obs::kNoSpan : sessions[parent].span;
@@ -302,11 +313,14 @@ class AsyncEngine {
       }
 
       const auto& node = overlay().GetPeer(peer);
-      s.local = policy().ComputeLocalState(node.store, request->query,
-                                           s.incoming);
-      s.global =
-          policy().ComputeGlobalState(request->query, s.incoming,
-                                      s.local);
+      {
+        obs::ScopedTimer cpu(profiler(), peer);
+        s.local = policy().ComputeLocalState(node.store, request->query,
+                                             s.incoming);
+        s.global =
+            policy().ComputeGlobalState(request->query, s.incoming,
+                                        s.local);
+      }
 
       if (s.fast) {
         // Algorithm 1 / Algorithm 3 second loop: forward everywhere at
@@ -328,6 +342,10 @@ class AsyncEngine {
         }
         if (s.span != obs::kNoSpan) {
           self->tracer_->span(s.span).links_forwarded = targets.size();
+        }
+        // Fast-phase fan-out: every relevant link outstanding at once.
+        if (profiler() != nullptr && !targets.empty()) {
+          profiler()->OnQueueDepth(peer, targets.size());
         }
         sessions[id].outstanding_children = static_cast<int>(targets.size());
         for (auto& [target, restricted] : targets) {
@@ -370,6 +388,7 @@ class AsyncEngine {
         if (s.span != obs::kNoSpan) {
           self->tracer_->span(s.span).links_forwarded += 1;
         }
+        if (profiler() != nullptr) profiler()->OnQueueDepth(s.peer, 1);
         NewRequest(id, c.target, s.global, std::move(c.area), s.r - 1);
         return;  // wait for the response (or the retry budget)
       }
@@ -386,9 +405,12 @@ class AsyncEngine {
         if (s.span != obs::kNoSpan) {
           self->tracer_->span(s.span).states_merged += bundle.size();
         }
-        policy().MergeLocalStates(request->query, &s.local, bundle);
-        s.global = policy().ComputeGlobalState(request->query,
-                                               s.incoming, s.local);
+        {
+          obs::ScopedTimer cpu(profiler(), s.peer);
+          policy().MergeLocalStates(request->query, &s.local, bundle);
+          s.global = policy().ComputeGlobalState(request->query,
+                                                 s.incoming, s.local);
+        }
         AdvanceSlow(id);
       }
     }
@@ -410,8 +432,12 @@ class AsyncEngine {
       s.finished = true;
       // The final local state drives the answer extraction (fast sessions
       // never merged, so s.local is the line-1 state, as in Alg. 1).
-      Answer answer = policy().ComputeLocalAnswer(
-          overlay().GetPeer(s.peer).store, request->query, s.local);
+      Answer answer;
+      {
+        obs::ScopedTimer cpu(profiler(), s.peer);
+        answer = policy().ComputeLocalAnswer(
+            overlay().GetPeer(s.peer).store, request->query, s.local);
+      }
       const size_t tuples = policy().AnswerTupleCount(answer);
       if (tuples > 0) {
         SendAnswer(s.peer, std::move(answer), tuples);
@@ -466,8 +492,13 @@ class AsyncEngine {
     void TransmitQuery(int64_t id) {
       PendingRequest& rq = requests[id];
       rq.attempt += 1;
+      const uint64_t tuples = policy().GlobalStateTupleCount(rq.state);
       result.stats.messages += 1;
-      result.stats.tuples_shipped += policy().GlobalStateTupleCount(rq.state);
+      result.stats.tuples_shipped += tuples;
+      if (profiler() != nullptr) {
+        profiler()->OnMessage(rq.from, rq.target, tuples);
+        if (rq.attempt > 1) profiler()->OnRetransmission(rq.from);
+      }
       Transmit(rq.from, rq.target, [this, id] { DeliverQuery(id); });
       if (ft) {
         requests[id].timer =
@@ -533,6 +564,7 @@ class AsyncEngine {
       PendingRequest& rq = requests[id];
       result.coverage.acks += 1;
       result.stats.messages += 1;
+      if (profiler() != nullptr) profiler()->OnMessage(rq.target, rq.from, 0);
       Transmit(rq.target, rq.from, [this, id] {
         PendingRequest& r = requests[id];
         if (!r.resolved) r.strikes = 0;  // patience restored
@@ -551,10 +583,17 @@ class AsyncEngine {
       if (!sessions[parent].fast) {
         result.stats.messages += s.bundle_out.size();
         for (const LocalState& st : s.bundle_out) {
-          result.stats.tuples_shipped += policy().StateTupleCount(st);
+          const uint64_t tuples = policy().StateTupleCount(st);
+          result.stats.tuples_shipped += tuples;
+          if (profiler() != nullptr) {
+            profiler()->OnMessage(s.peer, sessions[parent].peer, tuples);
+          }
         }
       }
-      if (charge_retry) result.coverage.retries += 1;
+      if (charge_retry) {
+        result.coverage.retries += 1;
+        if (profiler() != nullptr) profiler()->OnRetransmission(s.peer);
+      }
       Transmit(s.peer, sessions[parent].peer,
                [this, req_id, bundle = s.bundle_out]() mutable {
                  DeliverResponse(req_id, std::move(bundle));
@@ -604,6 +643,10 @@ class AsyncEngine {
       a.attempt += 1;
       result.stats.messages += 1;
       result.stats.tuples_shipped += a.tuples;
+      if (profiler() != nullptr) {
+        profiler()->OnMessage(a.from, request->initiator, a.tuples);
+        if (a.attempt > 1) profiler()->OnRetransmission(a.from);
+      }
       if (!ft) {
         // Answer delivery rides the clock but needs no handler state.
         const PeerId from = a.from;
@@ -702,6 +745,7 @@ class AsyncEngine {
   Policy policy_;
   LatencyModel latency_;
   obs::Tracer* tracer_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace ripple

@@ -5,12 +5,16 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "common/json.h"
 #include "common/log.h"
+#include "obs/bench_report.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace ripple {
@@ -382,6 +386,163 @@ TEST(ExportTest, HistogramJsonKeepsBucketsCumulative) {
   EXPECT_NE(json.find("\"count\":1"), std::string::npos);
   EXPECT_NE(json.find("\"count\":2"), std::string::npos);
   EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Counter/Gauge atomicity — the contract documented in obs/metrics.h.
+
+TEST(ObsTest, CounterAndGaugeAreAtomic) {
+  obs::Counter counter;
+  obs::Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &gauge] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.Inc();
+        gauge.Add(1.0);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // Lost updates would make these land short; relaxed atomics may
+  // reorder but never tear or drop.
+  EXPECT_EQ(counter.value(), uint64_t{kThreads} * kIters);
+  EXPECT_DOUBLE_EQ(gauge.value(),
+                   static_cast<double>(kThreads) * kIters);
+}
+
+// ---------------------------------------------------------------------------
+// Round trips: re-parse emitted artifacts with common/json.h and assert
+// the schema survived, not just that the text is syntactically valid.
+
+TEST(RoundTripTest, ChromeTraceParsesWithOneEventPerSpan) {
+  const obs::Tracer t = MakeSmallTrace();
+  const std::string path = TempPath("obs_chrome_roundtrip.json");
+  ASSERT_TRUE(obs::WriteChromeTrace(t, path).ok());
+  const Result<JsonValue> doc = ParseJson(ReadAll(path));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  EXPECT_EQ(events->array.size(), t.span_count());
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->StringOr(""), "X");
+    EXPECT_NE(e.Find("dur"), nullptr);
+    EXPECT_NE(e.Find("pid"), nullptr);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RoundTripTest, ProfileJsonParsesWithSkewAndHotspots) {
+  obs::Profiler p;
+  p.SetPeerUniverse(8);
+  for (int i = 0; i < 5; ++i) p.OnSpan(3);
+  p.OnSpan(1);
+  p.OnMessage(3, 1, 10);
+  const std::string path = TempPath("obs_profile_roundtrip.json");
+  ASSERT_TRUE(obs::WriteProfileJson(p, path).ok());
+  const Result<JsonValue> doc = ParseJson(ReadAll(path));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* version = doc->Find("schema_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->NumberOr(0), 1.0);
+  const JsonValue* peers = doc->Find("peers");
+  ASSERT_NE(peers, nullptr);
+  EXPECT_EQ(peers->NumberOr(0), 8.0);
+  const JsonValue* spans = doc->FindPath("totals.spans");
+  ASSERT_NE(spans, nullptr);
+  EXPECT_EQ(spans->NumberOr(0), 6.0);
+  // The skew block per tracked field, with the Gini of the span loads.
+  const JsonValue* gini = doc->FindPath("skew.spans.gini");
+  ASSERT_NE(gini, nullptr);
+  EXPECT_GT(gini->NumberOr(0), 0.0);
+  const JsonValue* hotspots = doc->Find("hotspots");
+  ASSERT_NE(hotspots, nullptr);
+  ASSERT_TRUE(hotspots->IsArray());
+  ASSERT_FALSE(hotspots->array.empty());
+  const JsonValue* top_peer = hotspots->array[0].Find("peer");
+  ASSERT_NE(top_peer, nullptr);
+  EXPECT_EQ(top_peer->NumberOr(-1), 3.0);  // peer 3 has the most spans
+  std::remove(path.c_str());
+}
+
+TEST(RoundTripTest, BenchReportSurvivesParseAndMerge) {
+  const std::string dir = ::testing::TempDir() + "/bench_roundtrip";
+  const std::string path = obs::BenchReporter::FilePath(dir, "figs");
+  std::remove(path.c_str());
+
+  obs::BenchMeta meta;
+  meta.suite = "figs";
+  meta.binary = "alpha";
+  meta.git_sha = "abc1234";
+  meta.build_type = "RelWithDebInfo";
+  meta.seed = 7;
+  meta.config = {{"queries", 8.0}};
+  obs::BenchReporter alpha(meta);
+  alpha.AddMetric("query/n=256/r=0", "latency_hops_mean", 9.125);
+  alpha.AddMetric("query/n=256/r=0", "wall_ms_p50", 0.078);
+  ASSERT_TRUE(alpha.WriteMerged(dir).ok());
+
+  // A second binary merges into the same suite file without clobbering
+  // alpha's cases.
+  meta.binary = "beta";
+  obs::BenchReporter beta(meta);
+  beta.AddMetric("panel/x=1", "series-a", 3.5);
+  ASSERT_TRUE(beta.WriteMerged(dir).ok());
+
+  const Result<JsonValue> doc = ParseJson(ReadAll(path));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* version = doc->Find("schema_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->NumberOr(0),
+            static_cast<double>(obs::kBenchSchemaVersion));
+  const JsonValue* suite = doc->Find("suite");
+  ASSERT_NE(suite, nullptr);
+  EXPECT_EQ(suite->StringOr(""), "figs");
+  const JsonValue* sha = doc->FindPath("meta.git_sha");
+  ASSERT_NE(sha, nullptr);
+  EXPECT_EQ(sha->StringOr(""), "abc1234");
+  const JsonValue* seed = doc->FindPath("meta.seed");
+  ASSERT_NE(seed, nullptr);
+  EXPECT_EQ(seed->NumberOr(0), 7.0);
+  const JsonValue* queries = doc->FindPath("meta.config.queries");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->NumberOr(0), 8.0);
+
+  const JsonValue* cases = doc->Find("cases");
+  ASSERT_NE(cases, nullptr);
+  ASSERT_TRUE(cases->IsObject());
+  EXPECT_EQ(cases->object.size(), 2u);
+  const JsonValue* alpha_case = cases->Find("alpha/query/n=256/r=0");
+  ASSERT_NE(alpha_case, nullptr);
+  const JsonValue* hops = alpha_case->Find("latency_hops_mean");
+  ASSERT_NE(hops, nullptr);
+  EXPECT_DOUBLE_EQ(hops->NumberOr(0), 9.125);
+  // The wall percentile survives the write -> parse -> merge cycle.
+  const JsonValue* wall = alpha_case->Find("wall_ms_p50");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_DOUBLE_EQ(wall->NumberOr(0), 0.078);
+
+  // Re-running alpha replaces its cases instead of duplicating them.
+  obs::BenchMeta meta2 = alpha.meta();
+  obs::BenchReporter alpha2(meta2);
+  alpha2.AddMetric("query/n=256/r=0", "latency_hops_mean", 10.0);
+  ASSERT_TRUE(alpha2.WriteMerged(dir).ok());
+  const Result<JsonValue> doc2 = ParseJson(ReadAll(path));
+  ASSERT_TRUE(doc2.ok());
+  const JsonValue* cases2 = doc2->Find("cases");
+  ASSERT_NE(cases2, nullptr);
+  EXPECT_EQ(cases2->object.size(), 2u);
+  const JsonValue* replaced = cases2->Find("alpha/query/n=256/r=0");
+  ASSERT_NE(replaced, nullptr);
+  const JsonValue* hops2 = replaced->Find("latency_hops_mean");
+  ASSERT_NE(hops2, nullptr);
+  EXPECT_DOUBLE_EQ(hops2->NumberOr(0), 10.0);
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

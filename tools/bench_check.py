@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_<suite>.json against the committed baseline.
+
+The bench harness (bench/bench_common.*) writes schema-versioned
+BENCH_figs.json / BENCH_ablations.json documents; the copies at the repo
+root are the committed perf trajectory. This gate re-reads both sides and
+fails (exit 1) when any deterministic metric drifts beyond its tolerance,
+when a baseline case disappeared, or when the documents are not comparable
+(schema version or scale config mismatch).
+
+Metric classes:
+  * wall_ms_* and cpu_* metrics are INFORMATIONAL: wall-clock noise across
+    machines makes them ungateable, so drift is printed but never fails.
+  * everything else (hops, messages, tuples, congestion, peak load, gini)
+    is deterministic given seed+config and is gated with --rtol/--atol.
+
+Cases present only in the fresh run are reported as additions (a warning,
+not a failure) so adding a bench never breaks the gate; removing one does.
+
+Usage:
+  tools/bench_check.py --baseline <dir> --fresh <dir> [--suite figs]...
+                       [--rtol 0.10] [--atol 0.5] [--list]
+
+Exit codes: 0 ok, 1 regression/mismatch, 2 usage or I/O error.
+Stdlib only — no third-party imports.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+INFORMATIONAL_PREFIXES = ("wall_", "cpu_")
+DEFAULT_SUITES = ("figs", "ablations")
+
+
+def is_informational(metric):
+    return metric.startswith(INFORMATIONAL_PREFIXES)
+
+
+def load_doc(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_check: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check_comparable(suite, base, fresh, failures):
+    """Schema/config gates: a diff across versions or scales is meaningless."""
+    if base.get("schema_version") != fresh.get("schema_version"):
+        failures.append(
+            f"[{suite}] schema_version mismatch: baseline "
+            f"{base.get('schema_version')} vs fresh "
+            f"{fresh.get('schema_version')}")
+        return False
+    base_cfg = base.get("meta", {}).get("config", {})
+    fresh_cfg = fresh.get("meta", {}).get("config", {})
+    if base_cfg != fresh_cfg:
+        failures.append(
+            f"[{suite}] scale config mismatch (apples-to-oranges diff): "
+            f"baseline {base_cfg} vs fresh {fresh_cfg}")
+        return False
+    base_seed = base.get("meta", {}).get("seed")
+    fresh_seed = fresh.get("meta", {}).get("seed")
+    if base_seed != fresh_seed:
+        failures.append(
+            f"[{suite}] seed mismatch: baseline {base_seed} vs fresh "
+            f"{fresh_seed}")
+        return False
+    return True
+
+
+def within(base_v, fresh_v, rtol, atol):
+    return abs(fresh_v - base_v) <= max(atol, rtol * abs(base_v))
+
+
+def diff_suite(suite, base, fresh, rtol, atol, failures, notes):
+    base_cases = base.get("cases", {})
+    fresh_cases = fresh.get("cases", {})
+
+    for case_id in sorted(set(fresh_cases) - set(base_cases)):
+        notes.append(f"[{suite}] new case (not in baseline): {case_id}")
+
+    for case_id in sorted(base_cases):
+        if case_id not in fresh_cases:
+            failures.append(
+                f"[{suite}] case missing from fresh run: {case_id}")
+            continue
+        base_metrics = base_cases[case_id]
+        fresh_metrics = fresh_cases[case_id]
+        for metric in sorted(base_metrics):
+            base_v = base_metrics[metric]
+            if not isinstance(base_v, (int, float)):
+                continue
+            if metric not in fresh_metrics:
+                if is_informational(metric):
+                    notes.append(
+                        f"[{suite}] {case_id}: informational metric "
+                        f"{metric} missing from fresh run")
+                else:
+                    failures.append(
+                        f"[{suite}] {case_id}: metric missing from fresh "
+                        f"run: {metric}")
+                continue
+            fresh_v = fresh_metrics[metric]
+            if within(base_v, fresh_v, rtol, atol):
+                continue
+            delta = fresh_v - base_v
+            rel = abs(delta) / abs(base_v) if base_v else float("inf")
+            line = (f"[{suite}] {case_id}: {metric} baseline={base_v:g} "
+                    f"fresh={fresh_v:g} delta={delta:+g} rel={rel:.1%}")
+            if is_informational(metric):
+                notes.append(line + " (informational, not gated)")
+            else:
+                failures.append(line)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate fresh BENCH_*.json against the committed baseline")
+    parser.add_argument("--baseline", default=".",
+                        help="directory holding baseline BENCH_<suite>.json")
+    parser.add_argument("--fresh", required=True,
+                        help="directory holding the fresh run's files")
+    parser.add_argument("--suite", action="append", dest="suites",
+                        choices=list(DEFAULT_SUITES),
+                        help="suite(s) to check; default: all present in "
+                             "the baseline directory")
+    parser.add_argument("--rtol", type=float, default=0.10,
+                        help="relative tolerance for gated metrics")
+    parser.add_argument("--atol", type=float, default=0.5,
+                        help="absolute tolerance floor for gated metrics")
+    parser.add_argument("--list", action="store_true",
+                        help="also print every compared case")
+    args = parser.parse_args()
+
+    suites = args.suites
+    if not suites:
+        suites = [s for s in DEFAULT_SUITES
+                  if os.path.exists(
+                      os.path.join(args.baseline, f"BENCH_{s}.json"))]
+        if not suites:
+            print(f"bench_check: no BENCH_*.json baselines under "
+                  f"{args.baseline}", file=sys.stderr)
+            return 2
+
+    failures, notes = [], []
+    compared = 0
+    for suite in suites:
+        base_path = os.path.join(args.baseline, f"BENCH_{suite}.json")
+        fresh_path = os.path.join(args.fresh, f"BENCH_{suite}.json")
+        base = load_doc(base_path)
+        fresh = load_doc(fresh_path)
+        if base is None:
+            failures.append(f"[{suite}] baseline not found: {base_path}")
+            continue
+        if fresh is None:
+            failures.append(f"[{suite}] fresh run not found: {fresh_path} "
+                            f"(did the bench binaries run with "
+                            f"RIPPLE_BENCH_JSON_DIR={args.fresh}?)")
+            continue
+        if not check_comparable(suite, base, fresh, failures):
+            continue
+        diff_suite(suite, base, fresh, args.rtol, args.atol, failures, notes)
+        compared += len(base.get("cases", {}))
+        if args.list:
+            for case_id in sorted(base.get("cases", {})):
+                print(f"[{suite}] compared {case_id}")
+
+    for line in notes:
+        print(f"note: {line}")
+    for line in failures:
+        print(f"FAIL: {line}")
+    if failures:
+        print(f"bench_check: {len(failures)} failure(s) across "
+              f"{len(suites)} suite(s)")
+        return 1
+    print(f"bench_check: OK — {compared} case(s) within rtol={args.rtol} "
+          f"atol={args.atol} across suites: {', '.join(suites)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Demonstrates that tools/bench_check.py actually gates.
+
+Builds a synthetic baseline BENCH_figs.json in a temp dir, then checks:
+  1. an identical fresh run passes (exit 0);
+  2. a deterministic-metric perturbation beyond tolerance fails (exit 1);
+  3. a wall-clock perturbation is informational only (exit 0);
+  4. a missing case fails (exit 1);
+  5. a scale-config mismatch fails (exit 1);
+  6. an extra new case is a warning only (exit 0).
+
+Registered in ctest (label: unit) so the regression gate itself is under
+test. Stdlib only.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "bench_check.py")
+
+BASELINE = {
+    "schema_version": 1,
+    "suite": "figs",
+    "meta": {
+        "git_sha": "deadbee",
+        "build_type": "RelWithDebInfo",
+        "seed": 1,
+        "config": {"min_log_n": 8, "max_log_n": 9, "queries": 8},
+    },
+    "cases": {
+        "figure-4/query/n=256/r=0": {
+            "latency_hops_mean": 9.125,
+            "messages_mean": 28.625,
+            "load_gini": 0.871,
+            "wall_ms_p50": 0.078,
+        },
+        "figure-4/query/n=256/r=D": {
+            "latency_hops_mean": 23.75,
+            "messages_mean": 48.0,
+        },
+    },
+}
+
+
+def write(dirname, doc):
+    os.makedirs(dirname, exist_ok=True)
+    with open(os.path.join(dirname, "BENCH_figs.json"), "w",
+              encoding="utf-8") as f:
+        json.dump(doc, f)
+
+
+def run_check(base_dir, fresh_dir):
+    proc = subprocess.run(
+        [sys.executable, CHECKER, "--baseline", base_dir, "--fresh",
+         fresh_dir, "--suite", "figs"],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expect(name, got, want, output):
+    if got != want:
+        print(f"bench_gate_test FAIL: {name}: exit {got}, wanted {want}\n"
+              f"--- checker output ---\n{output}")
+        sys.exit(1)
+    print(f"bench_gate_test ok: {name} (exit {got})")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "baseline")
+        write(base_dir, BASELINE)
+
+        fresh = copy.deepcopy(BASELINE)
+        fresh_dir = os.path.join(tmp, "identical")
+        write(fresh_dir, fresh)
+        code, out = run_check(base_dir, fresh_dir)
+        expect("identical run passes", code, 0, out)
+
+        # messages_mean 28.625 -> 40: +40%, far beyond rtol=0.10 and
+        # atol=0.5 — must fail.
+        fresh = copy.deepcopy(BASELINE)
+        fresh["cases"]["figure-4/query/n=256/r=0"]["messages_mean"] = 40.0
+        fresh_dir = os.path.join(tmp, "perturbed")
+        write(fresh_dir, fresh)
+        code, out = run_check(base_dir, fresh_dir)
+        expect("deterministic perturbation fails", code, 1, out)
+        if "messages_mean" not in out:
+            print(f"bench_gate_test FAIL: failure output does not name the "
+                  f"drifted metric\n{out}")
+            sys.exit(1)
+
+        # Wall clock 0.078 -> 50ms: huge, but informational only.
+        fresh = copy.deepcopy(BASELINE)
+        fresh["cases"]["figure-4/query/n=256/r=0"]["wall_ms_p50"] = 50.0
+        fresh_dir = os.path.join(tmp, "wall")
+        write(fresh_dir, fresh)
+        code, out = run_check(base_dir, fresh_dir)
+        expect("wall-clock drift is informational", code, 0, out)
+
+        fresh = copy.deepcopy(BASELINE)
+        del fresh["cases"]["figure-4/query/n=256/r=D"]
+        fresh_dir = os.path.join(tmp, "missing")
+        write(fresh_dir, fresh)
+        code, out = run_check(base_dir, fresh_dir)
+        expect("missing case fails", code, 1, out)
+
+        fresh = copy.deepcopy(BASELINE)
+        fresh["meta"]["config"]["queries"] = 64
+        fresh_dir = os.path.join(tmp, "config")
+        write(fresh_dir, fresh)
+        code, out = run_check(base_dir, fresh_dir)
+        expect("scale config mismatch fails", code, 1, out)
+
+        fresh = copy.deepcopy(BASELINE)
+        fresh["cases"]["figure-4/query/n=512/r=0"] = {"messages_mean": 1.0}
+        fresh_dir = os.path.join(tmp, "extra")
+        write(fresh_dir, fresh)
+        code, out = run_check(base_dir, fresh_dir)
+        expect("new case is a warning only", code, 0, out)
+
+    print("bench_gate_test: all scenarios behaved")
+
+
+if __name__ == "__main__":
+    main()

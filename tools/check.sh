@@ -6,14 +6,38 @@
 #   tools/check.sh            # ASan + UBSan-less default: address
 #   tools/check.sh undefined  # UBSan
 #   tools/check.sh address tests/obs_test   # limit ctest to a regex
+#   tools/check.sh --bench    # bench smoke suite + BENCH_*.json gate
 #
 # The sanitized build lives in build-san-<kind> next to the regular
-# build directory, so it never disturbs an existing configure.
+# build directory, so it never disturbs an existing configure; --bench
+# uses build-bench (plain RelWithDebInfo, benchmarks on).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 tools/lint_deprecated.sh
+
+# --bench: run every bench binary at smoke scale (ctest label
+# bench_smoke, serialized writes into build-bench/bench_json/) and gate
+# the merged BENCH_*.json against the committed repo-root baseline.
+# Regenerate the baseline after an intentional perf change with:
+#   ctest --test-dir build-bench -L bench_smoke
+#   cp build-bench/bench_json/BENCH_*.json .
+# (see docs/OBSERVABILITY.md) and commit the diff.
+if [[ "${1:-}" == "--bench" ]]; then
+  BUILD_DIR="build-bench"
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRIPPLE_BUILD_BENCHMARKS=ON \
+    -DRIPPLE_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  rm -rf "$BUILD_DIR/bench_json"
+  mkdir -p "$BUILD_DIR/bench_json"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L bench_smoke
+  python3 tools/bench_check.py --baseline . --fresh "$BUILD_DIR/bench_json"
+  echo "check.sh: bench gate clean"
+  exit 0
+fi
 
 SANITIZER="${1:-address}"
 FILTER="${2:-}"

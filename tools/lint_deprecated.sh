@@ -9,6 +9,11 @@
 #   * calling through ripple::compat:: (Run shims, kRippleSlow)
 #   * the bare kRippleSlow sentinel (replaced by RippleParam::Slow())
 #
+# Also forbidden: opening ".csv" result files anywhere but
+# obs::BenchReporter (src/obs/bench_report.cc). All benchmark result
+# emission flows through the reporter so BENCH_<suite>.json, the CSV
+# panels and the bench_check.py gate stay consistent.
+#
 # Usage: tools/lint_deprecated.sh   (exit 0 clean, 1 on violations)
 set -euo pipefail
 
@@ -31,6 +36,18 @@ check() {
 check 'ripple/compat\.h'  'include of the deprecated compat header'
 check 'compat::'          'use of the ripple::compat shim namespace'
 check '\bkRippleSlow\b'   'legacy kRippleSlow sentinel (use RippleParam::Slow())'
+
+# CSV emission outside the sanctioned reporter: a `.csv` string literal in
+# C++ code means someone is hand-rolling result files again.
+CSV_HITS=$(grep -rn --include='*.cc' --include='*.h' --include='*.cpp' \
+             -e '\.csv"' src bench examples tests tools \
+           | grep -v '^src/obs/bench_report\.cc:' || true)
+if [[ -n "$CSV_HITS" ]]; then
+  echo "lint_deprecated: raw .csv emission outside obs::BenchReporter:" >&2
+  echo "$CSV_HITS" >&2
+  echo "route results through bench::Reporter() / BenchReporter::WritePanelCsv" >&2
+  FAIL=1
+fi
 
 if [[ "$FAIL" -ne 0 ]]; then
   echo "lint_deprecated: migrate the callers above to QueryRequest/RippleParam" >&2

@@ -43,14 +43,17 @@ template <typename Policy, typename Driver>
 QueryResult<typename Policy::Answer> RunWithEngine(const MidasOverlay& overlay,
                                                    bool async_mode,
                                                    obs::Tracer* tracer,
+                                                   obs::Profiler* profiler,
                                                    Driver&& drive) {
   if (async_mode) {
     AsyncEngine<MidasOverlay, Policy> engine(&overlay, Policy{});
     engine.SetTracer(tracer);
+    engine.SetProfiler(profiler);
     return drive(engine);
   }
   Engine<MidasOverlay, Policy> engine(&overlay, Policy{});
   engine.SetTracer(tracer);
+  engine.SetProfiler(profiler);
   return drive(engine);
 }
 
@@ -81,6 +84,7 @@ int Run(int argc, char** argv) {
   double deadline = 0.0;
   std::string trace_out;
   std::string metrics_out;
+  std::string profile_out;
   std::string log_level;
 
   FlagParser flags(
@@ -133,8 +137,13 @@ int Run(int argc, char** argv) {
                   "JSON, or JSONL when the path ends in .jsonl",
                   &trace_out);
   flags.AddString("metrics-out",
-                  "write counters / gauges / histograms here as JSON",
+                  "write counters / gauges / histograms here as JSON "
+                  "(includes a per-peer profile section)",
                   &metrics_out);
+  flags.AddString("profile-out",
+                  "write the per-peer load profile here as JSON: totals, "
+                  "skew stats (Gini, peak/mean) and the hotspot table",
+                  &profile_out);
   flags.AddString("log-level",
                   "error | warn | info | debug | trace (default: "
                   "RIPPLE_LOG_LEVEL or warn)",
@@ -171,6 +180,16 @@ int Run(int argc, char** argv) {
   obs::Tracer tracer;
   obs::Tracer* tracer_ptr =
       (!trace_out.empty() || !metrics_out.empty()) ? &tracer : nullptr;
+  // Same for the global profiler: enabling it before the joins run means
+  // RecordRouteStep charges the bootstrap routing hops to the peers that
+  // forwarded them, alongside the query-time load the engines record.
+  const bool want_profile = !profile_out.empty() || !metrics_out.empty();
+  obs::Profiler* profiler_ptr = nullptr;
+  if (want_profile) {
+    obs::Profiler::Global().Clear();
+    obs::Profiler::EnableGlobal(true);
+    profiler_ptr = &obs::Profiler::Global();
+  }
 
   // Build the network: data first, then joins (median splits follow data).
   Rng data_rng(static_cast<uint64_t>(seed) * 7919);
@@ -229,7 +248,7 @@ int Run(int argc, char** argv) {
         .retry = retry,
         .fault = fault};
     auto result = RunWithEngine<TopKPolicy>(
-        overlay, async_mode, tracer_ptr,
+        overlay, async_mode, tracer_ptr, profiler_ptr,
         [&](auto& engine) { return SeededTopK(overlay, engine, request); });
     std::printf("scoring: %s\n", scorer.ToString().c_str());
     answer = std::move(result.answer);
@@ -244,7 +263,7 @@ int Run(int argc, char** argv) {
                                               .retry = retry,
                                               .fault = fault};
     auto result = RunWithEngine<SkylinePolicy>(
-        overlay, async_mode, tracer_ptr,
+        overlay, async_mode, tracer_ptr, profiler_ptr,
         [&](auto& engine) { return SeededSkyline(overlay, engine, request); });
     answer = std::move(result.answer);
     stats = result.stats;
@@ -261,7 +280,7 @@ int Run(int argc, char** argv) {
                                               .retry = retry,
                                               .fault = fault};
     auto result = RunWithEngine<SkybandPolicy>(
-        overlay, async_mode, tracer_ptr,
+        overlay, async_mode, tracer_ptr, profiler_ptr,
         [&](auto& engine) { return engine.Run(request); });
     answer = std::move(result.answer);
     stats = result.stats;
@@ -281,7 +300,7 @@ int Run(int argc, char** argv) {
                                             .retry = retry,
                                             .fault = fault};
     auto result = RunWithEngine<RangePolicy>(
-        overlay, async_mode, tracer_ptr,
+        overlay, async_mode, tracer_ptr, profiler_ptr,
         [&](auto& engine) { return engine.Run(request); });
     answer = std::move(result.answer);
     stats = result.stats;
@@ -306,11 +325,13 @@ int Run(int argc, char** argv) {
           RippleDivService<MidasOverlay, AsyncEngine<MidasOverlay, DivPolicy>>>(
           &overlay, base);
       s->mutable_engine()->SetTracer(tracer_ptr);
+      s->mutable_engine()->SetProfiler(profiler_ptr);
       service = std::move(s);
     } else {
       auto s = std::make_unique<RippleDivService<MidasOverlay>>(&overlay,
                                                                 base);
       s->mutable_engine()->SetTracer(tracer_ptr);
+      s->mutable_engine()->SetProfiler(profiler_ptr);
       service = std::move(s);
     }
     DiversifyOptions options;
@@ -362,6 +383,23 @@ int Run(int argc, char** argv) {
     std::printf("trace: %zu spans -> %s (%s)\n", tracer.span_count(),
                 trace_out.c_str(), jsonl ? "jsonl" : "chrome-trace");
   }
+  if (want_profile) {
+    // Declare the whole overlay tracked so idle_fraction / Gini use the
+    // true peer count, then freeze recording before export.
+    obs::Profiler::Global().SetPeerUniverse(overlay.NumPeers());
+    obs::Profiler::EnableGlobal(false);
+  }
+  if (!profile_out.empty()) {
+    const obs::Profiler& prof = obs::Profiler::Global();
+    const Status st = obs::WriteProfileJson(prof, profile_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "profile export failed: %s\n",
+                   st.message().c_str());
+      return 1;
+    }
+    std::printf("profile: %zu peers -> %s\n%s", prof.peer_count(),
+                profile_out.c_str(), prof.Summary().c_str());
+  }
   if (!metrics_out.empty()) {
     obs::Registry& reg = obs::Registry::Global();
     reg.GetCounter("query.peers_visited").Inc(stats.peers_visited);
@@ -382,7 +420,8 @@ int Run(int argc, char** argv) {
       (void)peer;
       load.Observe(static_cast<double>(visits));
     }
-    const Status st = obs::WriteMetricsJson(reg, metrics_out);
+    const Status st =
+        obs::WriteMetricsJson(reg, metrics_out, &obs::Profiler::Global());
     if (!st.ok()) {
       std::fprintf(stderr, "metrics export failed: %s\n",
                    st.message().c_str());
