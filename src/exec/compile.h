@@ -1,0 +1,209 @@
+#ifndef RIPPLE_EXEC_COMPILE_H_
+#define RIPPLE_EXEC_COMPILE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "exec/sharded_lock.h"
+#include "exec/workload.h"
+#include "geom/scoring.h"
+#include "net/fault.h"
+#include "queries/range.h"
+#include "queries/skyband.h"
+#include "queries/skyline.h"
+#include "queries/skyline_driver.h"
+#include "queries/topk.h"
+#include "queries/topk_driver.h"
+#include "ripple/api.h"
+#include "ripple/engine.h"
+#include "sim/async_engine.h"
+
+namespace ripple::exec {
+
+/// How CompileWorkload turns WorkloadItems into executable Jobs.
+struct CompileOptions {
+  /// Master seed. Each item's instance randomness (initiator, scorer
+  /// weights, range center) flows from a per-item stream derived from
+  /// (seed, item index) — NOT from the worker RNG — so compiled answers
+  /// are identical for every thread count, not just every run.
+  uint64_t seed = 1;
+  /// Run through the discrete-event AsyncEngine instead of the recursive
+  /// Engine. Required for fault injection and in-engine deadlines.
+  bool async = false;
+  /// Fault model for async jobs; FaultOptions::seed is overridden per item
+  /// (derived from `seed` and the index) so fault schedules are
+  /// reproducible yet independent across queries.
+  net::FaultOptions fault;
+  /// Retry discipline for async jobs under faults.
+  net::RetryOptions retry;
+};
+
+/// A compiled workload: the jobs plus the scorer storage they borrow from.
+/// Movable; must outlive the Executor::Run call consuming `jobs`.
+struct CompiledWorkload {
+  std::vector<Job> jobs;
+  /// Owns the Scorer objects top-k jobs reference (TopKQuery holds a raw
+  /// pointer by design — scorers must outlive the query).
+  std::vector<std::unique_ptr<Scorer>> scorers;
+};
+
+namespace internal {
+
+/// Independent per-item stream: splitmix-style spread of (seed, index) so
+/// neighboring items and neighboring seeds do not correlate.
+inline uint64_t ItemSeed(uint64_t seed, size_t index) {
+  return seed * 0x9e3779b97f4a7c15ULL +
+         (static_cast<uint64_t>(index) + 1) * 0x517cc1b727220a95ULL;
+}
+
+inline JobResult ToJobResult(QueryResult<TupleVec> result, PeerId initiator) {
+  JobResult jr;
+  jr.answer = std::move(result.answer);
+  jr.stats = result.stats;
+  jr.coverage = std::move(result.coverage);
+  jr.complete = result.complete;
+  jr.completion_time = result.completion_time;
+  jr.initiator = initiator;
+  return jr;
+}
+
+/// Builds the engine for one job invocation and wires the worker-private
+/// observability from the JobContext. Engines are cheap (two pointers and
+/// a stateless policy), so constructing one per run beats sharing mutable
+/// engine state across workers. The worker tracer intentionally only
+/// receives the executor's admission envelopes, not per-visit engine
+/// spans: a workload of thousands of queries would otherwise record
+/// millions of spans.
+template <typename EngineT>
+void WireEngine(EngineT* engine, JobContext& ctx) {
+  engine->SetProfiler(ctx.profiler);
+  if (ctx.load != nullptr) {
+    SharedLoadTable* load = ctx.load;
+    engine->SetVisitObserver([load](PeerId p) { load->Charge(p); });
+  }
+}
+
+template <typename Overlay, typename Policy>
+QueryRequest<Policy> MakeRequest(PeerId initiator,
+                                 typename Policy::Query query,
+                                 const WorkloadItem& item,
+                                 const CompileOptions& opts, size_t index) {
+  QueryRequest<Policy> req;
+  req.initiator = initiator;
+  req.query = std::move(query);
+  req.ripple = item.ripple;
+  if (opts.async) {
+    req.deadline = item.deadline;  // sim units once the engine owns it
+    req.retry = opts.retry;
+    req.fault = opts.fault;
+    req.fault.seed = ItemSeed(opts.seed, index) ^ 0x5bf03635ULL;
+  }
+  return req;
+}
+
+/// One Job body: sync/async dispatch happens per call so the same
+/// compiled workload structure serves both engines.
+template <typename Overlay, typename Policy, typename Driver>
+Job MakeJob(const Overlay& overlay, typename Policy::Query query,
+            const WorkloadItem& item, const CompileOptions& opts,
+            size_t index, PeerId initiator, Driver driver) {
+  Job job;
+  job.label = item.label.empty() ? WorkloadKindName(item.kind) : item.label;
+  job.deadline_ms = item.deadline;  // wall-ms while queued (executor side)
+  job.run = [&overlay, query = std::move(query), item, opts, index, initiator,
+             driver](JobContext& ctx) -> JobResult {
+    const QueryRequest<Policy> req =
+        MakeRequest<Overlay, Policy>(initiator, query, item, opts, index);
+    if (opts.async) {
+      AsyncEngine<Overlay, Policy> engine(&overlay, Policy{});
+      WireEngine(&engine, ctx);
+      return ToJobResult(driver(overlay, engine, req), initiator);
+    }
+    Engine<Overlay, Policy> engine(&overlay, Policy{});
+    WireEngine(&engine, ctx);
+    return ToJobResult(driver(overlay, engine, req), initiator);
+  };
+  return job;
+}
+
+}  // namespace internal
+
+/// Compiles a parsed workload against an overlay into executor Jobs.
+///
+/// Determinism: every instance decision is drawn from a fresh per-item
+/// RNG stream seeded by (opts.seed, item index). Two runs — on any thread
+/// count — therefore execute byte-identical QueryRequests, and since the
+/// engines are deterministic, produce byte-identical answers/stats
+/// (ExecTest.AnswersInvariantAcrossThreadCounts). The overlay must
+/// outlive the returned jobs; it is shared read-only across workers.
+template <typename Overlay>
+CompiledWorkload CompileWorkload(const Overlay& overlay,
+                                 const std::vector<WorkloadItem>& items,
+                                 const CompileOptions& opts = {}) {
+  CompiledWorkload out;
+  out.jobs.reserve(items.size());
+  const int dims = overlay.domain().dims();
+  for (size_t i = 0; i < items.size(); ++i) {
+    const WorkloadItem& item = items[i];
+    Rng rng(internal::ItemSeed(opts.seed, i));
+    const PeerId initiator = overlay.RandomPeer(&rng);
+    switch (item.kind) {
+      case WorkloadItem::Kind::kTopK: {
+        std::vector<double> weights(dims);
+        for (double& w : weights) w = 0.1 + rng.UniformDouble();
+        out.scorers.push_back(std::make_unique<LinearScorer>(weights));
+        TopKQuery query;
+        query.scorer = out.scorers.back().get();
+        query.k = item.k;
+        query.epsilon = item.epsilon;
+        out.jobs.push_back(internal::MakeJob<Overlay, TopKPolicy>(
+            overlay, query, item, opts, i, initiator,
+            [](const Overlay& o, const auto& engine, const auto& req) {
+              return SeededTopK(o, engine, req);
+            }));
+        break;
+      }
+      case WorkloadItem::Kind::kSkyline: {
+        out.jobs.push_back(internal::MakeJob<Overlay, SkylinePolicy>(
+            overlay, SkylineQuery{}, item, opts, i, initiator,
+            [](const Overlay& o, const auto& engine, const auto& req) {
+              return SeededSkyline(o, engine, req);
+            }));
+        break;
+      }
+      case WorkloadItem::Kind::kSkyband: {
+        SkybandQuery query;
+        query.band = item.band;
+        out.jobs.push_back(internal::MakeJob<Overlay, SkybandPolicy>(
+            overlay, query, item, opts, i, initiator,
+            [](const Overlay&, const auto& engine, const auto& req) {
+              return engine.Run(req);
+            }));
+        break;
+      }
+      case WorkloadItem::Kind::kRange: {
+        RangeQuery query;
+        query.center = Point(dims);
+        const Rect domain = overlay.domain();
+        for (int d = 0; d < dims; ++d) {
+          query.center[d] = rng.UniformDouble(domain.lo()[d], domain.hi()[d]);
+        }
+        query.radius = item.radius;
+        out.jobs.push_back(internal::MakeJob<Overlay, RangePolicy>(
+            overlay, query, item, opts, i, initiator,
+            [](const Overlay&, const auto& engine, const auto& req) {
+              return engine.Run(req);
+            }));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ripple::exec
+
+#endif  // RIPPLE_EXEC_COMPILE_H_

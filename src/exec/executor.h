@@ -1,0 +1,187 @@
+#ifndef RIPPLE_EXEC_EXECUTOR_H_
+#define RIPPLE_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/coverage.h"
+#include "net/metrics.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "overlay/types.h"
+#include "store/tuple.h"
+
+namespace ripple::exec {
+
+class SharedLoadTable;
+
+/// Tuning knobs of the concurrent workload executor. The determinism
+/// contract (docs/EXECUTOR.md) is parameterized by (seed, threads): with
+/// both fixed, job-to-worker assignment, every per-worker RNG stream and
+/// therefore every deterministic field of the WorkloadResult are
+/// byte-identical across runs.
+struct ExecutorOptions {
+  /// Pool size. Values < 1 are treated as 1.
+  int threads = 1;
+  /// Bounded admission-queue capacity PER WORKER. When a worker's queue is
+  /// full, Run()'s admission loop blocks — backpressure, not buffering.
+  size_t queue_capacity = 64;
+  /// Master seed: derives each worker's private RNG stream.
+  uint64_t seed = 1;
+  /// Target admission rate in queries/second; 0 = admit as fast as
+  /// backpressure allows. Pacing bounds offered load, backpressure bounds
+  /// accepted load; with both, the executor degrades by queueing first and
+  /// shedding expired-deadline queries second.
+  double qps_target = 0.0;
+  /// Shard count of the per-peer mutexes guarding the live load table.
+  size_t lock_shards = 64;
+  /// Record one admission-to-completion span per query into the owning
+  /// worker's tracer (see Executor::worker_tracers). Off by default: spans
+  /// cost memory per query and the histograms carry the same latencies.
+  bool collect_spans = false;
+};
+
+/// Everything a job may touch that belongs to the worker running it. All
+/// pointers are worker-private (no synchronization needed) except `load`,
+/// which is the shared per-peer table guarding itself with sharded locks.
+struct JobContext {
+  int worker = 0;
+  /// The worker's seeded RNG stream: deterministic given (seed, threads),
+  /// because job-to-worker assignment is static round-robin.
+  Rng* rng = nullptr;
+  /// The worker's private profiler; merged into WorkloadResult::profile
+  /// after the pool joins.
+  obs::Profiler* profiler = nullptr;
+  /// The worker's tracer, or null unless ExecutorOptions::collect_spans.
+  obs::Tracer* tracer = nullptr;
+  /// Live per-peer visit counts shared across workers (sharded mutexes).
+  SharedLoadTable* load = nullptr;
+};
+
+/// What one executed query reports back to the executor.
+struct JobResult {
+  TupleVec answer;
+  QueryStats stats;
+  net::Coverage coverage;
+  bool complete = true;
+  /// Simulated completion time (async-engine jobs; 0 for recursive runs).
+  double completion_time = 0.0;
+  /// The peer the query entered the network at (span/debug labeling).
+  PeerId initiator = kInvalidPeer;
+};
+
+/// One unit of admitted work: a closure over a compiled QueryRequest (see
+/// exec/compile.h) plus executor-level metadata.
+struct Job {
+  std::function<JobResult(JobContext&)> run;
+  /// Wall-clock milliseconds from admission after which a still-queued
+  /// query is shed instead of run (QueryRequest::deadline's executor-side
+  /// interpretation; see docs/EXECUTOR.md). Infinity = never shed.
+  double deadline_ms = std::numeric_limits<double>::infinity();
+  /// Human-readable label ("topk k=10 r=fast"), for summaries and spans.
+  std::string label;
+};
+
+/// Per-query outcome, indexed by submission order.
+///
+/// Deterministic fields (byte-identical for fixed seed + threads, and —
+/// for jobs compiled by exec/compile.h, which derive everything from the
+/// per-item seed — for ANY thread count): `answer`, `stats`, `coverage`,
+/// `complete`, `completion_time`, `initiator`, `worker`, `shed` when no
+/// deadline is set. Wall-clock fields (`*_ms`) are measurements, never
+/// deterministic; deadlines make `shed` timing-dependent too.
+struct QueryOutcome {
+  size_t index = 0;
+  int worker = -1;
+  /// True iff the deadline expired while the query was still queued; the
+  /// query never ran, `answer` is empty and `complete` is false.
+  bool shed = false;
+  PeerId initiator = kInvalidPeer;
+  TupleVec answer;
+  QueryStats stats;
+  net::Coverage coverage;
+  bool complete = true;
+  double completion_time = 0.0;
+  double wait_ms = 0.0;   // admission -> worker pop
+  double run_ms = 0.0;    // worker pop -> job return
+  double total_ms = 0.0;  // admission -> completion (the latency histogram)
+};
+
+/// Aggregate result of one Executor::Run. The deterministic/wall split of
+/// QueryOutcome carries over: `queries`, `total_stats`, `coverage`,
+/// `completed`/`partial` counts, `profile` and `peer_visits` are
+/// deterministic (fixed seed + threads, no deadlines); `wall_s`, `qps` and
+/// the latency histograms are measurements.
+struct WorkloadResult {
+  std::vector<QueryOutcome> queries;
+  /// Sum of every executed query's QueryStats.
+  QueryStats total_stats;
+  /// Sum of every executed query's fault-layer coverage report.
+  net::Coverage coverage;
+  size_t completed = 0;  // queries that ran (== queries.size() - shed)
+  size_t shed = 0;       // queries dropped by their queue deadline
+  size_t partial = 0;    // ran but complete == false (fault degradation)
+  double wall_s = 0.0;
+  /// Executed queries per wall-clock second.
+  double qps = 0.0;
+  obs::Histogram latency_ms;  // admission -> completion, executed queries
+  obs::Histogram wait_ms;     // time spent queued
+  obs::Histogram run_ms;      // time spent executing
+  /// Per-worker profilers merged in worker order: per-peer spans,
+  /// messages, tuples and CPU across the whole workload.
+  obs::Profiler profile;
+  /// Final per-peer visit counts from the live sharded-lock table. Equals
+  /// the profiler's span counts for recursive-engine jobs (asserted by
+  /// ExecTest); async jobs feed only the profiler.
+  std::vector<uint64_t> peer_visits;
+
+  /// One-paragraph human summary (counts, qps, latency percentiles, peak
+  /// peer load).
+  std::string Summary() const;
+};
+
+/// The concurrent workload executor: a fixed pool of worker threads, one
+/// bounded admission queue per worker, static round-robin job assignment
+/// (job i -> worker i mod threads, the cornerstone of the determinism
+/// contract), per-worker seeded RNGs/profilers/tracers, deadline shedding,
+/// and obs wiring (exec.* counters + queue-depth gauge when the global
+/// registry is enabled).
+///
+/// Threading model and tuning guide: docs/EXECUTOR.md. The overlay being
+/// queried is shared read-only across workers — engines never mutate it —
+/// while all per-query mutable state lives in the job or its worker.
+/// Run() additionally freezes the process-global obs hooks for the
+/// duration of the parallel section (they are single-threaded by
+/// contract) and restores them before returning.
+class Executor {
+ public:
+  explicit Executor(ExecutorOptions options) : options_(options) {
+    if (options_.threads < 1) options_.threads = 1;
+  }
+
+  const ExecutorOptions& options() const { return options_; }
+
+  /// Runs every job to completion (or its deadline) and aggregates.
+  /// `peer_universe` sizes the shared load table and the merged profiler —
+  /// pass overlay.NumPeers(). Blocks until the workload drains; the
+  /// calling thread is the admission thread.
+  WorkloadResult Run(const std::vector<Job>& jobs, size_t peer_universe);
+
+  /// Per-worker tracers of the last Run (admission spans when
+  /// collect_spans, plus any engine spans jobs recorded through
+  /// JobContext::tracer). Valid until the next Run.
+  const std::vector<obs::Tracer>& worker_tracers() const { return tracers_; }
+
+ private:
+  ExecutorOptions options_;
+  std::vector<obs::Tracer> tracers_;
+};
+
+}  // namespace ripple::exec
+
+#endif  // RIPPLE_EXEC_EXECUTOR_H_

@@ -1,0 +1,27 @@
+#include "exec/sharded_lock.h"
+
+#include <algorithm>
+
+namespace ripple::exec {
+
+std::vector<uint64_t> SharedLoadTable::Snapshot() {
+  std::vector<uint64_t> out(loads_.size(), 0);
+  for (PeerId p = 0; p < loads_.size(); ++p) {
+    out[p] = load(p);
+  }
+  return out;
+}
+
+uint64_t SharedLoadTable::Total() {
+  uint64_t total = 0;
+  for (PeerId p = 0; p < loads_.size(); ++p) total += load(p);
+  return total;
+}
+
+uint64_t SharedLoadTable::Max() {
+  uint64_t max = 0;
+  for (PeerId p = 0; p < loads_.size(); ++p) max = std::max(max, load(p));
+  return max;
+}
+
+}  // namespace ripple::exec

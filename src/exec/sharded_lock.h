@@ -1,0 +1,93 @@
+#ifndef RIPPLE_EXEC_SHARDED_LOCK_H_
+#define RIPPLE_EXEC_SHARDED_LOCK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "overlay/types.h"
+
+namespace ripple::exec {
+
+/// Per-peer sharded mutexes: peer id -> one of `shards` mutexes. Guards
+/// per-peer mutable state that concurrent queries share — today the
+/// executor's live load table (and, through it, any per-peer accounting a
+/// workload wants to keep); tomorrow per-peer store/router mutation under
+/// load. Peer ids are dense array indices, so `id % shards` spreads
+/// neighboring peers across different locks and two queries contend only
+/// when they touch peers in the same shard at the same instant.
+///
+/// Lock ordering contract: callers hold at most ONE shard lock at a time
+/// (all current call sites charge a single peer per acquisition), so no
+/// ordering discipline — and no deadlock — is possible by construction.
+/// Code that ever needs two peers atomically must acquire shards in
+/// ascending shard-index order; `ShardOf` is public precisely so such a
+/// caller can sort first.
+class ShardedPeerMutex {
+ public:
+  explicit ShardedPeerMutex(size_t shards = kDefaultShards)
+      : shards_(shards ? shards : 1) {}
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t ShardOf(PeerId peer) const { return peer % shards_.size(); }
+  std::mutex& Of(PeerId peer) { return shards_[ShardOf(peer)]; }
+
+  /// RAII acquisition of the shard guarding `peer`.
+  std::unique_lock<std::mutex> Lock(PeerId peer) {
+    return std::unique_lock<std::mutex>(Of(peer));
+  }
+
+  static constexpr size_t kDefaultShards = 64;
+
+ private:
+  std::vector<std::mutex> shards_;
+};
+
+/// A dense per-peer visit counter shared by every executor worker and
+/// guarded by ShardedPeerMutex — the concurrent sibling of the per-worker
+/// obs::Profiler. The profilers are private per worker and merged after
+/// the pool joins (exact, deterministic, but only visible at the end);
+/// this table is updated live, which is what feeds mid-run gauges and
+/// lets tests assert that sharded locking under real thread contention
+/// loses no updates (the TSan suite hammers it).
+class SharedLoadTable {
+ public:
+  explicit SharedLoadTable(size_t peers,
+                           size_t shards = ShardedPeerMutex::kDefaultShards)
+      : locks_(shards), loads_(peers, 0) {}
+
+  /// Charges `n` visits to `peer`. Ids beyond the declared universe are
+  /// ignored (a churned overlay can hand out fresh ids mid-run; dropping
+  /// them beats resizing under a different shard's lock).
+  void Charge(PeerId peer, uint64_t n = 1) {
+    if (peer >= loads_.size()) return;
+    std::unique_lock<std::mutex> lock = locks_.Lock(peer);
+    loads_[peer] += n;
+  }
+
+  size_t peer_count() const { return loads_.size(); }
+
+  /// Snapshot reads: exact once the workers have quiesced; while they run,
+  /// each entry is read under its shard lock so the value is a consistent
+  /// (if momentarily stale) count.
+  uint64_t load(PeerId peer) {
+    if (peer >= loads_.size()) return 0;
+    std::unique_lock<std::mutex> lock = locks_.Lock(peer);
+    return loads_[peer];
+  }
+
+  /// Full copy under all shard locks taken one at a time — intended for
+  /// after-run aggregation, not hot paths.
+  std::vector<uint64_t> Snapshot();
+
+  uint64_t Total();
+  uint64_t Max();
+
+ private:
+  ShardedPeerMutex locks_;
+  std::vector<uint64_t> loads_;
+};
+
+}  // namespace ripple::exec
+
+#endif  // RIPPLE_EXEC_SHARDED_LOCK_H_

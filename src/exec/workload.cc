@@ -1,0 +1,145 @@
+#include "exec/workload.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ripple::exec {
+namespace {
+
+bool ParseSize(const std::string& v, size_t* out) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') return false;
+  *out = static_cast<size_t>(parsed);
+  return true;
+}
+
+bool ParseDouble(const std::string& v, double* out) {
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+Status LineError(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("workload line " + std::to_string(line_no) +
+                                 ": " + what);
+}
+
+}  // namespace
+
+const char* WorkloadKindName(WorkloadItem::Kind kind) {
+  switch (kind) {
+    case WorkloadItem::Kind::kTopK: return "topk";
+    case WorkloadItem::Kind::kSkyline: return "skyline";
+    case WorkloadItem::Kind::kSkyband: return "skyband";
+    case WorkloadItem::Kind::kRange: return "range";
+  }
+  return "?";
+}
+
+Result<std::vector<WorkloadItem>> ParseWorkload(const std::string& text) {
+  std::vector<WorkloadItem> items;
+  std::istringstream lines(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word) || word[0] == '#') continue;
+
+    WorkloadItem item;
+    if (word == "topk") {
+      item.kind = WorkloadItem::Kind::kTopK;
+    } else if (word == "skyline") {
+      item.kind = WorkloadItem::Kind::kSkyline;
+    } else if (word == "skyband") {
+      item.kind = WorkloadItem::Kind::kSkyband;
+    } else if (word == "range") {
+      item.kind = WorkloadItem::Kind::kRange;
+    } else {
+      return LineError(line_no, "unknown query kind '" + word +
+                                    "' (topk | skyline | skyband | range)");
+    }
+
+    size_t count = 1;
+    while (words >> word) {
+      const size_t eq = word.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return LineError(line_no, "expected key=value, got '" + word + "'");
+      }
+      const std::string key = word.substr(0, eq);
+      const std::string value = word.substr(eq + 1);
+      bool ok = true;
+      if (key == "k") {
+        ok = ParseSize(value, &item.k) && item.k > 0;
+      } else if (key == "band") {
+        ok = ParseSize(value, &item.band) && item.band > 0;
+      } else if (key == "radius") {
+        ok = ParseDouble(value, &item.radius) && item.radius > 0;
+      } else if (key == "epsilon") {
+        ok = ParseDouble(value, &item.epsilon) && item.epsilon >= 0;
+      } else if (key == "deadline") {
+        ok = ParseDouble(value, &item.deadline) && item.deadline > 0;
+      } else if (key == "count") {
+        ok = ParseSize(value, &count) && count > 0;
+      } else if (key == "r") {
+        const Result<RippleParam> r = RippleParam::Parse(value);
+        if (!r.ok()) return LineError(line_no, r.status().message());
+        item.ripple = *r;
+      } else {
+        return LineError(line_no, "unknown key '" + key + "'");
+      }
+      if (!ok) {
+        return LineError(line_no,
+                         "bad value for " + key + ": '" + value + "'");
+      }
+    }
+
+    // Trimmed spec line as the label; repeats share it (their distinct
+    // identity is the item index, which also drives seed derivation).
+    std::istringstream relabel(line);
+    std::string token, label;
+    while (relabel >> token) {
+      if (!label.empty()) label += ' ';
+      label += token;
+    }
+    item.label = label;
+    for (size_t i = 0; i < count; ++i) items.push_back(item);
+  }
+  if (items.empty()) {
+    return Status::InvalidArgument("workload is empty (no query lines)");
+  }
+  return items;
+}
+
+Result<std::vector<WorkloadItem>> LoadWorkloadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open workload file: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseWorkload(text.str());
+}
+
+std::vector<WorkloadItem> DefaultWorkloadMix(size_t queries) {
+  // 4:2:1:1 topk : skyline : skyband : range, round-robin so any prefix of
+  // the workload keeps the mix. Matches docs/EXECUTOR.md's tuning section.
+  static constexpr const char* kMix[8] = {
+      "topk k=10", "skyline", "topk k=10", "skyband band=2",
+      "topk k=5",  "skyline", "topk k=20", "range radius=0.1",
+  };
+  std::string text;
+  for (size_t i = 0; i < queries; ++i) {
+    text += kMix[i % 8];
+    text += '\n';
+  }
+  Result<std::vector<WorkloadItem>> parsed = ParseWorkload(text);
+  return std::move(parsed).value();
+}
+
+}  // namespace ripple::exec

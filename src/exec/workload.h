@@ -1,0 +1,71 @@
+#ifndef RIPPLE_EXEC_WORKLOAD_H_
+#define RIPPLE_EXEC_WORKLOAD_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ripple/api.h"
+
+namespace ripple::exec {
+
+/// One query of a multi-query workload, as parsed from a workload file.
+/// The item describes the query *shape*; everything instance-specific
+/// (initiator, scorer weights, range center) is derived deterministically
+/// from the master seed and the item's position when the workload is
+/// compiled against an overlay (exec/compile.h), so a workload file plus
+/// a seed pins the exact queries byte for byte.
+struct WorkloadItem {
+  enum class Kind { kTopK, kSkyline, kSkyband, kRange };
+
+  Kind kind = Kind::kTopK;
+  /// Result size (topk).
+  size_t k = 10;
+  /// Skyband depth.
+  size_t band = 2;
+  /// Range query radius (L2 ball).
+  double radius = 0.1;
+  /// Top-k approximation slack (0 = exact).
+  double epsilon = 0.0;
+  /// The fast/slow/ripple knob for this query.
+  RippleParam ripple = RippleParam::Fast();
+  /// Per-query deadline, reusing the QueryRequest::deadline field. The
+  /// clock interpreting it is whichever layer owns the query at the time:
+  /// wall-clock MILLISECONDS since admission while the query waits in the
+  /// executor queue (expiry there sheds the query un-run), and simulated
+  /// time units once the async engine executes it (expiry there returns a
+  /// flagged partial answer). Infinity = no deadline.
+  double deadline = std::numeric_limits<double>::infinity();
+  /// The spec line this item came from, for labels and error messages.
+  std::string label;
+};
+
+const char* WorkloadKindName(WorkloadItem::Kind kind);
+
+/// Parses a workload description, one query per line:
+///
+///   # comments and blank lines are skipped
+///   topk k=10 r=fast
+///   topk k=5 r=2 epsilon=0.05 count=8
+///   skyline r=slow
+///   skyband band=3
+///   range radius=0.15 deadline=500
+///
+/// Keys: `k`, `band`, `radius`, `epsilon`, `r` (fast | slow | hop count),
+/// `deadline` (see WorkloadItem::deadline), `count` (repeat the line N
+/// times; each repeat is a distinct item with its own derived seed).
+/// Unknown keys or malformed values fail with a line-numbered error.
+Result<std::vector<WorkloadItem>> ParseWorkload(const std::string& text);
+
+/// ParseWorkload over the contents of `path`.
+Result<std::vector<WorkloadItem>> LoadWorkloadFile(const std::string& path);
+
+/// The default mixed workload the CLI and the throughput bench use when no
+/// file is given: a top-k–heavy mix with skyline, skyband and range
+/// queries riding along, `queries` items total.
+std::vector<WorkloadItem> DefaultWorkloadMix(size_t queries);
+
+}  // namespace ripple::exec
+
+#endif  // RIPPLE_EXEC_WORKLOAD_H_

@@ -12,6 +12,7 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kSlow: return "slow";
     case SpanKind::kRoute: return "route";
     case SpanKind::kWalk: return "walk";
+    case SpanKind::kAdmission: return "admission";
   }
   return "?";
 }

@@ -16,6 +16,7 @@ enum class SpanKind : uint8_t {
   kSlow,   // slow-phase peer visit (Algorithm 2 / Alg. 3 first loop)
   kRoute,  // a forwarding hop of an overlay point-routing (bootstrap)
   kWalk,   // a seed-walk visit of the top-k driver's bootstrap
+  kAdmission,  // executor admission-to-completion envelope of one query
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -89,6 +89,14 @@ class AsyncEngine {
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
 
+  /// Observer invoked for every peer that opens a session (one activation
+  /// per visited peer — same contract as Engine::SetVisitObserver, so
+  /// callers studying per-peer load can treat both engines uniformly).
+  /// Pass nullptr to clear.
+  void SetVisitObserver(std::function<void(PeerId)> observer) {
+    visit_observer_ = std::move(observer);
+  }
+
   /// Attaches a per-peer load profiler (same contract as
   /// Engine::SetProfiler: message charges mirror QueryStats at the
   /// sender, so totals cross-check; here the profiler additionally sees
@@ -300,6 +308,7 @@ class AsyncEngine {
       s.fast = r <= 0;
       ++open_sessions;
       result.stats.peers_visited += 1;
+      if (self->visit_observer_) self->visit_observer_(peer);
       if (profiler() != nullptr) profiler()->OnSpan(peer);
       if (obs::Tracer* tracer = self->tracer_) {
         const uint32_t parent_span =
@@ -744,6 +753,7 @@ class AsyncEngine {
   const Overlay* overlay_;
   Policy policy_;
   LatencyModel latency_;
+  std::function<void(PeerId)> visit_observer_;
   obs::Tracer* tracer_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
 };

@@ -1,0 +1,466 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "exec/compile.h"
+#include "exec/queue.h"
+#include "exec/sharded_lock.h"
+#include "exec/workload.h"
+#include "overlay/midas/midas.h"
+
+namespace ripple::exec {
+namespace {
+
+// --- BoundedQueue -------------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(99)) << "queue is full";
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_FALSE(q.TryPush(2));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenStops) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  q.Close();
+  EXPECT_FALSE(q.Push(3)) << "closed queue rejects pushes";
+  int v = -1;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.Pop(&v)) << "closed and drained";
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPopped) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(0));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(1));  // blocks: capacity 1 and the queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load()) << "Push must block while full";
+  int v = -1;
+  ASSERT_TRUE(q.Pop(&v));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(0));
+  std::thread producer([&] { EXPECT_FALSE(q.Push(1)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+}
+
+// --- Sharded locks and the load table -----------------------------------------
+
+TEST(ShardedPeerMutexTest, ShardOfIsModulo) {
+  ShardedPeerMutex locks(8);
+  EXPECT_EQ(locks.shard_count(), 8u);
+  EXPECT_EQ(locks.ShardOf(0), 0u);
+  EXPECT_EQ(locks.ShardOf(9), 1u);
+  EXPECT_EQ(locks.ShardOf(8), locks.ShardOf(16));
+  auto lock = locks.Lock(3);
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(SharedLoadTableTest, ChargesAndSnapshots) {
+  SharedLoadTable table(16, /*shards=*/4);
+  table.Charge(3);
+  table.Charge(3, 2);
+  table.Charge(15);
+  table.Charge(999) /* beyond the universe: ignored */;
+  EXPECT_EQ(table.load(3), 3u);
+  EXPECT_EQ(table.load(15), 1u);
+  EXPECT_EQ(table.load(999), 0u);
+  EXPECT_EQ(table.Total(), 4u);
+  EXPECT_EQ(table.Max(), 3u);
+  const std::vector<uint64_t> snap = table.Snapshot();
+  ASSERT_EQ(snap.size(), 16u);
+  EXPECT_EQ(snap[3], 3u);
+}
+
+TEST(SharedLoadTableTest, ConcurrentChargesLoseNoUpdates) {
+  // The TSan suite runs this too: many threads hammering few shards, so
+  // every lost-update or race would surface.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  SharedLoadTable table(32, /*shards=*/4);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        table.Charge(static_cast<PeerId>((t * 7 + i) % 32));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(table.Total(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// --- Workload parsing ---------------------------------------------------------
+
+TEST(WorkloadParseTest, ParsesKindsAndKeys) {
+  const auto parsed = ParseWorkload(
+      "# a comment\n"
+      "topk k=7 epsilon=0.5 r=slow\n"
+      "\n"
+      "skyline r=3\n"
+      "skyband band=4\n"
+      "range radius=0.25 deadline=500\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const std::vector<WorkloadItem>& items = *parsed;
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0].kind, WorkloadItem::Kind::kTopK);
+  EXPECT_EQ(items[0].k, 7u);
+  EXPECT_DOUBLE_EQ(items[0].epsilon, 0.5);
+  EXPECT_TRUE(items[0].ripple.is_slow());
+  EXPECT_EQ(items[1].kind, WorkloadItem::Kind::kSkyline);
+  EXPECT_EQ(items[1].ripple.hops(), 3);
+  EXPECT_EQ(items[2].band, 4u);
+  EXPECT_DOUBLE_EQ(items[3].radius, 0.25);
+  EXPECT_DOUBLE_EQ(items[3].deadline, 500.0);
+  EXPECT_EQ(items[0].label, "topk k=7 epsilon=0.5 r=slow");
+}
+
+TEST(WorkloadParseTest, CountExpandsIntoDistinctItems) {
+  const auto parsed = ParseWorkload("topk k=3 count=5\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 5u);
+  for (const WorkloadItem& item : *parsed) EXPECT_EQ(item.k, 3u);
+}
+
+TEST(WorkloadParseTest, ErrorsCarryLineNumbers) {
+  const auto bad_kind = ParseWorkload("topk k=1\nfrobnicate\n");
+  ASSERT_FALSE(bad_kind.ok());
+  EXPECT_NE(bad_kind.status().message().find("line 2"), std::string::npos);
+
+  const auto bad_value = ParseWorkload("topk k=zero\n");
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_NE(bad_value.status().message().find("line 1"), std::string::npos);
+
+  const auto bad_key = ParseWorkload("skyline knobs=11\n");
+  ASSERT_FALSE(bad_key.ok());
+  EXPECT_NE(bad_key.status().message().find("unknown key"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseWorkload("# only a comment\n").ok());
+}
+
+TEST(WorkloadParseTest, DefaultMixCoversEveryKind) {
+  const std::vector<WorkloadItem> mix = DefaultWorkloadMix(16);
+  ASSERT_EQ(mix.size(), 16u);
+  size_t kinds[4] = {0, 0, 0, 0};
+  for (const WorkloadItem& item : mix) {
+    kinds[static_cast<int>(item.kind)] += 1;
+  }
+  for (size_t count : kinds) EXPECT_GT(count, 0u);
+}
+
+// --- Executor -----------------------------------------------------------------
+
+struct Net {
+  MidasOverlay overlay;
+  TupleVec all;
+};
+
+Net MakeNet(size_t peers, size_t tuples, int dims, uint64_t seed) {
+  MidasOptions opt;
+  opt.dims = dims;
+  opt.seed = seed;
+  opt.split_rule = MidasSplitRule::kDataMedian;
+  Net net{MidasOverlay(opt), {}};
+  Rng rng(seed ^ 0xabc);
+  net.all = data::MakeUniform(tuples, dims, &rng);
+  for (const Tuple& t : net.all) net.overlay.InsertTuple(t);
+  while (net.overlay.NumPeers() < peers) net.overlay.Join();
+  return net;
+}
+
+std::vector<uint64_t> AnswerIds(const QueryOutcome& out) {
+  std::vector<uint64_t> ids;
+  ids.reserve(out.answer.size());
+  for (const Tuple& t : out.answer) ids.push_back(t.id);
+  return ids;
+}
+
+WorkloadResult RunMix(const Net& net, int threads, uint64_t seed,
+                      size_t queries, bool async = false,
+                      bool collect_spans = false) {
+  CompileOptions copts;
+  copts.seed = seed;
+  copts.async = async;
+  CompiledWorkload compiled =
+      CompileWorkload(net.overlay, DefaultWorkloadMix(queries), copts);
+  ExecutorOptions opts;
+  opts.threads = threads;
+  opts.seed = seed;
+  opts.collect_spans = collect_spans;
+  Executor executor(opts);
+  return executor.Run(compiled.jobs, net.overlay.NumPeers());
+}
+
+TEST(ExecutorTest, RunsEveryQueryOfTheMix) {
+  const Net net = MakeNet(48, 3000, 2, 11);
+  const WorkloadResult result = RunMix(net, /*threads=*/2, /*seed=*/5, 12);
+  ASSERT_EQ(result.queries.size(), 12u);
+  EXPECT_EQ(result.completed, 12u);
+  EXPECT_EQ(result.shed, 0u);
+  EXPECT_EQ(result.partial, 0u);
+  EXPECT_TRUE(result.coverage.complete());
+  EXPECT_GT(result.total_stats.peers_visited, 0u);
+  EXPECT_GT(result.qps, 0.0);
+  EXPECT_EQ(result.latency_ms.count(), 12u);
+  for (const QueryOutcome& out : result.queries) {
+    EXPECT_GE(out.worker, 0);
+    EXPECT_LT(out.worker, 2);
+    EXPECT_TRUE(out.complete);
+    EXPECT_NE(out.initiator, kInvalidPeer);
+  }
+  EXPECT_NE(result.Summary().find("12 queries"), std::string::npos);
+}
+
+TEST(ExecutorTest, DeterministicAcrossRepeatedRuns) {
+  const Net net = MakeNet(48, 3000, 2, 11);
+  const WorkloadResult base = RunMix(net, /*threads=*/3, /*seed=*/9, 16);
+  for (int run = 0; run < 2; ++run) {
+    const WorkloadResult again = RunMix(net, /*threads=*/3, /*seed=*/9, 16);
+    ASSERT_EQ(again.queries.size(), base.queries.size());
+    EXPECT_EQ(again.total_stats.latency_hops, base.total_stats.latency_hops);
+    EXPECT_EQ(again.total_stats.peers_visited, base.total_stats.peers_visited);
+    EXPECT_EQ(again.total_stats.messages, base.total_stats.messages);
+    EXPECT_EQ(again.total_stats.tuples_shipped,
+              base.total_stats.tuples_shipped);
+    EXPECT_EQ(again.peer_visits, base.peer_visits);
+    for (size_t i = 0; i < base.queries.size(); ++i) {
+      EXPECT_EQ(again.queries[i].worker, base.queries[i].worker);
+      EXPECT_EQ(again.queries[i].initiator, base.queries[i].initiator);
+      EXPECT_EQ(AnswerIds(again.queries[i]), AnswerIds(base.queries[i]))
+          << "query " << i;
+    }
+  }
+}
+
+TEST(ExecutorTest, AnswersInvariantAcrossThreadCounts) {
+  // Queries are materialized from per-item seeds, so pool size only moves
+  // work between workers — answers, stats and initiators must not change.
+  const Net net = MakeNet(48, 3000, 2, 11);
+  const WorkloadResult one = RunMix(net, /*threads=*/1, /*seed=*/4, 12);
+  const WorkloadResult four = RunMix(net, /*threads=*/4, /*seed=*/4, 12);
+  ASSERT_EQ(one.queries.size(), four.queries.size());
+  EXPECT_EQ(one.total_stats.messages, four.total_stats.messages);
+  EXPECT_EQ(one.total_stats.peers_visited, four.total_stats.peers_visited);
+  EXPECT_EQ(one.peer_visits, four.peer_visits);
+  for (size_t i = 0; i < one.queries.size(); ++i) {
+    EXPECT_EQ(one.queries[i].initiator, four.queries[i].initiator);
+    EXPECT_EQ(AnswerIds(one.queries[i]), AnswerIds(four.queries[i]))
+        << "query " << i;
+  }
+}
+
+TEST(ExecutorTest, AsyncEngineMatchesRecursiveAnswers) {
+  // Fault-free async execution keeps the engines' cross-validation
+  // contract, so the same compiled workload answers identically.
+  const Net net = MakeNet(32, 2000, 2, 3);
+  const WorkloadResult sync = RunMix(net, 2, /*seed=*/6, 8, /*async=*/false);
+  const WorkloadResult async = RunMix(net, 2, /*seed=*/6, 8, /*async=*/true);
+  ASSERT_EQ(sync.queries.size(), async.queries.size());
+  EXPECT_EQ(sync.total_stats.peers_visited, async.total_stats.peers_visited);
+  for (size_t i = 0; i < sync.queries.size(); ++i) {
+    EXPECT_EQ(AnswerIds(sync.queries[i]), AnswerIds(async.queries[i]))
+        << "query " << i;
+    EXPECT_GT(async.queries[i].completion_time, 0.0);
+  }
+}
+
+TEST(ExecutorTest, ProfilerAndLoadTableCrossCheck) {
+  // Skyband/range jobs run the engine without a bootstrap driver, so the
+  // engine's visit observer sees every visited peer: the shared load
+  // table, the merged per-worker profilers and QueryStats must agree.
+  const Net net = MakeNet(32, 2000, 2, 3);
+  const auto items = ParseWorkload("skyband band=2 count=4\nrange radius=0.3 count=4\n");
+  ASSERT_TRUE(items.ok());
+  CompileOptions copts;
+  copts.seed = 13;
+  CompiledWorkload compiled = CompileWorkload(net.overlay, *items, copts);
+  ExecutorOptions opts;
+  opts.threads = 2;
+  opts.seed = 13;
+  Executor executor(opts);
+  const WorkloadResult result =
+      executor.Run(compiled.jobs, net.overlay.NumPeers());
+  uint64_t table_total = 0;
+  for (uint64_t v : result.peer_visits) table_total += v;
+  EXPECT_EQ(table_total, result.total_stats.peers_visited);
+  EXPECT_EQ(result.profile.Totals().spans, result.total_stats.peers_visited);
+  EXPECT_EQ(result.profile.Totals().messages_out,
+            result.total_stats.messages);
+  EXPECT_EQ(result.profile.peer_count(), net.overlay.NumPeers());
+}
+
+TEST(ExecutorTest, DeadlineShedsQueuedQueries) {
+  // One slow job blocks the single worker; everything queued behind it
+  // carries a microscopic deadline and must be shed un-run.
+  std::vector<Job> jobs;
+  Job slow;
+  slow.run = [](JobContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return JobResult{};
+  };
+  jobs.push_back(std::move(slow));
+  for (int i = 0; i < 4; ++i) {
+    Job doomed;
+    doomed.deadline_ms = 0.01;
+    doomed.run = [](JobContext&) { return JobResult{}; };
+    jobs.push_back(std::move(doomed));
+  }
+  ExecutorOptions opts;
+  opts.threads = 1;
+  opts.queue_capacity = 16;
+  Executor executor(opts);
+  const WorkloadResult result = executor.Run(jobs, /*peer_universe=*/1);
+  EXPECT_EQ(result.completed + result.shed, 5u);
+  EXPECT_GE(result.shed, 4u);
+  for (const QueryOutcome& out : result.queries) {
+    if (out.shed) {
+      EXPECT_TRUE(out.answer.empty());
+      EXPECT_FALSE(out.complete);
+    }
+  }
+  EXPECT_EQ(result.latency_ms.count(), result.completed);
+}
+
+TEST(ExecutorTest, BackpressureBlocksAdmissionInsteadOfDropping) {
+  // queue_capacity 1 with a slow worker: the admission loop must stall on
+  // Push, and still every job runs exactly once.
+  std::atomic<int> ran{0};
+  std::vector<Job> jobs;
+  for (int i = 0; i < 6; ++i) {
+    Job job;
+    job.run = [&ran](JobContext&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ran.fetch_add(1);
+      return JobResult{};
+    };
+    jobs.push_back(std::move(job));
+  }
+  ExecutorOptions opts;
+  opts.threads = 1;
+  opts.queue_capacity = 1;
+  Executor executor(opts);
+  const WorkloadResult result = executor.Run(jobs, 1);
+  EXPECT_EQ(ran.load(), 6);
+  EXPECT_EQ(result.completed, 6u);
+  EXPECT_EQ(result.shed, 0u);
+}
+
+TEST(ExecutorTest, RoundRobinAssignmentIsStatic) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 9; ++i) {
+    Job job;
+    job.run = [](JobContext&) { return JobResult{}; };
+    jobs.push_back(std::move(job));
+  }
+  ExecutorOptions opts;
+  opts.threads = 3;
+  Executor executor(opts);
+  const WorkloadResult result = executor.Run(jobs, 1);
+  for (size_t i = 0; i < result.queries.size(); ++i) {
+    EXPECT_EQ(result.queries[i].worker, static_cast<int>(i % 3));
+  }
+}
+
+TEST(ExecutorTest, AdmissionSpansCoverExecutedQueries) {
+  const Net net = MakeNet(32, 2000, 2, 3);
+  CompiledWorkload compiled =
+      CompileWorkload(net.overlay, DefaultWorkloadMix(8), {.seed = 2});
+  ExecutorOptions opts;
+  opts.threads = 2;
+  opts.seed = 2;
+  opts.collect_spans = true;
+  Executor executor(opts);
+  const WorkloadResult result =
+      executor.Run(compiled.jobs, net.overlay.NumPeers());
+  size_t spans = 0;
+  for (const obs::Tracer& tracer : executor.worker_tracers()) {
+    for (const obs::Span& span : tracer.spans()) {
+      EXPECT_EQ(span.kind, obs::SpanKind::kAdmission);
+      EXPECT_GE(span.end, span.start);
+      ++spans;
+    }
+  }
+  EXPECT_EQ(spans, result.completed);
+}
+
+TEST(ExecutorTest, QpsPacingStretchesTheRun) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 5; ++i) {
+    Job job;
+    job.run = [](JobContext&) { return JobResult{}; };
+    jobs.push_back(std::move(job));
+  }
+  ExecutorOptions opts;
+  opts.threads = 2;
+  opts.qps_target = 100.0;  // 10ms spacing -> >= 40ms for 5 queries
+  Executor executor(opts);
+  const WorkloadResult result = executor.Run(jobs, 1);
+  EXPECT_EQ(result.completed, 5u);
+  EXPECT_GE(result.wall_s, 0.035);
+}
+
+TEST(ExecutorTest, GlobalObsStateIsFrozenAndRestored) {
+  obs::Registry::EnableGlobal(true);
+  obs::Profiler::EnableGlobal(true);
+  std::vector<Job> jobs;
+  Job job;
+  job.run = [](JobContext&) {
+    // Inside the parallel section the process-global hooks must be off:
+    // workers only ever touch their private profiler/tracer.
+    EXPECT_FALSE(obs::Profiler::GlobalEnabled());
+    EXPECT_FALSE(obs::Registry::GlobalEnabled());
+    return JobResult{};
+  };
+  jobs.push_back(std::move(job));
+  Executor executor(ExecutorOptions{});
+  executor.Run(jobs, 1);
+  EXPECT_TRUE(obs::Registry::GlobalEnabled());
+  EXPECT_TRUE(obs::Profiler::GlobalEnabled());
+  obs::Registry::EnableGlobal(false);
+  obs::Profiler::EnableGlobal(false);
+  // The exec.* instruments were created before the freeze.
+  EXPECT_EQ(obs::Registry::Global().GetCounter("exec.completed").value(), 1u);
+}
+
+}  // namespace
+}  // namespace ripple::exec

@@ -13,6 +13,13 @@ Metric classes:
     machines makes them ungateable, so drift is printed but never fails.
   * everything else (hops, messages, tuples, congestion, peak load, gini)
     is deterministic given seed+config and is gated with --rtol/--atol.
+  * floor rule: a metric named wall_floor_<X> declares a minimum for the
+    sibling metric wall_<X> in the same case OF THE SAME (fresh) document.
+    Both carry the wall_ prefix, so they never participate in
+    baseline-vs-fresh drift gating, but fresh wall_<X> < wall_floor_<X>
+    fails the gate. Benches emit machine-adapted floors (e.g. the
+    executor's thread-scaling floor degrades on boxes with fewer cores),
+    which keeps the check meaningful on any hardware.
 
 Cases present only in the fresh run are reported as additions (a warning,
 not a failure) so adding a bench never breaks the gate; removing one does.
@@ -76,6 +83,36 @@ def check_comparable(suite, base, fresh, failures):
 
 def within(base_v, fresh_v, rtol, atol):
     return abs(fresh_v - base_v) <= max(atol, rtol * abs(base_v))
+
+
+FLOOR_PREFIX = "wall_floor_"
+
+
+def check_floors(suite, fresh, failures, notes):
+    """Intra-document floor rule: fresh wall_<X> >= fresh wall_floor_<X>."""
+    for case_id in sorted(fresh.get("cases", {})):
+        metrics = fresh["cases"][case_id]
+        for metric in sorted(metrics):
+            if not metric.startswith(FLOOR_PREFIX):
+                continue
+            floor = metrics[metric]
+            target = "wall_" + metric[len(FLOOR_PREFIX):]
+            if not isinstance(floor, (int, float)):
+                continue
+            if target not in metrics:
+                failures.append(
+                    f"[{suite}] {case_id}: {metric}={floor:g} declared but "
+                    f"{target} is missing from the fresh run")
+                continue
+            value = metrics[target]
+            if value < floor:
+                failures.append(
+                    f"[{suite}] {case_id}: {target}={value:g} below its "
+                    f"declared floor {metric}={floor:g}")
+            else:
+                notes.append(
+                    f"[{suite}] {case_id}: {target}={value:g} meets floor "
+                    f"{floor:g}")
 
 
 def diff_suite(suite, base, fresh, rtol, atol, failures, notes):
@@ -166,6 +203,7 @@ def main():
         if not check_comparable(suite, base, fresh, failures):
             continue
         diff_suite(suite, base, fresh, args.rtol, args.atol, failures, notes)
+        check_floors(suite, fresh, failures, notes)
         compared += len(base.get("cases", {}))
         if args.list:
             for case_id in sorted(base.get("cases", {})):

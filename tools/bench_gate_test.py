@@ -7,7 +7,10 @@ Builds a synthetic baseline BENCH_figs.json in a temp dir, then checks:
   3. a wall-clock perturbation is informational only (exit 0);
   4. a missing case fails (exit 1);
   5. a scale-config mismatch fails (exit 1);
-  6. an extra new case is a warning only (exit 0).
+  6. an extra new case is a warning only (exit 0);
+  7. a fresh wall metric meeting its wall_floor_ sibling passes (exit 0);
+  8. a fresh wall metric below its wall_floor_ sibling fails (exit 1);
+  9. a declared floor whose target metric is absent fails (exit 1).
 
 Registered in ctest (label: unit) so the regression gate itself is under
 test. Stdlib only.
@@ -122,6 +125,39 @@ def main():
         write(fresh_dir, fresh)
         code, out = run_check(base_dir, fresh_dir)
         expect("new case is a warning only", code, 0, out)
+
+        # Floor rule: wall_speedup_t4 >= wall_floor_speedup_t4 within the
+        # FRESH document. Both sides carry the floor case (the baseline's
+        # copy is itself floor-checked, so keep it consistent too).
+        floored = copy.deepcopy(BASELINE)
+        floored["cases"]["figure-t/workload/speedup"] = {
+            "wall_speedup_t4": 2.8,
+            "wall_floor_speedup_t4": 2.5,
+        }
+        floor_base = os.path.join(tmp, "floor_base")
+        write(floor_base, floored)
+        fresh_dir = os.path.join(tmp, "floor_ok")
+        write(fresh_dir, copy.deepcopy(floored))
+        code, out = run_check(floor_base, fresh_dir)
+        expect("speedup meeting its floor passes", code, 0, out)
+
+        fresh = copy.deepcopy(floored)
+        fresh["cases"]["figure-t/workload/speedup"]["wall_speedup_t4"] = 1.2
+        fresh_dir = os.path.join(tmp, "floor_fail")
+        write(fresh_dir, fresh)
+        code, out = run_check(floor_base, fresh_dir)
+        expect("speedup below its floor fails", code, 1, out)
+        if "wall_floor_speedup_t4" not in out:
+            print(f"bench_gate_test FAIL: floor failure does not name the "
+                  f"floor metric\n{out}")
+            sys.exit(1)
+
+        fresh = copy.deepcopy(floored)
+        del fresh["cases"]["figure-t/workload/speedup"]["wall_speedup_t4"]
+        fresh_dir = os.path.join(tmp, "floor_orphan")
+        write(fresh_dir, fresh)
+        code, out = run_check(floor_base, fresh_dir)
+        expect("floor without its target metric fails", code, 1, out)
 
     print("bench_gate_test: all scenarios behaved")
 

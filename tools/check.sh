@@ -5,6 +5,7 @@
 #
 #   tools/check.sh            # ASan + UBSan-less default: address
 #   tools/check.sh undefined  # UBSan
+#   tools/check.sh thread     # TSan over the concurrent executor tests
 #   tools/check.sh address tests/obs_test   # limit ctest to a regex
 #   tools/check.sh --bench    # bench smoke suite + BENCH_*.json gate
 #
@@ -16,6 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tools/lint_deprecated.sh
+tools/lint_docs.sh
 
 # --bench: run every bench binary at smoke scale (ctest label
 # bench_smoke, serialized writes into build-bench/bench_json/) and gate
@@ -42,9 +44,9 @@ fi
 SANITIZER="${1:-address}"
 FILTER="${2:-}"
 case "$SANITIZER" in
-  address|undefined) ;;
+  address|undefined|thread) ;;
   *)
-    echo "usage: tools/check.sh [address|undefined] [ctest -R regex]" >&2
+    echo "usage: tools/check.sh [address|undefined|thread] [ctest -R regex]" >&2
     exit 2
     ;;
 esac
@@ -59,6 +61,19 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 CTEST_ARGS=(--test-dir "$BUILD_DIR" --output-on-failure)
+if [[ "$SANITIZER" == "thread" ]]; then
+  # TSan targets the code that actually runs threads: the concurrent
+  # executor suite (ctest label `exec`). The engines themselves are
+  # single-threaded by design; ASan/UBSan cover them.
+  if [[ -n "$FILTER" ]]; then
+    CTEST_ARGS+=(-R "$FILTER")
+  else
+    CTEST_ARGS+=(-L exec)
+  fi
+  ctest "${CTEST_ARGS[@]}"
+  echo "check.sh: $SANITIZER build clean"
+  exit 0
+fi
 if [[ -n "$FILTER" ]]; then
   CTEST_ARGS+=(-R "$FILTER")
 fi

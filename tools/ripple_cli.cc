@@ -7,14 +7,26 @@
 //   $ ripple_cli --query=range --radius=0.1
 //   $ ripple_cli --query=diversify --dataset=mirflickr --lambda=0.3
 //   $ ripple_cli --query=topk --engine=async --loss=0.05 --crash-rate=0.01
+//   $ ripple_cli --workload=default:64 --threads=4 --qps-target=200
 //
 // Prints the answer tuples plus the cost metrics the paper reports
 // (latency in hops, peers visited, messages, tuples shipped). With
 // --engine=async the query runs through the discrete-event simulator;
 // fault flags then inject message loss / duplication / delay jitter /
 // peer crashes, and the coverage report says how the answer degraded.
+//
+// With --workload the CLI switches from one query to a multi-query
+// throughput run through the concurrent executor (src/exec/, see
+// docs/EXECUTOR.md): the workload file (or the built-in default mix) is
+// compiled against the overlay and driven through a --threads-sized
+// worker pool, optionally paced at --qps-target. The export flags keep
+// working: --metrics-out additionally carries the exec.* counters,
+// --profile-out the per-peer load of the whole workload, --trace-out one
+// admission-to-completion span per executed query.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 
@@ -22,6 +34,9 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "data/datasets.h"
+#include "exec/compile.h"
+#include "exec/executor.h"
+#include "exec/workload.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -35,6 +50,20 @@
 
 namespace ripple {
 namespace {
+
+/// Splices `from`'s span forest onto the end of `into`, remapping ids.
+void MergeSpans(const obs::Tracer& from, obs::Tracer* into) {
+  const uint32_t offset = static_cast<uint32_t>(into->span_count());
+  for (const obs::Span& s : from.spans()) {
+    const uint32_t parent =
+        s.parent == obs::kNoSpan ? obs::kNoSpan : s.parent + offset;
+    const uint32_t id = into->StartSpan(s.peer, parent, s.kind, s.r, s.start);
+    obs::Span copy = s;
+    copy.id = id;
+    copy.parent = parent;
+    into->span(id) = copy;
+  }
+}
 
 /// Runs `drive` against a freshly built engine of the requested kind; both
 /// engines share the QueryRequest/QueryResult API, so the driver callback
@@ -82,6 +111,10 @@ int Run(int argc, char** argv) {
   double timeout = 32.0;
   int64_t max_retries = 3;
   double deadline = 0.0;
+  std::string workload;
+  int64_t threads = 1;
+  double qps_target = 0.0;
+  int64_t queue_cap = 64;
   std::string trace_out;
   std::string metrics_out;
   std::string profile_out;
@@ -132,6 +165,22 @@ int Run(int argc, char** argv) {
                   "return a flagged partial answer after this much sim "
                   "time (0 = none; async)",
                   &deadline);
+  flags.AddString("workload",
+                  "run a multi-query workload through the concurrent "
+                  "executor instead of one --query: a workload file path "
+                  "(one query per line, see docs/EXECUTOR.md), or "
+                  "'default:<N>' for the built-in N-query mix",
+                  &workload);
+  flags.AddInt("threads", "executor worker-pool size (workload mode)",
+               &threads);
+  flags.AddDouble("qps-target",
+                  "admission pacing in queries/second, 0 = as fast as "
+                  "backpressure allows (workload mode)",
+                  &qps_target);
+  flags.AddInt("queue-cap",
+               "bounded admission-queue capacity per worker (workload "
+               "mode)",
+               &queue_cap);
   flags.AddString("trace-out",
                   "write the query's span tree here: Chrome Trace Event "
                   "JSON, or JSONL when the path ends in .jsonl",
@@ -233,8 +282,96 @@ int Run(int argc, char** argv) {
   net::Coverage coverage;
   bool complete = true;
   double completion_time = 0.0;
+  const bool workload_mode = !workload.empty();
 
-  if (query == "topk") {
+  if (workload_mode) {
+    // Multi-query throughput mode: compile the workload and drive it
+    // through the concurrent executor (--query is ignored here; the mix
+    // comes from the workload spec).
+    std::vector<exec::WorkloadItem> items;
+    if (workload == "default" || workload.rfind("default:", 0) == 0) {
+      int64_t n = 16;
+      if (workload.rfind("default:", 0) == 0) {
+        n = std::atoll(workload.c_str() + 8);
+      }
+      if (n <= 0) {
+        std::fprintf(stderr, "bad --workload=%s (want default:<N>, N > 0)\n",
+                     workload.c_str());
+        return 2;
+      }
+      items = exec::DefaultWorkloadMix(static_cast<size_t>(n));
+    } else {
+      Result<std::vector<exec::WorkloadItem>> loaded =
+          exec::LoadWorkloadFile(workload);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "--workload: %s\n",
+                     loaded.status().message().c_str());
+        return 2;
+      }
+      items = std::move(*loaded);
+    }
+
+    exec::CompileOptions copts;
+    copts.seed = static_cast<uint64_t>(seed);
+    copts.async = async_mode;
+    copts.fault = fault;
+    copts.retry = retry;
+    exec::CompiledWorkload compiled =
+        exec::CompileWorkload(overlay, items, copts);
+
+    exec::ExecutorOptions eopts;
+    eopts.threads = static_cast<int>(threads);
+    eopts.queue_capacity = static_cast<size_t>(queue_cap > 0 ? queue_cap : 1);
+    eopts.seed = static_cast<uint64_t>(seed);
+    eopts.qps_target = qps_target;
+    eopts.collect_spans = tracer_ptr != nullptr;
+    exec::Executor executor(eopts);
+    std::printf("executing %zu queries on %lld thread(s)%s\n", items.size(),
+                static_cast<long long>(eopts.threads),
+                qps_target > 0 ? " (paced)" : "");
+    const exec::WorkloadResult result =
+        executor.Run(compiled.jobs, overlay.NumPeers());
+
+    std::printf("%s\n", result.Summary().c_str());
+    std::map<std::string, std::pair<size_t, size_t>> by_kind;  // {ran, shed}
+    std::map<std::string, double> kind_ms;
+    for (const exec::QueryOutcome& out : result.queries) {
+      const std::string kind =
+          exec::WorkloadKindName(items[out.index].kind);
+      auto& slot = by_kind[kind];
+      if (out.shed) {
+        ++slot.second;
+        continue;
+      }
+      ++slot.first;
+      kind_ms[kind] += out.total_ms;
+    }
+    for (const auto& [kind, counts] : by_kind) {
+      std::printf("  %-8s %4zu ran, %zu shed, mean latency %.2f ms\n",
+                  kind.c_str(), counts.first, counts.second,
+                  counts.first > 0 ? kind_ms[kind] / counts.first : 0.0);
+    }
+    if (result.partial > 0) {
+      std::printf("WARNING: %zu partial answers — sound digests of what "
+                  "was reachable, not exact results\n",
+                  result.partial);
+    }
+
+    // Feed the shared export paths below: totals into the metrics block,
+    // admission spans into --trace-out, the merged per-peer load of the
+    // whole workload into the global profiler next to the bootstrap
+    // routing charges it already holds.
+    stats = result.total_stats;
+    coverage = result.coverage;
+    complete = result.partial == 0 && result.shed == 0;
+    for (const exec::QueryOutcome& out : result.queries) {
+      completion_time = std::max(completion_time, out.completion_time);
+    }
+    for (const obs::Tracer& t : executor.worker_tracers()) {
+      MergeSpans(t, &tracer);
+    }
+    if (want_profile) obs::Profiler::Global().Merge(result.profile);
+  } else if (query == "topk") {
     std::vector<double> weights(dims);
     double sum = 0;
     for (auto& w : weights) sum += (w = 0.1 + rng.UniformDouble());
@@ -352,21 +489,24 @@ int Run(int argc, char** argv) {
 
   std::printf("cost: %s\n", stats.ToString().c_str());
   if (async_mode) {
-    std::printf("completion: %.1f sim time units\n", completion_time);
+    std::printf("completion: %.1f sim time units%s\n", completion_time,
+                workload_mode ? " (last query)" : "");
     std::printf("coverage: %s\n", coverage.ToString().c_str());
-    if (!complete) {
+    if (!complete && !workload_mode) {
       std::printf("WARNING: partial answer — a sound digest of what was "
                   "reachable, not the exact result\n");
     }
   }
-  std::printf("answer: %zu tuples\n", answer.size());
-  for (size_t i = 0; i < answer.size() && i < static_cast<size_t>(show);
-       ++i) {
-    std::printf("  %s\n", answer[i].ToString().c_str());
-  }
-  if (answer.size() > static_cast<size_t>(show)) {
-    std::printf("  ... and %zu more\n",
-                answer.size() - static_cast<size_t>(show));
+  if (!workload_mode) {
+    std::printf("answer: %zu tuples\n", answer.size());
+    for (size_t i = 0; i < answer.size() && i < static_cast<size_t>(show);
+         ++i) {
+      std::printf("  %s\n", answer[i].ToString().c_str());
+    }
+    if (answer.size() > static_cast<size_t>(show)) {
+      std::printf("  ... and %zu more\n",
+                  answer.size() - static_cast<size_t>(show));
+    }
   }
 
   if (!trace_out.empty()) {
