@@ -188,6 +188,7 @@ void ReportQueryPoint(const std::string& x,
     reporter.AddMetric(id, "congestion_mean", accs[i].MeanCongestion());
     reporter.AddMetric(id, "messages_mean", accs[i].MeanMessages());
     reporter.AddMetric(id, "tuples_mean", accs[i].MeanTuplesShipped());
+    reporter.AddMetric(id, "bytes_on_wire_mean", accs[i].MeanBytesOnWire());
     if (wall != nullptr && wall[i].count() > 0) {
       reporter.AddMetric(id, "wall_ms_p50", wall[i].Percentile(50));
       reporter.AddMetric(id, "wall_ms_p95", wall[i].Percentile(95));

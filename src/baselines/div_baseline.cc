@@ -1,5 +1,9 @@
 #include "baselines/div_baseline.h"
 
+#include "net/frame_cost.h"
+#include "queries/diversify.h"
+#include "store/wire.h"
+
 namespace ripple {
 
 std::optional<Tuple> CanFloodDivService::FindBest(const DivQuery& query,
@@ -10,6 +14,11 @@ std::optional<Tuple> CanFloodDivService::FindBest(const DivQuery& query,
   double best_phi = tau;
   uint64_t flood_messages = 0;
   uint64_t replies = 0;
+  // Every flood forward carries the query; every reply carries one tuple.
+  const uint64_t forward_bytes = net::MeasureFrameBytes(
+      net::MessageKind::kQuery,
+      [&](wire::Buffer* buf) { DivPolicy{}.EncodeQuery(query, buf); });
+  uint64_t reply_bytes = 0;
   const uint64_t depth = overlay_->Flood(
       initiator_, [&](PeerId id, uint64_t) {
         stats->peers_visited += 1;
@@ -27,6 +36,9 @@ std::optional<Tuple> CanFloodDivService::FindBest(const DivQuery& query,
         if (local == nullptr) return;
         ++replies;
         stats->tuples_shipped += 1;
+        reply_bytes += net::MeasureFrameBytes(
+            net::MessageKind::kAnswer,
+            [&](wire::Buffer* buf) { EncodeTuple(*local, buf); });
         if (phi < best_phi ||
             (best.has_value() && phi == best_phi && local->id < best->id)) {
           best_phi = phi;
@@ -34,6 +46,7 @@ std::optional<Tuple> CanFloodDivService::FindBest(const DivQuery& query,
         }
       });
   stats->messages += flood_messages + replies;
+  stats->bytes_on_wire += flood_messages * forward_bytes + reply_bytes;
   stats->latency_hops += depth;
   return best;
 }

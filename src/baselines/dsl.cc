@@ -4,12 +4,21 @@
 #include <queue>
 
 #include "geom/dominance.h"
+#include "net/frame_cost.h"
 #include "queries/skyline.h"
 #include "store/local_algos.h"
+#include "store/wire.h"
 
 namespace ripple {
 
 namespace {
+
+/// Wire cost of one DSL message carrying a tuple set (the DSL skyline
+/// query itself has no parameters, so payloads are all tuples).
+uint64_t TupleFrameBytes(net::MessageKind kind, const TupleVec& tuples) {
+  return net::MeasureFrameBytes(
+      kind, [&](wire::Buffer* buf) { EncodeTupleVec(tuples, buf); });
+}
 
 /// True when `s` contains a point dominating the entire zone.
 bool ZoneDominated(const TupleVec& s, const Rect& zone) {
@@ -42,6 +51,7 @@ DslResult RunDslSkyline(const CanOverlay& overlay, PeerId initiator) {
   stats.latency_hops += route_hops;
   stats.messages += route_hops;
   stats.peers_visited += route_hops;  // forwarding peers handle the query
+  stats.bytes_on_wire += route_hops * net::kBareFrameBytes;
 
   // Phase 2: breadth-first multicast waves from the root.
   struct Incoming {
@@ -90,6 +100,8 @@ DslResult RunDslSkyline(const CanOverlay& overlay, PeerId initiator) {
     if (!contribution.empty()) {
       stats.messages += 1;  // answer delivery to the initiator
       stats.tuples_shipped += contribution.size();
+      stats.bytes_on_wire +=
+          TupleFrameBytes(net::MessageKind::kAnswer, contribution);
       result.skyline = MergeSkylines(std::move(result.skyline),
                                      contribution);
     }
@@ -104,12 +116,15 @@ DslResult RunDslSkyline(const CanOverlay& overlay, PeerId initiator) {
     const TupleVec dominators =
         SelectDominators(merged, SkylineState::kMaxDominators);
     const TupleVec payload = MergeSkylines(contribution, dominators);
+    const uint64_t payload_bytes =
+        TupleFrameBytes(net::MessageKind::kQuery, payload);
     for (PeerId nb : peer.neighbors) {
       const auto& other = overlay.GetPeer(nb);
       if (!IsUpperNeighbor(peer.zone, other.zone)) continue;
       if (ZoneDominated(dominators, other.zone)) continue;  // pruned
       stats.messages += 1;
       stats.tuples_shipped += payload.size();
+      stats.bytes_on_wire += payload_bytes;
       Incoming& in = state[nb];
       in.points = MergeSkylines(std::move(in.points), payload);
       if (!in.reached) {

@@ -64,6 +64,23 @@ class NaiveTopKPolicy {
                       [&](const Point& p) { return q.scorer->Score(p); },
                       q.k);
   }
+
+  // Wire codecs: the query is a TopKQuery — reuse its codec so both
+  // policies put identical query bytes on the wire; states are empty.
+  void EncodeQuery(const Query& q, wire::Buffer* buf) const {
+    TopKPolicy{}.EncodeQuery(q, buf);
+  }
+  bool DecodeQuery(wire::Reader* r, Query* out) const {
+    return TopKPolicy{}.DecodeQuery(r, out);
+  }
+  void EncodeState(const Empty&, wire::Buffer*) const {}
+  bool DecodeState(wire::Reader* r, Empty*) const { return r->ok(); }
+  void EncodeAnswer(const Answer& a, wire::Buffer* buf) const {
+    EncodeTupleVec(a, buf);
+  }
+  bool DecodeAnswer(wire::Reader* r, Answer* out) const {
+    return DecodeTupleVec(r, out);
+  }
 };
 
 static_assert(QueryPolicy<NaiveTopKPolicy, Rect>);

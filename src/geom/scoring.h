@@ -62,6 +62,7 @@ class NearestScorer : public Scorer {
   std::string ToString() const override;
 
   const Point& anchor() const { return anchor_; }
+  Norm norm() const { return norm_; }
 
  private:
   Point anchor_;

@@ -1,0 +1,127 @@
+#include "geom/wire.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ripple {
+
+void EncodePoint(const Point& p, wire::Buffer* buf) {
+  buf->PutU8(static_cast<uint8_t>(p.dims()));
+  for (int i = 0; i < p.dims(); ++i) buf->PutF64(p[i]);
+}
+
+bool DecodePoint(wire::Reader* r, Point* out) {
+  const uint8_t dims = r->U8();
+  if (!r->ok() || dims > kMaxDims) {
+    r->Fail();
+    return false;
+  }
+  Point p(dims);
+  for (int i = 0; i < dims; ++i) p[i] = r->F64();
+  if (!r->ok()) return false;
+  *out = p;
+  return true;
+}
+
+void EncodeRect(const Rect& rect, wire::Buffer* buf) {
+  EncodePoint(rect.lo(), buf);
+  EncodePoint(rect.hi(), buf);
+}
+
+bool DecodeRect(wire::Reader* r, Rect* out) {
+  Point lo, hi;
+  if (!DecodePoint(r, &lo) || !DecodePoint(r, &hi)) return false;
+  // Validate what the Rect constructor checks, so corrupted bytes reject
+  // instead of aborting the process.
+  if (lo.dims() != hi.dims()) {
+    r->Fail();
+    return false;
+  }
+  for (int i = 0; i < lo.dims(); ++i) {
+    if (!(lo[i] <= hi[i])) {  // catches NaN too
+      r->Fail();
+      return false;
+    }
+  }
+  *out = Rect(lo, hi);
+  return true;
+}
+
+namespace {
+
+constexpr uint8_t kNormL1 = 0;
+constexpr uint8_t kNormL2 = 1;
+constexpr uint8_t kNormLInf = 2;
+
+constexpr uint8_t kScorerLinear = 1;
+constexpr uint8_t kScorerNearest = 2;
+
+}  // namespace
+
+void EncodeNorm(Norm norm, wire::Buffer* buf) {
+  switch (norm) {
+    case Norm::kL1: buf->PutU8(kNormL1); return;
+    case Norm::kL2: buf->PutU8(kNormL2); return;
+    case Norm::kLInf: buf->PutU8(kNormLInf); return;
+  }
+  RIPPLE_CHECK(false && "unknown Norm");
+}
+
+bool DecodeNorm(wire::Reader* r, Norm* out) {
+  switch (r->U8()) {
+    case kNormL1: *out = Norm::kL1; break;
+    case kNormL2: *out = Norm::kL2; break;
+    case kNormLInf: *out = Norm::kLInf; break;
+    default:
+      r->Fail();
+      return false;
+  }
+  return r->ok();
+}
+
+void EncodeScorer(const Scorer& s, wire::Buffer* buf) {
+  if (const auto* linear = dynamic_cast<const LinearScorer*>(&s)) {
+    buf->PutU8(kScorerLinear);
+    buf->PutVarint(linear->weights().size());
+    for (double w : linear->weights()) buf->PutF64(w);
+    return;
+  }
+  if (const auto* nearest = dynamic_cast<const NearestScorer*>(&s)) {
+    buf->PutU8(kScorerNearest);
+    EncodePoint(nearest->anchor(), buf);
+    EncodeNorm(nearest->norm(), buf);
+    return;
+  }
+  RIPPLE_CHECK(false && "scorer type has no wire encoding");
+}
+
+std::shared_ptr<const Scorer> DecodeScorer(wire::Reader* r) {
+  switch (r->U8()) {
+    case kScorerLinear: {
+      const uint64_t count = r->Varint();
+      // Each weight takes 8 bytes; a count the buffer cannot hold is
+      // corruption, not a huge allocation request.
+      if (!r->ok() || count > r->remaining() / 8) {
+        r->Fail();
+        return nullptr;
+      }
+      std::vector<double> weights(count);
+      for (uint64_t i = 0; i < count; ++i) weights[i] = r->F64();
+      if (!r->ok()) return nullptr;
+      return std::make_shared<LinearScorer>(std::move(weights));
+    }
+    case kScorerNearest: {
+      Point anchor;
+      Norm norm = Norm::kL2;
+      if (!DecodePoint(r, &anchor) || !DecodeNorm(r, &norm)) return nullptr;
+      return std::make_shared<NearestScorer>(anchor, norm);
+    }
+    default:
+      r->Fail();
+      return nullptr;
+  }
+}
+
+}  // namespace ripple

@@ -1,0 +1,42 @@
+#ifndef RIPPLE_GEOM_WIRE_H_
+#define RIPPLE_GEOM_WIRE_H_
+
+#include <memory>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/scoring.h"
+#include "wire/buffer.h"
+
+namespace ripple {
+
+/// Wire codecs for the geometry vocabulary (docs/WIRE.md, "geom
+/// payloads"). Encoders never fail; decoders validate everything the
+/// value types RIPPLE_CHECK on construction (dimension caps, lo <= hi),
+/// fail the reader and return false on bad bytes — corruption becomes a
+/// rejected message, never an aborted process.
+
+/// Point: [u8 dims][dims x f64].
+void EncodePoint(const Point& p, wire::Buffer* buf);
+bool DecodePoint(wire::Reader* r, Point* out);
+
+/// Rect: lo point, hi point. Rejects mismatched dims and lo > hi.
+void EncodeRect(const Rect& rect, wire::Buffer* buf);
+bool DecodeRect(wire::Reader* r, Rect* out);
+
+/// Norm enum as one byte. Rejects unknown values.
+void EncodeNorm(Norm norm, wire::Buffer* buf);
+bool DecodeNorm(wire::Reader* r, Norm* out);
+
+/// Scorer: [u8 kind][kind-specific payload]. Kind 1 = LinearScorer
+/// (varint weight count + f64 weights), kind 2 = NearestScorer (anchor
+/// point + norm). Encoding an unknown Scorer subclass is a programming
+/// error (checked); decoding returns null on bad bytes. The decoded
+/// scorer is heap-owned — queries carrying one keep it alive via
+/// shared_ptr.
+void EncodeScorer(const Scorer& s, wire::Buffer* buf);
+std::shared_ptr<const Scorer> DecodeScorer(wire::Reader* r);
+
+}  // namespace ripple
+
+#endif  // RIPPLE_GEOM_WIRE_H_

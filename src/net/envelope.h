@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "overlay/types.h"
+#include "wire/frame.h"
 
 namespace ripple::net {
 
@@ -39,6 +40,31 @@ struct Envelope {
   MessageKind kind = MessageKind::kQuery;
   int attempt = 0;
 };
+
+// The frame tag byte IS the MessageKind value; keep the two in sync.
+static_assert(static_cast<uint8_t>(MessageKind::kAnswer) ==
+              wire::kMaxMessageTag);
+
+/// Starts a wire frame carrying this envelope (id/from/to/kind become the
+/// frame header; `attempt` is bookkeeping, never on the wire — a
+/// retransmission is byte-identical to the original, which is what lets
+/// receivers dedup by id). Returns the frame start for wire::EndFrame.
+inline size_t BeginEnvelopeFrame(const Envelope& env, wire::Buffer* buf) {
+  return wire::BeginFrame(buf, static_cast<uint8_t>(env.kind), env.id,
+                          env.from, env.to);
+}
+
+/// Decodes one frame header into an envelope. False (reader failed) on
+/// truncation, version mismatch or an unknown kind tag.
+inline bool DecodeEnvelopeFrame(wire::Reader* r, Envelope* env) {
+  wire::FrameHeader h;
+  if (!wire::DecodeFrameHeader(r, &h)) return false;
+  env->id = h.id;
+  env->from = h.from;
+  env->to = h.to;
+  env->kind = static_cast<MessageKind>(h.tag);
+  return true;
+}
 
 /// A bounded map of recently seen message ids -> small payload (a session
 /// index for reply caching, or just presence for answer dedup). FIFO

@@ -7,14 +7,15 @@
 namespace ripple {
 
 std::string QueryStats::ToString() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "latency=%llu hops, visited=%llu peers, messages=%llu, "
-                "tuples=%llu",
+                "tuples=%llu, bytes=%llu",
                 static_cast<unsigned long long>(latency_hops),
                 static_cast<unsigned long long>(peers_visited),
                 static_cast<unsigned long long>(messages),
-                static_cast<unsigned long long>(tuples_shipped));
+                static_cast<unsigned long long>(tuples_shipped),
+                static_cast<unsigned long long>(bytes_on_wire));
   return buf;
 }
 

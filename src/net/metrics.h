@@ -17,17 +17,21 @@ namespace ripple {
 ///   paper's congestion metric).
 /// * messages — query forwards + state responses + answer deliveries.
 /// * tuples_shipped — tuples carried by states and answers.
+/// * bytes_on_wire — serialized size of every charged message's wire
+///   frame (docs/WIRE.md); the measured counterpart of tuples_shipped.
 struct QueryStats {
   uint64_t latency_hops = 0;
   uint64_t peers_visited = 0;
   uint64_t messages = 0;
   uint64_t tuples_shipped = 0;
+  uint64_t bytes_on_wire = 0;
 
   QueryStats& operator+=(const QueryStats& o) {
     latency_hops += o.latency_hops;
     peers_visited += o.peers_visited;
     messages += o.messages;
     tuples_shipped += o.tuples_shipped;
+    bytes_on_wire += o.bytes_on_wire;
     return *this;
   }
 
@@ -53,6 +57,7 @@ class StatsAccumulator {
   double MeanCongestion() const { return Mean(&QueryStats::peers_visited); }
   double MeanMessages() const { return Mean(&QueryStats::messages); }
   double MeanTuplesShipped() const { return Mean(&QueryStats::tuples_shipped); }
+  double MeanBytesOnWire() const { return Mean(&QueryStats::bytes_on_wire); }
 
   uint64_t MaxLatency() const { return Max(&QueryStats::latency_hops); }
 

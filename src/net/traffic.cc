@@ -1,0 +1,36 @@
+#include "net/traffic.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace ripple::net {
+
+std::string WireTraffic::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "bytes=%llu (query=%llu response=%llu answer=%llu ack=%llu) "
+                "frames=%llu rejected=%llu",
+                static_cast<unsigned long long>(total()),
+                static_cast<unsigned long long>(bytes_query),
+                static_cast<unsigned long long>(bytes_response),
+                static_cast<unsigned long long>(bytes_answer),
+                static_cast<unsigned long long>(bytes_ack),
+                static_cast<unsigned long long>(frames),
+                static_cast<unsigned long long>(frames_rejected));
+  return buf;
+}
+
+void RecordTrafficMetrics(const WireTraffic& t) {
+  if (!obs::Registry::GlobalEnabled()) return;
+  obs::Registry& reg = obs::Registry::Global();
+  reg.GetCounter("net.bytes_query").Inc(t.bytes_query);
+  reg.GetCounter("net.bytes_response").Inc(t.bytes_response);
+  reg.GetCounter("net.bytes_answer").Inc(t.bytes_answer);
+  reg.GetCounter("net.bytes_ack").Inc(t.bytes_ack);
+  reg.GetCounter("net.bytes_total").Inc(t.total());
+  reg.GetCounter("net.frames_shipped").Inc(t.frames);
+  reg.GetCounter("net.frames_rejected").Inc(t.frames_rejected);
+}
+
+}  // namespace ripple::net

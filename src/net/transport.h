@@ -1,0 +1,68 @@
+#ifndef RIPPLE_NET_TRANSPORT_H_
+#define RIPPLE_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "net/envelope.h"
+#include "wire/frame.h"
+
+namespace ripple::net {
+
+/// The seam between the engines and the bytes they exchange. Every
+/// AsyncEngine transmission is encoded into a framed datagram (one frame,
+/// or several back-to-back frames for a response bundle) and handed to
+/// the transport; whatever the transport RETURNS is what the receiver
+/// decodes. Nothing can cheat past the serialization boundary: objects
+/// never cross, only the returned bytes do.
+///
+/// Implementations may count, copy, corrupt or (in a future deployment)
+/// actually send the bytes. Returning an empty vector models a datagram
+/// the transport itself swallowed (the receiver sees nothing, the fault
+/// machinery's timers take over).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Ships one datagram described by `env`. Takes ownership of the bytes;
+  /// returns the bytes the receiver will see.
+  virtual std::vector<uint8_t> Ship(const Envelope& env,
+                                    std::vector<uint8_t> datagram) = 0;
+};
+
+/// Default transport: a loopback wire. Asserts that every shipped
+/// datagram is well-framed (each frame header parses and matches the
+/// envelope) — the guarantee that no engine path skips encoding — and
+/// counts shipped frames/bytes, then returns the bytes unchanged.
+class LoopbackTransport : public Transport {
+ public:
+  std::vector<uint8_t> Ship(const Envelope& env,
+                            std::vector<uint8_t> datagram) override {
+    RIPPLE_CHECK(!datagram.empty() && "unframed transmission");
+    wire::Reader r(datagram);
+    while (r.remaining() > 0) {
+      wire::FrameHeader h;
+      RIPPLE_CHECK(wire::DecodeFrameHeader(&r, &h) &&
+                   "transmission carries a malformed frame");
+      RIPPLE_CHECK(h.id == env.id && h.from == env.from && h.to == env.to &&
+                   h.tag == static_cast<uint8_t>(env.kind) &&
+                   "frame header disagrees with its envelope");
+      RIPPLE_CHECK(r.Skip(wire::FramePayloadSize(h)));
+      frames_shipped_ += 1;
+    }
+    bytes_shipped_ += datagram.size();
+    return datagram;
+  }
+
+  uint64_t bytes_shipped() const { return bytes_shipped_; }
+  uint64_t frames_shipped() const { return frames_shipped_; }
+
+ private:
+  uint64_t bytes_shipped_ = 0;
+  uint64_t frames_shipped_ = 0;
+};
+
+}  // namespace ripple::net
+
+#endif  // RIPPLE_NET_TRANSPORT_H_

@@ -14,7 +14,7 @@ namespace ripple::obs {
 /// Version of the BENCH_<suite>.json document layout. Bump on any
 /// incompatible change and teach tools/bench_check.py the migration.
 /// The schema is documented field-by-field in docs/OBSERVABILITY.md.
-inline constexpr int kBenchSchemaVersion = 1;
+inline constexpr int kBenchSchemaVersion = 2;
 
 /// Lower-cased, dash-separated identifier ("Figure 4" -> "figure-4").
 std::string Slug(const std::string& s);

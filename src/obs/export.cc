@@ -163,6 +163,8 @@ std::string PeerLoadToJson(const PeerLoad& l) {
   out += ",\"messages_out\":" + Num(l.messages_out);
   out += ",\"tuples_in\":" + Num(l.tuples_in);
   out += ",\"tuples_out\":" + Num(l.tuples_out);
+  out += ",\"bytes_in\":" + Num(l.bytes_in);
+  out += ",\"bytes_out\":" + Num(l.bytes_out);
   out += ",\"retransmissions\":" + Num(l.retransmissions);
   out += ",\"queue_depth_hwm\":" + Num(l.queue_depth_hwm);
   out += ",\"route_hops\":" + Num(l.route_hops);
@@ -187,6 +189,7 @@ std::string ProfileToJson(const Profiler& profiler, size_t top_n) {
       {"messages_in", &PeerLoad::messages_in},
       {"messages_out", &PeerLoad::messages_out},
       {"tuples_out", &PeerLoad::tuples_out},
+      {"bytes_out", &PeerLoad::bytes_out},
       {"route_hops", &PeerLoad::route_hops},
       {"cpu_ns", &PeerLoad::cpu_ns},
   };

@@ -11,6 +11,8 @@ PeerLoad& PeerLoad::operator+=(const PeerLoad& o) {
   messages_out += o.messages_out;
   tuples_in += o.tuples_in;
   tuples_out += o.tuples_out;
+  bytes_in += o.bytes_in;
+  bytes_out += o.bytes_out;
   retransmissions += o.retransmissions;
   queue_depth_hwm = std::max(queue_depth_hwm, o.queue_depth_hwm);
   route_hops += o.route_hops;

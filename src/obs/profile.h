@@ -27,6 +27,11 @@ struct PeerLoad {
   /// equals QueryStats::tuples_shipped.
   uint64_t tuples_in = 0;
   uint64_t tuples_out = 0;
+  /// Bytes of encoded wire frames this peer received / sent (docs/WIRE.md).
+  /// Charged alongside messages_in/out; the sent sum equals
+  /// QueryStats::bytes_on_wire summed over queries.
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
   /// Retransmissions this peer issued (fault layer; 0 on perfect nets).
   uint64_t retransmissions = 0;
   /// High-water mark of simultaneously outstanding forwards at this peer
@@ -84,13 +89,16 @@ class Profiler {
   /// Peer ids are dense (vector-backed overlays), so loads are a dense
   /// vector too; it grows on demand.
   void OnSpan(uint32_t peer) { At(peer).spans += 1; }
-  void OnMessage(uint32_t from, uint32_t to, uint64_t tuples) {
+  void OnMessage(uint32_t from, uint32_t to, uint64_t tuples,
+                 uint64_t bytes = 0) {
     PeerLoad& f = At(from);
     f.messages_out += 1;
     f.tuples_out += tuples;
+    f.bytes_out += bytes;
     PeerLoad& t = At(to);
     t.messages_in += 1;
     t.tuples_in += tuples;
+    t.bytes_in += bytes;
   }
   void OnRetransmission(uint32_t peer) { At(peer).retransmissions += 1; }
   void OnQueueDepth(uint32_t peer, uint64_t depth) {
@@ -186,6 +194,49 @@ inline void RecordRouteStep(const char* overlay, uint32_t from, uint32_t to) {
   if (!Profiler::GlobalEnabled()) return;
   Profiler::Global().OnRouteHop(from, to);
 }
+
+// Declared in obs/metrics.h; re-declared here so RouteRecorder stays
+// header-only without dragging the metrics registry into every router.
+void RecordRouteHops(const char* overlay, uint64_t hops);
+
+/// The bootstrap-routing observability pattern shared by all overlay
+/// routers (MIDAS, CAN, Chord, BATON): record every forwarding hop into
+/// the gated global profiler and the caller's optional `path`, then the
+/// hop total on arrival. Routing loops read
+///
+///   current = rec.Step(current, next);   // one forward
+///   ...
+///   return rec.Arrive(current, hops);    // destination reached
+class RouteRecorder {
+ public:
+  /// `overlay` tags the metrics ("<overlay>.route.*"); `path` (optional)
+  /// receives the forwarding peers in order, destination excluded.
+  RouteRecorder(const char* overlay, std::vector<uint32_t>* path)
+      : overlay_(overlay), path_(path) {}
+
+  /// Records the hop `from -> to` and returns `to`.
+  uint32_t Step(uint32_t from, uint32_t to) {
+    if (path_ != nullptr) path_->push_back(from);
+    RecordRouteStep(overlay_, from, to);
+    ++hops_;
+    return to;
+  }
+
+  /// Reports the completed route: writes the hop count through `hops`
+  /// (when provided) and into the global metrics, returns the destination.
+  uint32_t Arrive(uint32_t at, uint64_t* hops) const {
+    if (hops != nullptr) *hops = hops_;
+    RecordRouteHops(overlay_, hops_);
+    return at;
+  }
+
+  uint64_t hops() const { return hops_; }
+
+ private:
+  const char* overlay_;
+  std::vector<uint32_t>* path_;
+  uint64_t hops_ = 0;
+};
 
 }  // namespace ripple::obs
 

@@ -158,7 +158,7 @@ size_t BatonOverlay::TotalTuples() const {
 PeerId BatonOverlay::RouteToKey(PeerId from, uint64_t key, uint64_t* hops,
                                 std::vector<PeerId>* path) const {
   PeerId current = from;
-  uint64_t h = 0;
+  obs::RouteRecorder rec("baton", path);
   auto range_distance = [&](PeerId id) -> uint64_t {
     const Peer& p = peers_[id];
     if (key < p.range_lo) return p.range_lo - key;
@@ -167,9 +167,7 @@ PeerId BatonOverlay::RouteToKey(PeerId from, uint64_t key, uint64_t* hops,
   };
   for (size_t guard = 0; guard <= 2 * peers_.size() + 64; ++guard) {
     if (range_distance(current) == 0) {
-      if (hops != nullptr) *hops = h;
-      obs::RecordRouteHops("baton", h);
-      return current;
+      return rec.Arrive(current, hops);
     }
     // BATON forwarding: among all linked peers, take the one whose range is
     // closest to the key (the exponential routing tables make the distance
@@ -193,10 +191,7 @@ PeerId BatonOverlay::RouteToKey(PeerId from, uint64_t key, uint64_t* hops,
     consider(p.adj_right);
     consider(p.parent);
     RIPPLE_CHECK(next != kInvalidPeer && "BATON routing stuck");
-    if (path != nullptr) path->push_back(current);
-    obs::RecordRouteStep("baton", current, next);
-    current = next;
-    ++h;
+    current = rec.Step(current, next);
   }
   RIPPLE_CHECK(false && "BATON routing failed to converge");
   return kInvalidPeer;

@@ -280,13 +280,11 @@ size_t CanOverlay::TotalTuples() const {
 PeerId CanOverlay::RouteFrom(PeerId from, const Point& p, uint64_t* hops,
                              std::vector<PeerId>* path) const {
   PeerId current = from;
-  uint64_t h = 0;
+  obs::RouteRecorder rec("can", path);
   for (size_t guard = 0; guard <= peers_.size(); ++guard) {
     const Peer& peer = GetPeer(current);
     if (peer.zone.ContainsHalfOpen(p, options_.domain)) {
-      if (hops != nullptr) *hops = h;
-      obs::RecordRouteHops("can", h);
-      return current;
+      return rec.Arrive(current, hops);
     }
     // Greedy: the neighbor whose zone is closest to the target. Distance
     // strictly decreases in a CAN grid, so this terminates.
@@ -300,10 +298,7 @@ PeerId CanOverlay::RouteFrom(PeerId from, const Point& p, uint64_t* hops,
       }
     }
     RIPPLE_CHECK(next != kInvalidPeer);
-    if (path != nullptr) path->push_back(current);
-    obs::RecordRouteStep("can", current, next);
-    current = next;
-    ++h;
+    current = rec.Step(current, next);
   }
   RIPPLE_CHECK(false && "CAN routing failed to converge");
   return kInvalidPeer;

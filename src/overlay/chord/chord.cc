@@ -117,7 +117,7 @@ PeerId ChordOverlay::RouteToKey(PeerId from, uint64_t key, uint64_t* hops,
                                 std::vector<PeerId>* path) const {
   const uint64_t ring = RingSize();
   PeerId current = from;
-  uint64_t h = 0;
+  obs::RouteRecorder rec("chord", path);
   auto owns = [&](PeerId id) {
     const Peer& p = peers_[id];
     const uint64_t span = (p.zone_end + ring - p.key) % ring;
@@ -126,9 +126,7 @@ PeerId ChordOverlay::RouteToKey(PeerId from, uint64_t key, uint64_t* hops,
   };
   for (size_t guard = 0; guard <= peers_.size(); ++guard) {
     if (owns(current)) {
-      if (hops != nullptr) *hops = h;
-      obs::RecordRouteHops("chord", h);
-      return current;
+      return rec.Arrive(current, hops);
     }
     // Classic Chord: the farthest link that does not overshoot the key.
     const Peer& p = peers_[current];
@@ -143,10 +141,7 @@ PeerId ChordOverlay::RouteToKey(PeerId from, uint64_t key, uint64_t* hops,
       }
     }
     RIPPLE_CHECK(next != kInvalidPeer);
-    if (path != nullptr) path->push_back(current);
-    obs::RecordRouteStep("chord", current, next);
-    current = next;
-    ++h;
+    current = rec.Step(current, next);
   }
   RIPPLE_CHECK(false && "Chord routing failed to converge");
   return kInvalidPeer;
@@ -171,6 +166,37 @@ bool ChordOverlay::IntersectArea(const Area& a, const Area& b, Area* out) {
   }
   std::sort(out->segments.begin(), out->segments.end());
   return !out->segments.empty();
+}
+
+void ChordOverlay::EncodeArea(const Area& area, wire::Buffer* buf) const {
+  buf->PutVarint(area.segments.size());
+  for (const auto& [lo, hi] : area.segments) {
+    buf->PutVarint(lo);
+    buf->PutVarint(hi - lo);
+  }
+}
+
+bool ChordOverlay::DecodeArea(wire::Reader* r, Area* out) const {
+  out->zorder = &zorder_;
+  out->segments.clear();
+  const uint64_t count = r->Varint();
+  // Each segment needs at least two varint bytes.
+  if (!r->ok() || count > r->remaining() / 2) {
+    r->Fail();
+    return false;
+  }
+  out->segments.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t lo = r->Varint();
+    const uint64_t span = r->Varint();
+    if (!r->ok()) return false;
+    if (span == 0 || lo >= RingSize() || span > RingSize() - lo) {
+      r->Fail();
+      return false;
+    }
+    out->segments.emplace_back(lo, lo + span);
+  }
+  return true;
 }
 
 Status ChordOverlay::Validate() const {

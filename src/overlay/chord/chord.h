@@ -10,6 +10,7 @@
 #include "geom/zorder.h"
 #include "overlay/types.h"
 #include "store/local_store.h"
+#include "wire/buffer.h"
 
 namespace ripple {
 
@@ -118,6 +119,13 @@ class ChordOverlay {
 
   /// Arc-set intersection; false when empty.
   static bool IntersectArea(const Area& a, const Area& b, Area* out);
+
+  /// Area wire codec (docs/WIRE.md): [varint count] then per segment
+  /// [varint lo][varint (hi - lo)]. The zorder pointer never travels;
+  /// DecodeArea re-binds the decoded area to this overlay's mapping and
+  /// rejects segments that leave the ring or are empty.
+  void EncodeArea(const Area& area, wire::Buffer* buf) const;
+  bool DecodeArea(wire::Reader* r, Area* out) const;
 
   /// Structural self-check: zones partition the ring; per peer, link
   /// regions partition the ring minus the peer's own zone.

@@ -113,15 +113,13 @@ PeerId MidasOverlay::ResponsiblePeer(const Point& p) const {
 PeerId MidasOverlay::RouteFrom(PeerId from, const Point& p, uint64_t* hops,
                                std::vector<PeerId>* path) const {
   PeerId current = from;
-  uint64_t h = 0;
+  obs::RouteRecorder rec("midas", path);
   // Each hop strictly deepens the subtree shared with the target, so the
   // loop takes at most MaxDepth() iterations.
   for (size_t guard = 0; guard <= peers_.size(); ++guard) {
     const Peer& peer = GetPeer(current);
     if (peer.zone.ContainsHalfOpen(p, options_.domain)) {
-      if (hops != nullptr) *hops = h;
-      obs::RecordRouteHops("midas", h);
-      return current;
+      return rec.Arrive(current, hops);
     }
     PeerId next = kInvalidPeer;
     for (const Link& link : peer.links) {
@@ -131,10 +129,7 @@ PeerId MidasOverlay::RouteFrom(PeerId from, const Point& p, uint64_t* hops,
       }
     }
     RIPPLE_CHECK(next != kInvalidPeer);  // regions partition the domain
-    if (path != nullptr) path->push_back(current);
-    obs::RecordRouteStep("midas", current, next);
-    current = next;
-    ++h;
+    current = rec.Step(current, next);
   }
   RIPPLE_CHECK(false && "MIDAS routing failed to converge");
   return kInvalidPeer;

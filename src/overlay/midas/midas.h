@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "geom/rect.h"
+#include "geom/wire.h"
 #include "overlay/types.h"
 #include "store/local_store.h"
 
@@ -137,6 +138,14 @@ class MidasOverlay {
   /// results reported as false (subtree rects either nest or have disjoint
   /// interiors, so touching faces mean "no shared peers").
   static bool IntersectArea(const Area& a, const Area& b, Area* out);
+
+  /// Area wire codec (docs/WIRE.md): a MIDAS area is a plain rectangle.
+  void EncodeArea(const Area& area, wire::Buffer* buf) const {
+    EncodeRect(area, buf);
+  }
+  bool DecodeArea(wire::Reader* r, Area* out) const {
+    return DecodeRect(r, out);
+  }
 
   /// Rectangle of the virtual-tree node identified by `prefix`.
   Rect SubtreeRect(const BitString& prefix) const;

@@ -6,9 +6,11 @@
 
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "geom/wire.h"
 #include "ripple/policy.h"
 #include "store/local_store.h"
 #include "store/tuple.h"
+#include "store/wire.h"
 
 namespace ripple {
 
@@ -151,6 +153,37 @@ class DivPolicy {
   /// Keeps the phi-minimizing tuple (ties broken by id).
   void MergeAnswer(Answer* acc, Answer&& local, const Query& q) const;
   void FinalizeAnswer(Answer*, const Query&) const {}
+
+  // Wire codecs: [query point][f64 lambda][norm][exclude tuples]; decode
+  // re-runs Precompute() so the cached SetStats never travel (they are
+  // derived data and would go stale undetectably). State is a bare f64.
+  void EncodeQuery(const Query& q, wire::Buffer* buf) const {
+    EncodePoint(q.objective.query, buf);
+    buf->PutF64(q.objective.lambda);
+    EncodeNorm(q.objective.norm, buf);
+    EncodeTupleVec(q.exclude, buf);
+  }
+  bool DecodeQuery(wire::Reader* r, Query* out) const {
+    if (!DecodePoint(r, &out->objective.query)) return false;
+    out->objective.lambda = r->F64();
+    if (!r->ok() || !DecodeNorm(r, &out->objective.norm)) return false;
+    if (!DecodeTupleVec(r, &out->exclude)) return false;
+    out->Precompute();
+    return true;
+  }
+  void EncodeState(const DivState& s, wire::Buffer* buf) const {
+    buf->PutF64(s.tau);
+  }
+  bool DecodeState(wire::Reader* r, DivState* out) const {
+    out->tau = r->F64();
+    return r->ok();
+  }
+  void EncodeAnswer(const Answer& a, wire::Buffer* buf) const {
+    EncodeTupleVec(a, buf);
+  }
+  bool DecodeAnswer(wire::Reader* r, Answer* out) const {
+    return DecodeTupleVec(r, out);
+  }
 
  private:
   /// The best local tuple outside the exclusion set, or nullptr.

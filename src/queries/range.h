@@ -5,9 +5,11 @@
 
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "geom/wire.h"
 #include "ripple/policy.h"
 #include "store/local_store.h"
 #include "store/tuple.h"
+#include "store/wire.h"
 
 namespace ripple {
 
@@ -89,6 +91,27 @@ class RangePolicy {
   }
   void FinalizeAnswer(Answer* acc, const Query&) const {
     std::sort(acc->begin(), acc->end(), TupleIdLess());
+  }
+
+  // Wire codecs: [center][f64 radius][norm]; empty states occupy zero
+  // bytes on the wire.
+  void EncodeQuery(const Query& q, wire::Buffer* buf) const {
+    EncodePoint(q.center, buf);
+    buf->PutF64(q.radius);
+    EncodeNorm(q.norm, buf);
+  }
+  bool DecodeQuery(wire::Reader* r, Query* out) const {
+    if (!DecodePoint(r, &out->center)) return false;
+    out->radius = r->F64();
+    return r->ok() && DecodeNorm(r, &out->norm);
+  }
+  void EncodeState(const Empty&, wire::Buffer*) const {}
+  bool DecodeState(wire::Reader* r, Empty*) const { return r->ok(); }
+  void EncodeAnswer(const Answer& a, wire::Buffer* buf) const {
+    EncodeTupleVec(a, buf);
+  }
+  bool DecodeAnswer(wire::Reader* r, Answer* out) const {
+    return DecodeTupleVec(r, out);
   }
 };
 

@@ -5,10 +5,12 @@
 #include <vector>
 
 #include "geom/dominance.h"
+#include "geom/wire.h"
 #include "ripple/policy.h"
 #include "store/local_algos.h"
 #include "store/local_store.h"
 #include "store/tuple.h"
+#include "store/wire.h"
 
 namespace ripple {
 
@@ -95,6 +97,30 @@ class SkybandPolicy {
   /// dominate, so dominator counts are self-contained), and the collected
   /// set is a superset of the band.
   void FinalizeAnswer(Answer* acc, const Query& q) const;
+
+  // Wire codecs: [varint band][norm]; two tuple vectors; tuple vector.
+  void EncodeQuery(const Query& q, wire::Buffer* buf) const {
+    buf->PutVarint(q.band);
+    EncodeNorm(q.norm, buf);
+  }
+  bool DecodeQuery(wire::Reader* r, Query* out) const {
+    out->band = static_cast<size_t>(r->Varint());
+    return r->ok() && DecodeNorm(r, &out->norm);
+  }
+  void EncodeState(const SkybandState& s, wire::Buffer* buf) const {
+    EncodeTupleVec(s.tuples, buf);
+    EncodeTupleVec(s.dominators, buf);
+  }
+  bool DecodeState(wire::Reader* r, SkybandState* out) const {
+    return DecodeTupleVec(r, &out->tuples) &&
+           DecodeTupleVec(r, &out->dominators);
+  }
+  void EncodeAnswer(const Answer& a, wire::Buffer* buf) const {
+    EncodeTupleVec(a, buf);
+  }
+  bool DecodeAnswer(wire::Reader* r, Answer* out) const {
+    return DecodeTupleVec(r, out);
+  }
 };
 
 static_assert(QueryPolicy<SkybandPolicy, Rect>);

@@ -6,10 +6,12 @@
 #include <vector>
 
 #include "geom/dominance.h"
+#include "geom/wire.h"
 #include "ripple/policy.h"
 #include "store/local_algos.h"
 #include "store/local_store.h"
 #include "store/tuple.h"
+#include "store/wire.h"
 
 namespace ripple {
 
@@ -119,6 +121,43 @@ class SkylinePolicy {
   void MergeAnswer(Answer* acc, Answer&& local, const Query& q) const;
   /// The initiator's final skyline over everything received.
   void FinalizeAnswer(Answer* acc, const Query& q) const;
+
+  // Wire codecs: [norm][u8 has_constraint][rect?]; two tuple vectors
+  // (tuples, dominators); tuple vector.
+  void EncodeQuery(const Query& q, wire::Buffer* buf) const {
+    EncodeNorm(q.norm, buf);
+    buf->PutU8(q.constraint.has_value() ? 1 : 0);
+    if (q.constraint.has_value()) EncodeRect(*q.constraint, buf);
+  }
+  bool DecodeQuery(wire::Reader* r, Query* out) const {
+    if (!DecodeNorm(r, &out->norm)) return false;
+    const uint8_t has_constraint = r->U8();
+    if (!r->ok() || has_constraint > 1) {
+      r->Fail();
+      return false;
+    }
+    out->constraint.reset();
+    if (has_constraint != 0) {
+      Rect c;
+      if (!DecodeRect(r, &c)) return false;
+      out->constraint = c;
+    }
+    return true;
+  }
+  void EncodeState(const SkylineState& s, wire::Buffer* buf) const {
+    EncodeTupleVec(s.tuples, buf);
+    EncodeTupleVec(s.dominators, buf);
+  }
+  bool DecodeState(wire::Reader* r, SkylineState* out) const {
+    return DecodeTupleVec(r, &out->tuples) &&
+           DecodeTupleVec(r, &out->dominators);
+  }
+  void EncodeAnswer(const Answer& a, wire::Buffer* buf) const {
+    EncodeTupleVec(a, buf);
+  }
+  bool DecodeAnswer(wire::Reader* r, Answer* out) const {
+    return DecodeTupleVec(r, out);
+  }
 };
 
 static_assert(QueryPolicy<SkylinePolicy, Rect>);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "net/frame_cost.h"
 #include "obs/trace.h"
 #include "queries/skyline.h"
 #include "ripple/api.h"
@@ -63,6 +64,12 @@ typename EngineT::Result SeededSkyline(
   result.stats.latency_hops += hops;
   result.stats.messages += hops;
   result.stats.peers_visited += hops;  // forwarding peers handle the query
+  // Each route forward carries the query: one query-only frame per hop.
+  result.stats.bytes_on_wire +=
+      hops * net::MeasureFrameBytes(net::MessageKind::kQuery,
+                                    [&](wire::Buffer* buf) {
+                                      engine.policy().EncodeQuery(query, buf);
+                                    });
   if (result.completion_time > 0) {
     result.completion_time += static_cast<double>(hops);
   }

@@ -2,13 +2,16 @@
 #define RIPPLE_QUERIES_TOPK_H_
 
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "geom/scoring.h"
+#include "geom/wire.h"
 #include "ripple/policy.h"
 #include "store/local_algos.h"
 #include "store/local_store.h"
 #include "store/tuple.h"
+#include "store/wire.h"
 
 namespace ripple {
 
@@ -23,6 +26,10 @@ struct TopKQuery {
   const Scorer* scorer = nullptr;  // not owned; must outlive the query
   size_t k = 10;
   double epsilon = 0.0;
+  /// Set by DecodeQuery: a query decoded off the wire owns its scorer
+  /// (scorer == owned_scorer.get()), so it is self-contained. Queries
+  /// built in-process leave it null and borrow the caller's scorer.
+  std::shared_ptr<const Scorer> owned_scorer;
 };
 
 /// Top-k state (m, tau): "m tuples with score above tau have already been
@@ -88,6 +95,36 @@ class TopKPolicy {
   void MergeAnswer(Answer* acc, Answer&& local, const Query& q) const;
   /// Keeps the k best of everything the initiator received.
   void FinalizeAnswer(Answer* acc, const Query& q) const;
+
+  // Wire codecs: [scorer][varint k][f64 epsilon]; (m, tau); tuple vector.
+  void EncodeQuery(const Query& q, wire::Buffer* buf) const {
+    EncodeScorer(*q.scorer, buf);
+    buf->PutVarint(q.k);
+    buf->PutF64(q.epsilon);
+  }
+  bool DecodeQuery(wire::Reader* r, Query* out) const {
+    out->owned_scorer = DecodeScorer(r);
+    if (out->owned_scorer == nullptr) return false;
+    out->scorer = out->owned_scorer.get();
+    out->k = static_cast<size_t>(r->Varint());
+    out->epsilon = r->F64();
+    return r->ok();
+  }
+  void EncodeState(const TopKState& s, wire::Buffer* buf) const {
+    buf->PutVarint(s.m);
+    buf->PutF64(s.tau);
+  }
+  bool DecodeState(wire::Reader* r, TopKState* out) const {
+    out->m = static_cast<size_t>(r->Varint());
+    out->tau = r->F64();
+    return r->ok();
+  }
+  void EncodeAnswer(const Answer& a, wire::Buffer* buf) const {
+    EncodeTupleVec(a, buf);
+  }
+  bool DecodeAnswer(wire::Reader* r, Answer* out) const {
+    return DecodeTupleVec(r, out);
+  }
 
  private:
   template <typename Area>

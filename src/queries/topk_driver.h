@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "net/frame_cost.h"
 #include "obs/trace.h"
 #include "queries/topk.h"
 #include "ripple/api.h"
@@ -53,9 +54,15 @@ typename EngineT::Result SeededTopK(const Overlay& overlay,
   std::vector<PeerId> route_path;
   const PeerId start = overlay.RouteFrom(request.initiator, peak, &hops,
                                          tracer ? &route_path : nullptr);
+  // Every bootstrap message (route forward, walk step) carries the query:
+  // one query-only frame each, measured with the engines' codec.
+  const uint64_t query_frame_bytes = net::MeasureFrameBytes(
+      net::MessageKind::kQuery,
+      [&](wire::Buffer* buf) { policy.EncodeQuery(query, buf); });
   bootstrap.latency_hops += hops;
   bootstrap.messages += hops;
   bootstrap.peers_visited += hops;  // forwarding peers handle the query
+  bootstrap.bytes_on_wire += hops * query_frame_bytes;
   uint32_t last_span = obs::kNoSpan;
   if (tracer) {
     double t = 0.0;
@@ -80,6 +87,7 @@ typename EngineT::Result SeededTopK(const Overlay& overlay,
     if (step > 0) {
       bootstrap.latency_hops += 1;
       bootstrap.messages += 1;
+      bootstrap.bytes_on_wire += query_frame_bytes;
     }
     if (tracer) {
       const double t = static_cast<double>(hops + static_cast<uint64_t>(step));
@@ -124,6 +132,7 @@ typename EngineT::Result SeededTopK(const Overlay& overlay,
   result.stats.latency_hops += bootstrap.latency_hops;
   result.stats.messages += bootstrap.messages;
   result.stats.peers_visited += bootstrap.peers_visited;
+  result.stats.bytes_on_wire += bootstrap.bytes_on_wire;
   // Async runs report simulated wall-clock; the sequential bootstrap
   // happens before their clock starts.
   if (result.completion_time > 0) {

@@ -7,12 +7,16 @@
 #include <vector>
 
 #include "common/check.h"
+#include "net/envelope.h"
 #include "net/metrics.h"
+#include "net/traffic.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "overlay/types.h"
 #include "ripple/api.h"
 #include "ripple/policy.h"
+#include "ripple/wire_codec.h"
+#include "wire/buffer.h"
 
 namespace ripple {
 
@@ -64,6 +68,7 @@ class Engine {
                 overlay_->FullArea(), request.ripple.hops(), &ctx);
     ctx.stats.latency_hops = outcome.latency;
     policy_.FinalizeAnswer(&ctx.answer, request.query);
+    net::RecordTrafficMetrics(ctx.traffic);
     Result result;
     result.answer = std::move(ctx.answer);
     result.stats = ctx.stats;
@@ -103,8 +108,42 @@ class Engine {
   struct RunContext {
     Answer answer{};
     QueryStats stats;
+    net::WireTraffic traffic;
+    wire::Buffer scratch;  // frame measurement buffer, reused per charge
     PeerId initiator = kInvalidPeer;
   };
+
+  // Byte charges. The recursive engine never ships bytes — it is the
+  // analytic model — but it *measures* them by encoding each charged
+  // message through the same WireCodec the async engine transmits with,
+  // so bytes_on_wire agrees between the engines by construction
+  // (asserted by the cross-validation tests). Envelope ids are synthetic:
+  // frame headers are fixed-width, so sizes do not depend on them.
+
+  uint64_t QueryFrameBytes(const Query& query, const GlobalState& g,
+                           const Area& area, int r, PeerId from, PeerId to,
+                           RunContext* ctx) const {
+    ctx->scratch.Clear();
+    const net::Envelope env{0, from, to, net::MessageKind::kQuery, 0};
+    return WireCodec<Overlay, Policy>(overlay_, &policy_)
+        .EncodeQueryMessage(env, query, g, area, r, &ctx->scratch);
+  }
+
+  uint64_t ResponseFrameBytes(const LocalState& s, PeerId from, PeerId to,
+                              RunContext* ctx) const {
+    ctx->scratch.Clear();
+    const net::Envelope env{0, from, to, net::MessageKind::kResponse, 0};
+    return WireCodec<Overlay, Policy>(overlay_, &policy_)
+        .EncodeResponseFrame(env, s, &ctx->scratch);
+  }
+
+  uint64_t AnswerFrameBytes(const Answer& a, PeerId from, PeerId to,
+                            RunContext* ctx) const {
+    ctx->scratch.Clear();
+    const net::Envelope env{0, from, to, net::MessageKind::kAnswer, 0};
+    return WireCodec<Overlay, Policy>(overlay_, &policy_)
+        .EncodeAnswerMessage(env, a, &ctx->scratch);
+  }
 
   /// What a processed peer reports back towards its nearest slow-phase
   /// ancestor: one merged state for slow-phase peers, or the bundle of all
@@ -177,11 +216,16 @@ class Engine {
           continue;
         }
         const uint64_t fwd_tuples = policy_.GlobalStateTupleCount(global);
+        const uint64_t fwd_bytes =
+            QueryFrameBytes(query, global, c.area, r - 1, w, c.target, ctx);
         ctx->stats.messages += 1;  // query forward
         ctx->stats.tuples_shipped += fwd_tuples;
+        ctx->stats.bytes_on_wire += fwd_bytes;
+        ctx->traffic.bytes_query += fwd_bytes;
+        ctx->traffic.frames += 1;
         if (tracer_) tracer_->span(span).links_forwarded += 1;
         if (profiler_) {
-          profiler_->OnMessage(w, c.target, fwd_tuples);
+          profiler_->OnMessage(w, c.target, fwd_tuples, fwd_bytes);
           profiler_->OnQueueDepth(w, 1);  // slow phase is sequential
         }
         // The child receives the query one hop after everything forwarded
@@ -196,8 +240,14 @@ class Engine {
         ctx->stats.messages += child.states.size();
         for (const LocalState& s : child.states) {
           const uint64_t state_tuples = policy_.StateTupleCount(s);
+          const uint64_t state_bytes = ResponseFrameBytes(s, c.target, w, ctx);
           ctx->stats.tuples_shipped += state_tuples;
-          if (profiler_) profiler_->OnMessage(c.target, w, state_tuples);
+          ctx->stats.bytes_on_wire += state_bytes;
+          ctx->traffic.bytes_response += state_bytes;
+          ctx->traffic.frames += 1;
+          if (profiler_) {
+            profiler_->OnMessage(c.target, w, state_tuples, state_bytes);
+          }
         }
         if (tracer_) tracer_->span(span).states_merged += child.states.size();
         {
@@ -223,10 +273,17 @@ class Engine {
           continue;
         }
         const uint64_t fwd_tuples = policy_.GlobalStateTupleCount(global);
+        const uint64_t fwd_bytes =
+            QueryFrameBytes(query, global, area, 0, w, link.target, ctx);
         ctx->stats.messages += 1;
         ctx->stats.tuples_shipped += fwd_tuples;
+        ctx->stats.bytes_on_wire += fwd_bytes;
+        ctx->traffic.bytes_query += fwd_bytes;
+        ctx->traffic.frames += 1;
         if (tracer_) tracer_->span(span).links_forwarded += 1;
-        if (profiler_) profiler_->OnMessage(w, link.target, fwd_tuples);
+        if (profiler_) {
+          profiler_->OnMessage(w, link.target, fwd_tuples, fwd_bytes);
+        }
         // Fast-phase children are contacted at once: all arrive one hop
         // after us.
         NodeOutcome child = Process(link.target, query, global, area, 0, ctx,
@@ -255,9 +312,16 @@ class Engine {
     }
     const size_t answer_tuples = policy_.AnswerTupleCount(answer);
     if (answer_tuples > 0) {
+      const uint64_t answer_bytes =
+          AnswerFrameBytes(answer, w, ctx->initiator, ctx);
       ctx->stats.messages += 1;  // answer delivery to the initiator
       ctx->stats.tuples_shipped += answer_tuples;
-      if (profiler_) profiler_->OnMessage(w, ctx->initiator, answer_tuples);
+      ctx->stats.bytes_on_wire += answer_bytes;
+      ctx->traffic.bytes_answer += answer_bytes;
+      ctx->traffic.frames += 1;
+      if (profiler_) {
+        profiler_->OnMessage(w, ctx->initiator, answer_tuples, answer_bytes);
+      }
     }
     if (tracer_) {
       obs::Span& s = tracer_->span(span);

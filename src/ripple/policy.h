@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "store/local_store.h"
+#include "wire/buffer.h"
 
 namespace ripple {
 
@@ -32,7 +33,10 @@ template <typename P, typename Area>
 concept QueryPolicy = requires(
     const P p, const typename P::Query q, typename P::GlobalState g,
     typename P::LocalState l, std::vector<typename P::LocalState> ls,
-    typename P::Answer a, const LocalStore store, const Area area) {
+    typename P::Answer a, const LocalStore store, const Area area,
+    wire::Buffer* buf, wire::Reader* reader, typename P::Query* q_out,
+    typename P::LocalState* l_out, typename P::GlobalState* g_out,
+    typename P::Answer* a_out) {
   /// The neutral state an initiator starts from (unless the caller supplies
   /// one explicitly, as diversification's div-improve does).
   { p.InitialGlobalState(q) } -> std::same_as<typename P::GlobalState>;
@@ -65,6 +69,23 @@ concept QueryPolicy = requires(
   /// Initiator-side accumulation of per-peer answers, then final extraction.
   { p.MergeAnswer(&a, std::move(a), q) } -> std::same_as<void>;
   { p.FinalizeAnswer(&a, q) } -> std::same_as<void>;
+
+  /// Wire codecs (docs/WIRE.md): the serialized forms of everything a
+  /// message can carry. Encoders append to the buffer and cannot fail;
+  /// decoders validate, returning false (with the reader failed) on
+  /// truncated or corrupted bytes. Decoded values must be semantically
+  /// identical to what was encoded — both engines run policies on decoded
+  /// messages, and their determinism contract rides on it. EncodeState /
+  /// DecodeState must cover the local AND global state types (one
+  /// overload when they coincide, as in every in-tree policy).
+  { p.EncodeQuery(q, buf) } -> std::same_as<void>;
+  { p.DecodeQuery(reader, q_out) } -> std::same_as<bool>;
+  { p.EncodeState(l, buf) } -> std::same_as<void>;
+  { p.DecodeState(reader, l_out) } -> std::same_as<bool>;
+  { p.EncodeState(g, buf) } -> std::same_as<void>;
+  { p.DecodeState(reader, g_out) } -> std::same_as<bool>;
+  { p.EncodeAnswer(a, buf) } -> std::same_as<void>;
+  { p.DecodeAnswer(reader, a_out) } -> std::same_as<bool>;
 };
 
 }  // namespace ripple

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -15,13 +16,20 @@
 #include "net/envelope.h"
 #include "net/fault.h"
 #include "net/metrics.h"
+#include "net/traffic.h"
+#include "net/transport.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "overlay/types.h"
 #include "ripple/api.h"
 #include "ripple/policy.h"
+#include "ripple/wire_codec.h"
 #include "sim/event_sim.h"
 #include "sim/fault_model.h"
+#include "sim/retransmit.h"
+#include "sim/session.h"
+#include "wire/buffer.h"
+#include "wire/frame.h"
 
 namespace ripple {
 
@@ -42,16 +50,29 @@ inline LatencyModel UnitLatency() {
 /// subtrees convergecast their state bundles), and answer deliveries to
 /// the initiator, each taking LatencyModel time on the wire.
 ///
+/// Every transmission crosses a real serialization boundary: the message
+/// is encoded into a framed wire datagram (ripple/wire_codec.h,
+/// docs/WIRE.md), handed to the net::Transport, and the receiver decodes
+/// whatever bytes the transport returned — objects never cross, so policy
+/// code at a peer runs on exactly what came off the wire. The default
+/// LoopbackTransport asserts each datagram is well-framed and returns it
+/// unchanged; a custom transport (SetTransport) may count, corrupt or
+/// swallow datagrams, and the engine arms its fault machinery so decode
+/// rejections degrade into retransmissions and coverage loss rather than
+/// hangs. QueryStats::bytes_on_wire records the encoded bytes, charged at
+/// the sender exactly where messages are charged.
+///
 /// Fault tolerance: when the request's FaultOptions describe an imperfect
 /// network (AnyFault()), every transmission runs through a deterministic
 /// FaultModel (loss, duplication, delay jitter, peer crashes) and the
 /// protocol arms itself:
-///  * every logical message carries an id; retransmissions reuse it and
-///    receivers suppress duplicates through per-peer dedup windows;
+///  * every logical message carries an id; retransmissions reship the
+///    byte-identical frame snapshot and receivers suppress duplicates
+///    through per-peer dedup windows;
 ///  * requesters arm per-message timers with capped exponential backoff;
-///    a finished callee answers retransmitted queries from its reply
-///    cache, a still-running callee sends a progress ack that restores the
-///    requester's patience;
+///    a finished callee answers retransmitted queries from its encoded
+///    reply cache, a still-running callee sends a progress ack that
+///    restores the requester's patience;
 ///  * after `max_retries` consecutive silent timeouts the requester gives
 ///    up on the link, folds in what it has, and the result is returned
 ///    flagged `complete = false` with a Coverage report.
@@ -60,9 +81,10 @@ inline LatencyModel UnitLatency() {
 ///
 /// For any query, overlay and ripple parameter, the fault-free async
 /// execution produces exactly the same answer, the same set of visited
-/// peers and the same message count as the recursive engine; its
-/// completion time upper-bounds the engine's forward-hop latency
-/// (responses ride the clock here, not in the lemma-style accounting).
+/// peers, the same message count and the same bytes-on-wire as the
+/// recursive engine; its completion time upper-bounds the engine's
+/// forward-hop latency (responses ride the clock here, not in the
+/// lemma-style accounting).
 template <typename Overlay, typename Policy>
   requires QueryPolicy<Policy, typename Overlay::Area>
 class AsyncEngine {
@@ -74,6 +96,7 @@ class AsyncEngine {
   using Answer = typename Policy::Answer;
   using Request = QueryRequest<Policy>;
   using Result = QueryResult<Answer>;
+  using Session = ripple::Session<Policy, Area>;
 
   AsyncEngine(const Overlay* overlay, Policy policy,
               LatencyModel latency = UnitLatency())
@@ -98,12 +121,25 @@ class AsyncEngine {
   }
 
   /// Attaches a per-peer load profiler (same contract as
-  /// Engine::SetProfiler: message charges mirror QueryStats at the
+  /// Engine::SetProfiler: message/byte charges mirror QueryStats at the
   /// sender, so totals cross-check; here the profiler additionally sees
   /// retransmissions, acks and per-peer fan-out high-water marks from
   /// the fault machinery). nullptr disables; not owned.
   void SetProfiler(obs::Profiler* profiler) { profiler_ = profiler; }
   obs::Profiler* profiler() const { return profiler_; }
+
+  /// Replaces the default loopback transport (nullptr restores it; not
+  /// owned). A custom transport is treated as an imperfect network: the
+  /// fault machinery arms even under clean FaultOptions, so a transport
+  /// that corrupts or swallows datagrams degrades the result's coverage
+  /// instead of hanging the simulation.
+  void SetTransport(net::Transport* transport) { transport_ = transport; }
+  net::Transport* transport() const {
+    return transport_ != nullptr ? transport_ : &default_transport_;
+  }
+  /// The built-in loopback (its shipped-frame counters are handy in
+  /// tests even when a custom transport is not installed).
+  const net::LoopbackTransport& loopback() const { return default_transport_; }
 
   const Policy& policy() const { return policy_; }
 
@@ -115,78 +151,14 @@ class AsyncEngine {
   }
 
  private:
-  static constexpr int kNoSession = -1;
-  static constexpr int64_t kNoRequest = -1;
-
-  /// One activation of the per-peer procedure (each peer is activated at
-  /// most once per query thanks to disjoint restriction areas and the
-  /// dedup windows).
-  struct Session {
-    PeerId peer = kInvalidPeer;
-    GlobalState incoming{};   // S^G as received
-    GlobalState global{};     // S^G_w, updated between iterations
-    LocalState local{};       // S^L_w
-    Area area{};
-    int r = 0;
-    int parent = kNoSession;  // session index to respond to; -1 == root
-    int64_t origin_req = kNoRequest;  // request id that spawned us
-    // Slow phase: prioritized candidates still to consider.
-    struct Candidate {
-      PeerId target;
-      Area area;
-      double priority;
-    };
-    std::vector<Candidate> pending;
-    size_t next_candidate = 0;
-    // Fast phase: responses still expected before this session closes.
-    int outstanding_children = 0;
-    // Fast phase: state bundle accumulated for the slow ancestor.
-    std::vector<LocalState> bundle;
-    bool fast = false;
-    bool finished = false;
-    // Reply cache: the state bundle this session reported, kept so a
-    // retransmitted query can be answered without re-execution.
-    std::vector<LocalState> bundle_out;
-    // Trace span of this session (kNoSpan when tracing is off).
-    uint32_t span = obs::kNoSpan;
-  };
-
-  /// One logical query forward awaiting a response. Retransmissions reuse
-  /// the entry (and its message id); the payload snapshot is kept so a
-  /// retransmission resends exactly what the first attempt carried.
-  struct PendingRequest {
-    int requester = kNoSession;  // session waiting for the response
-    PeerId from = kInvalidPeer;
-    PeerId target = kInvalidPeer;
-    GlobalState state{};
-    Area area{};
-    int r = 0;
-    int attempt = 0;       // transmissions so far
-    int strikes = 0;       // consecutive timeouts without response/ack
-    double timeout = 0;    // current (backed-off) patience
-    bool resolved = false; // response consumed, or given up
-    bool failed = false;   // given up after the retry budget
-    uint64_t timer = 0;    // live TimerWheel handle
-  };
-
-  /// One answer delivery to the initiator, with sender-side retransmission
-  /// on loss (the answer channel models a reliable transport whose acks
-  /// are elided from the accounting; retransmissions are not).
-  struct PendingAnswer {
-    PeerId from = kInvalidPeer;
-    Answer payload{};
-    size_t tuples = 0;
-    int attempt = 0;
-    bool settled = false;  // delivered once, or lost for good
-  };
-
   struct Runtime {
     Runtime(const AsyncEngine* engine, const Request* req)
         : self(engine),
           request(req),
-          ft(req->fault.AnyFault()),
+          ft(req->fault.AnyFault() || engine->transport_ != nullptr),
           fault(req->fault, req->initiator),
-          timers(&sim) {}
+          timers(&sim),
+          codec(engine->overlay_, &engine->policy_) {}
 
     const AsyncEngine* self;
     const Request* request;
@@ -194,12 +166,13 @@ class AsyncEngine {
     FaultModel fault;
     EventSimulator sim;
     TimerWheel timers;
-    std::vector<Session> sessions;
+    WireCodec<Overlay, Policy> codec;
+    net::WireTraffic traffic;
+    SessionTable<Policy, Area> sessions;
     std::vector<PendingRequest> requests;  // indexed by message id
     std::vector<PendingAnswer> answers;
     std::unordered_map<PeerId, net::DedupWindow> query_dedup;
     Result result;
-    int open_sessions = 0;
     int answers_outstanding = 0;
     bool root_done = false;
     bool deadline_hit = false;
@@ -221,15 +194,16 @@ class AsyncEngine {
           request->initial_state.has_value()
               ? *request->initial_state
               : policy().InitialGlobalState(request->query);
-      // The initiator's root session has no parent and no envelope.
-      StartSession(request->initiator, std::move(initial),
+      // The initiator's root session has no parent and no envelope; its
+      // query never crossed a wire, so it copies the request's directly.
+      StartSession(request->initiator, request->query, std::move(initial),
                    overlay().FullArea(), request->ripple.hops(),
                    /*parent=*/kNoSession, kNoRequest);
     }
 
     Result Finalize() {
       if (!ft && !std::isfinite(request->deadline)) {
-        RIPPLE_CHECK(open_sessions == 0 &&
+        RIPPLE_CHECK(sessions.open() == 0 &&
                      "async run left dangling sessions");
       }
       policy().FinalizeAnswer(&result.answer, request->query);
@@ -239,10 +213,26 @@ class AsyncEngine {
       }
       result.complete = result.coverage.complete() && !deadline_hit;
       net::RecordCoverageMetrics(result.coverage);
+      net::RecordTrafficMetrics(traffic);
       return std::move(result);
     }
 
     // --- wire ------------------------------------------------------------
+
+    /// Hands one encoded datagram to the transport; the returned bytes are
+    /// what the receiver will decode (empty == swallowed in transit).
+    std::vector<uint8_t> ShipDatagram(const net::Envelope& env,
+                                      std::vector<uint8_t> bytes) {
+      return self->transport()->Ship(env, std::move(bytes));
+    }
+
+    /// A received datagram failed to decode. Corruption can only come from
+    /// a custom transport, and installing one arms `ft` — on a loopback
+    /// wire a rejection means an engine bug, so fail loudly.
+    void RejectFrame() {
+      traffic.frames_rejected += 1;
+      RIPPLE_CHECK(ft && "frame rejected without fault machinery armed");
+    }
 
     /// Schedules a delivery callback at `to` after wire delay, dropping it
     /// if the receiver has crashed by then. `deliver` must be idempotent
@@ -293,20 +283,20 @@ class AsyncEngine {
 
     // --- sessions (the RIPPLE procedure itself) --------------------------
 
-    /// Delivers the query to `peer` (caller already charged the message).
-    void StartSession(PeerId peer, GlobalState state, Area area, int r,
-                      int parent, int64_t origin_req) {
-      const int id = static_cast<int>(sessions.size());
-      sessions.push_back(Session{});
+    /// Opens the per-peer procedure with the query/state/area as decoded
+    /// at this peer (the caller already charged the message).
+    void StartSession(PeerId peer, Query query, GlobalState state, Area area,
+                      int r, int parent, int64_t origin_req) {
+      const int id = sessions.Create();
       Session& s = sessions[id];
       s.peer = peer;
+      s.query = std::move(query);
       s.incoming = std::move(state);
       s.area = std::move(area);
       s.r = r;
       s.parent = parent;
       s.origin_req = origin_req;
       s.fast = r <= 0;
-      ++open_sessions;
       result.stats.peers_visited += 1;
       if (self->visit_observer_) self->visit_observer_(peer);
       if (profiler() != nullptr) profiler()->OnSpan(peer);
@@ -324,11 +314,8 @@ class AsyncEngine {
       const auto& node = overlay().GetPeer(peer);
       {
         obs::ScopedTimer cpu(profiler(), peer);
-        s.local = policy().ComputeLocalState(node.store, request->query,
-                                             s.incoming);
-        s.global =
-            policy().ComputeGlobalState(request->query, s.incoming,
-                                        s.local);
+        s.local = policy().ComputeLocalState(node.store, s.query, s.incoming);
+        s.global = policy().ComputeGlobalState(s.query, s.incoming, s.local);
       }
 
       if (s.fast) {
@@ -340,8 +327,7 @@ class AsyncEngine {
           if (!Overlay::IntersectArea(link.region, s.area, &restricted)) {
             continue;
           }
-          if (!policy().IsLinkRelevant(request->query, s.global,
-                                       restricted)) {
+          if (!policy().IsLinkRelevant(s.query, s.global, restricted)) {
             if (s.span != obs::kNoSpan) {
               self->tracer_->span(s.span).links_pruned += 1;
             }
@@ -369,8 +355,7 @@ class AsyncEngine {
           if (!Overlay::IntersectArea(link.region, s.area, &restricted)) {
             continue;
           }
-          const double priority =
-              policy().LinkPriority(request->query, restricted);
+          const double priority = policy().LinkPriority(s.query, restricted);
           s.pending.push_back(typename Session::Candidate{
               link.target, std::move(restricted), priority});
         }
@@ -387,8 +372,7 @@ class AsyncEngine {
       while (sessions[id].next_candidate < sessions[id].pending.size()) {
         Session& s = sessions[id];
         auto& c = s.pending[s.next_candidate++];
-        if (!policy().IsLinkRelevant(request->query, s.global,
-                                     c.area)) {
+        if (!policy().IsLinkRelevant(s.query, s.global, c.area)) {
           if (s.span != obs::kNoSpan) {
             self->tracer_->span(s.span).links_pruned += 1;
           }
@@ -416,9 +400,8 @@ class AsyncEngine {
         }
         {
           obs::ScopedTimer cpu(profiler(), s.peer);
-          policy().MergeLocalStates(request->query, &s.local, bundle);
-          s.global = policy().ComputeGlobalState(request->query,
-                                                 s.incoming, s.local);
+          policy().MergeLocalStates(s.query, &s.local, bundle);
+          s.global = policy().ComputeGlobalState(s.query, s.incoming, s.local);
         }
         AdvanceSlow(id);
       }
@@ -438,14 +421,13 @@ class AsyncEngine {
     /// Lines 12-13 / 19-21: report the state upward, ship the answer.
     void FinishSession(int id) {
       Session& s = sessions[id];
-      s.finished = true;
       // The final local state drives the answer extraction (fast sessions
       // never merged, so s.local is the line-1 state, as in Alg. 1).
       Answer answer;
       {
         obs::ScopedTimer cpu(profiler(), s.peer);
-        answer = policy().ComputeLocalAnswer(
-            overlay().GetPeer(s.peer).store, request->query, s.local);
+        answer = policy().ComputeLocalAnswer(overlay().GetPeer(s.peer).store,
+                                             s.query, s.local);
       }
       const size_t tuples = policy().AnswerTupleCount(answer);
       if (tuples > 0) {
@@ -463,14 +445,22 @@ class AsyncEngine {
       // the nearest slow ancestor u (Alg. 3 keeps forwarding u through the
       // fast phase), so state messages are accounted exactly once — at the
       // slow session that consumes them; the convergecast through fast
-      // sessions only exists for completion detection.
-      if (s.fast) {
-        s.bundle_out = std::move(s.bundle);
-        s.bundle_out.push_back(s.local);
-      } else {
-        s.bundle_out.push_back(s.local);
+      // sessions only exists for completion detection. The reply cache is
+      // encoded once here (one frame per state) and reshipped verbatim on
+      // retransmitted queries.
+      if (s.parent >= 0) {
+        std::vector<LocalState> bundle_out;
+        if (s.fast) bundle_out = std::move(s.bundle);
+        bundle_out.push_back(s.local);
+        const net::Envelope env = ResponseEnvelope(id);
+        wire::Buffer buf;
+        for (const LocalState& st : bundle_out) {
+          const size_t bytes = codec.EncodeResponseFrame(env, st, &buf);
+          s.response_parts.push_back({bytes, policy().StateTupleCount(st)});
+        }
+        s.response_frame = buf.Take();
       }
-      --open_sessions;
+      sessions.Close(id);
       if (s.parent >= 0) {
         SendResponse(id);
       } else {
@@ -482,8 +472,10 @@ class AsyncEngine {
 
     // --- requests, timeouts, retries -------------------------------------
 
-    /// Issues a new logical query forward from session `requester`.
-    void NewRequest(int requester, PeerId target, GlobalState state,
+    /// Issues a new logical query forward from session `requester`,
+    /// snapshotting the encoded frame so every (re)transmission is
+    /// byte-identical.
+    void NewRequest(int requester, PeerId target, const GlobalState& state,
                     Area area, int r) {
       const int64_t id = static_cast<int64_t>(requests.size());
       requests.push_back(PendingRequest{});
@@ -491,35 +483,71 @@ class AsyncEngine {
       rq.requester = requester;
       rq.from = sessions[requester].peer;
       rq.target = target;
-      rq.state = std::move(state);
-      rq.area = std::move(area);
-      rq.r = r;
+      rq.tuples = policy().GlobalStateTupleCount(state);
       rq.timeout = retry().timeout;
+      const net::Envelope env{static_cast<uint64_t>(id), rq.from, target,
+                              net::MessageKind::kQuery, 0};
+      wire::Buffer buf;
+      codec.EncodeQueryMessage(env, sessions[requester].query, state, area, r,
+                               &buf);
+      rq.frame = buf.Take();
       TransmitQuery(id);
+    }
+
+    net::Envelope QueryEnvelope(int64_t id) const {
+      const PendingRequest& rq = requests[id];
+      return net::Envelope{static_cast<uint64_t>(id), rq.from, rq.target,
+                           net::MessageKind::kQuery, rq.attempt};
+    }
+
+    net::Envelope ResponseEnvelope(int id) const {
+      const Session& s = sessions[id];
+      return net::Envelope{static_cast<uint64_t>(s.origin_req), s.peer,
+                           sessions[s.parent].peer,
+                           net::MessageKind::kResponse, 0};
+    }
+
+    net::Envelope AnswerEnvelope(size_t idx) const {
+      const PendingAnswer& a = answers[idx];
+      return net::Envelope{static_cast<uint64_t>(idx), a.from,
+                           request->initiator, net::MessageKind::kAnswer,
+                           a.attempt};
     }
 
     void TransmitQuery(int64_t id) {
       PendingRequest& rq = requests[id];
       rq.attempt += 1;
-      const uint64_t tuples = policy().GlobalStateTupleCount(rq.state);
       result.stats.messages += 1;
-      result.stats.tuples_shipped += tuples;
+      result.stats.tuples_shipped += rq.tuples;
+      result.stats.bytes_on_wire += rq.frame.size();
+      traffic.bytes_query += rq.frame.size();
+      traffic.frames += 1;
       if (profiler() != nullptr) {
-        profiler()->OnMessage(rq.from, rq.target, tuples);
+        profiler()->OnMessage(rq.from, rq.target, rq.tuples, rq.frame.size());
         if (rq.attempt > 1) profiler()->OnRetransmission(rq.from);
       }
-      Transmit(rq.from, rq.target, [this, id] { DeliverQuery(id); });
+      std::vector<uint8_t> datagram =
+          ShipDatagram(QueryEnvelope(id), std::vector<uint8_t>(rq.frame));
+      if (datagram.empty()) {
+        result.coverage.messages_lost += 1;
+      } else {
+        Transmit(rq.from, rq.target,
+                 [this, id, datagram = std::move(datagram)] {
+                   DeliverQuery(id, datagram);
+                 });
+      }
       if (ft) {
         requests[id].timer =
             timers.Arm(requests[id].timeout, [this, id] { OnTimeout(id); });
       }
     }
 
-    void DeliverQuery(int64_t id) {
+    void DeliverQuery(int64_t id, const std::vector<uint8_t>& datagram) {
       PendingRequest& rq = requests[id];
       if (ft) {
         net::DedupWindow& window = DedupOf(rq.target);
-        if (const int64_t* session = window.Lookup(static_cast<uint64_t>(id))) {
+        if (const int64_t* session =
+                window.Lookup(static_cast<uint64_t>(id))) {
           // Retransmission or network duplicate of a query we have seen:
           // answer from the reply cache, or ack that we are still on it.
           result.coverage.duplicates_suppressed += 1;
@@ -531,10 +559,31 @@ class AsyncEngine {
           }
           return;
         }
-        window.Insert(static_cast<uint64_t>(id),
-                      static_cast<int64_t>(sessions.size()));
       }
-      StartSession(rq.target, rq.state, rq.area, rq.r, rq.requester, id);
+      wire::Reader r(datagram);
+      net::Envelope env;
+      Query q{};
+      GlobalState g{};
+      Area area{};
+      int64_t hops = 0;
+      const bool ok = net::DecodeEnvelopeFrame(&r, &env) &&
+                      env.kind == net::MessageKind::kQuery &&
+                      codec.DecodeQueryPayload(&r, &q, &g, &area, &hops) &&
+                      r.ok() && r.remaining() == 0;
+      if (!ok) {
+        // Dropped: the requester's timer retransmits the byte-identical
+        // frame. The id must NOT enter the dedup window, or the (equally
+        // corrupted-looking to us, but possibly clean) retransmission
+        // would be wrongly suppressed.
+        RejectFrame();
+        return;
+      }
+      if (ft) {
+        DedupOf(rq.target).Insert(static_cast<uint64_t>(id),
+                                  static_cast<int64_t>(sessions.size()));
+      }
+      StartSession(rq.target, std::move(q), std::move(g), std::move(area),
+                   static_cast<int>(hops), rq.requester, id);
     }
 
     void OnTimeout(int64_t id) {
@@ -550,8 +599,7 @@ class AsyncEngine {
         return;
       }
       rq.strikes += 1;
-      rq.timeout = std::min(rq.timeout * retry().backoff,
-                            retry().timeout_cap);
+      rq.timeout = BackedOffTimeout(rq.timeout, retry());
       result.coverage.retries += 1;
       if (span != obs::kNoSpan) self->tracer_->span(span).retries += 1;
       TransmitQuery(id);
@@ -568,34 +616,64 @@ class AsyncEngine {
       ChildFailed(rq.requester);
     }
 
-    /// Progress ack for a request whose session is still running.
+    /// Progress ack for a request whose session is still running (a bare
+    /// 22-byte frame; charged like any other message).
     void SendAck(int64_t id) {
       PendingRequest& rq = requests[id];
       result.coverage.acks += 1;
       result.stats.messages += 1;
-      if (profiler() != nullptr) profiler()->OnMessage(rq.target, rq.from, 0);
-      Transmit(rq.target, rq.from, [this, id] {
-        PendingRequest& r = requests[id];
-        if (!r.resolved) r.strikes = 0;  // patience restored
-      });
+      const net::Envelope env{static_cast<uint64_t>(id), rq.target, rq.from,
+                              net::MessageKind::kAck, 0};
+      wire::Buffer buf;
+      const size_t bytes = codec.EncodeAckMessage(env, &buf);
+      result.stats.bytes_on_wire += bytes;
+      traffic.bytes_ack += bytes;
+      traffic.frames += 1;
+      if (profiler() != nullptr) {
+        profiler()->OnMessage(rq.target, rq.from, 0, bytes);
+      }
+      std::vector<uint8_t> datagram = ShipDatagram(env, buf.Take());
+      if (datagram.empty()) {
+        result.coverage.messages_lost += 1;
+        return;
+      }
+      Transmit(rq.target, rq.from,
+               [this, id, datagram = std::move(datagram)] {
+                 wire::Reader r(datagram);
+                 net::Envelope ack;
+                 if (!net::DecodeEnvelopeFrame(&r, &ack) ||
+                     ack.kind != net::MessageKind::kAck ||
+                     r.remaining() != 0) {
+                   RejectFrame();  // corrupted ack: silently dropped
+                   return;
+                 }
+                 PendingRequest& pending = requests[id];
+                 if (!pending.resolved) pending.strikes = 0;
+               });
     }
 
     // --- responses --------------------------------------------------------
 
-    /// Ships session `id`'s cached state bundle to its requester. Response
-    /// messages are charged one per state, and only at slow requesters
-    /// (see FinishSession); retransmissions are charged again.
+    /// Ships session `id`'s encoded reply-cache datagram to its requester.
+    /// Response messages are charged one per state frame, and only at slow
+    /// requesters (see FinishSession); retransmissions are charged again.
+    /// A fast requester's convergecast bundle still crosses the transport
+    /// (bytes exist on the wire) but stays uncharged, mirroring the
+    /// message accounting.
     void SendResponseWire(int id, bool charge_retry) {
       Session& s = sessions[id];
       const int64_t req_id = s.origin_req;
       const int parent = s.parent;
       if (!sessions[parent].fast) {
-        result.stats.messages += s.bundle_out.size();
-        for (const LocalState& st : s.bundle_out) {
-          const uint64_t tuples = policy().StateTupleCount(st);
-          result.stats.tuples_shipped += tuples;
+        result.stats.messages += s.response_parts.size();
+        for (const auto& part : s.response_parts) {
+          result.stats.tuples_shipped += part.tuples;
+          result.stats.bytes_on_wire += part.bytes;
+          traffic.bytes_response += part.bytes;
+          traffic.frames += 1;
           if (profiler() != nullptr) {
-            profiler()->OnMessage(s.peer, sessions[parent].peer, tuples);
+            profiler()->OnMessage(s.peer, sessions[parent].peer, part.tuples,
+                                  part.bytes);
           }
         }
       }
@@ -603,16 +681,22 @@ class AsyncEngine {
         result.coverage.retries += 1;
         if (profiler() != nullptr) profiler()->OnRetransmission(s.peer);
       }
+      std::vector<uint8_t> datagram = ShipDatagram(
+          ResponseEnvelope(id), std::vector<uint8_t>(s.response_frame));
+      if (datagram.empty()) {
+        result.coverage.messages_lost += 1;
+        return;
+      }
       Transmit(s.peer, sessions[parent].peer,
-               [this, req_id, bundle = s.bundle_out]() mutable {
-                 DeliverResponse(req_id, std::move(bundle));
+               [this, req_id, datagram = std::move(datagram)] {
+                 DeliverResponse(req_id, datagram);
                });
     }
 
     void SendResponse(int id) { SendResponseWire(id, /*charge_retry=*/false); }
     void ResendResponse(int id) { SendResponseWire(id, /*charge_retry=*/true); }
 
-    void DeliverResponse(int64_t req_id, std::vector<LocalState> bundle) {
+    void DeliverResponse(int64_t req_id, const std::vector<uint8_t>& datagram) {
       if (req_id < 0) return;
       PendingRequest& rq = requests[req_id];
       if (rq.resolved) {
@@ -625,6 +709,33 @@ class AsyncEngine {
         }
         return;
       }
+      // Walk the datagram's back-to-back state frames.
+      std::vector<LocalState> bundle;
+      wire::Reader r(datagram);
+      bool ok = !datagram.empty();
+      while (ok && r.remaining() > 0) {
+        wire::FrameHeader h;
+        if (!wire::DecodeFrameHeader(&r, &h) ||
+            h.tag != static_cast<uint8_t>(net::MessageKind::kResponse) ||
+            h.id != static_cast<uint64_t>(req_id)) {
+          ok = false;
+          break;
+        }
+        const size_t frame_end = r.position() + wire::FramePayloadSize(h);
+        LocalState st{};
+        if (!codec.DecodeResponsePayload(&r, &st) || !r.ok() ||
+            r.position() != frame_end) {
+          ok = false;
+          break;
+        }
+        bundle.push_back(std::move(st));
+      }
+      if (!ok) {
+        // Dropped: the requester times out, retransmits its query, and the
+        // finished callee reships the cached response bytes.
+        RejectFrame();
+        return;
+      }
       rq.resolved = true;
       if (ft) timers.Cancel(rq.timer);
       OnResponse(rq.requester, std::move(bundle));
@@ -633,16 +744,21 @@ class AsyncEngine {
     // --- answers ----------------------------------------------------------
 
     /// Answer deliveries ride a (bounded-retry) reliable channel: the
-    /// sender retransmits lost answers after the retry timeout until the
-    /// budget is spent, then the loss is recorded in coverage and the
-    /// result is flagged partial.
+    /// sender retransmits lost or corrupted answers after the retry
+    /// timeout until the budget is spent, then the loss is recorded in
+    /// coverage and the result is flagged partial.
     void SendAnswer(PeerId from, Answer&& payload, size_t tuples) {
       const size_t idx = answers.size();
       answers.push_back(PendingAnswer{});
       PendingAnswer& a = answers[idx];
       a.from = from;
-      a.payload = std::move(payload);
       a.tuples = tuples;
+      const net::Envelope env{static_cast<uint64_t>(idx), from,
+                              request->initiator, net::MessageKind::kAnswer,
+                              0};
+      wire::Buffer buf;
+      codec.EncodeAnswerMessage(env, payload, &buf);
+      a.frame = buf.Take();
       ++answers_outstanding;
       TransmitAnswer(idx);
     }
@@ -652,56 +768,88 @@ class AsyncEngine {
       a.attempt += 1;
       result.stats.messages += 1;
       result.stats.tuples_shipped += a.tuples;
+      result.stats.bytes_on_wire += a.frame.size();
+      traffic.bytes_answer += a.frame.size();
+      traffic.frames += 1;
       if (profiler() != nullptr) {
-        profiler()->OnMessage(a.from, request->initiator, a.tuples);
+        profiler()->OnMessage(a.from, request->initiator, a.tuples,
+                              a.frame.size());
         if (a.attempt > 1) profiler()->OnRetransmission(a.from);
       }
+      std::vector<uint8_t> datagram =
+          ShipDatagram(AnswerEnvelope(idx), std::vector<uint8_t>(a.frame));
+      const double base = self->latency_(a.from, request->initiator);
       if (!ft) {
         // Answer delivery rides the clock but needs no handler state.
-        const PeerId from = a.from;
-        sim.Schedule(self->latency_(from, request->initiator),
-                     [this, idx] { DeliverAnswer(idx); });
+        sim.Schedule(base, [this, idx, datagram = std::move(datagram)] {
+          DeliverAnswer(idx, datagram);
+        });
         return;
       }
-      const double base = self->latency_(a.from, request->initiator);
-      if (fault.DropMessage()) {
+      if (datagram.empty() || fault.DropMessage()) {
         result.coverage.messages_lost += 1;
-        if (a.attempt > retry().max_retries) {
-          result.coverage.answers_lost += 1;
-          SettleAnswer(idx);
-          return;
-        }
-        result.coverage.retries += 1;
-        const PeerId from = a.from;
-        timers.Arm(retry().timeout, [this, idx, from] {
-          if (answers[idx].settled) return;
-          if (fault.CrashedAt(from, sim.now())) {
-            // The sender died holding the only copy.
-            result.coverage.answers_lost += 1;
-            SettleAnswer(idx);
-            return;
-          }
-          TransmitAnswer(idx);
-        });
+        ArmAnswerRetry(idx);
         return;
       }
       const double d = fault.Jitter(base);
       if (fault.DuplicateMessage()) {
         result.coverage.messages_duplicated += 1;
         ScheduleDelivery(request->initiator, fault.Jitter(base),
-                         [this, idx] { DeliverAnswer(idx); });
+                         [this, idx, datagram] {
+                           DeliverAnswer(idx, datagram);
+                         });
       }
       ScheduleDelivery(request->initiator, d,
-                       [this, idx] { DeliverAnswer(idx); });
+                       [this, idx, datagram = std::move(datagram)] {
+                         DeliverAnswer(idx, datagram);
+                       });
     }
 
-    void DeliverAnswer(size_t idx) {
+    /// The current transmission failed (loss in transit, or the initiator
+    /// rejected corrupted bytes): retransmit after the retry timeout, or
+    /// spend the budget and record the loss.
+    void ArmAnswerRetry(size_t idx) {
+      PendingAnswer& a = answers[idx];
+      if (a.attempt > retry().max_retries) {
+        result.coverage.answers_lost += 1;
+        SettleAnswer(idx);
+        return;
+      }
+      result.coverage.retries += 1;
+      const PeerId from = a.from;
+      timers.Arm(retry().timeout, [this, idx, from] {
+        if (answers[idx].settled) return;
+        if (fault.CrashedAt(from, sim.now())) {
+          // The sender died holding the only copy.
+          result.coverage.answers_lost += 1;
+          SettleAnswer(idx);
+          return;
+        }
+        TransmitAnswer(idx);
+      });
+    }
+
+    void DeliverAnswer(size_t idx, const std::vector<uint8_t>& datagram) {
       PendingAnswer& a = answers[idx];
       if (a.settled) {
         result.coverage.duplicates_suppressed += 1;
         return;
       }
-      policy().MergeAnswer(&result.answer, std::move(a.payload),
+      wire::Reader r(datagram);
+      net::Envelope env;
+      Answer payload{};
+      const bool ok = net::DecodeEnvelopeFrame(&r, &env) &&
+                      env.kind == net::MessageKind::kAnswer &&
+                      codec.DecodeAnswerPayload(&r, &payload) && r.ok() &&
+                      r.remaining() == 0;
+      if (!ok) {
+        // The initiator saw garbage; the elided nack of the reliable
+        // answer channel becomes a sender-side retransmission.
+        RejectFrame();
+        ArmAnswerRetry(idx);
+        return;
+      }
+      policy().MergeAnswer(&result.answer, std::move(payload),
                            request->query);
       last_answer_time = std::max(last_answer_time, sim.now());
       SettleAnswer(idx);
@@ -756,6 +904,8 @@ class AsyncEngine {
   std::function<void(PeerId)> visit_observer_;
   obs::Tracer* tracer_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
+  net::Transport* transport_ = nullptr;
+  mutable net::LoopbackTransport default_transport_;
 };
 
 }  // namespace ripple

@@ -1,0 +1,53 @@
+#ifndef RIPPLE_SIM_RETRANSMIT_H_
+#define RIPPLE_SIM_RETRANSMIT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/fault.h"
+#include "overlay/types.h"
+#include "sim/session.h"
+
+namespace ripple {
+
+/// One logical query forward awaiting a response. Retransmissions reuse
+/// the entry (and its message id) and reship `frame` — the encoded wire
+/// frame of the first attempt — so every copy is byte-identical and
+/// receiver-side dedup-by-id is sound. Snapshotting bytes instead of
+/// typed (state, area) copies is also what makes this struct independent
+/// of the engine's template parameters.
+struct PendingRequest {
+  int requester = kNoSession;  // session waiting for the response
+  PeerId from = kInvalidPeer;
+  PeerId target = kInvalidPeer;
+  std::vector<uint8_t> frame;  // encoded query frame (byte snapshot)
+  uint64_t tuples = 0;         // global-state tuples charged per attempt
+  int attempt = 0;             // transmissions so far
+  int strikes = 0;             // consecutive timeouts without response/ack
+  double timeout = 0;          // current (backed-off) patience
+  bool resolved = false;       // response consumed, or given up
+  bool failed = false;         // given up after the retry budget
+  uint64_t timer = 0;          // live TimerWheel handle
+};
+
+/// One answer delivery to the initiator, with sender-side retransmission
+/// on loss or corruption (the answer channel models a reliable transport
+/// whose acks/nacks are elided from the accounting; retransmissions are
+/// not). Same byte-snapshot discipline as PendingRequest.
+struct PendingAnswer {
+  PeerId from = kInvalidPeer;
+  std::vector<uint8_t> frame;  // encoded answer frame (byte snapshot)
+  size_t tuples = 0;
+  int attempt = 0;
+  bool settled = false;  // delivered once, or lost for good
+};
+
+/// The retry discipline's capped exponential backoff.
+inline double BackedOffTimeout(double current, const net::RetryOptions& r) {
+  return std::min(current * r.backoff, r.timeout_cap);
+}
+
+}  // namespace ripple
+
+#endif  // RIPPLE_SIM_RETRANSMIT_H_

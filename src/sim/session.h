@@ -1,0 +1,112 @@
+#ifndef RIPPLE_SIM_SESSION_H_
+#define RIPPLE_SIM_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/trace.h"
+#include "overlay/types.h"
+
+namespace ripple {
+
+/// Session indices are small ints; the root session has no parent.
+inline constexpr int kNoSession = -1;
+/// Message-id space for query forwards; the root session was spawned by
+/// no request.
+inline constexpr int64_t kNoRequest = -1;
+
+/// One activation of the per-peer RIPPLE procedure inside the async
+/// engine (each peer is activated at most once per query thanks to
+/// disjoint restriction areas and the dedup windows).
+///
+/// The session owns its *decoded* query: every message crosses an
+/// encode/decode boundary (docs/WIRE.md), so policy calls at this peer run
+/// on what actually came off the wire, not on the initiator's in-memory
+/// request. The root session copies the request's query directly.
+template <typename Policy, typename Area>
+struct Session {
+  using Query = typename Policy::Query;
+  using LocalState = typename Policy::LocalState;
+  using GlobalState = typename Policy::GlobalState;
+
+  PeerId peer = kInvalidPeer;
+  Query query{};            // Q as decoded at this peer
+  GlobalState incoming{};   // S^G as received
+  GlobalState global{};     // S^G_w, updated between iterations
+  LocalState local{};       // S^L_w
+  Area area{};
+  int r = 0;
+  int parent = kNoSession;  // session index to respond to; -1 == root
+  int64_t origin_req = kNoRequest;  // request id that spawned us
+
+  // Slow phase: prioritized candidates still to consider.
+  struct Candidate {
+    PeerId target;
+    Area area;
+    double priority;
+  };
+  std::vector<Candidate> pending;
+  size_t next_candidate = 0;
+
+  // Fast phase: responses still expected before this session closes.
+  int outstanding_children = 0;
+  // Fast phase: state bundle accumulated for the slow ancestor.
+  std::vector<LocalState> bundle;
+  bool fast = false;
+  bool finished = false;
+
+  // Reply cache: the encoded response datagram this session reported
+  // (one frame per state, docs/WIRE.md), kept so a retransmitted query
+  // can be answered byte-identically without re-execution.
+  // `response_parts` mirrors the datagram frame by frame with the sizes
+  // and tuple counts the accounting charges per (re)transmission.
+  struct ResponsePart {
+    size_t bytes = 0;
+    uint64_t tuples = 0;
+  };
+  std::vector<uint8_t> response_frame;
+  std::vector<ResponsePart> response_parts;
+
+  // Trace span of this session (kNoSpan when tracing is off).
+  uint32_t span = obs::kNoSpan;
+};
+
+/// The async engine's session bookkeeping: a dense table indexed by
+/// session id, plus the open-session count termination rides on.
+/// Create() may reallocate — references into the table follow the same
+/// rule as any vector: re-index after anything that can open a session.
+template <typename Policy, typename Area>
+class SessionTable {
+ public:
+  using Session = ripple::Session<Policy, Area>;
+
+  /// Opens a new session and returns its id.
+  int Create() {
+    sessions_.emplace_back();
+    ++open_;
+    return static_cast<int>(sessions_.size()) - 1;
+  }
+
+  /// Closes an open session (it stays addressable; its reply cache and
+  /// `finished` flag keep serving retransmitted queries).
+  void Close(int id) {
+    RIPPLE_CHECK(!sessions_[id].finished && "session closed twice");
+    sessions_[id].finished = true;
+    --open_;
+  }
+
+  Session& operator[](int id) { return sessions_[id]; }
+  const Session& operator[](int id) const { return sessions_[id]; }
+  size_t size() const { return sessions_.size(); }
+  int open() const { return open_; }
+
+ private:
+  std::vector<Session> sessions_;
+  int open_ = 0;
+};
+
+}  // namespace ripple
+
+#endif  // RIPPLE_SIM_SESSION_H_

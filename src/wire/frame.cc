@@ -1,0 +1,39 @@
+#include "wire/frame.h"
+
+namespace ripple::wire {
+
+size_t BeginFrame(Buffer* buf, uint8_t tag, uint64_t id, uint32_t from,
+                  uint32_t to) {
+  const size_t start = buf->size();
+  buf->PutFixed32(0);  // length, patched by EndFrame
+  buf->PutU8(kWireVersion);
+  buf->PutU8(tag);
+  buf->PutFixed64(id);
+  buf->PutFixed32(from);
+  buf->PutFixed32(to);
+  return start;
+}
+
+void EndFrame(Buffer* buf, size_t frame_start) {
+  buf->WriteFixed32At(frame_start,
+                      static_cast<uint32_t>(buf->size() - frame_start - 4));
+}
+
+bool DecodeFrameHeader(Reader* r, FrameHeader* out) {
+  out->length = r->Fixed32();
+  out->version = r->U8();
+  out->tag = r->U8();
+  out->id = r->Fixed64();
+  out->from = r->Fixed32();
+  out->to = r->Fixed32();
+  if (!r->ok()) return false;
+  if (out->version != kWireVersion || out->tag > kMaxMessageTag ||
+      out->length < kFrameHeaderSize - 4 ||
+      out->length - (kFrameHeaderSize - 4) > r->remaining()) {
+    r->Fail();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ripple::wire

@@ -1,0 +1,65 @@
+#ifndef RIPPLE_WIRE_FRAME_H_
+#define RIPPLE_WIRE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wire/buffer.h"
+
+namespace ripple::wire {
+
+/// Schema version stamped into every frame. Bump on any incompatible
+/// change to a payload format (docs/WIRE.md is the spec); decoders reject
+/// frames from other versions.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Highest message-type tag a frame may carry. The values mirror
+/// net::MessageKind (query=0, response=1, ack=2, answer=3); envelope.h
+/// static_asserts the two stay in sync.
+inline constexpr uint8_t kMaxMessageTag = 3;
+
+/// Fixed frame header, in wire order:
+///
+///   [u32 length][u8 version][u8 tag][u64 msg id][u32 from][u32 to]
+///
+/// `length` counts every byte after the length field itself (header tail +
+/// payload), so a datagram of concatenated frames can be walked without
+/// knowing the payload formats. Ids and peer ids are fixed-width on
+/// purpose: frame sizes must not depend on how an engine assigns message
+/// ids, or the two engines' byte accounting would diverge.
+inline constexpr size_t kFrameHeaderSize = 4 + 1 + 1 + 8 + 4 + 4;
+
+struct FrameHeader {
+  uint32_t length = 0;  // bytes after the length field
+  uint8_t version = kWireVersion;
+  uint8_t tag = 0;
+  uint64_t id = 0;
+  uint32_t from = 0;
+  uint32_t to = 0;
+};
+
+/// Appends a frame header with a zero length placeholder; returns the
+/// frame's start offset for EndFrame. The caller appends the payload, then
+/// calls EndFrame to patch the length.
+size_t BeginFrame(Buffer* buf, uint8_t tag, uint64_t id, uint32_t from,
+                  uint32_t to);
+
+/// Patches the length field of the frame begun at `frame_start` to cover
+/// everything appended since.
+void EndFrame(Buffer* buf, size_t frame_start);
+
+/// Reads and validates one frame header: enough bytes for the fixed
+/// header, a known version, a known tag, and a length the buffer actually
+/// holds. On success the reader is positioned at the payload and the
+/// declared payload is guaranteed present; on failure the reader is
+/// failed. Returns Reader::ok().
+bool DecodeFrameHeader(Reader* r, FrameHeader* out);
+
+/// Payload bytes of a decoded header (length minus the header tail).
+inline size_t FramePayloadSize(const FrameHeader& h) {
+  return h.length - (kFrameHeaderSize - 4);
+}
+
+}  // namespace ripple::wire
+
+#endif  // RIPPLE_WIRE_FRAME_H_

@@ -89,10 +89,13 @@ void CrossValidate(const Net& net, const Query& q, RippleParam r,
   for (size_t i = 0; i < sync.answer.size(); ++i) {
     EXPECT_EQ(async.answer[i].id, sync.answer[i].id);
   }
-  // Identical work.
+  // Identical work — including the encoded bytes both engines charge
+  // through the shared WireCodec.
   EXPECT_EQ(async.stats.peers_visited, sync.stats.peers_visited);
   EXPECT_EQ(async.stats.messages, sync.stats.messages);
   EXPECT_EQ(async.stats.tuples_shipped, sync.stats.tuples_shipped);
+  EXPECT_EQ(async.stats.bytes_on_wire, sync.stats.bytes_on_wire);
+  EXPECT_GT(async.stats.bytes_on_wire, 0u);
   // Message time covers at least the forward hops the lemmas count.
   EXPECT_GE(async.completion_time,
             static_cast<double>(sync.stats.latency_hops));

@@ -24,6 +24,12 @@ Metric classes:
 Cases present only in the fresh run are reported as additions (a warning,
 not a failure) so adding a bench never breaks the gate; removing one does.
 
+Schema v2 adds bytes_on_wire_mean (real serialized frame bytes) to every
+query case. The gate enforces the measurement is wired up: a fresh case
+that moved messages (messages_mean > 0) must report a non-zero
+bytes_on_wire_mean — a frame is never smaller than its 22-byte header,
+so zero bytes with non-zero messages means the byte accounting broke.
+
 Usage:
   tools/bench_check.py --baseline <dir> --fresh <dir> [--suite figs]...
                        [--rtol 0.10] [--atol 0.5] [--list]
@@ -115,6 +121,21 @@ def check_floors(suite, fresh, failures, notes):
                     f"{floor:g}")
 
 
+def check_bytes_on_wire(suite, fresh, failures):
+    """Intra-document rule: messages moved => bytes were measured."""
+    for case_id in sorted(fresh.get("cases", {})):
+        metrics = fresh["cases"][case_id]
+        messages = metrics.get("messages_mean")
+        if not isinstance(messages, (int, float)) or messages <= 0:
+            continue
+        bytes_mean = metrics.get("bytes_on_wire_mean")
+        if not isinstance(bytes_mean, (int, float)) or bytes_mean <= 0:
+            failures.append(
+                f"[{suite}] {case_id}: messages_mean={messages:g} but "
+                f"bytes_on_wire_mean={bytes_mean} — messages moved without "
+                f"measured wire bytes")
+
+
 def diff_suite(suite, base, fresh, rtol, atol, failures, notes):
     base_cases = base.get("cases", {})
     fresh_cases = fresh.get("cases", {})
@@ -204,6 +225,7 @@ def main():
             continue
         diff_suite(suite, base, fresh, args.rtol, args.atol, failures, notes)
         check_floors(suite, fresh, failures, notes)
+        check_bytes_on_wire(suite, fresh, failures)
         compared += len(base.get("cases", {}))
         if args.list:
             for case_id in sorted(base.get("cases", {})):

@@ -10,7 +10,11 @@ Builds a synthetic baseline BENCH_figs.json in a temp dir, then checks:
   6. an extra new case is a warning only (exit 0);
   7. a fresh wall metric meeting its wall_floor_ sibling passes (exit 0);
   8. a fresh wall metric below its wall_floor_ sibling fails (exit 1);
-  9. a declared floor whose target metric is absent fails (exit 1).
+  9. a declared floor whose target metric is absent fails (exit 1);
+  10. a case that moved messages but reports zero bytes_on_wire_mean
+      fails (exit 1);
+  11. a case that moved messages with bytes_on_wire_mean absent
+      entirely fails (exit 1).
 
 Registered in ctest (label: unit) so the regression gate itself is under
 test. Stdlib only.
@@ -27,7 +31,7 @@ CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                        "bench_check.py")
 
 BASELINE = {
-    "schema_version": 1,
+    "schema_version": 2,
     "suite": "figs",
     "meta": {
         "git_sha": "deadbee",
@@ -39,12 +43,14 @@ BASELINE = {
         "figure-4/query/n=256/r=0": {
             "latency_hops_mean": 9.125,
             "messages_mean": 28.625,
+            "bytes_on_wire_mean": 2216.5,
             "load_gini": 0.871,
             "wall_ms_p50": 0.078,
         },
         "figure-4/query/n=256/r=D": {
             "latency_hops_mean": 23.75,
             "messages_mean": 48.0,
+            "bytes_on_wire_mean": 3511.25,
         },
     },
 }
@@ -120,7 +126,10 @@ def main():
         expect("scale config mismatch fails", code, 1, out)
 
         fresh = copy.deepcopy(BASELINE)
-        fresh["cases"]["figure-4/query/n=512/r=0"] = {"messages_mean": 1.0}
+        fresh["cases"]["figure-4/query/n=512/r=0"] = {
+            "messages_mean": 1.0,
+            "bytes_on_wire_mean": 117.0,
+        }
         fresh_dir = os.path.join(tmp, "extra")
         write(fresh_dir, fresh)
         code, out = run_check(base_dir, fresh_dir)
@@ -158,6 +167,29 @@ def main():
         write(fresh_dir, fresh)
         code, out = run_check(floor_base, fresh_dir)
         expect("floor without its target metric fails", code, 1, out)
+
+        # Bytes rule: messages moved => non-zero bytes_on_wire_mean. Zero
+        # bytes means the measurement broke (a frame is never free); only
+        # the within-tolerance drift check would miss it if the baseline
+        # were also zero, so the gate checks the fresh document directly.
+        fresh = copy.deepcopy(BASELINE)
+        case = fresh["cases"]["figure-4/query/n=256/r=0"]
+        case["bytes_on_wire_mean"] = 0.0
+        fresh_dir = os.path.join(tmp, "bytes_zero")
+        write(fresh_dir, fresh)
+        code, out = run_check(base_dir, fresh_dir)
+        expect("messages without wire bytes fails", code, 1, out)
+        if "bytes_on_wire_mean" not in out:
+            print(f"bench_gate_test FAIL: bytes failure does not name the "
+                  f"metric\n{out}")
+            sys.exit(1)
+
+        fresh = copy.deepcopy(BASELINE)
+        del fresh["cases"]["figure-4/query/n=256/r=D"]["bytes_on_wire_mean"]
+        fresh_dir = os.path.join(tmp, "bytes_absent")
+        write(fresh_dir, fresh)
+        code, out = run_check(base_dir, fresh_dir)
+        expect("absent bytes_on_wire_mean fails", code, 1, out)
 
     print("bench_gate_test: all scenarios behaved")
 

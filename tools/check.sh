@@ -7,6 +7,7 @@
 #   tools/check.sh undefined  # UBSan
 #   tools/check.sh thread     # TSan over the concurrent executor tests
 #   tools/check.sh address tests/obs_test   # limit ctest to a regex
+#   tools/check.sh wire       # wire codec/transport suite, ASan then UBSan
 #   tools/check.sh --bench    # bench smoke suite + BENCH_*.json gate
 #
 # The sanitized build lives in build-san-<kind> next to the regular
@@ -38,6 +39,25 @@ if [[ "${1:-}" == "--bench" ]]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -L bench_smoke
   python3 tools/bench_check.py --baseline . --fresh "$BUILD_DIR/bench_json"
   echo "check.sh: bench gate clean"
+  exit 0
+fi
+
+# wire: the serialization/transport suite (ctest label `wire`) under
+# both memory-facing sanitizers. Decoders are the code that reads
+# attacker-shaped bytes, so they get the strictest harness: ASan for
+# the buffer-overrun class, UBSan for the integer/shift class.
+if [[ "${1:-}" == "wire" ]]; then
+  for kind in address undefined; do
+    BUILD_DIR="build-san-$kind"
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DRIPPLE_SANITIZE="$kind" \
+      -DRIPPLE_BUILD_BENCHMARKS=OFF \
+      -DRIPPLE_BUILD_EXAMPLES=OFF
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -L wire
+  done
+  echo "check.sh: wire suite clean under address+undefined"
   exit 0
 fi
 
