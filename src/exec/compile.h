@@ -39,6 +39,11 @@ struct CompileOptions {
   net::FaultOptions fault;
   /// Retry discipline for async jobs under faults.
   net::RetryOptions retry;
+  /// Head-based trace sampling probability in [0, 1]. The decision is
+  /// drawn per item from the item's own stream (thread-count invariant)
+  /// and stamped into QueryRequest::trace_id — 0 keeps every query
+  /// unsampled.
+  double trace_sample = 0.0;
 };
 
 /// A compiled workload: the jobs plus the scorer storage they borrow from.
@@ -59,7 +64,8 @@ inline uint64_t ItemSeed(uint64_t seed, size_t index) {
          (static_cast<uint64_t>(index) + 1) * 0x517cc1b727220a95ULL;
 }
 
-inline JobResult ToJobResult(QueryResult<TupleVec> result, PeerId initiator) {
+inline JobResult ToJobResult(QueryResult<TupleVec> result, PeerId initiator,
+                             uint64_t trace_id) {
   JobResult jr;
   jr.answer = std::move(result.answer);
   jr.stats = result.stats;
@@ -67,6 +73,7 @@ inline JobResult ToJobResult(QueryResult<TupleVec> result, PeerId initiator) {
   jr.complete = result.complete;
   jr.completion_time = result.completion_time;
   jr.initiator = initiator;
+  jr.trace_id = trace_id;
   return jr;
 }
 
@@ -80,6 +87,7 @@ inline JobResult ToJobResult(QueryResult<TupleVec> result, PeerId initiator) {
 template <typename EngineT>
 void WireEngine(EngineT* engine, JobContext& ctx) {
   engine->SetProfiler(ctx.profiler);
+  engine->SetJournal(ctx.journal);
   if (ctx.load != nullptr) {
     SharedLoadTable* load = ctx.load;
     engine->SetVisitObserver([load](PeerId p) { load->Charge(p); });
@@ -101,6 +109,14 @@ QueryRequest<Policy> MakeRequest(PeerId initiator,
     req.fault = opts.fault;
     req.fault.seed = ItemSeed(opts.seed, index) ^ 0x5bf03635ULL;
   }
+  if (opts.trace_sample > 0.0) {
+    // Head sampling: one decision per query, taken here (the initiator),
+    // honored by every peer because the id rides the v2 frame header.
+    Rng trng(ItemSeed(opts.seed, index) ^ 0x7ace1dULL);
+    if (trng.UniformDouble() < opts.trace_sample) {
+      req.trace_id = ItemSeed(opts.seed, index) | 1ULL;  // nonzero
+    }
+  }
   return req;
 }
 
@@ -120,11 +136,12 @@ Job MakeJob(const Overlay& overlay, typename Policy::Query query,
     if (opts.async) {
       AsyncEngine<Overlay, Policy> engine(&overlay, Policy{});
       WireEngine(&engine, ctx);
-      return ToJobResult(driver(overlay, engine, req), initiator);
+      return ToJobResult(driver(overlay, engine, req), initiator,
+                         req.trace_id);
     }
     Engine<Overlay, Policy> engine(&overlay, Policy{});
     WireEngine(&engine, ctx);
-    return ToJobResult(driver(overlay, engine, req), initiator);
+    return ToJobResult(driver(overlay, engine, req), initiator, req.trace_id);
   };
   return job;
 }

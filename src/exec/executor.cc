@@ -55,30 +55,6 @@ struct ExecInstruments {
   }
 };
 
-/// Freezes the process-global obs hooks for the parallel section. The
-/// global Profiler and the registry's create-on-first-use map are
-/// single-threaded by contract; overlay routing hooks would feed them
-/// from every worker if left enabled.
-class GlobalObsFreeze {
- public:
-  GlobalObsFreeze()
-      : profiler_was_on_(obs::Profiler::GlobalEnabled()),
-        registry_was_on_(obs::Registry::GlobalEnabled()) {
-    obs::Profiler::EnableGlobal(false);
-    obs::Registry::EnableGlobal(false);
-  }
-  ~GlobalObsFreeze() {
-    obs::Profiler::EnableGlobal(profiler_was_on_);
-    obs::Registry::EnableGlobal(registry_was_on_);
-  }
-  GlobalObsFreeze(const GlobalObsFreeze&) = delete;
-  GlobalObsFreeze& operator=(const GlobalObsFreeze&) = delete;
-
- private:
-  bool profiler_was_on_;
-  bool registry_was_on_;
-};
-
 }  // namespace
 
 std::string WorkloadResult::Summary() const {
@@ -119,6 +95,11 @@ WorkloadResult Executor::Run(const std::vector<Job>& jobs,
   }
   std::vector<obs::Profiler> profilers(threads);
   tracers_.assign(threads, obs::Tracer());
+  if (options_.journal != nullptr) {
+    // Worker tracers mirror their admission spans into the shared journal
+    // (each span is journaled under the trace id of the job it wraps).
+    for (obs::Tracer& t : tracers_) t.SetJournal(options_.journal);
+  }
 
   std::vector<std::unique_ptr<BoundedQueue<Task>>> queues;
   queues.reserve(threads);
@@ -137,6 +118,7 @@ WorkloadResult Executor::Run(const std::vector<Job>& jobs,
     ctx.profiler = &profilers[w];
     ctx.tracer = options_.collect_spans ? &tracers_[w] : nullptr;
     ctx.load = &load;
+    ctx.journal = options_.journal;
 
     Task task;
     while (queues[w]->Pop(&task)) {
@@ -168,10 +150,17 @@ WorkloadResult Executor::Run(const std::vector<Job>& jobs,
       out.complete = r.complete;
       out.completion_time = r.completion_time;
       out.initiator = r.initiator;
+      out.trace_id = r.trace_id;
       out.run_ms = MsBetween(popped, done);
       out.total_ms = MsBetween(task.admitted, done);
 
+      if (options_.slow_log != nullptr) {
+        options_.slow_log->Observe(job.label, out.trace_id, out.total_ms,
+                                   MsBetween(t0, done), out.trace_id != 0);
+      }
+
       if (ctx.tracer != nullptr) {
+        ctx.tracer->set_trace_id(out.trace_id);
         const uint32_t id = ctx.tracer->StartSpan(
             static_cast<uint32_t>(out.initiator), obs::kNoSpan,
             obs::SpanKind::kAdmission, 0, MsBetween(t0, task.admitted));
@@ -188,14 +177,27 @@ WorkloadResult Executor::Run(const std::vector<Job>& jobs,
     }
   };
 
+  // Periodic registry snapshots are driven from this (single) admission
+  // thread; Capture goes through the registry's locked value reads, so
+  // racing worker-side metric creation is safe.
+  const bool snapshotting =
+      options_.snapshots != nullptr && options_.snapshot_every_ms > 0.0;
+  double next_snapshot_ms = 0.0;
+  auto maybe_snapshot = [&] {
+    if (!snapshotting) return;
+    const double now_ms = MsBetween(t0, Clock::now());
+    if (now_ms >= next_snapshot_ms) {
+      options_.snapshots->Capture(now_ms);
+      next_snapshot_ms = now_ms + options_.snapshot_every_ms;
+    }
+  };
+
   std::vector<std::thread> pool;
   pool.reserve(threads);
   {
-    // Freeze only once the instruments above are resolved; destructor
-    // restores after every worker has joined.
-    GlobalObsFreeze freeze;
     for (int w = 0; w < threads; ++w) pool.emplace_back(worker_fn, w);
 
+    maybe_snapshot();  // the t=0 baseline capture
     for (size_t i = 0; i < jobs.size(); ++i) {
       if (options_.qps_target > 0.0) {
         const auto due =
@@ -216,9 +218,15 @@ WorkloadResult Executor::Run(const std::vector<Job>& jobs,
         ins.queue_depth->Set(
             static_cast<double>(queued.load(std::memory_order_relaxed)));
       }
+      maybe_snapshot();
     }
     for (auto& q : queues) q->Close();
     for (std::thread& t : pool) t.join();
+    if (snapshotting) {
+      // Final capture after the drain, so the last window covers the
+      // tail of the workload.
+      options_.snapshots->Capture(MsBetween(t0, Clock::now()));
+    }
   }
 
   result.wall_s = MsBetween(t0, Clock::now()) / 1000.0;

@@ -12,6 +12,7 @@
 #include "net/metrics.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "overlay/types.h"
 #include "store/tuple.h"
@@ -44,6 +45,21 @@ struct ExecutorOptions {
   /// worker's tracer (see Executor::worker_tracers). Off by default: spans
   /// cost memory per query and the histograms carry the same latencies.
   bool collect_spans = false;
+  /// Windowed metrics: when `snapshots` is set and `snapshot_every_ms`
+  /// > 0, the admission thread captures the series at that wall-clock
+  /// period (plus one initial and one final capture). Caller owns the
+  /// series.
+  obs::SnapshotSeries* snapshots = nullptr;
+  double snapshot_every_ms = 0.0;
+  /// Slow-query log: executed queries whose admission-to-completion
+  /// latency crosses the log's threshold are recorded (force-sampled
+  /// even when head sampling skipped them). Caller owns the log.
+  obs::SlowQueryLog* slow_log = nullptr;
+  /// Per-peer event journal shared by every worker (obs::JournalSet is
+  /// thread-safe). Jobs wire it into their engines via
+  /// JobContext::journal; worker tracers mirror admission spans into it
+  /// for head-sampled queries. Caller owns the set.
+  obs::JournalSet* journal = nullptr;
 };
 
 /// Everything a job may touch that belongs to the worker running it. All
@@ -61,6 +77,9 @@ struct JobContext {
   obs::Tracer* tracer = nullptr;
   /// Live per-peer visit counts shared across workers (sharded mutexes).
   SharedLoadTable* load = nullptr;
+  /// The shared per-peer event journal from ExecutorOptions::journal, or
+  /// null. Jobs attach it to the engines they build.
+  obs::JournalSet* journal = nullptr;
 };
 
 /// What one executed query reports back to the executor.
@@ -73,6 +92,9 @@ struct JobResult {
   double completion_time = 0.0;
   /// The peer the query entered the network at (span/debug labeling).
   PeerId initiator = kInvalidPeer;
+  /// The query's trace id (0 = not head-sampled); feeds the slow-query
+  /// log so slow entries can link to their distributed trace.
+  uint64_t trace_id = 0;
 };
 
 /// One unit of admitted work: a closure over a compiled QueryRequest (see
@@ -102,6 +124,7 @@ struct QueryOutcome {
   /// query never ran, `answer` is empty and `complete` is false.
   bool shed = false;
   PeerId initiator = kInvalidPeer;
+  uint64_t trace_id = 0;
   TupleVec answer;
   QueryStats stats;
   net::Coverage coverage;
@@ -154,10 +177,13 @@ struct WorkloadResult {
 ///
 /// Threading model and tuning guide: docs/EXECUTOR.md. The overlay being
 /// queried is shared read-only across workers — engines never mutate it —
-/// while all per-query mutable state lives in the job or its worker.
-/// Run() additionally freezes the process-global obs hooks for the
-/// duration of the parallel section (they are single-threaded by
-/// contract) and restores them before returning.
+/// while all per-query mutable state lives in the job or its worker. The
+/// process-global obs hooks stay live through the parallel section:
+/// Counter/Gauge/Histogram mutation is atomic or internally locked, the
+/// registry's create-on-first-use map and the global profiler feed are
+/// mutex-guarded, so worker-side engine runs (coverage/traffic metrics,
+/// bootstrap routing) land in the global registry instead of being
+/// silently dropped.
 class Executor {
  public:
   explicit Executor(ExecutorOptions options) : options_(options) {

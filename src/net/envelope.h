@@ -32,13 +32,16 @@ inline const char* MessageKindName(MessageKind k) {
 
 /// Identity of one logical message. Retransmissions reuse the id (that is
 /// what makes receiver-side dedup and reply caching work); `attempt` only
-/// distinguishes copies for tracing.
+/// distinguishes copies for tracing. `trace` is the query's trace context
+/// (stamped into the v2 frame header, so it survives a process boundary);
+/// retransmissions carry the original's context.
 struct Envelope {
   uint64_t id = 0;
   PeerId from = kInvalidPeer;
   PeerId to = kInvalidPeer;
   MessageKind kind = MessageKind::kQuery;
   int attempt = 0;
+  wire::TraceContext trace;
 };
 
 // The frame tag byte IS the MessageKind value; keep the two in sync.
@@ -51,19 +54,29 @@ static_assert(static_cast<uint8_t>(MessageKind::kAnswer) ==
 /// receivers dedup by id). Returns the frame start for wire::EndFrame.
 inline size_t BeginEnvelopeFrame(const Envelope& env, wire::Buffer* buf) {
   return wire::BeginFrame(buf, static_cast<uint8_t>(env.kind), env.id,
-                          env.from, env.to);
+                          env.from, env.to, env.trace);
 }
 
-/// Decodes one frame header into an envelope. False (reader failed) on
-/// truncation, version mismatch or an unknown kind tag.
-inline bool DecodeEnvelopeFrame(wire::Reader* r, Envelope* env) {
+/// Decodes one frame header into an envelope, reporting why it failed
+/// (truncation vs a semantic rejection — the split net.frames_truncated /
+/// net.frames_rejected counters need the distinction). A v1 frame decodes
+/// with an empty trace context.
+inline wire::FrameError DecodeEnvelopeFrameEx(wire::Reader* r,
+                                              Envelope* env) {
   wire::FrameHeader h;
-  if (!wire::DecodeFrameHeader(r, &h)) return false;
+  const wire::FrameError err = wire::DecodeFrameHeaderEx(r, &h);
+  if (err != wire::FrameError::kOk) return err;
   env->id = h.id;
   env->from = h.from;
   env->to = h.to;
   env->kind = static_cast<MessageKind>(h.tag);
-  return true;
+  env->trace = h.trace;
+  return wire::FrameError::kOk;
+}
+
+/// Boolean wrapper for callers that do not need the failure reason.
+inline bool DecodeEnvelopeFrame(wire::Reader* r, Envelope* env) {
+  return DecodeEnvelopeFrameEx(r, env) == wire::FrameError::kOk;
 }
 
 /// A bounded map of recently seen message ids -> small payload (a session

@@ -7,17 +7,18 @@
 namespace ripple::net {
 
 std::string WireTraffic::ToString() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "bytes=%llu (query=%llu response=%llu answer=%llu ack=%llu) "
-                "frames=%llu rejected=%llu",
+                "frames=%llu rejected=%llu truncated=%llu",
                 static_cast<unsigned long long>(total()),
                 static_cast<unsigned long long>(bytes_query),
                 static_cast<unsigned long long>(bytes_response),
                 static_cast<unsigned long long>(bytes_answer),
                 static_cast<unsigned long long>(bytes_ack),
                 static_cast<unsigned long long>(frames),
-                static_cast<unsigned long long>(frames_rejected));
+                static_cast<unsigned long long>(frames_rejected),
+                static_cast<unsigned long long>(frames_truncated));
   return buf;
 }
 
@@ -31,6 +32,7 @@ void RecordTrafficMetrics(const WireTraffic& t) {
   reg.GetCounter("net.bytes_total").Inc(t.total());
   reg.GetCounter("net.frames_shipped").Inc(t.frames);
   reg.GetCounter("net.frames_rejected").Inc(t.frames_rejected);
+  reg.GetCounter("net.frames_truncated").Inc(t.frames_truncated);
 }
 
 }  // namespace ripple::net

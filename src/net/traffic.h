@@ -19,8 +19,12 @@ struct WireTraffic {
   /// states counts n frames).
   uint64_t frames = 0;
   /// Received datagrams that failed to decode (corruption on the wire);
-  /// always 0 on a loopback transport.
+  /// always 0 on a loopback transport. Truncation (not enough bytes to
+  /// back the header or its declared payload) counts separately in
+  /// frames_truncated; frames_rejected covers the semantic rejections
+  /// (bad version, bad tag, payload decode failure).
   uint64_t frames_rejected = 0;
+  uint64_t frames_truncated = 0;
 
   uint64_t total() const {
     return bytes_query + bytes_response + bytes_answer + bytes_ack;
@@ -33,6 +37,7 @@ struct WireTraffic {
     bytes_ack += o.bytes_ack;
     frames += o.frames;
     frames_rejected += o.frames_rejected;
+    frames_truncated += o.frames_truncated;
     return *this;
   }
 

@@ -1,0 +1,164 @@
+#include "obs/assemble.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+
+namespace ripple::obs {
+
+namespace {
+
+// Key for matching a frame's send events against its recv events. The
+// message id alone is not enough: a query and its response reuse ids in
+// some engines' numbering, so the kind disambiguates.
+struct MsgKey {
+  uint64_t id;
+  uint8_t kind;
+
+  bool operator<(const MsgKey& o) const {
+    return id != o.id ? id < o.id : kind < o.kind;
+  }
+};
+
+// One span under reconstruction: where its begin/end events were seen
+// (journal index, for clock offsets) and the events themselves.
+struct PendingSpan {
+  const JournalEvent* begin = nullptr;
+  const JournalEvent* end = nullptr;
+  size_t begin_journal = 0;
+  size_t end_journal = 0;
+};
+
+}  // namespace
+
+Result<AssembleReport> AssembleJournals(
+    const std::vector<PeerJournal>& journals) {
+  AssembleReport report;
+  report.clock_offsets.assign(journals.size(), 0.0);
+
+  // --- 1. Lamport clock alignment over matched send/recv pairs. -------
+  // For every (msg id, kind) take the earliest send and earliest recv
+  // (retransmissions and injected duplicates make later copies
+  // ambiguous; the earliest pair is always causally ordered). Raise the
+  // receiver journal's offset until recv >= send, to a fixpoint. On
+  // journals that already share one clock every constraint holds at
+  // offset 0 and timestamps pass through bit-identical.
+  struct SendRecv {
+    double send_t = 0.0, recv_t = 0.0;
+    size_t send_j = 0, recv_j = 0;
+    bool has_send = false, has_recv = false;
+  };
+  std::map<MsgKey, SendRecv> pairs;
+  for (size_t j = 0; j < journals.size(); ++j) {
+    report.dropped += journals[j].dropped;
+    for (const JournalEvent& e : journals[j].events) {
+      if (e.kind == JournalEventKind::kCrash) report.crashes += 1;
+      if (e.trace_id == 0) continue;
+      if (e.kind == JournalEventKind::kFrameSend ||
+          e.kind == JournalEventKind::kRetransmit) {
+        SendRecv& sr = pairs[{e.msg_id, e.msg_kind}];
+        if (!sr.has_send || e.sim_time < sr.send_t) {
+          sr.send_t = e.sim_time;
+          sr.send_j = j;
+          sr.has_send = true;
+        }
+      } else if (e.kind == JournalEventKind::kFrameRecv) {
+        SendRecv& sr = pairs[{e.msg_id, e.msg_kind}];
+        if (!sr.has_recv || e.sim_time < sr.recv_t) {
+          sr.recv_t = e.sim_time;
+          sr.recv_j = j;
+          sr.has_recv = true;
+        }
+      }
+    }
+  }
+  for (const auto& [key, sr] : pairs) {
+    if (sr.has_send && !sr.has_recv) report.unmatched_sends += 1;
+  }
+  for (int pass = 0; pass < 64; ++pass) {
+    bool changed = false;
+    for (const auto& [key, sr] : pairs) {
+      if (!sr.has_send || !sr.has_recv || sr.send_j == sr.recv_j) continue;
+      const double send = sr.send_t + report.clock_offsets[sr.send_j];
+      const double recv = sr.recv_t + report.clock_offsets[sr.recv_j];
+      if (recv < send) {
+        report.clock_offsets[sr.recv_j] += send - recv;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // --- 2. Collect spans keyed (trace id, span id). --------------------
+  // A span that ended twice keeps the last end event, matching the
+  // tracer's overwrite semantics.
+  std::map<uint64_t, std::map<uint32_t, PendingSpan>> traces;
+  for (size_t j = 0; j < journals.size(); ++j) {
+    for (const JournalEvent& e : journals[j].events) {
+      if (e.trace_id == 0) continue;
+      if (e.kind == JournalEventKind::kSpanBegin) {
+        PendingSpan& p = traces[e.trace_id][e.span];
+        if (p.begin == nullptr) {
+          p.begin = &e;
+          p.begin_journal = j;
+        }
+      } else if (e.kind == JournalEventKind::kSpanEnd) {
+        PendingSpan& p = traces[e.trace_id][e.span];
+        p.end = &e;
+        p.end_journal = j;
+      }
+    }
+  }
+
+  // --- 3. Rebuild the forest in (trace id, span id) order. ------------
+  // Parent span ids are always smaller than their children's (the tracer
+  // assigns ids in recording order), so an ascending walk sees every
+  // parent before its children and the rebuilt ids come out in the
+  // original pre-order.
+  for (const auto& [trace_id, spans] : traces) {
+    report.traces += 1;
+    std::unordered_map<uint32_t, uint32_t> remap;  // original id -> rebuilt
+    for (const auto& [span_id, p] : spans) {
+      const JournalEvent* anchor = p.begin != nullptr ? p.begin : p.end;
+      const size_t anchor_journal =
+          p.begin != nullptr ? p.begin_journal : p.end_journal;
+      const double off = report.clock_offsets[anchor_journal];
+      uint32_t parent = kNoSpan;
+      if (anchor->parent_span != kNoSpan) {
+        auto it = remap.find(anchor->parent_span);
+        if (it != remap.end()) {
+          parent = it->second;
+        } else {
+          report.orphans += 1;
+        }
+      }
+      const uint32_t id = report.tracer.StartSpan(
+          anchor->peer, parent, static_cast<SpanKind>(anchor->span_kind),
+          anchor->r, anchor->start + off);
+      remap[span_id] = id;
+      report.spans += 1;
+      if (p.end == nullptr) {
+        report.missing_end += 1;
+        continue;
+      }
+      const double end_off = report.clock_offsets[p.end_journal];
+      Span& s = report.tracer.span(id);
+      s.tuples_in = p.end->tuples_in;
+      s.links_pruned = p.end->links_pruned;
+      s.links_forwarded = p.end->links_forwarded;
+      s.states_merged = p.end->states_merged;
+      s.state_tuples = p.end->state_tuples;
+      s.answer_tuples = p.end->answer_tuples;
+      s.retries = p.end->retries;
+      s.timeouts = p.end->timeouts;
+      report.tracer.EndSpan(id, p.end->end + end_off);
+    }
+  }
+
+  report.complete = report.missing_end == 0 && report.orphans == 0 &&
+                    report.dropped == 0 && report.crashes == 0;
+  return report;
+}
+
+}  // namespace ripple::obs

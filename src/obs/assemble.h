@@ -1,0 +1,52 @@
+#ifndef RIPPLE_OBS_ASSEMBLE_H_
+#define RIPPLE_OBS_ASSEMBLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
+
+namespace ripple::obs {
+
+/// The result of merging per-peer journals back into one span forest.
+/// `tracer` holds the rebuilt tree; the counters say how trustworthy it
+/// is. `complete` is true iff nothing structural was lost: every span
+/// that began also ended, every parent was found, no journal hit its
+/// capacity bound, and no crash interrupted a traced query.
+struct AssembleReport {
+  Tracer tracer;
+  uint64_t traces = 0;       // distinct trace ids assembled
+  uint64_t spans = 0;        // spans in the rebuilt forest
+  uint64_t missing_end = 0;  // spans with a begin but no end event
+  uint64_t orphans = 0;      // spans whose parent span never appeared
+  uint64_t dropped = 0;      // events lost to journal capacity bounds
+  uint64_t crashes = 0;      // crash events observed in any journal
+  uint64_t unmatched_sends = 0;  // frame sends with no matching recv
+  bool complete = true;
+
+  /// Per-journal clock corrections applied (parallel to the input order).
+  std::vector<double> clock_offsets;
+};
+
+/// Merges N per-peer journals into one global span forest.
+///
+/// Causality comes from trace ids: events with trace_id == 0 are skipped.
+/// Span identity is (trace_id, span id); traces are emitted in ascending
+/// trace-id order, spans within a trace in ascending span-id order (span
+/// ids are assigned in recording order, so this reproduces the original
+/// tracer's pre-order layout — on a journal set produced against one
+/// shared tracer the rebuilt tree is byte-identical under ToAscii()).
+///
+/// Clocks are aligned Lamport-style before any span is rebuilt: each
+/// journal gets one additive offset, raised until every matched frame
+/// send/recv pair is causally ordered (a message is never received before
+/// it was sent). Journals that already share a clock get offset 0 and
+/// timestamps pass through untouched.
+Result<AssembleReport> AssembleJournals(
+    const std::vector<PeerJournal>& journals);
+
+}  // namespace ripple::obs
+
+#endif  // RIPPLE_OBS_ASSEMBLE_H_

@@ -1,0 +1,331 @@
+#include "obs/journal.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/json.h"
+
+namespace ripple::obs {
+
+namespace {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Doubles print with %.17g so sim clocks survive the JSONL round trip
+// bit-exactly (DumpJson's %.10g is for human-facing exports); u64 ids
+// print as strings because JSON numbers lose precision past 2^53.
+void AppendKeyDouble(std::string* out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%.17g", key, v);
+  *out += buf;
+}
+
+void AppendKeyU64(std::string* out, const char* key, uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":\"%" PRIu64 "\"", key, v);
+  *out += buf;
+}
+
+void AppendKeyInt(std::string* out, const char* key, int64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%" PRId64 "", key, v);
+  *out += buf;
+}
+
+uint64_t ReadU64(const JsonValue& obj, const char* key, uint64_t fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (v->IsString()) return std::strtoull(v->string.c_str(), nullptr, 10);
+  if (v->IsNumber()) return static_cast<uint64_t>(v->number);
+  return fallback;
+}
+
+double ReadDouble(const JsonValue& obj, const char* key, double fallback) {
+  const JsonValue* v = obj.Find(key);
+  return v == nullptr ? fallback : v->NumberOr(fallback);
+}
+
+bool KindFromName(const std::string& name, JournalEventKind* out) {
+  static constexpr JournalEventKind kAll[] = {
+      JournalEventKind::kFrameSend, JournalEventKind::kFrameRecv,
+      JournalEventKind::kSpanBegin, JournalEventKind::kSpanEnd,
+      JournalEventKind::kRetransmit, JournalEventKind::kDrop,
+      JournalEventKind::kCrash,
+  };
+  for (JournalEventKind k : kAll) {
+    if (name == JournalEventKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsSpanEvent(JournalEventKind k) {
+  return k == JournalEventKind::kSpanBegin || k == JournalEventKind::kSpanEnd;
+}
+
+}  // namespace
+
+const char* JournalEventKindName(JournalEventKind kind) {
+  switch (kind) {
+    case JournalEventKind::kFrameSend: return "send";
+    case JournalEventKind::kFrameRecv: return "recv";
+    case JournalEventKind::kSpanBegin: return "span_begin";
+    case JournalEventKind::kSpanEnd: return "span_end";
+    case JournalEventKind::kRetransmit: return "retransmit";
+    case JournalEventKind::kDrop: return "drop";
+    case JournalEventKind::kCrash: return "crash";
+  }
+  return "?";
+}
+
+std::string JournalEventToJson(const JournalEvent& e) {
+  std::string out = "{\"ev\":\"";
+  out += JournalEventKindName(e.kind);
+  out += "\"";
+  AppendKeyInt(&out, "peer", e.peer);
+  AppendKeyDouble(&out, "t", e.sim_time);
+  AppendKeyU64(&out, "wall", e.wall_ns);
+  if (e.trace_id != 0) AppendKeyU64(&out, "trace", e.trace_id);
+  if (IsSpanEvent(e.kind)) {
+    AppendKeyInt(&out, "span", e.span);
+    out += ",\"skind\":\"";
+    out += SpanKindName(static_cast<SpanKind>(e.span_kind));
+    out += "\"";
+    if (e.parent_span != kNoSpan) AppendKeyInt(&out, "parent", e.parent_span);
+    if (e.r != 0) AppendKeyInt(&out, "r", e.r);
+    AppendKeyDouble(&out, "start", e.start);
+    if (e.kind == JournalEventKind::kSpanEnd) {
+      AppendKeyDouble(&out, "end", e.end);
+      if (e.tuples_in != 0) AppendKeyU64(&out, "tuples_in", e.tuples_in);
+      if (e.links_pruned != 0) AppendKeyU64(&out, "pruned", e.links_pruned);
+      if (e.links_forwarded != 0) AppendKeyU64(&out, "fwd", e.links_forwarded);
+      if (e.states_merged != 0) AppendKeyU64(&out, "merged", e.states_merged);
+      if (e.state_tuples != 0)
+        AppendKeyU64(&out, "state_tuples", e.state_tuples);
+      if (e.answer_tuples != 0) AppendKeyU64(&out, "answer", e.answer_tuples);
+      if (e.retries != 0) AppendKeyU64(&out, "retries", e.retries);
+      if (e.timeouts != 0) AppendKeyU64(&out, "timeouts", e.timeouts);
+    }
+  } else {
+    AppendKeyU64(&out, "msg", e.msg_id);
+    AppendKeyInt(&out, "mkind", e.msg_kind);
+    if (e.parent_span != kNoSpan) AppendKeyInt(&out, "parent", e.parent_span);
+    if (e.bytes != 0) AppendKeyU64(&out, "bytes", e.bytes);
+    if (e.attempt != 0) AppendKeyInt(&out, "attempt", e.attempt);
+  }
+  out += "}";
+  return out;
+}
+
+Result<JournalEvent> ParseJournalLine(const std::string& line) {
+  Result<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& obj = *parsed;
+  if (!obj.IsObject()) {
+    return Status::InvalidArgument("journal line is not a JSON object");
+  }
+  const JsonValue* ev = obj.Find("ev");
+  if (ev == nullptr || !ev->IsString()) {
+    return Status::InvalidArgument("journal line lacks an \"ev\" kind");
+  }
+  JournalEvent e;
+  if (!KindFromName(ev->string, &e.kind)) {
+    return Status::InvalidArgument("unknown journal event kind: " +
+                                   ev->string);
+  }
+  e.peer = static_cast<uint32_t>(ReadU64(obj, "peer", 0));
+  e.sim_time = ReadDouble(obj, "t", 0.0);
+  e.wall_ns = ReadU64(obj, "wall", 0);
+  e.trace_id = ReadU64(obj, "trace", 0);
+  if (IsSpanEvent(e.kind)) {
+    e.span = static_cast<uint32_t>(ReadU64(obj, "span", kNoSpan));
+    const JsonValue* sk = obj.Find("skind");
+    if (sk != nullptr && sk->IsString()) {
+      for (uint8_t k = 0; k <= static_cast<uint8_t>(SpanKind::kAdmission);
+           ++k) {
+        if (sk->string == SpanKindName(static_cast<SpanKind>(k))) {
+          e.span_kind = k;
+          break;
+        }
+      }
+    }
+    e.parent_span = static_cast<uint32_t>(ReadU64(obj, "parent", kNoSpan));
+    e.r = static_cast<int>(ReadDouble(obj, "r", 0.0));
+    e.start = ReadDouble(obj, "start", 0.0);
+    e.end = ReadDouble(obj, "end", 0.0);
+    e.tuples_in = ReadU64(obj, "tuples_in", 0);
+    e.links_pruned = ReadU64(obj, "pruned", 0);
+    e.links_forwarded = ReadU64(obj, "fwd", 0);
+    e.states_merged = ReadU64(obj, "merged", 0);
+    e.state_tuples = ReadU64(obj, "state_tuples", 0);
+    e.answer_tuples = ReadU64(obj, "answer", 0);
+    e.retries = ReadU64(obj, "retries", 0);
+    e.timeouts = ReadU64(obj, "timeouts", 0);
+  } else {
+    e.msg_id = ReadU64(obj, "msg", 0);
+    e.msg_kind = static_cast<uint8_t>(ReadU64(obj, "mkind", 0));
+    e.parent_span = static_cast<uint32_t>(ReadU64(obj, "parent", kNoSpan));
+    e.bytes = ReadU64(obj, "bytes", 0);
+    e.attempt = static_cast<int>(ReadDouble(obj, "attempt", 0.0));
+  }
+  return e;
+}
+
+void JournalSet::Record(JournalEvent e) {
+  if (e.wall_ns == 0) e.wall_ns = MonotonicNowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Log& log = logs_[e.peer];
+  if (capacity_ != 0 && log.events.size() >= capacity_) {
+    log.dropped += 1;
+    return;
+  }
+  log.events.push_back(std::move(e));
+}
+
+std::vector<uint32_t> JournalSet::Peers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> out;
+  out.reserve(logs_.size());
+  for (const auto& [peer, log] : logs_) out.push_back(peer);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+PeerJournal JournalSet::Snapshot(uint32_t peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PeerJournal out;
+  out.peer = peer;
+  auto it = logs_.find(peer);
+  if (it != logs_.end()) {
+    out.dropped = it->second.dropped;
+    out.events = it->second.events;
+  }
+  return out;
+}
+
+uint64_t JournalSet::TotalEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [peer, log] : logs_) n += log.events.size();
+  return n;
+}
+
+uint64_t JournalSet::TotalDropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [peer, log] : logs_) n += log.dropped;
+  return n;
+}
+
+void JournalSet::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  logs_.clear();
+}
+
+Status JournalSet::WriteDir(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create journal dir " + dir + ": " +
+                            ec.message());
+  }
+  for (uint32_t peer : Peers()) {
+    const PeerJournal pj = Snapshot(peer);
+    char name[64];
+    std::snprintf(name, sizeof(name), "peer-%u.jsonl", peer);
+    const std::string path = dir + "/" + name;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Status::Internal("cannot open " + path);
+    char meta[160];
+    std::snprintf(meta, sizeof(meta),
+                  "{\"journal\":{\"peer\":%u,\"events\":%zu,"
+                  "\"dropped\":%" PRIu64 "}}\n",
+                  peer, pj.events.size(), pj.dropped);
+    out << meta;
+    for (const JournalEvent& e : pj.events) {
+      out << JournalEventToJson(e) << "\n";
+    }
+    if (!out) return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<PeerJournal> ReadJournalFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open journal " + path);
+  PeerJournal out;
+  bool peer_known = false;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (lineno == 1) {
+      // Optional meta line.
+      Result<JsonValue> meta = ParseJson(line);
+      if (meta.ok()) {
+        const JsonValue* j = meta->Find("journal");
+        if (j != nullptr && j->IsObject()) {
+          out.peer = static_cast<uint32_t>(ReadU64(*j, "peer", 0));
+          out.dropped = ReadU64(*j, "dropped", 0);
+          peer_known = true;
+          continue;
+        }
+      }
+    }
+    Result<JournalEvent> e = ParseJournalLine(line);
+    if (!e.ok()) {
+      char where[32];
+      std::snprintf(where, sizeof(where), " (line %zu in ", lineno);
+      return Status(e.status().code(),
+                    e.status().message() + where + path + ")");
+    }
+    if (!peer_known) {
+      out.peer = e->peer;
+      peer_known = true;
+    }
+    out.events.push_back(std::move(*e));
+  }
+  return out;
+}
+
+Result<std::vector<PeerJournal>> ReadJournals(const std::string& path) {
+  std::vector<PeerJournal> out;
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+      if (entry.path().extension() == ".jsonl") {
+        files.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      return Status::Internal("cannot list " + path + ": " + ec.message());
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& file : files) {
+      Result<PeerJournal> pj = ReadJournalFile(file);
+      if (!pj.ok()) return pj.status();
+      out.push_back(std::move(*pj));
+    }
+  } else {
+    Result<PeerJournal> pj = ReadJournalFile(path);
+    if (!pj.ok()) return pj.status();
+    out.push_back(std::move(*pj));
+  }
+  return out;
+}
+
+}  // namespace ripple::obs

@@ -20,7 +20,33 @@ double NearestRankPercentile(const std::vector<double>& sorted, double p) {
 Histogram::Histogram(std::vector<double> bounds) {
   bounds_ = bounds.empty() ? DefaultBounds() : std::move(bounds);
   std::sort(bounds_.begin(), bounds_.end());
-  buckets_.assign(bounds_.size() + 1, 0);
+  buckets_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+Histogram::Histogram(const Histogram& o) : bounds_(o.bounds_) {
+  buckets_ = std::vector<std::atomic<uint64_t>>(o.buckets_.size());
+  for (size_t i = 0; i < o.buckets_.size(); ++i) {
+    buckets_[i].store(o.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  count_.store(o.count(), std::memory_order_relaxed);
+  sum_.store(o.sum(), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(o.samples_mu_);
+  samples_ = o.samples_;
+  sorted_ = o.sorted_;
+}
+
+Histogram& Histogram::operator=(const Histogram& o) {
+  if (this == &o) return *this;
+  Histogram copy(o);
+  bounds_ = std::move(copy.bounds_);
+  buckets_ = std::move(copy.buckets_);
+  count_.store(copy.count(), std::memory_order_relaxed);
+  sum_.store(copy.sum(), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(samples_mu_);
+  samples_ = std::move(copy.samples_);
+  sorted_ = copy.sorted_;
+  return *this;
 }
 
 std::vector<double> Histogram::DefaultBounds() {
@@ -31,26 +57,42 @@ std::vector<double> Histogram::DefaultBounds() {
 
 void Histogram::Observe(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  buckets_[static_cast<size_t>(it - bounds_.begin())] += 1;
+  buckets_[static_cast<size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+  std::lock_guard<std::mutex> lock(samples_mu_);
   if (!samples_.empty() && v < samples_.back()) sorted_ = false;
   samples_.push_back(v);
-  count_ += 1;
-  sum_ += v;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(samples_mu_);
   if (samples_.empty()) return 0.0;
   if (sorted_) return samples_.front();
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(samples_mu_);
   if (samples_.empty()) return 0.0;
   if (sorted_) return samples_.back();
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(samples_mu_);
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
@@ -62,18 +104,20 @@ std::string Histogram::Summary() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "count=%llu mean=%.2f p50=%g p90=%g p99=%g max=%g",
-                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(count()), mean(),
                 Percentile(50), Percentile(90), Percentile(99), max());
   return buf;
 }
 
 Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -81,12 +125,31 @@ Gauge& Registry::GetGauge(const std::string& name) {
 
 Histogram& Registry::GetHistogram(const std::string& name,
                                   std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 
+std::vector<std::pair<std::string, uint64_t>> Registry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
 std::string Registry::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   char buf[256];
   for (const auto& [name, c] : counters_) {

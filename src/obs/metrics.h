@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ripple::obs {
@@ -59,11 +61,22 @@ class Gauge {
 /// workloads are small enough that keeping samples is the right
 /// trade-off; bucket counts survive export even if a consumer drops the
 /// samples).
+///
+/// Observe() is thread-safe: bucket/count/sum mutation is per-bucket
+/// relaxed atomics (same contract as Counter/Gauge — statistics, not
+/// synchronization), the sample vector is guarded by a mutex. Readers
+/// racing writers see consistent values per field, not a consistent
+/// cross-field snapshot.
 class Histogram {
  public:
   /// `bounds` are ascending bucket upper bounds; a final +inf bucket is
   /// implicit. An empty list uses DefaultBounds().
   explicit Histogram(std::vector<double> bounds = {});
+
+  /// Copyable (WorkloadResult holds histograms by value); the copy is a
+  /// point-in-time snapshot. Moves fall back to these.
+  Histogram(const Histogram& o);
+  Histogram& operator=(const Histogram& o);
 
   /// 1, 2, 4, ... 65536: powers of two covering hop counts, peer loads
   /// and message sizes at the paper's scales.
@@ -71,19 +84,22 @@ class Histogram {
 
   void Observe(double v);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
   double min() const;
   double max() const;
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
 
   /// Exact nearest-rank percentile of everything observed so far.
   double Percentile(double p) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
-  /// bucket_counts()[i] counts samples <= bounds()[i]; the last entry
-  /// (index bounds().size()) is the +inf overflow bucket.
-  const std::vector<uint64_t>& bucket_counts() const { return buckets_; }
+  /// Snapshot of the bucket counts: [i] counts samples <= bounds()[i];
+  /// the last entry (index bounds().size()) is the +inf overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
 
   /// "count=12 mean=3.41 p50=3 p90=6 p99=8 max=9" — the one-line form the
   /// bench harness appends to its panels.
@@ -91,17 +107,25 @@ class Histogram {
 
  private:
   std::vector<double> bounds_;
-  std::vector<uint64_t> buckets_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  mutable std::mutex samples_mu_;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
 };
 
 /// A named collection of metrics. Instruments are created on first use
 /// and live as long as the registry; returned references stay valid.
 /// Iteration order is the lexicographic name order, so exports are
 /// deterministic.
+///
+/// Get* lookup/creation is mutex-guarded, so concurrent workers may
+/// create instruments by name (the executor's engine runs record
+/// coverage/traffic metrics from worker threads). The raw map accessors
+/// are NOT locked: use them only when no thread can be inserting
+/// (exports after a join); concurrent readers use CounterValues() /
+/// GaugeValues() / Summary().
 class Registry {
  public:
   Counter& GetCounter(const std::string& name);
@@ -121,6 +145,11 @@ class Registry {
     return histograms_;
   }
 
+  /// Locked point-in-time captures, name-sorted — safe against
+  /// concurrent Get* creation (what obs::SnapshotSeries uses).
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, double>> GaugeValues() const;
+
   /// Multi-line human-readable dump (one metric per line).
   std::string Summary() const;
 
@@ -138,6 +167,7 @@ class Registry {
  private:
   static std::atomic<bool> g_global_enabled;
 
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -128,4 +128,9 @@ Profiler& Profiler::Global() {
   return *profiler;
 }
 
+std::mutex& Profiler::GlobalMutex() {
+  static std::mutex* mu = new std::mutex();  // leaked: process lifetime
+  return *mu;
+}
+
 }  // namespace ripple::obs

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -149,6 +150,12 @@ class Profiler {
     g_global_enabled.store(on, std::memory_order_relaxed);
   }
 
+  /// Serializes feeds into Global() (the dense PeerLoad vector resizes;
+  /// it cannot be atomic). Executor workers route bootstrap traffic
+  /// concurrently, so the routing hook locks this; per-engine profilers
+  /// stay single-threaded by construction and never take it.
+  static std::mutex& GlobalMutex();
+
  private:
   PeerLoad& At(uint32_t peer) {
     if (peer >= loads_.size()) loads_.resize(peer + 1);
@@ -192,6 +199,7 @@ class ScopedTimer {
 inline void RecordRouteStep(const char* overlay, uint32_t from, uint32_t to) {
   (void)overlay;
   if (!Profiler::GlobalEnabled()) return;
+  std::lock_guard<std::mutex> lock(Profiler::GlobalMutex());
   Profiler::Global().OnRouteHop(from, to);
 }
 

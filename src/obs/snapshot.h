@@ -1,0 +1,97 @@
+#ifndef RIPPLE_OBS_SNAPSHOT_H_
+#define RIPPLE_OBS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace ripple::obs {
+
+/// A timestamped capture of a registry's counters and gauges. The feed
+/// for the future adaptive-r controller: consecutive snapshots turn the
+/// monotone counters into windowed rates.
+struct Snapshot {
+  double at_ms = 0.0;  // caller's clock (wall ms since series start)
+  std::vector<std::pair<std::string, uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, double>> gauges;
+};
+
+/// Periodic snapshots over one registry. Capture() is safe against
+/// concurrent instrument creation/mutation (it goes through the
+/// registry's locked value captures), but the series itself is meant to
+/// be driven from one thread — the executor's admission loop, or a
+/// driver's main loop.
+class SnapshotSeries {
+ public:
+  explicit SnapshotSeries(Registry* registry) : registry_(registry) {}
+
+  const Snapshot& Capture(double at_ms);
+
+  const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+  size_t size() const { return snapshots_.size(); }
+
+  /// Windowed deltas of counter `name` between consecutive snapshots
+  /// (size() - 1 entries; a counter absent from a snapshot reads 0).
+  std::vector<uint64_t> Deltas(const std::string& name) const;
+
+  /// JSON array fragment: one `{"at_ms":..., "counters": {...},
+  /// "gauges": {...}}` object per snapshot.
+  std::string ToJson() const;
+
+ private:
+  Registry* registry_;
+  std::vector<Snapshot> snapshots_;
+};
+
+/// One slow query. `force_sampled` marks entries whose query was NOT
+/// head-sampled: the slow-query log records them anyway (that is its
+/// job — tail latency must be visible even at low sampling rates),
+/// flagged so a consumer knows no distributed trace exists for them.
+struct SlowQueryEntry {
+  std::string label;
+  uint64_t trace_id = 0;
+  double latency_ms = 0.0;
+  double at_ms = 0.0;
+  bool force_sampled = false;
+};
+
+/// Bounded log of queries over a latency threshold. Thread-safe:
+/// executor workers report completions concurrently.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(double threshold_ms, size_t capacity = 256)
+      : threshold_ms_(threshold_ms), capacity_(capacity) {}
+
+  /// Records when `latency_ms >= threshold_ms()`; returns whether the
+  /// query was slow (recorded or dropped for capacity).
+  bool Observe(const std::string& label, uint64_t trace_id,
+               double latency_ms, double at_ms, bool sampled);
+
+  double threshold_ms() const { return threshold_ms_; }
+  std::vector<SlowQueryEntry> Entries() const;
+  uint64_t dropped() const;
+
+  /// JSON array fragment, one object per entry.
+  std::string ToJson() const;
+
+ private:
+  double threshold_ms_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> entries_;
+  uint64_t dropped_ = 0;
+};
+
+/// Writes `{"snapshots": [...], "slow_queries": [...]}` to `path`.
+/// Either part may be null (emitted as an empty list).
+Status WriteSnapshotJson(const SnapshotSeries* series,
+                         const SlowQueryLog* slow, const std::string& path);
+
+}  // namespace ripple::obs
+
+#endif  // RIPPLE_OBS_SNAPSHOT_H_

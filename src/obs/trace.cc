@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "obs/journal.h"
 
 namespace ripple::obs {
 
@@ -30,12 +31,48 @@ uint32_t Tracer::StartSpan(uint32_t peer, uint32_t parent, SpanKind kind,
   s.start = start + time_offset_;
   s.end = s.start;
   spans_.push_back(s);
+  if (journal_ != nullptr && trace_id_ != 0) {
+    JournalEvent e;
+    e.kind = JournalEventKind::kSpanBegin;
+    e.peer = peer;
+    e.sim_time = s.start;
+    e.trace_id = trace_id_;
+    e.span = id;
+    e.parent_span = parent;
+    e.span_kind = static_cast<uint8_t>(kind);
+    e.r = r;
+    e.start = s.start;
+    journal_->Record(std::move(e));
+  }
   return id;
 }
 
 void Tracer::EndSpan(uint32_t id, double end) {
   RIPPLE_CHECK(id < spans_.size());
   spans_[id].end = end + time_offset_;
+  if (journal_ != nullptr && trace_id_ != 0) {
+    const Span& s = spans_[id];
+    JournalEvent e;
+    e.kind = JournalEventKind::kSpanEnd;
+    e.peer = s.peer;
+    e.sim_time = s.end;
+    e.trace_id = trace_id_;
+    e.span = id;
+    e.parent_span = s.parent;
+    e.span_kind = static_cast<uint8_t>(s.kind);
+    e.r = s.r;
+    e.start = s.start;
+    e.end = s.end;
+    e.tuples_in = s.tuples_in;
+    e.links_pruned = s.links_pruned;
+    e.links_forwarded = s.links_forwarded;
+    e.states_merged = s.states_merged;
+    e.state_tuples = s.state_tuples;
+    e.answer_tuples = s.answer_tuples;
+    e.retries = s.retries;
+    e.timeouts = s.timeouts;
+    journal_->Record(std::move(e));
+  }
 }
 
 std::vector<uint32_t> Tracer::Roots() const {

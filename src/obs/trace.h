@@ -21,6 +21,8 @@ enum class SpanKind : uint8_t {
 
 const char* SpanKindName(SpanKind kind);
 
+class JournalSet;  // obs/journal.h
+
 /// One node of a query's span tree: a single peer handling the query.
 /// Times are logical — forwarding hops for the recursive engine (one hop
 /// = one time unit, exactly the Lemma 1-3 clock) and simulator time for
@@ -88,9 +90,25 @@ class Tracer {
   /// Indented ASCII rendering of the span forest, for logs and debugging.
   std::string ToAscii() const;
 
+  /// Attaches a journal: every span begin/end is additionally recorded as
+  /// a per-peer journal event stamped with trace_id(), which is what lets
+  /// the offline assembler rebuild this tracer's tree from the journals
+  /// alone. nullptr detaches. While trace_id() is 0 (unsampled) nothing
+  /// is mirrored.
+  void SetJournal(JournalSet* journal) { journal_ = journal; }
+  JournalSet* journal() const { return journal_; }
+
+  /// The trace identity stamped on mirrored journal events. Set it before
+  /// recording any span of the query (the seeded drivers record bootstrap
+  /// spans before the engine runs).
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
   std::vector<Span> spans_;
   double time_offset_ = 0.0;
+  JournalSet* journal_ = nullptr;
+  uint64_t trace_id_ = 0;
 };
 
 }  // namespace ripple::obs

@@ -33,6 +33,14 @@ typename EngineT::Result SeededSkyline(
   uint64_t hops = 0;
   obs::Tracer* tracer = engine.tracer();
   const SkylineQuery& query = request.query;
+  // Attach the engine's journal before the bootstrap route spans are
+  // recorded: the engine only wires tracer-to-journal mirroring inside
+  // Run(), and a sampled trace must cover the bootstrap too.
+  if (tracer != nullptr && engine.journal() != nullptr &&
+      request.trace_id != 0) {
+    tracer->SetJournal(engine.journal());
+    tracer->set_trace_id(request.trace_id);
+  }
   // Constrained queries aim at the constraint's lower corner (the spot DSL
   // roots its hierarchy at); unconstrained ones at the domain origin.
   const Point corner = query.constraint.has_value()

@@ -45,6 +45,14 @@ typename EngineT::Result SeededTopK(const Overlay& overlay,
   const TopKPolicy& policy = engine.policy();
   obs::Tracer* tracer = engine.tracer();
   const TopKQuery& query = request.query;
+  // Attach the engine's journal before the bootstrap spans are recorded:
+  // the engine only wires tracer-to-journal mirroring inside Run(), which
+  // comes after phases 1-2, and a sampled trace must cover them too.
+  if (tracer != nullptr && engine.journal() != nullptr &&
+      request.trace_id != 0) {
+    tracer->SetJournal(engine.journal());
+    tracer->set_trace_id(request.trace_id);
+  }
 
   // Phase 1: route to the peer owning the score peak. With a tracer
   // attached, every forwarding peer gets a route span (one hop each,

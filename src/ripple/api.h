@@ -98,6 +98,11 @@ struct QueryRequest {
   net::RetryOptions retry;
   /// Fault injection model for the simulated network (async engine).
   net::FaultOptions fault;
+  /// Distributed-tracing identity, decided once at the initiator (head
+  /// sampling): 0 = unsampled. A nonzero id is stamped into every v2
+  /// frame the query causes, so per-peer journals can be assembled back
+  /// into one span tree offline (docs/OBSERVABILITY.md).
+  uint64_t trace_id = 0;
 };
 
 /// What every engine and driver returns. `answer`/`stats` keep their

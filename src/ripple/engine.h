@@ -59,6 +59,15 @@ class Engine {
   Result Run(const Request& request) const {
     RunContext ctx;
     ctx.initiator = request.initiator;
+    ctx.trace.trace_id = request.trace_id;
+    if (request.trace_id != 0) ctx.trace.flags = wire::kFrameFlagSampled;
+    // Head sampling: the tracer follows the request's sampling decision,
+    // so journal mirroring (when a JournalSet is attached) records exactly
+    // the sampled queries. Idempotent when the caller already stamped it.
+    if (tracer_) {
+      tracer_->set_trace_id(request.trace_id);
+      if (journal_) tracer_->SetJournal(journal_);
+    }
     const GlobalState initial =
         request.initial_state.has_value()
             ? *request.initial_state
@@ -94,6 +103,14 @@ class Engine {
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
 
+  /// Attaches a per-peer event journal. The recursive engine ships no
+  /// frames (it only measures them), so journaling here means mirroring
+  /// the attached tracer's span begin/end events: Run() points the tracer
+  /// at this journal, and head sampling (request.trace_id != 0) gates
+  /// what gets written. nullptr detaches; not owned.
+  void SetJournal(obs::JournalSet* journal) { journal_ = journal; }
+  obs::JournalSet* journal() const { return journal_; }
+
   /// Attaches a per-peer load profiler. Message/tuple charges mirror the
   /// QueryStats accounting exactly (each message charged once, at its
   /// sender), so `profiler.Totals().messages_out` summed over runs equals
@@ -111,6 +128,11 @@ class Engine {
     net::WireTraffic traffic;
     wire::Buffer scratch;  // frame measurement buffer, reused per charge
     PeerId initiator = kInvalidPeer;
+    /// The query's trace context, stamped into every measured frame so the
+    /// recursive engine's bytes_on_wire prices the v2 header exactly like
+    /// the async engine ships it (header fields are fixed-width, so only
+    /// presence matters, not values).
+    wire::TraceContext trace;
   };
 
   // Byte charges. The recursive engine never ships bytes — it is the
@@ -124,7 +146,8 @@ class Engine {
                            const Area& area, int r, PeerId from, PeerId to,
                            RunContext* ctx) const {
     ctx->scratch.Clear();
-    const net::Envelope env{0, from, to, net::MessageKind::kQuery, 0};
+    const net::Envelope env{0, from, to, net::MessageKind::kQuery, 0,
+                            ctx->trace};
     return WireCodec<Overlay, Policy>(overlay_, &policy_)
         .EncodeQueryMessage(env, query, g, area, r, &ctx->scratch);
   }
@@ -132,7 +155,8 @@ class Engine {
   uint64_t ResponseFrameBytes(const LocalState& s, PeerId from, PeerId to,
                               RunContext* ctx) const {
     ctx->scratch.Clear();
-    const net::Envelope env{0, from, to, net::MessageKind::kResponse, 0};
+    const net::Envelope env{0, from, to, net::MessageKind::kResponse, 0,
+                            ctx->trace};
     return WireCodec<Overlay, Policy>(overlay_, &policy_)
         .EncodeResponseFrame(env, s, &ctx->scratch);
   }
@@ -140,7 +164,8 @@ class Engine {
   uint64_t AnswerFrameBytes(const Answer& a, PeerId from, PeerId to,
                             RunContext* ctx) const {
     ctx->scratch.Clear();
-    const net::Envelope env{0, from, to, net::MessageKind::kAnswer, 0};
+    const net::Envelope env{0, from, to, net::MessageKind::kAnswer, 0,
+                            ctx->trace};
     return WireCodec<Overlay, Policy>(overlay_, &policy_)
         .EncodeAnswerMessage(env, a, &ctx->scratch);
   }
@@ -337,6 +362,7 @@ class Engine {
   Policy policy_;
   std::function<void(PeerId)> visit_observer_;
   obs::Tracer* tracer_ = nullptr;
+  obs::JournalSet* journal_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
 };
 

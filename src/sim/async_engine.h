@@ -18,6 +18,7 @@
 #include "net/metrics.h"
 #include "net/traffic.h"
 #include "net/transport.h"
+#include "obs/journal.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "overlay/types.h"
@@ -112,6 +113,17 @@ class AsyncEngine {
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
 
+  /// Attaches a per-peer event journal (obs/journal.h): frame sends,
+  /// receives, retransmissions, network drops and crash-drops are appended
+  /// to the acting peer's log — but only for head-sampled queries
+  /// (request.trace_id != 0), so an unsampled workload writes nothing.
+  /// When a tracer is also attached, Run() points it at the same journal,
+  /// mirroring span begin/end events so the offline assembler
+  /// (obs/assemble.h) can rebuild the full span tree from the journals
+  /// alone. nullptr detaches; not owned.
+  void SetJournal(obs::JournalSet* journal) { journal_ = journal; }
+  obs::JournalSet* journal() const { return journal_; }
+
   /// Observer invoked for every peer that opens a session (one activation
   /// per visited peer — same contract as Engine::SetVisitObserver, so
   /// callers studying per-peer load can treat both engines uniformly).
@@ -144,6 +156,12 @@ class AsyncEngine {
   const Policy& policy() const { return policy_; }
 
   Result Run(const Request& request) const {
+    if (tracer_ != nullptr) {
+      // Head sampling: the tracer follows the request's decision so
+      // journal mirroring records exactly the sampled queries.
+      tracer_->set_trace_id(request.trace_id);
+      if (journal_ != nullptr) tracer_->SetJournal(journal_);
+    }
     Runtime rt(this, &request);
     rt.Start();
     rt.sim.Run();
@@ -184,6 +202,41 @@ class AsyncEngine {
     const net::RetryOptions& retry() const { return request->retry; }
     obs::Profiler* profiler() const { return self->profiler_; }
 
+    /// The wire trace context a peer whose live span is `span` stamps into
+    /// an outgoing frame: the query's trace id, the sender's span as the
+    /// receiver's parent, and the initiator's head-sampling decision.
+    wire::TraceContext TraceFor(uint32_t span) const {
+      wire::TraceContext t;
+      t.trace_id = request->trace_id;
+      t.parent_span = span;
+      if (request->trace_id != 0) t.flags = wire::kFrameFlagSampled;
+      return t;
+    }
+
+    /// The journal to feed, or nullptr when none is attached or the query
+    /// is unsampled (head sampling gates every event).
+    obs::JournalSet* journal() const {
+      return request->trace_id != 0 ? self->journal_ : nullptr;
+    }
+
+    /// Appends one frame-level journal event to `peer`'s log.
+    void JournalFrame(obs::JournalEventKind kind, PeerId peer,
+                      const net::Envelope& env, uint64_t bytes) {
+      obs::JournalSet* j = journal();
+      if (j == nullptr) return;
+      obs::JournalEvent e;
+      e.kind = kind;
+      e.peer = peer;
+      e.sim_time = sim.now();
+      e.trace_id = request->trace_id;
+      e.msg_id = env.id;
+      e.msg_kind = static_cast<uint8_t>(env.kind);
+      e.parent_span = env.trace.parent_span;
+      e.bytes = bytes;
+      e.attempt = env.attempt;
+      j->Record(e);
+    }
+
     // --- entry / exit ----------------------------------------------------
 
     void Start() {
@@ -198,7 +251,7 @@ class AsyncEngine {
       // query never crossed a wire, so it copies the request's directly.
       StartSession(request->initiator, request->query, std::move(initial),
                    overlay().FullArea(), request->ripple.hops(),
-                   /*parent=*/kNoSession, kNoRequest);
+                   /*parent=*/kNoSession, kNoRequest, obs::kNoSpan);
     }
 
     Result Finalize() {
@@ -228,21 +281,30 @@ class AsyncEngine {
 
     /// A received datagram failed to decode. Corruption can only come from
     /// a custom transport, and installing one arms `ft` — on a loopback
-    /// wire a rejection means an engine bug, so fail loudly.
-    void RejectFrame() {
-      traffic.frames_rejected += 1;
+    /// wire a rejection means an engine bug, so fail loudly. Truncated
+    /// length fields are counted apart from semantic rejections
+    /// (bad version / tag / payload), so the two failure families stay
+    /// distinguishable in the net.* metrics.
+    void RejectFrame(wire::FrameError err) {
+      if (err == wire::FrameError::kTruncated) {
+        traffic.frames_truncated += 1;
+      } else {
+        traffic.frames_rejected += 1;
+      }
       RIPPLE_CHECK(ft && "frame rejected without fault machinery armed");
     }
 
     /// Schedules a delivery callback at `to` after wire delay, dropping it
     /// if the receiver has crashed by then. `deliver` must be idempotent
-    /// against duplicate copies (all receive paths dedup).
-    void ScheduleDelivery(PeerId to, double delay,
+    /// against duplicate copies (all receive paths dedup). `env` only
+    /// feeds the journal's crash-drop event.
+    void ScheduleDelivery(const net::Envelope& env, PeerId to, double delay,
                           std::function<void()> deliver) {
-      sim.Schedule(delay, [this, to, deliver = std::move(deliver)] {
+      sim.Schedule(delay, [this, env, to, deliver = std::move(deliver)] {
         if (ft && fault.CrashedAt(to, sim.now())) {
           result.coverage.crash_drops += 1;
           NoteCrashed(to);
+          JournalFrame(obs::JournalEventKind::kCrash, to, env, 0);
           return;
         }
         deliver();
@@ -251,7 +313,8 @@ class AsyncEngine {
 
     /// One wire transmission from -> to, subject to loss / jitter /
     /// duplication. The caller has already charged the message to stats.
-    void Transmit(PeerId from, PeerId to, std::function<void()> deliver) {
+    void Transmit(const net::Envelope& env, PeerId from, PeerId to,
+                  std::function<void()> deliver) {
       const double base = self->latency_(from, to);
       if (!ft) {
         sim.Schedule(base, std::move(deliver));
@@ -259,14 +322,15 @@ class AsyncEngine {
       }
       if (fault.DropMessage()) {
         result.coverage.messages_lost += 1;
+        JournalFrame(obs::JournalEventKind::kDrop, from, env, 0);
         return;
       }
       const double d = fault.Jitter(base);
       if (fault.DuplicateMessage()) {
         result.coverage.messages_duplicated += 1;
-        ScheduleDelivery(to, fault.Jitter(base), deliver);
+        ScheduleDelivery(env, to, fault.Jitter(base), deliver);
       }
-      ScheduleDelivery(to, d, std::move(deliver));
+      ScheduleDelivery(env, to, d, std::move(deliver));
     }
 
     void NoteCrashed(PeerId peer) {
@@ -285,8 +349,13 @@ class AsyncEngine {
 
     /// Opens the per-peer procedure with the query/state/area as decoded
     /// at this peer (the caller already charged the message).
+    /// `wire_parent_span` is the parent span as carried by the query
+    /// frame's v2 header — trace parentage genuinely travels the wire, it
+    /// is never reconstructed from in-process session links (the root
+    /// session, which received no frame, passes obs::kNoSpan).
     void StartSession(PeerId peer, Query query, GlobalState state, Area area,
-                      int r, int parent, int64_t origin_req) {
+                      int r, int parent, int64_t origin_req,
+                      uint32_t wire_parent_span) {
       const int id = sessions.Create();
       Session& s = sessions[id];
       s.peer = peer;
@@ -301,10 +370,8 @@ class AsyncEngine {
       if (self->visit_observer_) self->visit_observer_(peer);
       if (profiler() != nullptr) profiler()->OnSpan(peer);
       if (obs::Tracer* tracer = self->tracer_) {
-        const uint32_t parent_span =
-            parent < 0 ? obs::kNoSpan : sessions[parent].span;
         s.span = tracer->StartSpan(
-            peer, parent_span,
+            peer, wire_parent_span,
             s.fast ? obs::SpanKind::kFast : obs::SpanKind::kSlow, r,
             sim.now());
         tracer->span(s.span).tuples_in =
@@ -431,7 +498,7 @@ class AsyncEngine {
       }
       const size_t tuples = policy().AnswerTupleCount(answer);
       if (tuples > 0) {
-        SendAnswer(s.peer, std::move(answer), tuples);
+        SendAnswer(s.peer, std::move(answer), tuples, s.span);
       }
       if (s.span != obs::kNoSpan) {
         obs::Tracer* tracer = self->tracer_;
@@ -486,7 +553,8 @@ class AsyncEngine {
       rq.tuples = policy().GlobalStateTupleCount(state);
       rq.timeout = retry().timeout;
       const net::Envelope env{static_cast<uint64_t>(id), rq.from, target,
-                              net::MessageKind::kQuery, 0};
+                              net::MessageKind::kQuery, 0,
+                              TraceFor(sessions[requester].span)};
       wire::Buffer buf;
       codec.EncodeQueryMessage(env, sessions[requester].query, state, area, r,
                                &buf);
@@ -497,21 +565,23 @@ class AsyncEngine {
     net::Envelope QueryEnvelope(int64_t id) const {
       const PendingRequest& rq = requests[id];
       return net::Envelope{static_cast<uint64_t>(id), rq.from, rq.target,
-                           net::MessageKind::kQuery, rq.attempt};
+                           net::MessageKind::kQuery, rq.attempt,
+                           TraceFor(sessions[rq.requester].span)};
     }
 
     net::Envelope ResponseEnvelope(int id) const {
       const Session& s = sessions[id];
       return net::Envelope{static_cast<uint64_t>(s.origin_req), s.peer,
                            sessions[s.parent].peer,
-                           net::MessageKind::kResponse, 0};
+                           net::MessageKind::kResponse, 0,
+                           TraceFor(s.span)};
     }
 
     net::Envelope AnswerEnvelope(size_t idx) const {
       const PendingAnswer& a = answers[idx];
       return net::Envelope{static_cast<uint64_t>(idx), a.from,
                            request->initiator, net::MessageKind::kAnswer,
-                           a.attempt};
+                           a.attempt, TraceFor(a.span)};
     }
 
     void TransmitQuery(int64_t id) {
@@ -526,12 +596,17 @@ class AsyncEngine {
         profiler()->OnMessage(rq.from, rq.target, rq.tuples, rq.frame.size());
         if (rq.attempt > 1) profiler()->OnRetransmission(rq.from);
       }
+      const net::Envelope env = QueryEnvelope(id);
+      JournalFrame(rq.attempt > 1 ? obs::JournalEventKind::kRetransmit
+                                  : obs::JournalEventKind::kFrameSend,
+                   rq.from, env, rq.frame.size());
       std::vector<uint8_t> datagram =
-          ShipDatagram(QueryEnvelope(id), std::vector<uint8_t>(rq.frame));
+          ShipDatagram(env, std::vector<uint8_t>(rq.frame));
       if (datagram.empty()) {
         result.coverage.messages_lost += 1;
+        JournalFrame(obs::JournalEventKind::kDrop, rq.from, env, 0);
       } else {
-        Transmit(rq.from, rq.target,
+        Transmit(env, rq.from, rq.target,
                  [this, id, datagram = std::move(datagram)] {
                    DeliverQuery(id, datagram);
                  });
@@ -555,7 +630,7 @@ class AsyncEngine {
           if (sessions[s].finished) {
             ResendResponse(s);
           } else {
-            SendAck(id);
+            SendAck(id, s);
           }
           return;
         }
@@ -566,7 +641,8 @@ class AsyncEngine {
       GlobalState g{};
       Area area{};
       int64_t hops = 0;
-      const bool ok = net::DecodeEnvelopeFrame(&r, &env) &&
+      const wire::FrameError ferr = net::DecodeEnvelopeFrameEx(&r, &env);
+      const bool ok = ferr == wire::FrameError::kOk &&
                       env.kind == net::MessageKind::kQuery &&
                       codec.DecodeQueryPayload(&r, &q, &g, &area, &hops) &&
                       r.ok() && r.remaining() == 0;
@@ -575,15 +651,19 @@ class AsyncEngine {
         // frame. The id must NOT enter the dedup window, or the (equally
         // corrupted-looking to us, but possibly clean) retransmission
         // would be wrongly suppressed.
-        RejectFrame();
+        RejectFrame(ferr);
         return;
       }
+      JournalFrame(obs::JournalEventKind::kFrameRecv, rq.target, env,
+                   datagram.size());
       if (ft) {
         DedupOf(rq.target).Insert(static_cast<uint64_t>(id),
                                   static_cast<int64_t>(sessions.size()));
       }
+      // The receiver's span parents off whatever the frame header carried.
       StartSession(rq.target, std::move(q), std::move(g), std::move(area),
-                   static_cast<int>(hops), rq.requester, id);
+                   static_cast<int>(hops), rq.requester, id,
+                   env.trace.parent_span);
     }
 
     void OnTimeout(int64_t id) {
@@ -616,14 +696,16 @@ class AsyncEngine {
       ChildFailed(rq.requester);
     }
 
-    /// Progress ack for a request whose session is still running (a bare
-    /// 22-byte frame; charged like any other message).
-    void SendAck(int64_t id) {
+    /// Progress ack for a request whose still-running session is
+    /// `session_id` (a bare header-only frame; charged like any other
+    /// message).
+    void SendAck(int64_t id, int session_id) {
       PendingRequest& rq = requests[id];
       result.coverage.acks += 1;
       result.stats.messages += 1;
       const net::Envelope env{static_cast<uint64_t>(id), rq.target, rq.from,
-                              net::MessageKind::kAck, 0};
+                              net::MessageKind::kAck, 0,
+                              TraceFor(sessions[session_id].span)};
       wire::Buffer buf;
       const size_t bytes = codec.EncodeAckMessage(env, &buf);
       result.stats.bytes_on_wire += bytes;
@@ -632,22 +714,28 @@ class AsyncEngine {
       if (profiler() != nullptr) {
         profiler()->OnMessage(rq.target, rq.from, 0, bytes);
       }
+      JournalFrame(obs::JournalEventKind::kFrameSend, rq.target, env, bytes);
       std::vector<uint8_t> datagram = ShipDatagram(env, buf.Take());
       if (datagram.empty()) {
         result.coverage.messages_lost += 1;
+        JournalFrame(obs::JournalEventKind::kDrop, rq.target, env, 0);
         return;
       }
-      Transmit(rq.target, rq.from,
+      Transmit(env, rq.target, rq.from,
                [this, id, datagram = std::move(datagram)] {
                  wire::Reader r(datagram);
                  net::Envelope ack;
-                 if (!net::DecodeEnvelopeFrame(&r, &ack) ||
+                 const wire::FrameError ferr =
+                     net::DecodeEnvelopeFrameEx(&r, &ack);
+                 if (ferr != wire::FrameError::kOk ||
                      ack.kind != net::MessageKind::kAck ||
                      r.remaining() != 0) {
-                   RejectFrame();  // corrupted ack: silently dropped
+                   RejectFrame(ferr);  // corrupted ack: silently dropped
                    return;
                  }
                  PendingRequest& pending = requests[id];
+                 JournalFrame(obs::JournalEventKind::kFrameRecv, pending.from,
+                              ack, datagram.size());
                  if (!pending.resolved) pending.strikes = 0;
                });
     }
@@ -681,13 +769,18 @@ class AsyncEngine {
         result.coverage.retries += 1;
         if (profiler() != nullptr) profiler()->OnRetransmission(s.peer);
       }
-      std::vector<uint8_t> datagram = ShipDatagram(
-          ResponseEnvelope(id), std::vector<uint8_t>(s.response_frame));
+      const net::Envelope env = ResponseEnvelope(id);
+      JournalFrame(charge_retry ? obs::JournalEventKind::kRetransmit
+                                : obs::JournalEventKind::kFrameSend,
+                   s.peer, env, s.response_frame.size());
+      std::vector<uint8_t> datagram =
+          ShipDatagram(env, std::vector<uint8_t>(s.response_frame));
       if (datagram.empty()) {
         result.coverage.messages_lost += 1;
+        JournalFrame(obs::JournalEventKind::kDrop, s.peer, env, 0);
         return;
       }
-      Transmit(s.peer, sessions[parent].peer,
+      Transmit(env, s.peer, sessions[parent].peer,
                [this, req_id, datagram = std::move(datagram)] {
                  DeliverResponse(req_id, datagram);
                });
@@ -712,11 +805,19 @@ class AsyncEngine {
       // Walk the datagram's back-to-back state frames.
       std::vector<LocalState> bundle;
       wire::Reader r(datagram);
+      wire::FrameError ferr = datagram.empty() ? wire::FrameError::kTruncated
+                                               : wire::FrameError::kOk;
       bool ok = !datagram.empty();
+      net::Envelope env;  // the first frame's header, for the journal
       while (ok && r.remaining() > 0) {
         wire::FrameHeader h;
-        if (!wire::DecodeFrameHeader(&r, &h) ||
-            h.tag != static_cast<uint8_t>(net::MessageKind::kResponse) ||
+        const wire::FrameError e = wire::DecodeFrameHeaderEx(&r, &h);
+        if (e != wire::FrameError::kOk) {
+          ok = false;
+          ferr = e;
+          break;
+        }
+        if (h.tag != static_cast<uint8_t>(net::MessageKind::kResponse) ||
             h.id != static_cast<uint64_t>(req_id)) {
           ok = false;
           break;
@@ -728,14 +829,23 @@ class AsyncEngine {
           ok = false;
           break;
         }
+        if (bundle.empty()) {
+          env.id = h.id;
+          env.from = h.from;
+          env.to = h.to;
+          env.kind = net::MessageKind::kResponse;
+          env.trace = h.trace;
+        }
         bundle.push_back(std::move(st));
       }
       if (!ok) {
         // Dropped: the requester times out, retransmits its query, and the
         // finished callee reships the cached response bytes.
-        RejectFrame();
+        RejectFrame(ferr);
         return;
       }
+      JournalFrame(obs::JournalEventKind::kFrameRecv, rq.from, env,
+                   datagram.size());
       rq.resolved = true;
       if (ft) timers.Cancel(rq.timer);
       OnResponse(rq.requester, std::move(bundle));
@@ -747,15 +857,17 @@ class AsyncEngine {
     /// sender retransmits lost or corrupted answers after the retry
     /// timeout until the budget is spent, then the loss is recorded in
     /// coverage and the result is flagged partial.
-    void SendAnswer(PeerId from, Answer&& payload, size_t tuples) {
+    void SendAnswer(PeerId from, Answer&& payload, size_t tuples,
+                    uint32_t span) {
       const size_t idx = answers.size();
       answers.push_back(PendingAnswer{});
       PendingAnswer& a = answers[idx];
       a.from = from;
       a.tuples = tuples;
+      a.span = span;
       const net::Envelope env{static_cast<uint64_t>(idx), from,
                               request->initiator, net::MessageKind::kAnswer,
-                              0};
+                              0, TraceFor(span)};
       wire::Buffer buf;
       codec.EncodeAnswerMessage(env, payload, &buf);
       a.frame = buf.Take();
@@ -776,8 +888,12 @@ class AsyncEngine {
                               a.frame.size());
         if (a.attempt > 1) profiler()->OnRetransmission(a.from);
       }
+      const net::Envelope env = AnswerEnvelope(idx);
+      JournalFrame(a.attempt > 1 ? obs::JournalEventKind::kRetransmit
+                                 : obs::JournalEventKind::kFrameSend,
+                   a.from, env, a.frame.size());
       std::vector<uint8_t> datagram =
-          ShipDatagram(AnswerEnvelope(idx), std::vector<uint8_t>(a.frame));
+          ShipDatagram(env, std::vector<uint8_t>(a.frame));
       const double base = self->latency_(a.from, request->initiator);
       if (!ft) {
         // Answer delivery rides the clock but needs no handler state.
@@ -788,18 +904,19 @@ class AsyncEngine {
       }
       if (datagram.empty() || fault.DropMessage()) {
         result.coverage.messages_lost += 1;
+        JournalFrame(obs::JournalEventKind::kDrop, a.from, env, 0);
         ArmAnswerRetry(idx);
         return;
       }
       const double d = fault.Jitter(base);
       if (fault.DuplicateMessage()) {
         result.coverage.messages_duplicated += 1;
-        ScheduleDelivery(request->initiator, fault.Jitter(base),
+        ScheduleDelivery(env, request->initiator, fault.Jitter(base),
                          [this, idx, datagram] {
                            DeliverAnswer(idx, datagram);
                          });
       }
-      ScheduleDelivery(request->initiator, d,
+      ScheduleDelivery(env, request->initiator, d,
                        [this, idx, datagram = std::move(datagram)] {
                          DeliverAnswer(idx, datagram);
                        });
@@ -838,17 +955,20 @@ class AsyncEngine {
       wire::Reader r(datagram);
       net::Envelope env;
       Answer payload{};
-      const bool ok = net::DecodeEnvelopeFrame(&r, &env) &&
+      const wire::FrameError ferr = net::DecodeEnvelopeFrameEx(&r, &env);
+      const bool ok = ferr == wire::FrameError::kOk &&
                       env.kind == net::MessageKind::kAnswer &&
                       codec.DecodeAnswerPayload(&r, &payload) && r.ok() &&
                       r.remaining() == 0;
       if (!ok) {
         // The initiator saw garbage; the elided nack of the reliable
         // answer channel becomes a sender-side retransmission.
-        RejectFrame();
+        RejectFrame(ferr);
         ArmAnswerRetry(idx);
         return;
       }
+      JournalFrame(obs::JournalEventKind::kFrameRecv, request->initiator,
+                   env, datagram.size());
       policy().MergeAnswer(&result.answer, std::move(payload),
                            request->query);
       last_answer_time = std::max(last_answer_time, sim.now());
@@ -903,6 +1023,7 @@ class AsyncEngine {
   LatencyModel latency_;
   std::function<void(PeerId)> visit_observer_;
   obs::Tracer* tracer_ = nullptr;
+  obs::JournalSet* journal_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
   net::Transport* transport_ = nullptr;
   mutable net::LoopbackTransport default_transport_;

@@ -41,6 +41,9 @@ struct PendingAnswer {
   size_t tuples = 0;
   int attempt = 0;
   bool settled = false;  // delivered once, or lost for good
+  // Trace span of the sending session, stamped into every copy's frame
+  // header (kNoSpan when tracing is off).
+  uint32_t span = obs::kNoSpan;
 };
 
 /// The retry discipline's capped exponential backoff.

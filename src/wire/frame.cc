@@ -3,7 +3,7 @@
 namespace ripple::wire {
 
 size_t BeginFrame(Buffer* buf, uint8_t tag, uint64_t id, uint32_t from,
-                  uint32_t to) {
+                  uint32_t to, const TraceContext& trace) {
   const size_t start = buf->size();
   buf->PutFixed32(0);  // length, patched by EndFrame
   buf->PutU8(kWireVersion);
@@ -11,6 +11,9 @@ size_t BeginFrame(Buffer* buf, uint8_t tag, uint64_t id, uint32_t from,
   buf->PutFixed64(id);
   buf->PutFixed32(from);
   buf->PutFixed32(to);
+  buf->PutU8(trace.flags);
+  buf->PutFixed64(trace.trace_id);
+  buf->PutFixed32(trace.parent_span);
   return start;
 }
 
@@ -19,21 +22,35 @@ void EndFrame(Buffer* buf, size_t frame_start) {
                       static_cast<uint32_t>(buf->size() - frame_start - 4));
 }
 
-bool DecodeFrameHeader(Reader* r, FrameHeader* out) {
+FrameError DecodeFrameHeaderEx(Reader* r, FrameHeader* out) {
   out->length = r->Fixed32();
   out->version = r->U8();
   out->tag = r->U8();
   out->id = r->Fixed64();
   out->from = r->Fixed32();
   out->to = r->Fixed32();
-  if (!r->ok()) return false;
-  if (out->version != kWireVersion || out->tag > kMaxMessageTag ||
-      out->length < kFrameHeaderSize - 4 ||
-      out->length - (kFrameHeaderSize - 4) > r->remaining()) {
+  if (!r->ok()) return FrameError::kTruncated;
+  if (out->version < kMinWireVersion || out->version > kWireVersion) {
     r->Fail();
-    return false;
+    return FrameError::kBadVersion;
   }
-  return true;
+  if (out->tag > kMaxMessageTag) {
+    r->Fail();
+    return FrameError::kBadTag;
+  }
+  out->trace = TraceContext{};
+  if (out->version >= 2) {
+    out->trace.flags = r->U8();
+    out->trace.trace_id = r->Fixed64();
+    out->trace.parent_span = r->Fixed32();
+    if (!r->ok()) return FrameError::kTruncated;
+  }
+  if (out->length < FrameHeaderTailSize(out->version) ||
+      FramePayloadSize(*out) > r->remaining()) {
+    r->Fail();
+    return FrameError::kTruncated;
+  }
+  return FrameError::kOk;
 }
 
 }  // namespace ripple::wire

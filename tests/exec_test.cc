@@ -439,27 +439,40 @@ TEST(ExecutorTest, QpsPacingStretchesTheRun) {
   EXPECT_GE(result.wall_s, 0.035);
 }
 
-TEST(ExecutorTest, GlobalObsStateIsFrozenAndRestored) {
+TEST(ExecutorTest, GlobalObsStaysLiveInsideTheParallelSection) {
   obs::Registry::EnableGlobal(true);
   obs::Profiler::EnableGlobal(true);
+  const uint64_t completed_before =
+      obs::Registry::Global().GetCounter("exec.completed").value();
   std::vector<Job> jobs;
-  Job job;
-  job.run = [](JobContext&) {
-    // Inside the parallel section the process-global hooks must be off:
-    // workers only ever touch their private profiler/tracer.
-    EXPECT_FALSE(obs::Profiler::GlobalEnabled());
-    EXPECT_FALSE(obs::Registry::GlobalEnabled());
-    return JobResult{};
-  };
-  jobs.push_back(std::move(job));
-  Executor executor(ExecutorOptions{});
-  executor.Run(jobs, 1);
+  for (int i = 0; i < 8; ++i) {
+    Job job;
+    job.run = [](JobContext&) {
+      // The process-global hooks stay enabled inside the parallel section
+      // (metrics are atomic / internally locked now — there is no freeze):
+      // worker-side engine runs may record global metrics and route hops.
+      EXPECT_TRUE(obs::Profiler::GlobalEnabled());
+      EXPECT_TRUE(obs::Registry::GlobalEnabled());
+      obs::Registry::Global().GetCounter("exec_test.worker_side").Inc();
+      obs::RecordRouteStep("exec_test", 0, 1);
+      return JobResult{};
+    };
+    jobs.push_back(std::move(job));
+  }
+  ExecutorOptions options;
+  options.threads = 4;
+  Executor executor(options);
+  executor.Run(jobs, 2);
   EXPECT_TRUE(obs::Registry::GlobalEnabled());
   EXPECT_TRUE(obs::Profiler::GlobalEnabled());
   obs::Registry::EnableGlobal(false);
   obs::Profiler::EnableGlobal(false);
-  // The exec.* instruments were created before the freeze.
-  EXPECT_EQ(obs::Registry::Global().GetCounter("exec.completed").value(), 1u);
+  // Worker-side global recording landed instead of being dropped.
+  EXPECT_EQ(
+      obs::Registry::Global().GetCounter("exec_test.worker_side").value(), 8u);
+  EXPECT_GE(obs::Profiler::Global().Totals().route_hops, 8u);
+  EXPECT_EQ(obs::Registry::Global().GetCounter("exec.completed").value(),
+            completed_before + 8);
 }
 
 }  // namespace

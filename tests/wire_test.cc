@@ -16,6 +16,7 @@
 #include "net/envelope.h"
 #include "net/frame_cost.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "overlay/chord/chord.h"
 #include "overlay/midas/midas.h"
 #include "queries/diversify.h"
@@ -156,6 +157,82 @@ TEST(WireFrameTest, WrongVersionAndTagRejected) {
     wire::FrameHeader h;
     EXPECT_FALSE(wire::DecodeFrameHeader(&r, &h));
   }
+}
+
+TEST(WireFrameTest, V1FrameDecodesWithEmptyTraceContext) {
+  // Hand-build a v1 frame: the 22-byte header (no trace tail) plus one
+  // payload byte, as a v1-era peer would ship it.
+  wire::Buffer buf;
+  buf.PutFixed32(0);  // length, patched below
+  buf.PutU8(1);       // version 1
+  buf.PutU8(2);       // ack tag
+  buf.PutFixed64(77);
+  buf.PutFixed32(3);
+  buf.PutFixed32(4);
+  buf.PutVarint(9);
+  wire::EndFrame(&buf, 0);
+
+  wire::Reader r(buf.bytes());
+  wire::FrameHeader h;
+  EXPECT_EQ(wire::DecodeFrameHeaderEx(&r, &h), wire::FrameError::kOk);
+  EXPECT_EQ(h.version, 1);
+  EXPECT_EQ(h.id, 77u);
+  // The trace context decodes to its empty defaults: no trace, no parent,
+  // not sampled.
+  EXPECT_EQ(h.trace.trace_id, 0u);
+  EXPECT_EQ(h.trace.parent_span, wire::kNoParentSpan);
+  EXPECT_FALSE(h.trace.sampled());
+  EXPECT_EQ(wire::FramePayloadSize(h), 1u);
+  EXPECT_EQ(r.Varint(), 9u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireFrameTest, V2TraceContextRoundTripsAndOldDecoderWouldReject) {
+  wire::TraceContext trace;
+  trace.trace_id = 0xfeedf00dULL;
+  trace.parent_span = 12;
+  trace.flags = wire::kFrameFlagSampled;
+  wire::Buffer buf;
+  const size_t start = wire::BeginFrame(&buf, 0, 9, 1, 2, trace);
+  wire::EndFrame(&buf, start);
+
+  wire::Reader r(buf.bytes());
+  wire::FrameHeader h;
+  ASSERT_EQ(wire::DecodeFrameHeaderEx(&r, &h), wire::FrameError::kOk);
+  EXPECT_EQ(h.trace.trace_id, 0xfeedf00dULL);
+  EXPECT_EQ(h.trace.parent_span, 12u);
+  EXPECT_TRUE(h.trace.sampled());
+
+  // A v1-era decoder capped at version 1 rejects version 2 through the
+  // same kBadVersion path the current decoder uses for versions above its
+  // own: a clean semantic rejection, never a misparse of the tail.
+  std::vector<uint8_t> bytes = buf.bytes();
+  bytes[4] = wire::kWireVersion + 1;
+  wire::Reader future(bytes.data(), bytes.size());
+  EXPECT_EQ(wire::DecodeFrameHeaderEx(&future, &h),
+            wire::FrameError::kBadVersion);
+}
+
+TEST(WireFrameTest, FrameErrorSeparatesTruncationFromSemanticRejects) {
+  wire::Buffer buf;
+  const size_t start = wire::BeginFrame(&buf, 1, 5, 0, 1);
+  buf.PutF64(0.25);
+  wire::EndFrame(&buf, start);
+
+  // Every strict prefix is a truncation, from a cut length field through
+  // a missing trace tail to a declared-but-absent payload.
+  for (size_t n = 0; n < buf.size(); ++n) {
+    wire::Reader r(buf.data(), n);
+    wire::FrameHeader h;
+    EXPECT_EQ(wire::DecodeFrameHeaderEx(&r, &h), wire::FrameError::kTruncated)
+        << "prefix " << n;
+  }
+  // A complete header with an unknown tag is a semantic reject.
+  std::vector<uint8_t> bytes = buf.bytes();
+  bytes[5] = wire::kMaxMessageTag + 1;
+  wire::Reader r(bytes.data(), bytes.size());
+  wire::FrameHeader h;
+  EXPECT_EQ(wire::DecodeFrameHeaderEx(&r, &h), wire::FrameError::kBadTag);
 }
 
 TEST(WireFrameTest, BackToBackFramesWalk) {
@@ -653,6 +730,70 @@ TEST(TransportTest, SwallowedDatagramRecoveredByTimers) {
   for (size_t i = 0; i < want.answer.size(); ++i) {
     EXPECT_EQ(got.answer[i].id, want.answer[i].id);
   }
+}
+
+/// Cuts the first `n` datagrams of `kind` down to `keep` bytes.
+class TruncatingTransport : public net::Transport {
+ public:
+  TruncatingTransport(net::MessageKind kind, int n, size_t keep)
+      : kind_(kind), truncate_(n), keep_(keep) {}
+
+  std::vector<uint8_t> Ship(const net::Envelope& env,
+                            std::vector<uint8_t> datagram) override {
+    if (env.kind == kind_ && truncated_ < truncate_ &&
+        datagram.size() > keep_) {
+      datagram.resize(keep_);
+      ++truncated_;
+    }
+    return datagram;
+  }
+
+  int truncated() const { return truncated_; }
+
+ private:
+  const net::MessageKind kind_;
+  const int truncate_;
+  const size_t keep_;
+  int truncated_ = 0;
+};
+
+TEST(TransportTest, TruncationAndCorruptionSplitTheRejectCounters) {
+  Net net = MakeNet(40, 500, 2, 715);
+  const LinearScorer scorer({-0.5, -0.5});
+  const TopKQuery q{&scorer, 6};
+  obs::Registry::EnableGlobal(true);
+  obs::Registry& reg = obs::Registry::Global();
+
+  // A datagram cut mid-header counts as truncated, not rejected...
+  {
+    const uint64_t trunc0 = reg.GetCounter("net.frames_truncated").value();
+    const uint64_t rej0 = reg.GetCounter("net.frames_rejected").value();
+    AsyncEngine<MidasOverlay, TopKPolicy> engine(&net.overlay, TopKPolicy{});
+    TruncatingTransport truncating(net::MessageKind::kQuery, 1, /*keep=*/10);
+    engine.SetTransport(&truncating);
+    const auto got = engine.Run(
+        {.initiator = 3, .query = q, .ripple = RippleParam::Hops(2)});
+    EXPECT_EQ(truncating.truncated(), 1);
+    EXPECT_TRUE(got.complete);  // the retransmission recovered it
+    EXPECT_EQ(reg.GetCounter("net.frames_truncated").value(), trunc0 + 1);
+    EXPECT_EQ(reg.GetCounter("net.frames_rejected").value(), rej0);
+  }
+  // ...while a payload byte flip under an intact header counts as
+  // rejected, not truncated.
+  {
+    const uint64_t trunc0 = reg.GetCounter("net.frames_truncated").value();
+    const uint64_t rej0 = reg.GetCounter("net.frames_rejected").value();
+    AsyncEngine<MidasOverlay, TopKPolicy> engine(&net.overlay, TopKPolicy{});
+    CorruptingTransport corrupting(net::MessageKind::kQuery, 1);
+    engine.SetTransport(&corrupting);
+    const auto got = engine.Run(
+        {.initiator = 3, .query = q, .ripple = RippleParam::Hops(2)});
+    EXPECT_EQ(corrupting.corrupted(), 1);
+    EXPECT_TRUE(got.complete);
+    EXPECT_EQ(reg.GetCounter("net.frames_rejected").value(), rej0 + 1);
+    EXPECT_EQ(reg.GetCounter("net.frames_truncated").value(), trunc0);
+  }
+  obs::Registry::EnableGlobal(false);
 }
 
 // --- Cross-engine byte parity ---------------------------------------------

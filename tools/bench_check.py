@@ -20,6 +20,12 @@ Metric classes:
     fails the gate. Benches emit machine-adapted floors (e.g. the
     executor's thread-scaling floor degrades on boxes with fewer cores),
     which keeps the check meaningful on any hardware.
+  * ceiling rule: the mirror image — wall_ceiling_<X> declares a maximum
+    for the sibling wall_<X> of the same fresh document, and fresh
+    wall_<X> > wall_ceiling_<X> fails the gate. Benches emit the ceiling
+    from a same-machine reference measurement (e.g. the observability
+    bench caps the traced wall clock at a multiple of the untraced one),
+    so the rule gates overhead ratios, not absolute machine speed.
 
 Cases present only in the fresh run are reported as additions (a warning,
 not a failure) so adding a bench never breaks the gate; removing one does.
@@ -27,7 +33,7 @@ not a failure) so adding a bench never breaks the gate; removing one does.
 Schema v2 adds bytes_on_wire_mean (real serialized frame bytes) to every
 query case. The gate enforces the measurement is wired up: a fresh case
 that moved messages (messages_mean > 0) must report a non-zero
-bytes_on_wire_mean — a frame is never smaller than its 22-byte header,
+bytes_on_wire_mean — a frame is never smaller than its 35-byte header,
 so zero bytes with non-zero messages means the byte accounting broke.
 
 Usage:
@@ -92,33 +98,44 @@ def within(base_v, fresh_v, rtol, atol):
 
 
 FLOOR_PREFIX = "wall_floor_"
+CEIL_PREFIX = "wall_ceiling_"
 
 
-def check_floors(suite, fresh, failures, notes):
-    """Intra-document floor rule: fresh wall_<X> >= fresh wall_floor_<X>."""
+def check_bounds(suite, fresh, failures, notes):
+    """Intra-document bound rules on the fresh document:
+    wall_floor_<X> <= wall_<X> <= wall_ceiling_<X>."""
     for case_id in sorted(fresh.get("cases", {})):
         metrics = fresh["cases"][case_id]
         for metric in sorted(metrics):
-            if not metric.startswith(FLOOR_PREFIX):
+            if metric.startswith(FLOOR_PREFIX):
+                is_floor = True
+                target = "wall_" + metric[len(FLOOR_PREFIX):]
+            elif metric.startswith(CEIL_PREFIX):
+                is_floor = False
+                target = "wall_" + metric[len(CEIL_PREFIX):]
+            else:
                 continue
-            floor = metrics[metric]
-            target = "wall_" + metric[len(FLOOR_PREFIX):]
-            if not isinstance(floor, (int, float)):
+            bound = metrics[metric]
+            if not isinstance(bound, (int, float)):
                 continue
             if target not in metrics:
                 failures.append(
-                    f"[{suite}] {case_id}: {metric}={floor:g} declared but "
+                    f"[{suite}] {case_id}: {metric}={bound:g} declared but "
                     f"{target} is missing from the fresh run")
                 continue
             value = metrics[target]
-            if value < floor:
+            if is_floor and value < bound:
                 failures.append(
                     f"[{suite}] {case_id}: {target}={value:g} below its "
-                    f"declared floor {metric}={floor:g}")
+                    f"declared floor {metric}={bound:g}")
+            elif not is_floor and value > bound:
+                failures.append(
+                    f"[{suite}] {case_id}: {target}={value:g} above its "
+                    f"declared ceiling {metric}={bound:g}")
             else:
                 notes.append(
-                    f"[{suite}] {case_id}: {target}={value:g} meets floor "
-                    f"{floor:g}")
+                    f"[{suite}] {case_id}: {target}={value:g} meets "
+                    f"{'floor' if is_floor else 'ceiling'} {bound:g}")
 
 
 def check_bytes_on_wire(suite, fresh, failures):
@@ -224,7 +241,7 @@ def main():
         if not check_comparable(suite, base, fresh, failures):
             continue
         diff_suite(suite, base, fresh, args.rtol, args.atol, failures, notes)
-        check_floors(suite, fresh, failures, notes)
+        check_bounds(suite, fresh, failures, notes)
         check_bytes_on_wire(suite, fresh, failures)
         compared += len(base.get("cases", {}))
         if args.list:

@@ -14,7 +14,11 @@ Builds a synthetic baseline BENCH_figs.json in a temp dir, then checks:
   10. a case that moved messages but reports zero bytes_on_wire_mean
       fails (exit 1);
   11. a case that moved messages with bytes_on_wire_mean absent
-      entirely fails (exit 1).
+      entirely fails (exit 1);
+  12. a fresh wall metric under its wall_ceiling_ sibling passes
+      (exit 0);
+  13. a fresh wall metric above its wall_ceiling_ sibling fails
+      (exit 1).
 
 Registered in ctest (label: unit) so the regression gate itself is under
 test. Stdlib only.
@@ -190,6 +194,31 @@ def main():
         write(fresh_dir, fresh)
         code, out = run_check(base_dir, fresh_dir)
         expect("absent bytes_on_wire_mean fails", code, 1, out)
+
+        # Ceiling rule: wall_traced_ms <= wall_ceiling_traced_ms within the
+        # fresh document — the observability bench's overhead gate.
+        ceiled = copy.deepcopy(BASELINE)
+        ceiled["cases"]["figure-o/obs/overhead"] = {
+            "wall_traced_ms": 0.4,
+            "wall_ceiling_traced_ms": 1.0,
+        }
+        ceil_base = os.path.join(tmp, "ceil_base")
+        write(ceil_base, ceiled)
+        fresh_dir = os.path.join(tmp, "ceil_ok")
+        write(fresh_dir, copy.deepcopy(ceiled))
+        code, out = run_check(ceil_base, fresh_dir)
+        expect("traced wall under its ceiling passes", code, 0, out)
+
+        fresh = copy.deepcopy(ceiled)
+        fresh["cases"]["figure-o/obs/overhead"]["wall_traced_ms"] = 3.7
+        fresh_dir = os.path.join(tmp, "ceil_fail")
+        write(fresh_dir, fresh)
+        code, out = run_check(ceil_base, fresh_dir)
+        expect("traced wall above its ceiling fails", code, 1, out)
+        if "wall_ceiling_traced_ms" not in out:
+            print(f"bench_gate_test FAIL: ceiling failure does not name the "
+                  f"ceiling metric\n{out}")
+            sys.exit(1)
 
     print("bench_gate_test: all scenarios behaved")
 

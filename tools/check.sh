@@ -8,6 +8,7 @@
 #   tools/check.sh thread     # TSan over the concurrent executor tests
 #   tools/check.sh address tests/obs_test   # limit ctest to a regex
 #   tools/check.sh wire       # wire codec/transport suite, ASan then UBSan
+#   tools/check.sh obs        # observability suite (obs+exec labels), TSan
 #   tools/check.sh --bench    # bench smoke suite + BENCH_*.json gate
 #
 # The sanitized build lives in build-san-<kind> next to the regular
@@ -58,6 +59,26 @@ if [[ "${1:-}" == "wire" ]]; then
     ctest --test-dir "$BUILD_DIR" --output-on-failure -L wire
   done
   echo "check.sh: wire suite clean under address+undefined"
+  exit 0
+fi
+
+# obs: the observability suite (ctest label `obs`: metrics registry,
+# tracer, profiler, journal/assembler) under TSan. The registry stays
+# live inside the executor's parallel section and the journal is a
+# multi-writer sink, so the race detector — not ASan — is the sanitizer
+# that can falsify those contracts. The exec label rides along because
+# the executor's worker threads are what actually drive the obs layer
+# concurrently.
+if [[ "${1:-}" == "obs" ]]; then
+  BUILD_DIR="build-san-thread"
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRIPPLE_SANITIZE=thread \
+    -DRIPPLE_BUILD_BENCHMARKS=OFF \
+    -DRIPPLE_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'obs|exec'
+  echo "check.sh: obs suite clean under thread"
   exit 0
 fi
 

@@ -23,6 +23,18 @@
 // working: --metrics-out additionally carries the exec.* counters,
 // --profile-out the per-peer load of the whole workload, --trace-out one
 // admission-to-completion span per executed query.
+//
+// Distributed tracing (docs/OBSERVABILITY.md): --journal-out=DIR flushes
+// per-peer event journals (frame sends/receives, span begin/end,
+// retransmissions, drops, crashes) as peer-<id>.jsonl files; the
+// trace-assemble subcommand merges such a directory back into one global
+// span tree offline:
+//
+//   $ ripple_cli --query=topk --engine=async --journal-out=/tmp/j
+//   $ ripple_cli trace-assemble --journal=/tmp/j
+//
+// --snapshot-out captures windowed metrics snapshots plus a slow-query
+// log (--slow-query-ms) during workload runs.
 
 #include <algorithm>
 #include <cstdio>
@@ -37,8 +49,11 @@
 #include "exec/compile.h"
 #include "exec/executor.h"
 #include "exec/workload.h"
+#include "obs/assemble.h"
 #include "obs/export.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "overlay/midas/midas.h"
 #include "queries/diversify_driver.h"
@@ -73,17 +88,115 @@ QueryResult<typename Policy::Answer> RunWithEngine(const MidasOverlay& overlay,
                                                    bool async_mode,
                                                    obs::Tracer* tracer,
                                                    obs::Profiler* profiler,
+                                                   obs::JournalSet* journal,
                                                    Driver&& drive) {
   if (async_mode) {
     AsyncEngine<MidasOverlay, Policy> engine(&overlay, Policy{});
     engine.SetTracer(tracer);
     engine.SetProfiler(profiler);
+    engine.SetJournal(journal);
     return drive(engine);
   }
   Engine<MidasOverlay, Policy> engine(&overlay, Policy{});
   engine.SetTracer(tracer);
   engine.SetProfiler(profiler);
+  engine.SetJournal(journal);
   return drive(engine);
+}
+
+/// The `trace-assemble` subcommand: merge per-peer journals written by
+/// --journal-out back into one global span forest, offline.
+int RunTraceAssemble(int argc, char** argv) {
+  std::string journal_path;
+  std::string out;
+  std::string format = "ascii";
+  FlagParser flags(
+      "ripple_cli trace-assemble: merge per-peer event journals "
+      "(peer-<id>.jsonl, written by --journal-out) into one global span "
+      "tree, reconstructing causality from the trace ids the frames "
+      "carried and aligning peer clocks Lamport-style from send/recv "
+      "pairs");
+  flags.AddString("journal",
+                  "journal directory (reads every *.jsonl) or one journal "
+                  "file",
+                  &journal_path);
+  flags.AddString("out", "output path (ascii format prints to stdout when "
+                  "empty)",
+                  &out);
+  flags.AddString("format", "ascii | chrome | jsonl", &format);
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.message().c_str());
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 2;
+  }
+  if (journal_path.empty()) {
+    std::fprintf(stderr, "trace-assemble needs --journal=<dir-or-file>\n");
+    return 2;
+  }
+  const Result<std::vector<obs::PeerJournal>> journals =
+      obs::ReadJournals(journal_path);
+  if (!journals.ok()) {
+    std::fprintf(stderr, "reading journals: %s\n",
+                 journals.status().message().c_str());
+    return 1;
+  }
+  const Result<obs::AssembleReport> report = obs::AssembleJournals(*journals);
+  if (!report.ok()) {
+    std::fprintf(stderr, "assembling: %s\n",
+                 report.status().message().c_str());
+    return 1;
+  }
+  std::printf(
+      "assembled %zu journal(s): %llu trace(s), %llu span(s)%s\n",
+      journals->size(), static_cast<unsigned long long>(report->traces),
+      static_cast<unsigned long long>(report->spans),
+      report->complete ? "" : " [INCOMPLETE]");
+  if (!report->complete) {
+    std::printf(
+        "  missing_end=%llu orphans=%llu dropped=%llu crashes=%llu\n",
+        static_cast<unsigned long long>(report->missing_end),
+        static_cast<unsigned long long>(report->orphans),
+        static_cast<unsigned long long>(report->dropped),
+        static_cast<unsigned long long>(report->crashes));
+  }
+  for (size_t i = 0; i < report->clock_offsets.size(); ++i) {
+    if (report->clock_offsets[i] != 0.0) {
+      std::printf("  clock offset journal[%zu] (+%.3f)\n", i,
+                  report->clock_offsets[i]);
+    }
+  }
+  Status st;
+  if (format == "chrome") {
+    st = obs::WriteChromeTrace(report->tracer, out);
+  } else if (format == "jsonl") {
+    st = obs::WriteTraceJsonl(report->tracer, out);
+  } else if (format == "ascii") {
+    const std::string tree = report->tracer.ToAscii();
+    if (out.empty()) {
+      std::fputs(tree.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(out.c_str(), "w");
+      if (f == nullptr) {
+        st = Status::Internal("cannot open " + out);
+      } else {
+        std::fputs(tree.c_str(), f);
+        std::fclose(f);
+      }
+    }
+  } else {
+    std::fprintf(stderr, "unknown --format=%s (ascii | chrome | jsonl)\n",
+                 format.c_str());
+    return 2;
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "writing %s: %s\n", out.c_str(),
+                 st.message().c_str());
+    return 1;
+  }
+  if (!out.empty()) {
+    std::printf("trace -> %s (%s)\n", out.c_str(), format.c_str());
+  }
+  return 0;
 }
 
 int Run(int argc, char** argv) {
@@ -118,6 +231,11 @@ int Run(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   std::string profile_out;
+  std::string journal_out;
+  double trace_sample = 0.0;
+  std::string snapshot_out;
+  double snapshot_every_ms = 50.0;
+  double slow_query_ms = 0.0;
   std::string log_level;
 
   FlagParser flags(
@@ -193,6 +311,30 @@ int Run(int argc, char** argv) {
                   "write the per-peer load profile here as JSON: totals, "
                   "skew stats (Gini, peak/mean) and the hotspot table",
                   &profile_out);
+  flags.AddString("journal-out",
+                  "write per-peer event journals (peer-<id>.jsonl) into "
+                  "this directory; reassemble offline with the "
+                  "trace-assemble subcommand. Single-query mode "
+                  "force-samples the query; workload mode samples per "
+                  "--trace-sample (defaulting it to 1.0)",
+                  &journal_out);
+  flags.AddDouble("trace-sample",
+                  "head-based trace sampling probability in [0,1] for "
+                  "workload mode (decided once per query at the "
+                  "initiator; the decision rides the v2 frame header)",
+                  &trace_sample);
+  flags.AddString("snapshot-out",
+                  "write windowed metrics snapshots plus the slow-query "
+                  "log here as JSON (workload mode)",
+                  &snapshot_out);
+  flags.AddDouble("snapshot-every-ms",
+                  "snapshot capture period in wall-clock ms",
+                  &snapshot_every_ms);
+  flags.AddDouble("slow-query-ms",
+                  "record executed queries slower than this admission-to-"
+                  "completion latency into the slow-query log, force-"
+                  "sampling ones head sampling skipped (0 = off)",
+                  &slow_query_ms);
   flags.AddString("log-level",
                   "error | warn | info | debug | trace (default: "
                   "RIPPLE_LOG_LEVEL or warn)",
@@ -225,10 +367,26 @@ int Run(int argc, char** argv) {
   }
   // Enable the global registry before the overlay is built so the
   // bootstrap joins' routing shows up under midas.route.* too.
-  if (!metrics_out.empty()) obs::Registry::EnableGlobal(true);
+  if (!metrics_out.empty() || !snapshot_out.empty()) {
+    obs::Registry::EnableGlobal(true);
+  }
   obs::Tracer tracer;
   obs::Tracer* tracer_ptr =
-      (!trace_out.empty() || !metrics_out.empty()) ? &tracer : nullptr;
+      (!trace_out.empty() || !metrics_out.empty() || !journal_out.empty())
+          ? &tracer
+          : nullptr;
+  // Distributed tracing: one JournalSet shared by the tracer (span
+  // mirroring) and every engine (frame events). Single-query mode
+  // force-samples the query — head sampling is a workload-scale tool —
+  // so qtrace is nonzero exactly when journaling is on.
+  obs::JournalSet journal;
+  obs::JournalSet* journal_ptr = journal_out.empty() ? nullptr : &journal;
+  // The engines attach the journal (and the trace id) to their tracer
+  // inside Run(); the main tracer must NOT be pre-attached, or workload
+  // mode's span merge would re-journal every worker span as a begin
+  // without an end.
+  const uint64_t qtrace =
+      journal_out.empty() ? 0 : (static_cast<uint64_t>(seed) | 1ULL);
   // Same for the global profiler: enabling it before the joins run means
   // RecordRouteStep charges the bootstrap routing hops to the peers that
   // forwarded them, alongside the query-time load the engines record.
@@ -316,15 +474,28 @@ int Run(int argc, char** argv) {
     copts.async = async_mode;
     copts.fault = fault;
     copts.retry = retry;
+    // Head sampling: an explicit --trace-sample wins; otherwise journaling
+    // implies sampling everything (a journal of zero traces is useless).
+    copts.trace_sample =
+        trace_sample > 0.0 ? trace_sample
+                           : (journal_ptr != nullptr ? 1.0 : 0.0);
     exec::CompiledWorkload compiled =
         exec::CompileWorkload(overlay, items, copts);
 
+    obs::SnapshotSeries snapshots(&obs::Registry::Global());
+    obs::SlowQueryLog slow_log(slow_query_ms);
     exec::ExecutorOptions eopts;
     eopts.threads = static_cast<int>(threads);
     eopts.queue_capacity = static_cast<size_t>(queue_cap > 0 ? queue_cap : 1);
     eopts.seed = static_cast<uint64_t>(seed);
     eopts.qps_target = qps_target;
     eopts.collect_spans = tracer_ptr != nullptr;
+    eopts.journal = journal_ptr;
+    if (!snapshot_out.empty()) {
+      eopts.snapshots = &snapshots;
+      eopts.snapshot_every_ms = snapshot_every_ms > 0 ? snapshot_every_ms : 50;
+    }
+    if (slow_query_ms > 0.0) eopts.slow_log = &slow_log;
     exec::Executor executor(eopts);
     std::printf("executing %zu queries on %lld thread(s)%s\n", items.size(),
                 static_cast<long long>(eopts.threads),
@@ -371,6 +542,23 @@ int Run(int argc, char** argv) {
       MergeSpans(t, &tracer);
     }
     if (want_profile) obs::Profiler::Global().Merge(result.profile);
+    if (slow_query_ms > 0.0) {
+      std::printf("slow queries (>= %.1f ms): %zu recorded, %llu dropped\n",
+                  slow_query_ms, slow_log.Entries().size(),
+                  static_cast<unsigned long long>(slow_log.dropped()));
+    }
+    if (!snapshot_out.empty()) {
+      const Status st = obs::WriteSnapshotJson(
+          &snapshots, slow_query_ms > 0.0 ? &slow_log : nullptr,
+          snapshot_out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "snapshot export failed: %s\n",
+                     st.message().c_str());
+        return 1;
+      }
+      std::printf("snapshots: %zu windows -> %s\n", snapshots.size(),
+                  snapshot_out.c_str());
+    }
   } else if (query == "topk") {
     std::vector<double> weights(dims);
     double sum = 0;
@@ -383,9 +571,10 @@ int Run(int argc, char** argv) {
         .ripple = *ripple,
         .deadline = deadline_or_inf,
         .retry = retry,
-        .fault = fault};
+        .fault = fault,
+        .trace_id = qtrace};
     auto result = RunWithEngine<TopKPolicy>(
-        overlay, async_mode, tracer_ptr, profiler_ptr,
+        overlay, async_mode, tracer_ptr, profiler_ptr, journal_ptr,
         [&](auto& engine) { return SeededTopK(overlay, engine, request); });
     std::printf("scoring: %s\n", scorer.ToString().c_str());
     answer = std::move(result.answer);
@@ -398,9 +587,10 @@ int Run(int argc, char** argv) {
                                               .ripple = *ripple,
                                               .deadline = deadline_or_inf,
                                               .retry = retry,
-                                              .fault = fault};
+                                              .fault = fault,
+                                              .trace_id = qtrace};
     auto result = RunWithEngine<SkylinePolicy>(
-        overlay, async_mode, tracer_ptr, profiler_ptr,
+        overlay, async_mode, tracer_ptr, profiler_ptr, journal_ptr,
         [&](auto& engine) { return SeededSkyline(overlay, engine, request); });
     answer = std::move(result.answer);
     stats = result.stats;
@@ -415,9 +605,10 @@ int Run(int argc, char** argv) {
                                               .ripple = *ripple,
                                               .deadline = deadline_or_inf,
                                               .retry = retry,
-                                              .fault = fault};
+                                              .fault = fault,
+                                              .trace_id = qtrace};
     auto result = RunWithEngine<SkybandPolicy>(
-        overlay, async_mode, tracer_ptr, profiler_ptr,
+        overlay, async_mode, tracer_ptr, profiler_ptr, journal_ptr,
         [&](auto& engine) { return engine.Run(request); });
     answer = std::move(result.answer);
     stats = result.stats;
@@ -435,9 +626,10 @@ int Run(int argc, char** argv) {
                                             .ripple = *ripple,
                                             .deadline = deadline_or_inf,
                                             .retry = retry,
-                                            .fault = fault};
+                                            .fault = fault,
+                                            .trace_id = qtrace};
     auto result = RunWithEngine<RangePolicy>(
-        overlay, async_mode, tracer_ptr, profiler_ptr,
+        overlay, async_mode, tracer_ptr, profiler_ptr, journal_ptr,
         [&](auto& engine) { return engine.Run(request); });
     answer = std::move(result.answer);
     stats = result.stats;
@@ -455,7 +647,8 @@ int Run(int argc, char** argv) {
                                        .ripple = *ripple,
                                        .deadline = deadline_or_inf,
                                        .retry = retry,
-                                       .fault = fault};
+                                       .fault = fault,
+                                       .trace_id = qtrace};
     std::unique_ptr<SingleTupleService> service;
     if (async_mode) {
       auto s = std::make_unique<
@@ -463,12 +656,14 @@ int Run(int argc, char** argv) {
           &overlay, base);
       s->mutable_engine()->SetTracer(tracer_ptr);
       s->mutable_engine()->SetProfiler(profiler_ptr);
+      s->mutable_engine()->SetJournal(journal_ptr);
       service = std::move(s);
     } else {
       auto s = std::make_unique<RippleDivService<MidasOverlay>>(&overlay,
                                                                 base);
       s->mutable_engine()->SetTracer(tracer_ptr);
       s->mutable_engine()->SetProfiler(profiler_ptr);
+      s->mutable_engine()->SetJournal(journal_ptr);
       service = std::move(s);
     }
     DiversifyOptions options;
@@ -509,6 +704,20 @@ int Run(int argc, char** argv) {
     }
   }
 
+  if (journal_ptr != nullptr) {
+    const Status st = journal.WriteDir(journal_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "journal export failed: %s\n",
+                   st.message().c_str());
+      return 1;
+    }
+    std::printf("journal: %zu peer file(s), %llu event(s) (%llu dropped) "
+                "-> %s\n",
+                journal.Peers().size(),
+                static_cast<unsigned long long>(journal.TotalEvents()),
+                static_cast<unsigned long long>(journal.TotalDropped()),
+                journal_out.c_str());
+  }
   if (!trace_out.empty()) {
     const bool jsonl = trace_out.size() >= 6 &&
                        trace_out.compare(trace_out.size() - 6, 6, ".jsonl") ==
@@ -576,4 +785,9 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace ripple
 
-int main(int argc, char** argv) { return ripple::Run(argc, argv); }
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "trace-assemble") {
+    return ripple::RunTraceAssemble(argc - 1, argv + 1);
+  }
+  return ripple::Run(argc, argv);
+}
