@@ -2,6 +2,7 @@
 #define RIPPLE_EXEC_COMPILE_H_
 
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -148,6 +149,64 @@ Job MakeJob(const Overlay& overlay, typename Policy::Query query,
 
 }  // namespace internal
 
+/// The per-item instance generation underneath CompileWorkload, exposed
+/// so other drivers of the workload-file format (net-bench's live client)
+/// draw byte-identical query instances. For each item, the per-item RNG
+/// stream (ItemSeed(seed, index)) draws — in this exact, frozen order —
+/// the initiator, then the kind-specific parameters (top-k scorer
+/// weights; range center), and `visit(index, item, initiator, query)` is
+/// invoked with the typed query (TopKQuery / SkylineQuery / SkybandQuery
+/// / RangeQuery — visitors dispatch with `if constexpr`). Top-k scorers
+/// are appended to `*scorers`, which must outlive every use of the
+/// visited queries.
+template <typename Overlay, typename Visitor>
+void ForEachWorkloadInstance(const Overlay& overlay,
+                             const std::vector<WorkloadItem>& items,
+                             uint64_t seed,
+                             std::vector<std::unique_ptr<Scorer>>* scorers,
+                             Visitor&& visit) {
+  const int dims = overlay.domain().dims();
+  for (size_t i = 0; i < items.size(); ++i) {
+    const WorkloadItem& item = items[i];
+    Rng rng(internal::ItemSeed(seed, i));
+    const PeerId initiator = overlay.RandomPeer(&rng);
+    switch (item.kind) {
+      case WorkloadItem::Kind::kTopK: {
+        std::vector<double> weights(dims);
+        for (double& w : weights) w = 0.1 + rng.UniformDouble();
+        scorers->push_back(std::make_unique<LinearScorer>(weights));
+        TopKQuery query;
+        query.scorer = scorers->back().get();
+        query.k = item.k;
+        query.epsilon = item.epsilon;
+        visit(i, item, initiator, std::move(query));
+        break;
+      }
+      case WorkloadItem::Kind::kSkyline: {
+        visit(i, item, initiator, SkylineQuery{});
+        break;
+      }
+      case WorkloadItem::Kind::kSkyband: {
+        SkybandQuery query;
+        query.band = item.band;
+        visit(i, item, initiator, std::move(query));
+        break;
+      }
+      case WorkloadItem::Kind::kRange: {
+        RangeQuery query;
+        query.center = Point(dims);
+        const Rect domain = overlay.domain();
+        for (int d = 0; d < dims; ++d) {
+          query.center[d] = rng.UniformDouble(domain.lo()[d], domain.hi()[d]);
+        }
+        query.radius = item.radius;
+        visit(i, item, initiator, std::move(query));
+        break;
+      }
+    }
+  }
+}
+
 /// Compiles a parsed workload against an overlay into executor Jobs.
 ///
 /// Determinism: every instance decision is drawn from a fresh per-item
@@ -162,62 +221,37 @@ CompiledWorkload CompileWorkload(const Overlay& overlay,
                                  const CompileOptions& opts = {}) {
   CompiledWorkload out;
   out.jobs.reserve(items.size());
-  const int dims = overlay.domain().dims();
-  for (size_t i = 0; i < items.size(); ++i) {
-    const WorkloadItem& item = items[i];
-    Rng rng(internal::ItemSeed(opts.seed, i));
-    const PeerId initiator = overlay.RandomPeer(&rng);
-    switch (item.kind) {
-      case WorkloadItem::Kind::kTopK: {
-        std::vector<double> weights(dims);
-        for (double& w : weights) w = 0.1 + rng.UniformDouble();
-        out.scorers.push_back(std::make_unique<LinearScorer>(weights));
-        TopKQuery query;
-        query.scorer = out.scorers.back().get();
-        query.k = item.k;
-        query.epsilon = item.epsilon;
-        out.jobs.push_back(internal::MakeJob<Overlay, TopKPolicy>(
-            overlay, query, item, opts, i, initiator,
-            [](const Overlay& o, const auto& engine, const auto& req) {
-              return SeededTopK(o, engine, req);
-            }));
-        break;
-      }
-      case WorkloadItem::Kind::kSkyline: {
-        out.jobs.push_back(internal::MakeJob<Overlay, SkylinePolicy>(
-            overlay, SkylineQuery{}, item, opts, i, initiator,
-            [](const Overlay& o, const auto& engine, const auto& req) {
-              return SeededSkyline(o, engine, req);
-            }));
-        break;
-      }
-      case WorkloadItem::Kind::kSkyband: {
-        SkybandQuery query;
-        query.band = item.band;
-        out.jobs.push_back(internal::MakeJob<Overlay, SkybandPolicy>(
-            overlay, query, item, opts, i, initiator,
-            [](const Overlay&, const auto& engine, const auto& req) {
-              return engine.Run(req);
-            }));
-        break;
-      }
-      case WorkloadItem::Kind::kRange: {
-        RangeQuery query;
-        query.center = Point(dims);
-        const Rect domain = overlay.domain();
-        for (int d = 0; d < dims; ++d) {
-          query.center[d] = rng.UniformDouble(domain.lo()[d], domain.hi()[d]);
+  ForEachWorkloadInstance(
+      overlay, items, opts.seed, &out.scorers,
+      [&](size_t i, const WorkloadItem& item, PeerId initiator, auto query) {
+        using Q = std::decay_t<decltype(query)>;
+        if constexpr (std::is_same_v<Q, TopKQuery>) {
+          out.jobs.push_back(internal::MakeJob<Overlay, TopKPolicy>(
+              overlay, std::move(query), item, opts, i, initiator,
+              [](const Overlay& o, const auto& engine, const auto& req) {
+                return SeededTopK(o, engine, req);
+              }));
+        } else if constexpr (std::is_same_v<Q, SkylineQuery>) {
+          out.jobs.push_back(internal::MakeJob<Overlay, SkylinePolicy>(
+              overlay, std::move(query), item, opts, i, initiator,
+              [](const Overlay& o, const auto& engine, const auto& req) {
+                return SeededSkyline(o, engine, req);
+              }));
+        } else if constexpr (std::is_same_v<Q, SkybandQuery>) {
+          out.jobs.push_back(internal::MakeJob<Overlay, SkybandPolicy>(
+              overlay, std::move(query), item, opts, i, initiator,
+              [](const Overlay&, const auto& engine, const auto& req) {
+                return engine.Run(req);
+              }));
+        } else {
+          static_assert(std::is_same_v<Q, RangeQuery>);
+          out.jobs.push_back(internal::MakeJob<Overlay, RangePolicy>(
+              overlay, std::move(query), item, opts, i, initiator,
+              [](const Overlay&, const auto& engine, const auto& req) {
+                return engine.Run(req);
+              }));
         }
-        query.radius = item.radius;
-        out.jobs.push_back(internal::MakeJob<Overlay, RangePolicy>(
-            overlay, query, item, opts, i, initiator,
-            [](const Overlay&, const auto& engine, const auto& req) {
-              return engine.Run(req);
-            }));
-        break;
-      }
-    }
-  }
+      });
   return out;
 }
 

@@ -1,0 +1,39 @@
+#ifndef RIPPLE_NET_BOOTSTRAP_H_
+#define RIPPLE_NET_BOOTSTRAP_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "net/peers.h"
+#include "overlay/midas/midas.h"
+
+namespace ripple::net {
+
+/// Rebuilds the overlay every live process must agree on. The peers file
+/// distributes only this recipe — dataset name, sizes, seed — and each
+/// daemon (and each client replica) reconstructs the identical MIDAS
+/// overlay deterministically: same data stream (Rng(seed * 7919), as
+/// `ripple_cli run` seeds it), same data-median splits, same join order.
+/// Each daemon then *serves* only its assigned peers, but routing and
+/// link regions need the whole structure, which is how a shared-nothing
+/// bootstrap stays a single file. Sits above net's wire layer by design:
+/// this is deployment glue, not protocol.
+inline std::unique_ptr<MidasOverlay> BuildOverlay(const NetConfig& config) {
+  Rng data_rng(config.seed * 7919);
+  const TupleVec data = data::MakeByName(
+      config.dataset, config.tuples, static_cast<int>(config.dims), &data_rng);
+  MidasOptions opt;
+  opt.dims = static_cast<int>(config.dims);
+  opt.seed = config.seed;
+  opt.split_rule = MidasSplitRule::kDataMedian;
+  opt.border_pattern_links = config.patterns;
+  auto overlay = std::make_unique<MidasOverlay>(opt);
+  for (const Tuple& t : data) overlay->InsertTuple(t);
+  while (overlay->NumPeers() < config.peers) overlay->Join();
+  return overlay;
+}
+
+}  // namespace ripple::net
+
+#endif  // RIPPLE_NET_BOOTSTRAP_H_

@@ -1,0 +1,94 @@
+#ifndef RIPPLE_NET_PEERS_H_
+#define RIPPLE_NET_PEERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "overlay/types.h"
+
+namespace ripple::net {
+
+/// Message-id range reserved for clients (net-bench drivers and other
+/// non-overlay endpoints). Overlay peers are dense array indices starting
+/// at 0, so any id with the top bit set cannot be a peer: daemons treat
+/// such senders as clients and learn their return address from the
+/// datagram's source, while frames from unknown ids below the base are
+/// dropped and counted.
+inline constexpr PeerId kClientIdBase = 0x80000000u;
+
+inline bool IsClientId(PeerId id) { return (id & kClientIdBase) != 0; }
+
+/// A UDP endpoint as written in the peers file ("127.0.0.1:9101").
+/// Resolution to sockaddr happens inside UdpSocketTransport; the parsed
+/// form stays plain strings so this header needs no POSIX includes.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+
+  bool operator==(const Endpoint& o) const {
+    return port == o.port && host == o.host;
+  }
+  std::string ToString() const;
+};
+
+/// Parses "host:port". Fails on a missing colon or an unparsable port.
+Result<Endpoint> ParseEndpoint(const std::string& text);
+
+/// The deterministic overlay recipe shared by every process: each daemon
+/// (and every client replica) rebuilds the exact same MIDAS overlay from
+/// these fields, so the peers file is the only state that must be
+/// distributed out of band. The recipe matches `ripple_cli run`:
+/// Rng(seed * 7919) drives data generation, `seed` drives the overlay.
+struct NetConfig {
+  std::string dataset = "uniform";
+  uint64_t peers = 12;
+  int64_t dims = 2;
+  uint64_t tuples = 1000;
+  uint64_t seed = 1;
+  bool patterns = false;
+};
+
+/// One `peer` line: peers [lo, hi] are served by the process at
+/// `endpoint`.
+struct PeerAssignment {
+  PeerId lo = 0;
+  PeerId hi = 0;
+  Endpoint endpoint;
+};
+
+/// A parsed peers file: the shared overlay recipe plus the peer-id →
+/// endpoint table. Format (one directive per line, `#` comments):
+///
+///   config dataset=uniform peers=12 dims=2 tuples=1000 seed=7 patterns=0
+///   peer 0-3 127.0.0.1:9101
+///   peer 4-7 127.0.0.1:9102
+///   peer 8-11 127.0.0.1:9103
+///
+/// Every peer id in [0, config.peers) must be covered by exactly one
+/// assignment.
+struct PeersFile {
+  NetConfig config;
+  std::vector<PeerAssignment> assignments;
+
+  /// Endpoint serving `id`, or nullptr for ids outside every assignment
+  /// (clients resolve through learned addresses instead).
+  const Endpoint* Find(PeerId id) const;
+
+  /// Peer ids assigned to `endpoint`, in ascending order.
+  std::vector<PeerId> PeersAt(const Endpoint& endpoint) const;
+
+  /// The distinct process endpoints, in file order.
+  std::vector<Endpoint> Processes() const;
+
+  /// Round-trips back to the file format (canonical form, no comments).
+  std::string Format() const;
+};
+
+Result<PeersFile> ParsePeersFile(const std::string& text);
+Result<PeersFile> LoadPeersFile(const std::string& path);
+
+}  // namespace ripple::net
+
+#endif  // RIPPLE_NET_PEERS_H_

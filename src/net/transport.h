@@ -1,7 +1,11 @@
 #ifndef RIPPLE_NET_TRANSPORT_H_
 #define RIPPLE_NET_TRANSPORT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -10,37 +14,98 @@
 
 namespace ripple::net {
 
-/// The seam between the engines and the bytes they exchange. Every
-/// AsyncEngine transmission is encoded into a framed datagram (one frame,
-/// or several back-to-back frames for a response bundle) and handed to
-/// the transport; whatever the transport RETURNS is what the receiver
-/// decodes. Nothing can cheat past the serialization boundary: objects
-/// never cross, only the returned bytes do.
+/// One received datagram: the envelope of its (first) frame plus the raw
+/// bytes exactly as they arrived.
+struct Datagram {
+  Envelope env;
+  std::vector<uint8_t> bytes;
+};
+
+/// The seam between the engines and the bytes they exchange — shaped like
+/// a real network endpoint. Every AsyncEngine transmission is encoded
+/// into a framed datagram (one frame, or several back-to-back frames for
+/// a response bundle) and handed to Send(), which is fire-and-forget: it
+/// never returns the receiver's bytes, because no socket can. Whatever
+/// arrives at the receiving end surfaces through exactly one of two
+/// receive paths:
 ///
-/// Implementations may count, copy, corrupt or (in a future deployment)
-/// actually send the bytes. Returning an empty vector models a datagram
-/// the transport itself swallowed (the receiver sees nothing, the fault
-/// machinery's timers take over).
+///  * push — SetReceiver(cb) installs a delivery callback; the transport
+///    invokes it once per arriving datagram. LoopbackTransport delivers
+///    synchronously inside Send(), which is what lets the discrete-event
+///    engine keep its deterministic clock: the receiver schedules the
+///    simulated delivery, the wire itself takes zero host time.
+///  * pull — Poll(out, timeout_ms) pumps one datagram. Transports that
+///    own real sockets (net::UdpSocketTransport) implement the receive
+///    side here; the base class drains the inbox that Deliver() fills
+///    when no receiver is installed.
+///
+/// Nothing can cheat past the serialization boundary: objects never
+/// cross, only bytes do. A transport may count, reorder, corrupt or drop
+/// datagrams in flight (dropping = simply never delivering); senders
+/// recover through the fault machinery's timers, never through a return
+/// value.
+///
+/// Transports are single-owner: receiver installation and the inbox are
+/// unsynchronized, so concurrent engines must each use their own
+/// transport instance (the executor builds one engine per job for this
+/// reason). LoopbackTransport's counters are atomic so read-side
+/// aggregation across workers stays well-defined.
 class Transport {
  public:
+  using Receiver =
+      std::function<void(const Envelope& env, std::vector<uint8_t> bytes)>;
+
   virtual ~Transport() = default;
 
   /// Ships one datagram described by `env`. Takes ownership of the bytes;
-  /// returns the bytes the receiver will see.
-  virtual std::vector<uint8_t> Ship(const Envelope& env,
-                                    std::vector<uint8_t> datagram) = 0;
+  /// fire-and-forget — delivery (if any) happens through the receive path.
+  virtual void Send(const Envelope& env, std::vector<uint8_t> datagram) = 0;
+
+  /// Installs (or, with nullptr, removes) the push-delivery callback.
+  /// Datagrams queued in the inbox while no receiver was installed stay
+  /// queued for Poll; only subsequent deliveries go through the callback.
+  void SetReceiver(Receiver receiver) { receiver_ = std::move(receiver); }
+  bool has_receiver() const { return static_cast<bool>(receiver_); }
+
+  /// Pull-delivery: pops one pending datagram into `*out`, returning
+  /// false when none arrived within `timeout_ms`. The base implementation
+  /// serves the in-memory inbox and never waits (nothing can arrive
+  /// between calls without a Send); socket transports override it with a
+  /// real readiness wait.
+  virtual bool Poll(Datagram* out, int timeout_ms = 0) {
+    (void)timeout_ms;
+    if (inbox_.empty()) return false;
+    *out = std::move(inbox_.front());
+    inbox_.pop_front();
+    return true;
+  }
+
+ protected:
+  /// Hands one arriving datagram to the receive path: the installed
+  /// receiver if any, otherwise the inbox that Poll drains.
+  void Deliver(const Envelope& env, std::vector<uint8_t> bytes) {
+    if (receiver_) {
+      receiver_(env, std::move(bytes));
+    } else {
+      inbox_.push_back(Datagram{env, std::move(bytes)});
+    }
+  }
+
+ private:
+  Receiver receiver_;
+  std::deque<Datagram> inbox_;
 };
 
-/// Default transport: a loopback wire. Asserts that every shipped
-/// datagram is well-framed (each frame header parses and matches the
-/// envelope) — the guarantee that no engine path skips encoding — and
-/// counts shipped frames/bytes, then returns the bytes unchanged.
+/// Default transport: a loopback wire. Asserts that every sent datagram
+/// is well-framed (each frame header parses and matches the envelope) —
+/// the guarantee that no engine path skips encoding — counts sent
+/// frames/bytes, then delivers the bytes unchanged, synchronously.
 class LoopbackTransport : public Transport {
  public:
-  std::vector<uint8_t> Ship(const Envelope& env,
-                            std::vector<uint8_t> datagram) override {
+  void Send(const Envelope& env, std::vector<uint8_t> datagram) override {
     RIPPLE_CHECK(!datagram.empty() && "unframed transmission");
     wire::Reader r(datagram);
+    uint64_t frames = 0;
     while (r.remaining() > 0) {
       wire::FrameHeader h;
       RIPPLE_CHECK(wire::DecodeFrameHeader(&r, &h) &&
@@ -49,18 +114,26 @@ class LoopbackTransport : public Transport {
                    h.tag == static_cast<uint8_t>(env.kind) &&
                    "frame header disagrees with its envelope");
       RIPPLE_CHECK(r.Skip(wire::FramePayloadSize(h)));
-      frames_shipped_ += 1;
+      frames += 1;
     }
-    bytes_shipped_ += datagram.size();
-    return datagram;
+    // Relaxed: the counters are sums, not synchronization points. Workers
+    // in the concurrent executor each own their engine (and so their
+    // loopback), but read-side aggregation may race a late writer.
+    frames_shipped_.fetch_add(frames, std::memory_order_relaxed);
+    bytes_shipped_.fetch_add(datagram.size(), std::memory_order_relaxed);
+    Deliver(env, std::move(datagram));
   }
 
-  uint64_t bytes_shipped() const { return bytes_shipped_; }
-  uint64_t frames_shipped() const { return frames_shipped_; }
+  uint64_t bytes_shipped() const {
+    return bytes_shipped_.load(std::memory_order_relaxed);
+  }
+  uint64_t frames_shipped() const {
+    return frames_shipped_.load(std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t bytes_shipped_ = 0;
-  uint64_t frames_shipped_ = 0;
+  std::atomic<uint64_t> bytes_shipped_{0};
+  std::atomic<uint64_t> frames_shipped_{0};
 };
 
 }  // namespace ripple::net

@@ -1,0 +1,178 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+#include "net/envelope.h"
+#include "wire/frame.h"
+
+namespace ripple::net {
+namespace {
+
+// "ip:port" → sockaddr_in pieces (numeric IPv4 only; the overlay runs on
+// localhost and never needs a resolver).
+bool ToSockAddr(const Endpoint& e, uint32_t* addr_be, uint16_t* port_be) {
+  in_addr addr{};
+  if (inet_pton(AF_INET, e.host.c_str(), &addr) != 1) return false;
+  *addr_be = addr.s_addr;
+  *port_be = htons(e.port);
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<UdpSocketTransport>> UdpSocketTransport::Open(
+    const PeersFile& peers, const Endpoint& listen) {
+  auto t = std::unique_ptr<UdpSocketTransport>(new UdpSocketTransport());
+  for (const PeerAssignment& a : peers.assignments) {
+    SockAddr sa;
+    if (!ToSockAddr(a.endpoint, &sa.addr_be, &sa.port_be)) {
+      return Status::InvalidArgument("endpoint '" + a.endpoint.ToString() +
+                                     "' is not numeric-IPv4:port");
+    }
+    for (PeerId id = a.lo; id <= a.hi; ++id) t->peer_addrs_[id] = sa;
+  }
+
+  t->fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (t->fd_ < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in bind_addr{};
+  bind_addr.sin_family = AF_INET;
+  if (inet_pton(AF_INET, listen.host.c_str(), &bind_addr.sin_addr) != 1) {
+    return Status::InvalidArgument("listen address '" + listen.host +
+                                   "' is not numeric IPv4");
+  }
+  bind_addr.sin_port = htons(listen.port);
+  if (::bind(t->fd_, reinterpret_cast<sockaddr*>(&bind_addr),
+             sizeof(bind_addr)) != 0) {
+    return Status::Internal("bind(" + listen.ToString() +
+                            "): " + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(t->fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return Status::Internal(std::string("getsockname(): ") +
+                            std::strerror(errno));
+  }
+  char host[INET_ADDRSTRLEN] = {0};
+  inet_ntop(AF_INET, &bound.sin_addr, host, sizeof(host));
+  t->local_.host = host;
+  t->local_.port = ntohs(bound.sin_port);
+
+  const int flags = ::fcntl(t->fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(t->fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Internal(std::string("fcntl(O_NONBLOCK): ") +
+                            std::strerror(errno));
+  }
+  t->recv_buf_.resize(kMaxDatagram + 1);  // +1 detects kernel truncation
+  return t;
+}
+
+UdpSocketTransport::~UdpSocketTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool UdpSocketTransport::Resolve(PeerId to, SockAddr* out) const {
+  auto it = peer_addrs_.find(to);
+  if (it == peer_addrs_.end()) {
+    it = client_addrs_.find(to);
+    if (it == client_addrs_.end()) return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+void UdpSocketTransport::Send(const Envelope& env,
+                              std::vector<uint8_t> datagram) {
+  if (datagram.size() > kMaxDatagram) {
+    oversize_dropped += 1;
+    RIPPLE_LOG(kWarn, "udp: dropping %zu-byte datagram to peer %u (max %zu)",
+               datagram.size(), env.to, kMaxDatagram);
+    return;
+  }
+  SockAddr sa;
+  if (!Resolve(env.to, &sa)) {
+    unknown_peer_dropped += 1;
+    RIPPLE_LOG(kWarn, "udp: no address for peer %u", env.to);
+    return;
+  }
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr = sa.addr_be;
+  dst.sin_port = sa.port_be;
+  const ssize_t n =
+      ::sendto(fd_, datagram.data(), datagram.size(), 0,
+               reinterpret_cast<const sockaddr*>(&dst), sizeof(dst));
+  if (n < 0) {
+    // Fire-and-forget: a full socket buffer or EMSGSIZE looks like loss
+    // to the sender, and the retry machinery recovers, as on any network.
+    send_failures += 1;
+    RIPPLE_LOG(kWarn, "udp: sendto peer %u failed: %s", env.to,
+               std::strerror(errno));
+    return;
+  }
+  datagrams_sent += 1;
+  bytes_sent += static_cast<uint64_t>(n);
+}
+
+bool UdpSocketTransport::Poll(Datagram* out, int timeout_ms) {
+  for (;;) {
+    sockaddr_in src{};
+    socklen_t src_len = sizeof(src);
+    const ssize_t n =
+        ::recvfrom(fd_, recv_buf_.data(), recv_buf_.size(), 0,
+                   reinterpret_cast<sockaddr*>(&src), &src_len);
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        RIPPLE_LOG(kWarn, "udp: recvfrom failed: %s", std::strerror(errno));
+        return false;
+      }
+      // Nothing readable: wait once, then retry the read loop.
+      if (timeout_ms == 0) return false;
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) return false;
+      timeout_ms = 0;  // the retry after readiness must not wait again
+      continue;
+    }
+    datagrams_received += 1;
+    bytes_received += static_cast<uint64_t>(n);
+    // A read filling the whole buffer means the kernel truncated a
+    // datagram beyond kMaxDatagram; its tail is gone, drop it.
+    if (static_cast<size_t>(n) >= recv_buf_.size()) {
+      malformed_dropped += 1;
+      continue;
+    }
+    std::vector<uint8_t> bytes(recv_buf_.begin(), recv_buf_.begin() + n);
+    wire::Reader r(bytes);
+    Envelope env;
+    if (!DecodeEnvelopeFrame(&r, &env)) {
+      malformed_dropped += 1;
+      continue;
+    }
+    // Senders must be resolvable for the reply path: overlay peers through
+    // the peers file, clients through the address we are looking at right
+    // now. Anything else is not part of this overlay — drop it.
+    if (IsClientId(env.from)) {
+      client_addrs_[env.from] =
+          SockAddr{src.sin_addr.s_addr, src.sin_port};
+    } else if (peer_addrs_.find(env.from) == peer_addrs_.end()) {
+      unknown_peer_dropped += 1;
+      continue;
+    }
+    out->env = env;
+    out->bytes = std::move(bytes);
+    return true;
+  }
+}
+
+}  // namespace ripple::net

@@ -1,0 +1,87 @@
+#ifndef RIPPLE_NET_UDP_TRANSPORT_H_
+#define RIPPLE_NET_UDP_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/peers.h"
+#include "net/transport.h"
+
+namespace ripple::net {
+
+/// net::Transport over a nonblocking IPv4 UDP socket: the live-overlay
+/// counterpart of LoopbackTransport. Send resolves `env.to` through the
+/// peers file (or, for client ids, through addresses learned from
+/// received datagrams) and hands the bytes to sendto(); Poll waits for
+/// readability, reads one datagram, decodes its leading frame header into
+/// the envelope and delivers it. Malformed, truncated, oversize and
+/// unknown-sender datagrams are dropped and counted — UDP gives no other
+/// recourse, and the engines' retransmission machinery is the recovery
+/// path, exactly as over loopback.
+///
+/// Single-owner like every Transport: one daemon (or client) thread pumps
+/// Poll and calls Send; the counters are plain fields.
+class UdpSocketTransport : public Transport {
+ public:
+  /// Largest UDP payload this transport sends or expects (the IPv4
+  /// 65,535-byte datagram limit minus IP/UDP headers). Larger datagrams
+  /// are dropped at Send and counted in oversize_dropped — the sender's
+  /// retry machinery then treats the hop as lossy, which it is.
+  static constexpr size_t kMaxDatagram = 65507;
+
+  /// Binds a nonblocking UDP socket to `listen` ("ip:port"; port 0 binds
+  /// an ephemeral port, re-read into local_endpoint()). The peers table
+  /// maps overlay ids to sockaddrs for Send.
+  static Result<std::unique_ptr<UdpSocketTransport>> Open(
+      const PeersFile& peers, const Endpoint& listen);
+
+  ~UdpSocketTransport() override;
+
+  UdpSocketTransport(const UdpSocketTransport&) = delete;
+  UdpSocketTransport& operator=(const UdpSocketTransport&) = delete;
+
+  void Send(const Envelope& env, std::vector<uint8_t> datagram) override;
+
+  /// Receives one datagram, waiting up to `timeout_ms` for readability
+  /// (0 = nonblocking probe). Returns false on timeout or when every
+  /// readable datagram was dropped by validation.
+  bool Poll(Datagram* out, int timeout_ms = 0) override;
+
+  /// The bound address (with the real port after ephemeral bind).
+  const Endpoint& local_endpoint() const { return local_; }
+
+  // --- counters (single-owner; read from the owning thread) ---
+  uint64_t datagrams_sent = 0;
+  uint64_t datagrams_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t send_failures = 0;     // sendto errors (including EMSGSIZE)
+  uint64_t oversize_dropped = 0;  // datagrams beyond kMaxDatagram
+  uint64_t malformed_dropped = 0;  // short/truncated/unframed arrivals
+  uint64_t unknown_peer_dropped = 0;  // unresolvable sender or target
+
+ private:
+  UdpSocketTransport() = default;
+
+  struct SockAddr {  // opaque IPv4 sockaddr_in, kept POSIX-free here
+    uint32_t addr_be = 0;
+    uint16_t port_be = 0;
+  };
+
+  bool Resolve(PeerId to, SockAddr* out) const;
+
+  int fd_ = -1;
+  Endpoint local_;
+  std::unordered_map<PeerId, SockAddr> peer_addrs_;
+  // Client return addresses, learned from recvfrom on their queries.
+  std::unordered_map<PeerId, SockAddr> client_addrs_;
+  std::vector<uint8_t> recv_buf_;
+};
+
+}  // namespace ripple::net
+
+#endif  // RIPPLE_NET_UDP_TRANSPORT_H_

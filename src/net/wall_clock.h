@@ -1,0 +1,92 @@
+#ifndef RIPPLE_NET_WALL_CLOCK_H_
+#define RIPPLE_NET_WALL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ripple::net {
+
+/// Wall-clock analogue of sim::TimerWheel: retransmission timers for the
+/// live overlay, driven by std::chrono::steady_clock instead of the
+/// discrete-event queue. Same lazy-cancellation discipline — Cancel marks
+/// the handle dead and the heap entry is skipped when it surfaces — so
+/// daemon code reads like the engine's.
+///
+/// Single-threaded by design: each daemon owns one WallTimers and pumps
+/// it from its serve loop (RunDue between Polls); NextDelayMs bounds the
+/// Poll timeout so a due timer never waits behind an idle socket.
+class WallTimers {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Arms a timer firing `delay_ms` from now; returns its handle.
+  uint64_t Arm(double delay_ms, std::function<void()> fn) {
+    const uint64_t id = next_id_++;
+    const auto due =
+        Clock::now() + std::chrono::microseconds(
+                           static_cast<int64_t>(delay_ms * 1000.0));
+    live_.emplace(id, std::move(fn));
+    heap_.push(Entry{due, id});
+    return id;
+  }
+
+  /// Cancels a handle; firing and double-cancel are both safe no-ops.
+  void Cancel(uint64_t id) { live_.erase(id); }
+
+  /// Milliseconds until the earliest live timer is due (0 when overdue),
+  /// or -1 when nothing is armed. Pops dead heads as a side effect.
+  int NextDelayMs() {
+    SkipDead();
+    if (heap_.empty()) return -1;
+    const auto now = Clock::now();
+    if (heap_.top().due <= now) return 0;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        heap_.top().due - now);
+    return static_cast<int>(us.count() / 1000) + 1;  // round up
+  }
+
+  /// Fires every timer due by now, in due order. Callbacks may arm or
+  /// cancel further timers.
+  void RunDue() {
+    const auto now = Clock::now();
+    for (;;) {
+      SkipDead();
+      if (heap_.empty() || heap_.top().due > now) return;
+      const uint64_t id = heap_.top().id;
+      heap_.pop();
+      auto it = live_.find(id);
+      if (it == live_.end()) continue;
+      auto fn = std::move(it->second);
+      live_.erase(it);
+      fn();
+    }
+  }
+
+  size_t pending() const { return live_.size(); }
+
+ private:
+  struct Entry {
+    Clock::time_point due;
+    uint64_t id;
+    bool operator>(const Entry& o) const { return due > o.due; }
+  };
+
+  void SkipDead() {
+    while (!heap_.empty() && live_.find(heap_.top().id) == live_.end()) {
+      heap_.pop();
+    }
+  }
+
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::function<void()>> live_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+};
+
+}  // namespace ripple::net
+
+#endif  // RIPPLE_NET_WALL_CLOCK_H_

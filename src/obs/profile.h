@@ -92,10 +92,19 @@ class Profiler {
   void OnSpan(uint32_t peer) { At(peer).spans += 1; }
   void OnMessage(uint32_t from, uint32_t to, uint64_t tuples,
                  uint64_t bytes = 0) {
+    OnMessageOut(from, tuples, bytes);
+    OnMessageIn(to, tuples, bytes);
+  }
+  /// One-sided charges, for edges whose other end is not an overlay peer
+  /// (e.g. a live client's synthetic id — indexing it into the dense
+  /// per-peer vector would try to allocate 2^31 PeerLoad slots).
+  void OnMessageOut(uint32_t from, uint64_t tuples, uint64_t bytes = 0) {
     PeerLoad& f = At(from);
     f.messages_out += 1;
     f.tuples_out += tuples;
     f.bytes_out += bytes;
+  }
+  void OnMessageIn(uint32_t to, uint64_t tuples, uint64_t bytes = 0) {
     PeerLoad& t = At(to);
     t.messages_in += 1;
     t.tuples_in += tuples;

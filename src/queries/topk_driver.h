@@ -37,6 +37,47 @@ namespace ripple {
 /// network either way). The request's `initiator` is where the bootstrap
 /// routing starts; the engine run proper is initiated at the peak owner
 /// with the witnessed seed state.
+/// Phase 2 of the seeded initiation in isolation: the greedy walk from
+/// `start` along locally-best link regions, folding each walked peer's
+/// local state into the returned seed until k tuples are witnessed (or
+/// the 64-step bound / a dead end stops it). Pure overlay analytics — no
+/// engine, no tracing — so the live-overlay client (net::NetClient
+/// callers) can reproduce the simulator's bootstrap exactly; `*path`
+/// receives the walked peers in order for charging/tracing by the caller.
+template <typename Overlay>
+TopKState TopKSeedWalk(const Overlay& overlay, const TopKPolicy& policy,
+                       const TopKQuery& query, PeerId start,
+                       std::vector<PeerId>* path) {
+  TopKState seed;
+  PeerId current = start;
+  std::set<PeerId> walked;
+  // The walk is bounded; if the network simply has fewer than k tuples the
+  // main run degenerates to (a correct) broadcast anyway.
+  for (int step = 0; step < 64; ++step) {
+    if (!walked.insert(current).second) break;
+    if (path != nullptr) path->push_back(current);
+    const auto& peer = overlay.GetPeer(current);
+    const TopKState local = policy.ComputeLocalState(peer.store, query, seed);
+    seed = policy.ComputeGlobalState(query, seed, local);
+    if (seed.m >= query.k) break;
+    // Continue into the unwalked link whose region promises the best
+    // tuples (Algorithm 9's priority).
+    PeerId next = kInvalidPeer;
+    double best = -std::numeric_limits<double>::infinity();
+    for (const auto& link : peer.links) {
+      if (walked.count(link.target)) continue;
+      const double bound = query.scorer->UpperBound(link.region);
+      if (next == kInvalidPeer || bound > best) {
+        best = bound;
+        next = link.target;
+      }
+    }
+    if (next == kInvalidPeer) break;
+    current = next;
+  }
+  return seed;
+}
+
 template <typename Overlay, typename EngineT>
 typename EngineT::Result SeededTopK(const Overlay& overlay,
                                     const EngineT& engine,
@@ -83,14 +124,12 @@ typename EngineT::Result SeededTopK(const Overlay& overlay,
     }
   }
 
-  // Phase 2: greedy walk gathering local states until k tuples are known.
-  TopKState seed;
-  PeerId current = start;
-  std::set<PeerId> walked;
-  // The walk is bounded; if the network simply has fewer than k tuples the
-  // main run degenerates to (a correct) broadcast anyway.
-  for (int step = 0; step < 64; ++step) {
-    if (!walked.insert(current).second) break;
+  // Phase 2: greedy walk gathering local states until k tuples are known
+  // (the walk itself is shared with the live-overlay client).
+  std::vector<PeerId> walk_path;
+  const TopKState seed =
+      TopKSeedWalk(overlay, policy, query, start, &walk_path);
+  for (size_t step = 0; step < walk_path.size(); ++step) {
     bootstrap.peers_visited += 1;
     if (step > 0) {
       bootstrap.latency_hops += 1;
@@ -98,29 +137,11 @@ typename EngineT::Result SeededTopK(const Overlay& overlay,
       bootstrap.bytes_on_wire += query_frame_bytes;
     }
     if (tracer) {
-      const double t = static_cast<double>(hops + static_cast<uint64_t>(step));
-      last_span = tracer->StartSpan(current, last_span, obs::SpanKind::kWalk,
-                                    /*r=*/0, t);
+      const double t = static_cast<double>(hops + step);
+      last_span = tracer->StartSpan(walk_path[step], last_span,
+                                    obs::SpanKind::kWalk, /*r=*/0, t);
       tracer->EndSpan(last_span, t + 1.0);
     }
-    const auto& peer = overlay.GetPeer(current);
-    const TopKState local = policy.ComputeLocalState(peer.store, query, seed);
-    seed = policy.ComputeGlobalState(query, seed, local);
-    if (seed.m >= query.k) break;
-    // Continue into the unwalked link whose region promises the best
-    // tuples (Algorithm 9's priority).
-    PeerId next = kInvalidPeer;
-    double best = -std::numeric_limits<double>::infinity();
-    for (const auto& link : peer.links) {
-      if (walked.count(link.target)) continue;
-      const double bound = query.scorer->UpperBound(link.region);
-      if (next == kInvalidPeer || bound > best) {
-        best = bound;
-        next = link.target;
-      }
-    }
-    if (next == kInvalidPeer) break;
-    current = next;
   }
 
   // Phase 3: the RIPPLE run proper, seeded, initiated at the peak owner.

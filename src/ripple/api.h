@@ -18,8 +18,7 @@ namespace ripple {
 /// relevant links at once (Algorithm 1), `Slow()` contacts one prioritized
 /// link at a time for the whole run (Algorithm 2), `Hops(r)` runs the slow
 /// discipline for the first r hops and switches to fast below (Algorithm
-/// 3). Replaces the former magic `int r` and its slow-sentinel constant
-/// (now living in ripple::compat for the migration window).
+/// 3). Replaces the former magic `int r` and its slow-sentinel constant.
 class RippleParam {
  public:
   /// Default-constructed parameter is `fast` — the latency-optimal extreme.

@@ -53,15 +53,20 @@ inline LatencyModel UnitLatency() {
 ///
 /// Every transmission crosses a real serialization boundary: the message
 /// is encoded into a framed wire datagram (ripple/wire_codec.h,
-/// docs/WIRE.md), handed to the net::Transport, and the receiver decodes
-/// whatever bytes the transport returned — objects never cross, so policy
-/// code at a peer runs on exactly what came off the wire. The default
-/// LoopbackTransport asserts each datagram is well-framed and returns it
-/// unchanged; a custom transport (SetTransport) may count, corrupt or
-/// swallow datagrams, and the engine arms its fault machinery so decode
-/// rejections degrade into retransmissions and coverage loss rather than
-/// hangs. QueryStats::bytes_on_wire records the encoded bytes, charged at
-/// the sender exactly where messages are charged.
+/// docs/WIRE.md) and handed to net::Transport::Send, which is
+/// fire-and-forget; whatever the transport delivers back through the
+/// engine's installed receiver is what gets decoded — objects never
+/// cross, so policy code at a peer runs on exactly what came off the
+/// wire. The default LoopbackTransport asserts each datagram is
+/// well-framed and delivers it unchanged, synchronously, which keeps the
+/// simulated clock exact (the receiver only schedules events, the wire
+/// itself takes zero simulated time). A custom transport (SetTransport)
+/// may count, corrupt or swallow datagrams — swallowing is simply never
+/// delivering — and the engine arms its fault machinery so decode
+/// rejections and silent losses degrade into timer-driven
+/// retransmissions and coverage loss rather than hangs.
+/// QueryStats::bytes_on_wire records the encoded bytes, charged at the
+/// sender exactly where messages are charged.
 ///
 /// Fault tolerance: when the request's FaultOptions describe an imperfect
 /// network (AnyFault()), every transmission runs through a deterministic
@@ -240,6 +245,15 @@ class AsyncEngine {
     // --- entry / exit ----------------------------------------------------
 
     void Start() {
+      // Every datagram the transport delivers during this run lands in
+      // OnWireDeliver, which applies the simulated network (latency,
+      // faults) and schedules the decode. The loopback transport calls
+      // straight back from inside Send(); a corrupting/swallowing test
+      // transport calls with modified bytes or not at all.
+      self->transport()->SetReceiver(
+          [this](const net::Envelope& env, std::vector<uint8_t> bytes) {
+            OnWireDeliver(env, std::move(bytes));
+          });
       if (ft && std::isfinite(request->deadline)) {
         sim.Schedule(request->deadline, [this] { OnDeadline(); });
       }
@@ -255,6 +269,7 @@ class AsyncEngine {
     }
 
     Result Finalize() {
+      self->transport()->SetReceiver(nullptr);
       if (!ft && !std::isfinite(request->deadline)) {
         RIPPLE_CHECK(sessions.open() == 0 &&
                      "async run left dangling sessions");
@@ -272,11 +287,52 @@ class AsyncEngine {
 
     // --- wire ------------------------------------------------------------
 
-    /// Hands one encoded datagram to the transport; the returned bytes are
-    /// what the receiver will decode (empty == swallowed in transit).
-    std::vector<uint8_t> ShipDatagram(const net::Envelope& env,
-                                      std::vector<uint8_t> bytes) {
-      return self->transport()->Ship(env, std::move(bytes));
+    /// Hands one encoded datagram to the transport. Fire-and-forget: a
+    /// delivering transport calls back into OnWireDeliver (the loopback
+    /// does so synchronously, before this returns); a swallowing one
+    /// stays silent and the sender's timers take over.
+    void SendDatagram(const net::Envelope& env, std::vector<uint8_t> bytes) {
+      self->transport()->Send(env, std::move(bytes));
+    }
+
+    /// The transport delivered one datagram (possibly modified in
+    /// flight). This is where bytes re-enter the simulation: the message
+    /// kind routes to its decode path, and the simulated network
+    /// (latency model + fault draws) sits between here and the decode,
+    /// exactly where the wire would be. The envelope's id recovers the
+    /// sender-side bookkeeping entry — it is transport metadata, like a
+    /// UDP packet's source address, not part of the authenticated frame
+    /// (the decode re-reads everything from the bytes).
+    void OnWireDeliver(const net::Envelope& env, std::vector<uint8_t> bytes) {
+      switch (env.kind) {
+        case net::MessageKind::kQuery: {
+          const int64_t id = static_cast<int64_t>(env.id);
+          Transmit(env, env.from, env.to,
+                   [this, id, datagram = std::move(bytes)] {
+                     DeliverQuery(id, datagram);
+                   });
+          break;
+        }
+        case net::MessageKind::kResponse: {
+          const int64_t req_id = static_cast<int64_t>(env.id);
+          Transmit(env, env.from, env.to,
+                   [this, req_id, datagram = std::move(bytes)] {
+                     DeliverResponse(req_id, datagram);
+                   });
+          break;
+        }
+        case net::MessageKind::kAck: {
+          const int64_t id = static_cast<int64_t>(env.id);
+          Transmit(env, env.from, env.to,
+                   [this, id, datagram = std::move(bytes)] {
+                     DeliverAck(id, datagram);
+                   });
+          break;
+        }
+        case net::MessageKind::kAnswer:
+          OnAnswerWire(env, std::move(bytes));
+          break;
+      }
     }
 
     /// A received datagram failed to decode. Corruption can only come from
@@ -600,17 +656,7 @@ class AsyncEngine {
       JournalFrame(rq.attempt > 1 ? obs::JournalEventKind::kRetransmit
                                   : obs::JournalEventKind::kFrameSend,
                    rq.from, env, rq.frame.size());
-      std::vector<uint8_t> datagram =
-          ShipDatagram(env, std::vector<uint8_t>(rq.frame));
-      if (datagram.empty()) {
-        result.coverage.messages_lost += 1;
-        JournalFrame(obs::JournalEventKind::kDrop, rq.from, env, 0);
-      } else {
-        Transmit(env, rq.from, rq.target,
-                 [this, id, datagram = std::move(datagram)] {
-                   DeliverQuery(id, datagram);
-                 });
-      }
+      SendDatagram(env, std::vector<uint8_t>(rq.frame));
       if (ft) {
         requests[id].timer =
             timers.Arm(requests[id].timeout, [this, id] { OnTimeout(id); });
@@ -715,29 +761,25 @@ class AsyncEngine {
         profiler()->OnMessage(rq.target, rq.from, 0, bytes);
       }
       JournalFrame(obs::JournalEventKind::kFrameSend, rq.target, env, bytes);
-      std::vector<uint8_t> datagram = ShipDatagram(env, buf.Take());
-      if (datagram.empty()) {
-        result.coverage.messages_lost += 1;
-        JournalFrame(obs::JournalEventKind::kDrop, rq.target, env, 0);
+      SendDatagram(env, buf.Take());
+    }
+
+    /// A progress ack arrived at the requester: restore its patience. An
+    /// ack is pure optimization — a corrupted one is silently dropped (no
+    /// retransmission; the next timeout re-asks the question anyway).
+    void DeliverAck(int64_t id, const std::vector<uint8_t>& datagram) {
+      wire::Reader r(datagram);
+      net::Envelope ack;
+      const wire::FrameError ferr = net::DecodeEnvelopeFrameEx(&r, &ack);
+      if (ferr != wire::FrameError::kOk ||
+          ack.kind != net::MessageKind::kAck || r.remaining() != 0) {
+        RejectFrame(ferr);  // corrupted ack: silently dropped
         return;
       }
-      Transmit(env, rq.target, rq.from,
-               [this, id, datagram = std::move(datagram)] {
-                 wire::Reader r(datagram);
-                 net::Envelope ack;
-                 const wire::FrameError ferr =
-                     net::DecodeEnvelopeFrameEx(&r, &ack);
-                 if (ferr != wire::FrameError::kOk ||
-                     ack.kind != net::MessageKind::kAck ||
-                     r.remaining() != 0) {
-                   RejectFrame(ferr);  // corrupted ack: silently dropped
-                   return;
-                 }
-                 PendingRequest& pending = requests[id];
-                 JournalFrame(obs::JournalEventKind::kFrameRecv, pending.from,
-                              ack, datagram.size());
-                 if (!pending.resolved) pending.strikes = 0;
-               });
+      PendingRequest& pending = requests[id];
+      JournalFrame(obs::JournalEventKind::kFrameRecv, pending.from, ack,
+                   datagram.size());
+      if (!pending.resolved) pending.strikes = 0;
     }
 
     // --- responses --------------------------------------------------------
@@ -750,7 +792,6 @@ class AsyncEngine {
     /// message accounting.
     void SendResponseWire(int id, bool charge_retry) {
       Session& s = sessions[id];
-      const int64_t req_id = s.origin_req;
       const int parent = s.parent;
       if (!sessions[parent].fast) {
         result.stats.messages += s.response_parts.size();
@@ -773,17 +814,7 @@ class AsyncEngine {
       JournalFrame(charge_retry ? obs::JournalEventKind::kRetransmit
                                 : obs::JournalEventKind::kFrameSend,
                    s.peer, env, s.response_frame.size());
-      std::vector<uint8_t> datagram =
-          ShipDatagram(env, std::vector<uint8_t>(s.response_frame));
-      if (datagram.empty()) {
-        result.coverage.messages_lost += 1;
-        JournalFrame(obs::JournalEventKind::kDrop, s.peer, env, 0);
-        return;
-      }
-      Transmit(env, s.peer, sessions[parent].peer,
-               [this, req_id, datagram = std::move(datagram)] {
-                 DeliverResponse(req_id, datagram);
-               });
+      SendDatagram(env, std::vector<uint8_t>(s.response_frame));
     }
 
     void SendResponse(int id) { SendResponseWire(id, /*charge_retry=*/false); }
@@ -892,58 +923,70 @@ class AsyncEngine {
       JournalFrame(a.attempt > 1 ? obs::JournalEventKind::kRetransmit
                                  : obs::JournalEventKind::kFrameSend,
                    a.from, env, a.frame.size());
-      std::vector<uint8_t> datagram =
-          ShipDatagram(env, std::vector<uint8_t>(a.frame));
-      const double base = self->latency_(a.from, request->initiator);
+      SendDatagram(env, std::vector<uint8_t>(a.frame));
+      if (ft) {
+        // The fire-and-forget wire gives the sender no failure signal, so
+        // every transmission is covered by a watchdog: delivery cancels
+        // it, loss / swallowing / receiver-side rejection lets it fire.
+        answers[idx].timer = timers.Arm(
+            retry().timeout, [this, idx] { OnAnswerTimeout(idx); });
+      }
+    }
+
+    /// The answer datagram came back from the transport: run it through
+    /// the simulated network towards the initiator. Same fault-draw
+    /// order as Transmit (drop, jitter, duplicate) — kept separate
+    /// because a dropped answer needs no requester-side bookkeeping, the
+    /// sender's watchdog recovers it.
+    void OnAnswerWire(const net::Envelope& env, std::vector<uint8_t> bytes) {
+      const size_t idx = static_cast<size_t>(env.id);
+      const double base = self->latency_(env.from, env.to);
       if (!ft) {
         // Answer delivery rides the clock but needs no handler state.
-        sim.Schedule(base, [this, idx, datagram = std::move(datagram)] {
+        sim.Schedule(base, [this, idx, datagram = std::move(bytes)] {
           DeliverAnswer(idx, datagram);
         });
         return;
       }
-      if (datagram.empty() || fault.DropMessage()) {
+      if (fault.DropMessage()) {
         result.coverage.messages_lost += 1;
-        JournalFrame(obs::JournalEventKind::kDrop, a.from, env, 0);
-        ArmAnswerRetry(idx);
-        return;
+        JournalFrame(obs::JournalEventKind::kDrop, env.from, env, 0);
+        return;  // the sender's watchdog retransmits
       }
       const double d = fault.Jitter(base);
       if (fault.DuplicateMessage()) {
         result.coverage.messages_duplicated += 1;
-        ScheduleDelivery(env, request->initiator, fault.Jitter(base),
-                         [this, idx, datagram] {
+        ScheduleDelivery(env, env.to, fault.Jitter(base),
+                         [this, idx, datagram = bytes] {
                            DeliverAnswer(idx, datagram);
                          });
       }
-      ScheduleDelivery(env, request->initiator, d,
-                       [this, idx, datagram = std::move(datagram)] {
+      ScheduleDelivery(env, env.to, d,
+                       [this, idx, datagram = std::move(bytes)] {
                          DeliverAnswer(idx, datagram);
                        });
     }
 
-    /// The current transmission failed (loss in transit, or the initiator
-    /// rejected corrupted bytes): retransmit after the retry timeout, or
-    /// spend the budget and record the loss.
-    void ArmAnswerRetry(size_t idx) {
+    /// The watchdog fired with no delivery: the transmission failed (loss
+    /// in transit, swallowed by the transport, or the initiator rejected
+    /// corrupted bytes). Retransmit, or spend the budget and record the
+    /// loss.
+    void OnAnswerTimeout(size_t idx) {
       PendingAnswer& a = answers[idx];
+      if (a.settled) return;
       if (a.attempt > retry().max_retries) {
         result.coverage.answers_lost += 1;
         SettleAnswer(idx);
         return;
       }
       result.coverage.retries += 1;
-      const PeerId from = a.from;
-      timers.Arm(retry().timeout, [this, idx, from] {
-        if (answers[idx].settled) return;
-        if (fault.CrashedAt(from, sim.now())) {
-          // The sender died holding the only copy.
-          result.coverage.answers_lost += 1;
-          SettleAnswer(idx);
-          return;
-        }
-        TransmitAnswer(idx);
-      });
+      if (fault.CrashedAt(a.from, sim.now())) {
+        // The sender died holding the only copy.
+        result.coverage.answers_lost += 1;
+        SettleAnswer(idx);
+        return;
+      }
+      TransmitAnswer(idx);
     }
 
     void DeliverAnswer(size_t idx, const std::vector<uint8_t>& datagram) {
@@ -962,9 +1005,8 @@ class AsyncEngine {
                       r.remaining() == 0;
       if (!ok) {
         // The initiator saw garbage; the elided nack of the reliable
-        // answer channel becomes a sender-side retransmission.
+        // answer channel becomes a sender-side watchdog retransmission.
         RejectFrame(ferr);
-        ArmAnswerRetry(idx);
         return;
       }
       JournalFrame(obs::JournalEventKind::kFrameRecv, request->initiator,
@@ -972,6 +1014,7 @@ class AsyncEngine {
       policy().MergeAnswer(&result.answer, std::move(payload),
                            request->query);
       last_answer_time = std::max(last_answer_time, sim.now());
+      if (ft) timers.Cancel(a.timer);
       SettleAnswer(idx);
     }
 

@@ -34,13 +34,18 @@ struct PendingRequest {
 /// One answer delivery to the initiator, with sender-side retransmission
 /// on loss or corruption (the answer channel models a reliable transport
 /// whose acks/nacks are elided from the accounting; retransmissions are
-/// not). Same byte-snapshot discipline as PendingRequest.
+/// not). Same byte-snapshot discipline as PendingRequest. The sender
+/// cannot observe a swallowed or rejected datagram through the
+/// fire-and-forget transport, so every transmission arms a watchdog
+/// timer; successful delivery cancels it, anything else retransmits when
+/// it fires.
 struct PendingAnswer {
   PeerId from = kInvalidPeer;
   std::vector<uint8_t> frame;  // encoded answer frame (byte snapshot)
   size_t tuples = 0;
   int attempt = 0;
   bool settled = false;  // delivered once, or lost for good
+  uint64_t timer = 0;    // live watchdog TimerWheel handle
   // Trace span of the sending session, stamped into every copy's frame
   // header (kNoSpan when tracing is off).
   uint32_t span = obs::kNoSpan;

@@ -629,8 +629,8 @@ class CorruptingTransport : public net::Transport {
   CorruptingTransport(net::MessageKind kind, int corrupt)
       : kind_(kind), corrupt_(corrupt) {}
 
-  std::vector<uint8_t> Ship(const net::Envelope& env,
-                            std::vector<uint8_t> datagram) override {
+  void Send(const net::Envelope& env,
+            std::vector<uint8_t> datagram) override {
     if (env.kind == kind_ && corrupted_ < corrupt_ &&
         datagram.size() > wire::kFrameHeaderSize) {
       // The first payload byte is always a varint lead byte (zigzag r,
@@ -641,7 +641,7 @@ class CorruptingTransport : public net::Transport {
       datagram[wire::kFrameHeaderSize] ^= 0xff;
       ++corrupted_;
     }
-    return datagram;
+    Deliver(env, std::move(datagram));
   }
 
   int corrupted() const { return corrupted_; }
@@ -652,17 +652,18 @@ class CorruptingTransport : public net::Transport {
   int corrupted_ = 0;
 };
 
-/// Returns bytes unchanged but swallows the first `n` datagrams whole.
+/// Delivers bytes unchanged but swallows the first `n` datagrams whole
+/// (never delivering is all a lossy wire does — the sender sees nothing).
 class SwallowingTransport : public net::Transport {
  public:
   explicit SwallowingTransport(int n) : swallow_(n) {}
-  std::vector<uint8_t> Ship(const net::Envelope&,
-                            std::vector<uint8_t> datagram) override {
+  void Send(const net::Envelope& env,
+            std::vector<uint8_t> datagram) override {
     if (swallowed_ < swallow_) {
       ++swallowed_;
-      return {};
+      return;
     }
-    return datagram;
+    Deliver(env, std::move(datagram));
   }
 
  private:
@@ -724,7 +725,10 @@ TEST(TransportTest, SwallowedDatagramRecoveredByTimers) {
   engine.SetTransport(&swallowing);
   const auto got = engine.Run(
       {.initiator = 1, .query = q, .ripple = RippleParam::Hops(1)});
-  EXPECT_GE(got.coverage.messages_lost, 2u);
+  // A fire-and-forget sender cannot see the swallow; the loss surfaces
+  // as request timeouts whose retransmissions recover the run.
+  EXPECT_GE(got.coverage.timeouts, 2u);
+  EXPECT_GE(got.coverage.retries, 2u);
   EXPECT_TRUE(got.complete);
   ASSERT_EQ(got.answer.size(), want.answer.size());
   for (size_t i = 0; i < want.answer.size(); ++i) {
@@ -738,14 +742,14 @@ class TruncatingTransport : public net::Transport {
   TruncatingTransport(net::MessageKind kind, int n, size_t keep)
       : kind_(kind), truncate_(n), keep_(keep) {}
 
-  std::vector<uint8_t> Ship(const net::Envelope& env,
-                            std::vector<uint8_t> datagram) override {
+  void Send(const net::Envelope& env,
+            std::vector<uint8_t> datagram) override {
     if (env.kind == kind_ && truncated_ < truncate_ &&
         datagram.size() > keep_) {
       datagram.resize(keep_);
       ++truncated_;
     }
-    return datagram;
+    Deliver(env, std::move(datagram));
   }
 
   int truncated() const { return truncated_; }

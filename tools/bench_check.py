@@ -36,6 +36,13 @@ that moved messages (messages_mean > 0) must report a non-zero
 bytes_on_wire_mean — a frame is never smaller than its 35-byte header,
 so zero bytes with non-zero messages means the byte accounting broke.
 
+The `net` suite (BENCH_net.json, written by `ripple_cli net-bench`
+against a live UDP overlay) adds its own intra-document rules: every
+query must complete (completed == queries) and every answer must match
+the loopback simulator byte-for-byte (answer_mismatch == 0). Those hold
+on any machine — the wall-clock latency/QPS metrics ride along under the
+informational wall_ prefix.
+
 Usage:
   tools/bench_check.py --baseline <dir> --fresh <dir> [--suite figs]...
                        [--rtol 0.10] [--atol 0.5] [--list]
@@ -50,7 +57,7 @@ import os
 import sys
 
 INFORMATIONAL_PREFIXES = ("wall_", "cpu_")
-DEFAULT_SUITES = ("figs", "ablations")
+DEFAULT_SUITES = ("figs", "ablations", "net")
 
 
 def is_informational(metric):
@@ -153,6 +160,25 @@ def check_bytes_on_wire(suite, fresh, failures):
                 f"measured wire bytes")
 
 
+def check_net_soundness(suite, fresh, failures):
+    """Intra-document rules for the live-overlay suite: the run is only
+    meaningful if every query completed with the simulator's answer."""
+    for case_id in sorted(fresh.get("cases", {})):
+        metrics = fresh["cases"][case_id]
+        queries = metrics.get("queries")
+        completed = metrics.get("completed")
+        mismatches = metrics.get("answer_mismatch")
+        if isinstance(queries, (int, float)):
+            if completed != queries:
+                failures.append(
+                    f"[{suite}] {case_id}: completed={completed} of "
+                    f"queries={queries:g} — the live overlay dropped answers")
+        if isinstance(mismatches, (int, float)) and mismatches != 0:
+            failures.append(
+                f"[{suite}] {case_id}: answer_mismatch={mismatches:g} — "
+                f"live answers diverged from the loopback simulator")
+
+
 def diff_suite(suite, base, fresh, rtol, atol, failures, notes):
     base_cases = base.get("cases", {})
     fresh_cases = fresh.get("cases", {})
@@ -243,6 +269,8 @@ def main():
         diff_suite(suite, base, fresh, args.rtol, args.atol, failures, notes)
         check_bounds(suite, fresh, failures, notes)
         check_bytes_on_wire(suite, fresh, failures)
+        if suite == "net":
+            check_net_soundness(suite, fresh, failures)
         compared += len(base.get("cases", {}))
         if args.list:
             for case_id in sorted(base.get("cases", {})):

@@ -18,7 +18,13 @@ Builds a synthetic baseline BENCH_figs.json in a temp dir, then checks:
   12. a fresh wall metric under its wall_ceiling_ sibling passes
       (exit 0);
   13. a fresh wall metric above its wall_ceiling_ sibling fails
-      (exit 1).
+      (exit 1);
+  14. a net-suite run with every query completed and zero mismatches
+      passes, even with wild wall-clock drift (exit 0);
+  15. a net-suite run where the live overlay dropped answers
+      (completed < queries) fails (exit 1);
+  16. a net-suite run whose answers diverged from the simulator
+      (answer_mismatch > 0) fails (exit 1).
 
 Registered in ctest (label: unit) so the regression gate itself is under
 test. Stdlib only.
@@ -60,17 +66,41 @@ BASELINE = {
 }
 
 
-def write(dirname, doc):
+NET_BASELINE = {
+    "schema_version": 2,
+    "suite": "net",
+    "meta": {
+        "git_sha": "deadbee",
+        "build_type": "RelWithDebInfo",
+        "seed": 7,
+        "config": {"peers": 12, "dims": 2, "tuples": 1000, "queries": 16,
+                   "processes": 3},
+    },
+    "cases": {
+        "net-bench/live": {
+            "queries": 16,
+            "completed": 16,
+            "answer_mismatch": 0,
+            "wall_latency_p50_ms": 1.8,
+            "wall_latency_p99_ms": 6.2,
+            "wall_qps": 310.0,
+            "wall_client_bytes": 48211,
+        },
+    },
+}
+
+
+def write(dirname, doc, suite="figs"):
     os.makedirs(dirname, exist_ok=True)
-    with open(os.path.join(dirname, "BENCH_figs.json"), "w",
+    with open(os.path.join(dirname, f"BENCH_{suite}.json"), "w",
               encoding="utf-8") as f:
         json.dump(doc, f)
 
 
-def run_check(base_dir, fresh_dir):
+def run_check(base_dir, fresh_dir, suite="figs"):
     proc = subprocess.run(
         [sys.executable, CHECKER, "--baseline", base_dir, "--fresh",
-         fresh_dir, "--suite", "figs"],
+         fresh_dir, "--suite", suite],
         capture_output=True, text=True)
     return proc.returncode, proc.stdout + proc.stderr
 
@@ -218,6 +248,46 @@ def main():
         if "wall_ceiling_traced_ms" not in out:
             print(f"bench_gate_test FAIL: ceiling failure does not name the "
                   f"ceiling metric\n{out}")
+            sys.exit(1)
+
+        # Net suite: the soundness rules are intra-document, so a broken
+        # fresh run fails even when the baseline is identically broken —
+        # drift gating alone could never catch that.
+        net_base = os.path.join(tmp, "net_base")
+        write(net_base, NET_BASELINE, suite="net")
+
+        fresh = copy.deepcopy(NET_BASELINE)
+        fresh["cases"]["net-bench/live"]["wall_latency_p50_ms"] = 900.0
+        fresh["cases"]["net-bench/live"]["wall_qps"] = 1.5
+        fresh_dir = os.path.join(tmp, "net_ok")
+        write(fresh_dir, fresh, suite="net")
+        code, out = run_check(net_base, fresh_dir, suite="net")
+        expect("sound net run passes despite wall drift", code, 0, out)
+
+        broken = copy.deepcopy(NET_BASELINE)
+        broken["cases"]["net-bench/live"]["completed"] = 12
+        dropped_base = os.path.join(tmp, "net_dropped_base")
+        write(dropped_base, broken, suite="net")
+        fresh_dir = os.path.join(tmp, "net_dropped")
+        write(fresh_dir, copy.deepcopy(broken), suite="net")
+        code, out = run_check(dropped_base, fresh_dir, suite="net")
+        expect("net run with dropped answers fails", code, 1, out)
+        if "dropped answers" not in out:
+            print(f"bench_gate_test FAIL: completed<queries failure does "
+                  f"not explain itself\n{out}")
+            sys.exit(1)
+
+        broken = copy.deepcopy(NET_BASELINE)
+        broken["cases"]["net-bench/live"]["answer_mismatch"] = 2
+        mismatch_base = os.path.join(tmp, "net_mismatch_base")
+        write(mismatch_base, broken, suite="net")
+        fresh_dir = os.path.join(tmp, "net_mismatch")
+        write(fresh_dir, copy.deepcopy(broken), suite="net")
+        code, out = run_check(mismatch_base, fresh_dir, suite="net")
+        expect("net run with diverged answers fails", code, 1, out)
+        if "diverged" not in out:
+            print(f"bench_gate_test FAIL: answer_mismatch failure does "
+                  f"not explain itself\n{out}")
             sys.exit(1)
 
     print("bench_gate_test: all scenarios behaved")

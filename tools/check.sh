@@ -8,6 +8,7 @@
 #   tools/check.sh thread     # TSan over the concurrent executor tests
 #   tools/check.sh address tests/obs_test   # limit ctest to a regex
 #   tools/check.sh wire       # wire codec/transport suite, ASan then UBSan
+#   tools/check.sh net        # live-overlay suite (sockets), ASan then UBSan
 #   tools/check.sh obs        # observability suite (obs+exec labels), TSan
 #   tools/check.sh --bench    # bench smoke suite + BENCH_*.json gate
 #
@@ -35,9 +36,13 @@ if [[ "${1:-}" == "--bench" ]]; then
     -DRIPPLE_BUILD_BENCHMARKS=ON \
     -DRIPPLE_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)"
-  rm -rf "$BUILD_DIR/bench_json"
+  rm -rf "$BUILD_DIR/bench_json" "$BUILD_DIR/net_demo"
   mkdir -p "$BUILD_DIR/bench_json"
   ctest --test-dir "$BUILD_DIR" --output-on-failure -L bench_smoke
+  # The net suite's fresh document comes from the live 3-process demo,
+  # not a ctest binary: real daemons, real sockets, gated completeness.
+  tools/net_demo.sh "$BUILD_DIR" "$BUILD_DIR/net_demo"
+  cp "$BUILD_DIR/net_demo/BENCH_net.json" "$BUILD_DIR/bench_json/"
   python3 tools/bench_check.py --baseline . --fresh "$BUILD_DIR/bench_json"
   echo "check.sh: bench gate clean"
   exit 0
@@ -59,6 +64,26 @@ if [[ "${1:-}" == "wire" ]]; then
     ctest --test-dir "$BUILD_DIR" --output-on-failure -L wire
   done
   echo "check.sh: wire suite clean under address+undefined"
+  exit 0
+fi
+
+# net: the live-overlay suite (ctest label `net`: peers file, UDP
+# transport, wall timers, daemon protocol, end-to-end over real
+# sockets). Same two-sanitizer harness as `wire` — the daemon's decode
+# path reads whatever the socket hands it, so it earns ASan for the
+# buffer class and UBSan for the integer class.
+if [[ "${1:-}" == "net" ]]; then
+  for kind in address undefined; do
+    BUILD_DIR="build-san-$kind"
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DRIPPLE_SANITIZE="$kind" \
+      -DRIPPLE_BUILD_BENCHMARKS=OFF \
+      -DRIPPLE_BUILD_EXAMPLES=OFF
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -L net
+  done
+  echo "check.sh: net suite clean under address+undefined"
   exit 0
 fi
 

@@ -1,0 +1,24 @@
+#ifndef RIPPLE_TOOLS_CLI_COMMANDS_H_
+#define RIPPLE_TOOLS_CLI_COMMANDS_H_
+
+// The ripple_cli subcommands, one entry point per command, each with its
+// own common/flags.h FlagParser (`ripple_cli <cmd> --help` prints it):
+//
+//   run            one query or a workload against the simulated overlay
+//   serve          one live-overlay daemon process (UDP sockets)
+//   net-bench      wall-clock workload driver against a live overlay
+//   trace-assemble merge per-peer journals into one span tree
+//
+// Every entry point receives argv shifted past the subcommand token, so
+// argv[0] is the subcommand name (what FlagParser prints as the program).
+
+namespace ripple {
+
+int RunQuery(int argc, char** argv);          // ripple_cli.cc
+int RunTraceAssemble(int argc, char** argv);  // ripple_cli.cc
+int RunServe(int argc, char** argv);          // ripple_cli_net.cc
+int RunNetBench(int argc, char** argv);       // ripple_cli_net.cc
+
+}  // namespace ripple
+
+#endif  // RIPPLE_TOOLS_CLI_COMMANDS_H_

@@ -1,11 +1,9 @@
 #!/usr/bin/env bash
-# Fails when in-tree code still uses the deprecated compatibility shims
-# that bridge the pre-QueryRequest engine API. The shims exist for ONE
-# PR to give out-of-tree callers a migration window; nothing in this
-# repository may depend on them.
-#
-# Forbidden outside src/ripple/compat.h itself:
-#   * including ripple/compat.h
+# Fails when in-tree code resurrects the deprecated pre-QueryRequest
+# compatibility shims. The shims lived in src/ripple/compat.h for exactly
+# one migration-window PR and are now deleted; the patterns stay banned so
+# they do not creep back in:
+#   * including ripple/compat.h (the header no longer exists)
 #   * calling through ripple::compat:: (Run shims, kRippleSlow)
 #   * the bare kRippleSlow sentinel (replaced by RippleParam::Slow())
 #
@@ -24,8 +22,7 @@ check() {
   local pattern="$1" what="$2"
   local hits
   hits=$(grep -rn --include='*.cc' --include='*.h' --include='*.cpp' \
-           -e "$pattern" src bench examples tests tools \
-         | grep -v '^src/ripple/compat\.h:' || true)
+           -e "$pattern" src bench examples tests tools || true)
   if [[ -n "$hits" ]]; then
     echo "lint_deprecated: forbidden $what:" >&2
     echo "$hits" >&2

@@ -1,13 +1,19 @@
-// ripple_cli — run any rank query against a simulated MIDAS deployment
-// from the command line.
+// ripple_cli — distributed rank queries from the command line, as
+// subcommands (tools/cli_commands.h):
 //
-//   $ ripple_cli --query=topk --dataset=nba --peers=4096 --dims=6 --k=5
-//   $ ripple_cli --query=skyline --dataset=synth --dims=4
-//   $ ripple_cli --query=skyband --band=3
-//   $ ripple_cli --query=range --radius=0.1
-//   $ ripple_cli --query=diversify --dataset=mirflickr --lambda=0.3
-//   $ ripple_cli --query=topk --engine=async --loss=0.05 --crash-rate=0.01
-//   $ ripple_cli --workload=default:64 --threads=4 --qps-target=200
+//   run            one query or a workload on the simulated overlay
+//   serve          one live-overlay daemon process (UDP; ripple_cli_net.cc)
+//   net-bench      wall-clock driver against a live overlay
+//   trace-assemble merge per-peer journals into one span tree
+//
+//   $ ripple_cli run --query=topk --dataset=nba --peers=4096 --dims=6 --k=5
+//   $ ripple_cli run --query=skyline --dataset=synth --dims=4
+//   $ ripple_cli run --query=diversify --dataset=mirflickr --lambda=0.3
+//   $ ripple_cli run --query=topk --engine=async --loss=0.05 --crash-rate=0.01
+//   $ ripple_cli run --workload=default:64 --threads=4 --qps-target=200
+//
+// Bare invocation (`ripple_cli --query=...`) still works as an alias for
+// `run` with a deprecation note on stderr.
 //
 // Prints the answer tuples plus the cost metrics the paper reports
 // (latency in hops, peers visited, messages, tuples shipped). With
@@ -30,7 +36,7 @@
 // trace-assemble subcommand merges such a directory back into one global
 // span tree offline:
 //
-//   $ ripple_cli --query=topk --engine=async --journal-out=/tmp/j
+//   $ ripple_cli run --query=topk --engine=async --journal-out=/tmp/j
 //   $ ripple_cli trace-assemble --journal=/tmp/j
 //
 // --snapshot-out captures windowed metrics snapshots plus a slow-query
@@ -39,9 +45,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 
+#include "cli_commands.h"
 #include "common/flags.h"
 #include "common/log.h"
 #include "common/rng.h"
@@ -103,6 +111,8 @@ QueryResult<typename Policy::Answer> RunWithEngine(const MidasOverlay& overlay,
   engine.SetJournal(journal);
   return drive(engine);
 }
+
+}  // namespace
 
 /// The `trace-assemble` subcommand: merge per-peer journals written by
 /// --journal-out back into one global span forest, offline.
@@ -199,7 +209,7 @@ int RunTraceAssemble(int argc, char** argv) {
   return 0;
 }
 
-int Run(int argc, char** argv) {
+int RunQuery(int argc, char** argv) {
   std::string query = "topk";
   std::string dataset = "uniform";
   std::string engine_kind = "sync";
@@ -782,12 +792,43 @@ int Run(int argc, char** argv) {
   return 0;
 }
 
-}  // namespace
 }  // namespace ripple
 
+namespace {
+
+constexpr char kUsage[] =
+    "usage: ripple_cli <command> [flags]  (`ripple_cli <command> --help`)\n"
+    "\n"
+    "  run            one query or a workload on the simulated overlay\n"
+    "  serve          one live-overlay daemon process (UDP sockets)\n"
+    "  net-bench      wall-clock workload driver against a live overlay\n"
+    "  trace-assemble merge per-peer journals into one span tree\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::string(argv[1]) == "trace-assemble") {
-    return ripple::RunTraceAssemble(argc - 1, argv + 1);
+  if (argc >= 2 && argv[1][0] != '-') {
+    const std::string cmd = argv[1];
+    if (cmd == "run") return ripple::RunQuery(argc - 1, argv + 1);
+    if (cmd == "serve") return ripple::RunServe(argc - 1, argv + 1);
+    if (cmd == "net-bench") return ripple::RunNetBench(argc - 1, argv + 1);
+    if (cmd == "trace-assemble") {
+      return ripple::RunTraceAssemble(argc - 1, argv + 1);
+    }
+    if (cmd == "help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n\n%s", argv[1], kUsage);
+    return 2;
   }
-  return ripple::Run(argc, argv);
+  if (argc >= 2) {
+    // Flags with no subcommand: the pre-subcommand invocation style.
+    std::fprintf(stderr,
+                 "note: bare `ripple_cli --flags` is deprecated; use "
+                 "`ripple_cli run --flags`\n");
+    return ripple::RunQuery(argc, argv);
+  }
+  std::fputs(kUsage, stdout);
+  return 0;
 }
