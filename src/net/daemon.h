@@ -5,12 +5,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/log.h"
+#include "net/admin.h"
 #include "net/envelope.h"
 #include "net/fault.h"
 #include "net/peers.h"
@@ -22,23 +24,6 @@
 #include "ripple/wire_codec.h"
 
 namespace ripple::net {
-
-/// Counters a daemon accumulates over its lifetime; dumped on shutdown.
-/// Transport-level drops (malformed/oversize/unknown sender) live on the
-/// UdpSocketTransport; these cover the protocol layer above it.
-struct DaemonStats {
-  uint64_t queries_served = 0;      // sessions opened
-  uint64_t replies_sent = 0;        // reply datagrams (first transmission)
-  uint64_t answers_finalized = 0;   // client-facing answers produced
-  uint64_t child_requests = 0;      // query forwards issued
-  uint64_t retransmissions = 0;     // re-sent query forwards + replies
-  uint64_t acks_sent = 0;
-  uint64_t duplicates_suppressed = 0;  // dedup hits on incoming queries
-  uint64_t late_responses = 0;      // responses after give-up / dup responses
-  uint64_t links_unresolved = 0;    // child subtrees abandoned
-  uint64_t frames_rejected = 0;     // well-framed but undecodable payloads
-  uint64_t misdelivered = 0;        // frames for peers this process lacks
-};
 
 /// One process of the live overlay: serves the rank-query protocol for
 /// the peers assigned to it, over a Transport (UDP in production, any
@@ -86,8 +71,58 @@ class PeerDaemon {
   void SetJournal(obs::JournalSet* journal) { journal_ = journal; }
   void SetProfiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
+  /// Mirrors the daemon's counters into `registry` (SyncRegistry / admin
+  /// snapshot requests drive the sync), so `serve --metrics-out` and
+  /// windowed snapshots carry net.daemon.* / net.udp.* live.
+  void SetRegistry(obs::Registry* registry) { registry_ = registry; }
+
+  /// Pull hook for the transport's datagram counters (the daemon only
+  /// knows the abstract Transport; `serve` passes a lambda reading its
+  /// UdpSocketTransport). Feeds stats replies and the registry bridge.
+  void SetTransportCounters(std::function<TransportCounters()> fn) {
+    transport_counters_ = std::move(fn);
+  }
+
   const DaemonStats& stats() const { return stats_; }
   WallTimers& timers() { return timers_; }
+
+  double UptimeMs() const { return NowMs(); }
+
+  /// Instantaneous queue/wheel depths (the kAdminStats "right now" half).
+  QueueDepths Depths() const {
+    QueueDepths q;
+    q.open_sessions = open_sessions_;
+    q.sessions_total = topk_.sessions.size() + skyline_.sessions.size() +
+                       skyband_.sessions.size() + range_.sessions.size();
+    q.pending_requests = inflight_requests_;
+    q.timers_pending = timers_.pending();
+    q.dedup_tracked = dedup_.size();
+    return q;
+  }
+
+  /// The full counter scrape: what a kAdminStats reply carries and what
+  /// `serve --stats-out` writes at shutdown (same fields, same names).
+  AdminStatsReport StatsReport() const {
+    AdminStatsReport rep;
+    rep.uptime_ms = static_cast<uint64_t>(NowMs());
+    rep.peer_lo = *std::min_element(local_peers_.begin(), local_peers_.end());
+    rep.peer_hi = *std::max_element(local_peers_.begin(), local_peers_.end());
+    rep.stats = stats_;
+    if (transport_counters_) rep.transport = transport_counters_();
+    rep.queues = Depths();
+    return rep;
+  }
+
+  /// Pushes current counters/depths into the registry (no-op without
+  /// SetRegistry). Callers: admin snapshot requests, serve's periodic
+  /// snapshot capture, and the shutdown --metrics-out flush.
+  void SyncRegistry() {
+    if (registry_ == nullptr) return;
+    StatsBridge bridge(registry_);
+    bridge.SyncStats(stats_);
+    if (transport_counters_) bridge.SyncTransport(transport_counters_());
+    bridge.SyncQueues(Depths(), NowMs());
+  }
 
   /// One pump iteration: run due timers, wait up to `max_wait_ms` for a
   /// datagram (bounded by the next timer), dispatch everything readable.
@@ -128,6 +163,12 @@ class PeerDaemon {
         // Bare answers address clients; a daemon receiving one saw a
         // misrouted or stale datagram.
         stats_.misdelivered += 1;
+        break;
+      case MessageKind::kAdminPing:
+      case MessageKind::kAdminStats:
+      case MessageKind::kAdminSnapshot:
+      case MessageKind::kAdminHealth:
+        HandleAdmin(d);
         break;
     }
   }
@@ -213,6 +254,71 @@ class PeerDaemon {
     e.bytes = bytes;
     e.attempt = env.attempt;
     journal_->Record(e);
+  }
+
+  // --- admin plane --------------------------------------------------------
+
+  /// Answers one monitoring probe. Requests are empty-payload frames; any
+  /// payload bytes mean a corrupt or foreign frame, counted and dropped
+  /// exactly like an undecodable query. The reply reuses the request's
+  /// kind and id (the monitor correlates by id, like the query protocol)
+  /// and flows through the normal Send path. No dedup: admin reads are
+  /// idempotent, so answering a duplicated probe twice is harmless.
+  /// Admin traffic stays out of the journals — they record the query
+  /// protocol, and trace assembly must not see recv events whose send
+  /// side lives in another process's (unjournaled) monitor.
+  void HandleAdmin(const Datagram& d) {
+    if (local_peers_.find(d.env.to) == local_peers_.end()) {
+      stats_.misdelivered += 1;
+      return;
+    }
+    wire::Reader r(d.bytes);
+    Envelope env;
+    if (!DecodeEnvelopeFrame(&r, &env) || r.remaining() != 0) {
+      stats_.frames_rejected += 1;
+      return;
+    }
+    stats_.admin_requests += 1;
+    const Envelope reply{env.id, env.to, env.from, env.kind, 0, env.trace};
+    wire::Buffer buf;
+    const size_t start = BeginEnvelopeFrame(reply, &buf);
+    switch (env.kind) {
+      case MessageKind::kAdminPing: {
+        AdminPong pong;
+        pong.uptime_ms = static_cast<uint64_t>(NowMs());
+        pong.peers_served = local_peers_.size();
+        EncodeAdminPong(pong, &buf);
+        break;
+      }
+      case MessageKind::kAdminStats:
+        EncodeStatsReport(StatsReport(), &buf);
+        break;
+      case MessageKind::kAdminSnapshot: {
+        obs::Snapshot snap;
+        snap.at_ms = NowMs();
+        if (registry_ != nullptr) {
+          SyncRegistry();
+          snap.counters = registry_->CounterValues();
+          snap.gauges = registry_->GaugeValues();
+        }
+        EncodeSnapshot(snap, &buf);
+        break;
+      }
+      case MessageKind::kAdminHealth: {
+        AdminHealthReport h;
+        h.healthy = true;  // it answered; the monitor marks silence
+        h.uptime_ms = static_cast<uint64_t>(NowMs());
+        h.open_sessions = open_sessions_;
+        h.pending_requests = inflight_requests_;
+        h.queries_served = stats_.queries_served;
+        EncodeHealthReport(h, &buf);
+        break;
+      }
+      default:
+        return;  // unreachable: Dispatch only routes admin kinds here
+    }
+    wire::EndFrame(&buf, start);
+    transport_->Send(reply, buf.Take());
   }
 
   // --- incoming queries --------------------------------------------------
@@ -305,6 +411,7 @@ class PeerDaemon {
     s.r = static_cast<int>(hops);
     s.fast = s.r <= 0;
     stats_.queries_served += 1;
+    open_sessions_ += 1;
     if (profiler_ != nullptr) profiler_->OnSpan(s.peer);
 
     const auto& node = overlay_->GetPeer(s.peer);
@@ -389,6 +496,7 @@ class PeerDaemon {
   void FinishSession(Shard<Policy>& shard, int sid) {
     NetSession<Policy>& s = shard.sessions[sid];
     s.finished = true;
+    open_sessions_ -= 1;
     auto local_answer = shard.policy.ComputeLocalAnswer(
         overlay_->GetPeer(s.peer).store, s.query, s.local);
     shard.policy.MergeAnswer(&s.answer_acc, std::move(local_answer), s.query);
@@ -479,6 +587,7 @@ class PeerDaemon {
     auto [it, inserted] = pending_.emplace(id, std::move(p));
     (void)inserted;
     stats_.child_requests += 1;
+    inflight_requests_ += 1;
     TransmitRequest(it->first);
   }
 
@@ -507,6 +616,7 @@ class PeerDaemon {
     Pending& p = it->second;
     if (p.strikes >= retry_.max_retries) {
       p.resolved = true;
+      inflight_requests_ -= 1;
       stats_.links_unresolved += 1;
       RIPPLE_LOG(kWarn, "net: giving up on peer %u after %d attempts",
                  p.target, p.strikes + 1);
@@ -589,6 +699,7 @@ class PeerDaemon {
     JournalFrame(obs::JournalEventKind::kFrameRecv, p.from, d.env,
                  d.bytes.size());
     p.resolved = true;
+    inflight_requests_ -= 1;
     timers_.Cancel(p.timer);
     NetSession<Policy>& s = shard.sessions[p.session];
     if (has_partial) {
@@ -613,8 +724,12 @@ class PeerDaemon {
   Clock::time_point start_;
   obs::JournalSet* journal_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
+  obs::Registry* registry_ = nullptr;
+  std::function<TransportCounters()> transport_counters_;
   WallTimers timers_;
   DaemonStats stats_;
+  uint64_t open_sessions_ = 0;
+  uint64_t inflight_requests_ = 0;
   uint32_t next_seq_ = 1;
   std::unordered_map<uint64_t, Pending> pending_;
   Shard<TopKPolicy> topk_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "net/admin.h"
 #include "net/peers.h"
 #include "net/transport.h"
 
@@ -63,6 +64,21 @@ class UdpSocketTransport : public Transport {
   uint64_t oversize_dropped = 0;  // datagrams beyond kMaxDatagram
   uint64_t malformed_dropped = 0;  // short/truncated/unframed arrivals
   uint64_t unknown_peer_dropped = 0;  // unresolvable sender or target
+
+  /// Point-in-time copy of the counters above, in the shape the admin
+  /// plane ships (PeerDaemon::SetTransportCounters pulls through this).
+  TransportCounters Counters() const {
+    TransportCounters c;
+    c.datagrams_sent = datagrams_sent;
+    c.datagrams_received = datagrams_received;
+    c.bytes_sent = bytes_sent;
+    c.bytes_received = bytes_received;
+    c.send_failures = send_failures;
+    c.oversize_dropped = oversize_dropped;
+    c.malformed_dropped = malformed_dropped;
+    c.unknown_peer_dropped = unknown_peer_dropped;
+    return c;
+  }
 
  private:
   UdpSocketTransport() = default;

@@ -332,6 +332,11 @@ class AsyncEngine {
         case net::MessageKind::kAnswer:
           OnAnswerWire(env, std::move(bytes));
           break;
+        default:
+          // Admin-plane kinds only exist on the live overlay; the
+          // simulated wire never carries them.
+          RIPPLE_CHECK(!net::IsAdminKind(env.kind));
+          break;
       }
     }
 

@@ -18,9 +18,13 @@ inline constexpr uint8_t kWireVersion = 2;
 inline constexpr uint8_t kMinWireVersion = 1;
 
 /// Highest message-type tag a frame may carry. The values mirror
-/// net::MessageKind (query=0, response=1, ack=2, answer=3); envelope.h
-/// static_asserts the two stay in sync.
-inline constexpr uint8_t kMaxMessageTag = 3;
+/// net::MessageKind (query=0, response=1, ack=2, answer=3, plus the
+/// admin plane: ping=4, stats=5, snapshot=6, health=7); envelope.h
+/// static_asserts the two stay in sync. The admin tags widened this
+/// range within wire version 2 — a pre-admin v2 decoder rejects them as
+/// kBadTag, which degrades a mixed fleet to "unmonitorable", never to
+/// wrong answers (the query protocol's tags are untouched).
+inline constexpr uint8_t kMaxMessageTag = 7;
 
 /// Sentinel parent span id: "this frame starts a new root span". Matches
 /// obs::kNoSpan bit-for-bit, but wire/ must not depend on obs/ (the

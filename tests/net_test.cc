@@ -448,6 +448,100 @@ TEST_F(DaemonTest, RejectsUnknownPolicyTagAndMisdeliveredFrames) {
   EXPECT_EQ(daemon.stats().queries_served, 0u);
 }
 
+TEST_F(DaemonTest, GivingUpOnSilentChildrenCountsLinksUnresolved) {
+  // The daemon serves only peer 0; every child forward leaves on a
+  // capture transport and is never answered. With a zero retry budget
+  // each pending request gives up on its first timeout, the session
+  // degrades to a partial answer, and links_unresolved records every
+  // abandoned subtree.
+  CaptureTransport wire;
+  net::RetryOptions retry;
+  retry.timeout = 1.0;  // wall-clock ms
+  retry.timeout_cap = 2.0;
+  retry.max_retries = 0;
+  net::PeerDaemon<MidasOverlay> daemon(overlay_.get(), &wire, {0}, retry);
+  SkylinePolicy policy;
+  const uint64_t id = net::MakeMessageId(client_, 21);
+  std::vector<uint8_t> frame = ClientQueryFrame(
+      *overlay_, policy, SkylineQuery{}, id, client_, 0, /*r=*/2);
+  const net::Envelope env{id, client_, 0, net::MessageKind::kQuery, 0, {}};
+  daemon.Dispatch(net::Datagram{env, std::move(frame)});
+  ASSERT_GT(daemon.stats().child_requests, 0u);
+  EXPECT_EQ(daemon.stats().links_unresolved, 0u);
+
+  // The slow walk forwards to one child at a time, so each give-up can
+  // arm the next doomed forward: pump the timer wheel until the session
+  // closes, then every forward ever issued must have been abandoned.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (daemon.Depths().open_sessions > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    daemon.timers().RunDue();
+  }
+  EXPECT_EQ(daemon.Depths().open_sessions, 0u);
+  EXPECT_EQ(daemon.stats().links_unresolved, daemon.stats().child_requests);
+  EXPECT_EQ(daemon.Depths().pending_requests, 0u);
+  EXPECT_EQ(daemon.timers().pending(), 0u);
+
+  // The degraded session still reported: the client got an answer.
+  bool answered = false;
+  for (const auto& d : wire.sent) {
+    answered |= net::IsClientId(d.env.to) &&
+                d.env.kind == net::MessageKind::kAnswer;
+  }
+  EXPECT_TRUE(answered);
+  EXPECT_EQ(daemon.stats().answers_finalized, 1u);
+}
+
+TEST_F(DaemonTest, GarbageAdminFramesAreCountedNeverAnswered) {
+  // The admin plane must survive the same abuse as the query plane: a
+  // frame whose envelope says "admin" but whose bytes are truncated or
+  // carry stray payload is counted and dropped — no reply, no crash.
+  CaptureTransport wire;
+  net::PeerDaemon<MidasOverlay> daemon(overlay_.get(), &wire, {0, 1, 2});
+  const net::Envelope env{net::MakeMessageId(client_, 31), client_, 0,
+                          net::MessageKind::kAdminStats, 0, {}};
+  wire::Buffer buf;
+  const size_t start = net::BeginEnvelopeFrame(env, &buf);
+  wire::EndFrame(&buf, start);
+  const std::vector<uint8_t> frame = buf.Take();
+
+  uint64_t rejected = 0;
+  // Every strict prefix of a valid probe frame fails the re-decode.
+  for (size_t cut = 0; cut < frame.size(); cut += 3) {
+    daemon.Dispatch(net::Datagram{
+        env, std::vector<uint8_t>(frame.begin(),
+                                  frame.begin() + static_cast<long>(cut))});
+    rejected += 1;
+    EXPECT_EQ(daemon.stats().frames_rejected, rejected);
+  }
+  // Deterministic byte soup after the envelope: payload on an admin
+  // request violates the empty-payload contract.
+  uint64_t x = 0x2545F4914F6CDD1Dull;
+  for (int round = 0; round < 16; ++round) {
+    wire::Buffer b;
+    const size_t s = net::BeginEnvelopeFrame(env, &b);
+    for (int i = 0; i <= round; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      b.PutU8(static_cast<uint8_t>(x));
+    }
+    wire::EndFrame(&b, s);
+    daemon.Dispatch(net::Datagram{env, b.Take()});
+    rejected += 1;
+    EXPECT_EQ(daemon.stats().frames_rejected, rejected);
+  }
+  EXPECT_TRUE(wire.sent.empty());
+  EXPECT_EQ(daemon.stats().admin_requests, 0u);
+
+  // And the well-formed probe still works afterwards.
+  daemon.Dispatch(net::Datagram{env, std::vector<uint8_t>(frame)});
+  EXPECT_EQ(daemon.stats().admin_requests, 1u);
+  EXPECT_EQ(wire.sent.size(), 1u);
+}
+
 /// Two daemons split the overlay; the test is the network between them,
 /// delivering every batch reversed and duplicated. The final answer must
 /// be byte-identical to a single daemon serving all peers on an orderly

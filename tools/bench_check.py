@@ -41,7 +41,11 @@ against a live UDP overlay) adds its own intra-document rules: every
 query must complete (completed == queries) and every answer must match
 the loopback simulator byte-for-byte (answer_mismatch == 0). Those hold
 on any machine — the wall-clock latency/QPS metrics ride along under the
-informational wall_ prefix.
+informational wall_ prefix. The suite also carries mon_* metrics from the
+post-run admin-protocol scrape of every daemon: mon_unhealthy,
+mon_frames_rejected and mon_transport_dropped must be zero, and
+mon_answers_finalized (the daemons' own answer count) must equal the
+client's completed count.
 
 Usage:
   tools/bench_check.py --baseline <dir> --fresh <dir> [--suite figs]...
@@ -177,6 +181,33 @@ def check_net_soundness(suite, fresh, failures):
             failures.append(
                 f"[{suite}] {case_id}: answer_mismatch={mismatches:g} — "
                 f"live answers diverged from the loopback simulator")
+        # Monitor-scrape soundness: net-bench scrapes every daemon over
+        # the admin protocol after the run. On a clean run against fresh
+        # daemons nothing may be unreachable, rejected, or dropped, and
+        # the daemons' own answer count must equal the client's.
+        unhealthy = metrics.get("mon_unhealthy")
+        if isinstance(unhealthy, (int, float)) and unhealthy != 0:
+            failures.append(
+                f"[{suite}] {case_id}: mon_unhealthy={unhealthy:g} — "
+                f"daemon(s) unreachable over the admin protocol")
+        rejected = metrics.get("mon_frames_rejected")
+        if isinstance(rejected, (int, float)) and rejected != 0:
+            failures.append(
+                f"[{suite}] {case_id}: mon_frames_rejected={rejected:g} — "
+                f"daemons rejected undecodable payloads during the run")
+        dropped = metrics.get("mon_transport_dropped")
+        if isinstance(dropped, (int, float)) and dropped != 0:
+            failures.append(
+                f"[{suite}] {case_id}: mon_transport_dropped={dropped:g} — "
+                f"transports dropped malformed/oversize/unknown datagrams")
+        finalized = metrics.get("mon_answers_finalized")
+        if (isinstance(finalized, (int, float))
+                and isinstance(completed, (int, float))
+                and finalized != completed):
+            failures.append(
+                f"[{suite}] {case_id}: mon_answers_finalized={finalized:g} "
+                f"but completed={completed:g} — daemon and client answer "
+                f"counts disagree")
 
 
 def diff_suite(suite, base, fresh, rtol, atol, failures, notes):

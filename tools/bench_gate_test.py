@@ -24,7 +24,14 @@ Builds a synthetic baseline BENCH_figs.json in a temp dir, then checks:
   15. a net-suite run where the live overlay dropped answers
       (completed < queries) fails (exit 1);
   16. a net-suite run whose answers diverged from the simulator
-      (answer_mismatch > 0) fails (exit 1).
+      (answer_mismatch > 0) fails (exit 1);
+  17. a net-suite run whose post-run admin scrape found an unreachable
+      daemon (mon_unhealthy > 0) fails (exit 1);
+  18. a net-suite run whose daemons rejected frames during the run
+      (mon_frames_rejected > 0) fails (exit 1);
+  19. a net-suite run where the daemons' own answer count disagrees
+      with the client's (mon_answers_finalized != completed) fails
+      (exit 1).
 
 Registered in ctest (label: unit) so the regression gate itself is under
 test. Stdlib only.
@@ -81,6 +88,13 @@ NET_BASELINE = {
             "queries": 16,
             "completed": 16,
             "answer_mismatch": 0,
+            "mon_endpoints": 3,
+            "mon_unhealthy": 0,
+            "mon_frames_rejected": 0,
+            "mon_transport_dropped": 0,
+            "mon_answers_finalized": 16,
+            "mon_queries_served": 170,
+            "wall_mon_retransmissions": 0,
             "wall_latency_p50_ms": 1.8,
             "wall_latency_p99_ms": 6.2,
             "wall_qps": 310.0,
@@ -288,6 +302,50 @@ def main():
         if "diverged" not in out:
             print(f"bench_gate_test FAIL: answer_mismatch failure does "
                   f"not explain itself\n{out}")
+            sys.exit(1)
+
+        # Monitor soundness rules: intra-document like the answer rules,
+        # so a broken scrape fails even against an identically broken
+        # baseline.
+        broken = copy.deepcopy(NET_BASELINE)
+        broken["cases"]["net-bench/live"]["mon_unhealthy"] = 1
+        unhealthy_base = os.path.join(tmp, "net_unhealthy_base")
+        write(unhealthy_base, broken, suite="net")
+        fresh_dir = os.path.join(tmp, "net_unhealthy")
+        write(fresh_dir, copy.deepcopy(broken), suite="net")
+        code, out = run_check(unhealthy_base, fresh_dir, suite="net")
+        expect("net run with an unscrapeable daemon fails", code, 1, out)
+        if "mon_unhealthy" not in out:
+            print(f"bench_gate_test FAIL: mon_unhealthy failure does not "
+                  f"name the metric\n{out}")
+            sys.exit(1)
+
+        broken = copy.deepcopy(NET_BASELINE)
+        broken["cases"]["net-bench/live"]["mon_frames_rejected"] = 3
+        rej_base = os.path.join(tmp, "net_rejected_base")
+        write(rej_base, broken, suite="net")
+        fresh_dir = os.path.join(tmp, "net_rejected")
+        write(fresh_dir, copy.deepcopy(broken), suite="net")
+        code, out = run_check(rej_base, fresh_dir, suite="net")
+        expect("net run with rejected frames fails", code, 1, out)
+        if "mon_frames_rejected" not in out:
+            print(f"bench_gate_test FAIL: mon_frames_rejected failure does "
+                  f"not name the metric\n{out}")
+            sys.exit(1)
+
+        # The daemons finalized fewer answers than the client says it
+        # received — counter accounting and reality disagree.
+        broken = copy.deepcopy(NET_BASELINE)
+        broken["cases"]["net-bench/live"]["mon_answers_finalized"] = 14
+        dis_base = os.path.join(tmp, "net_disagree_base")
+        write(dis_base, broken, suite="net")
+        fresh_dir = os.path.join(tmp, "net_disagree")
+        write(fresh_dir, copy.deepcopy(broken), suite="net")
+        code, out = run_check(dis_base, fresh_dir, suite="net")
+        expect("daemon/client answer disagreement fails", code, 1, out)
+        if "disagree" not in out:
+            print(f"bench_gate_test FAIL: mon_answers_finalized failure "
+                  f"does not explain itself\n{out}")
             sys.exit(1)
 
     print("bench_gate_test: all scenarios behaved")

@@ -9,6 +9,7 @@
 #   tools/check.sh address tests/obs_test   # limit ctest to a regex
 #   tools/check.sh wire       # wire codec/transport suite, ASan then UBSan
 #   tools/check.sh net        # live-overlay suite (sockets), ASan then UBSan
+#   tools/check.sh monitor    # admin/monitoring plane, ASan then UBSan
 #   tools/check.sh obs        # observability suite (obs+exec labels), TSan
 #   tools/check.sh --bench    # bench smoke suite + BENCH_*.json gate
 #
@@ -84,6 +85,26 @@ if [[ "${1:-}" == "net" ]]; then
     ctest --test-dir "$BUILD_DIR" --output-on-failure -L net
   done
   echo "check.sh: net suite clean under address+undefined"
+  exit 0
+fi
+
+# monitor: the admin/monitoring plane (ctest label `monitor`: admin
+# payload codecs, registry bridge, daemon probe handling, cluster scrape
+# over real sockets). Same harness as `net` — the codecs decode bytes a
+# scraped daemon (or an impostor) sent, so they earn both memory-facing
+# sanitizers.
+if [[ "${1:-}" == "monitor" ]]; then
+  for kind in address undefined; do
+    BUILD_DIR="build-san-$kind"
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DRIPPLE_SANITIZE="$kind" \
+      -DRIPPLE_BUILD_BENCHMARKS=OFF \
+      -DRIPPLE_BUILD_EXAMPLES=OFF
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -L monitor
+  done
+  echo "check.sh: monitor suite clean under address+undefined"
   exit 0
 fi
 

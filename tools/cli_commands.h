@@ -7,6 +7,7 @@
 //   run            one query or a workload against the simulated overlay
 //   serve          one live-overlay daemon process (UDP sockets)
 //   net-bench      wall-clock workload driver against a live overlay
+//   monitor        admin-protocol cluster scraper / readiness probe
 //   trace-assemble merge per-peer journals into one span tree
 //
 // Every entry point receives argv shifted past the subcommand token, so
@@ -18,6 +19,7 @@ int RunQuery(int argc, char** argv);          // ripple_cli.cc
 int RunTraceAssemble(int argc, char** argv);  // ripple_cli.cc
 int RunServe(int argc, char** argv);          // ripple_cli_net.cc
 int RunNetBench(int argc, char** argv);       // ripple_cli_net.cc
+int RunMonitor(int argc, char** argv);        // ripple_cli_monitor.cc
 
 }  // namespace ripple
 

@@ -71,35 +71,33 @@ for i in 0 1 2; do
   "$CLI" serve --peers-file="$PEERS" --listen="127.0.0.1:${PORTS[$i]}" \
     --journal-out="$OUT_DIR/journal-$i" \
     --profile-out="$OUT_DIR/profile-$i.json" \
+    --stats-out="$OUT_DIR/stats-$i.json" \
     >"$OUT_DIR/serve-$i.log" 2>&1 &
   PIDS+=($!)
 done
 
-# Each daemon prints its "serving peers ..." banner once the socket is
-# bound and the overlay rebuilt; wait for all three before querying.
-for i in 0 1 2; do
-  ready=0
-  for _ in $(seq 1 100); do
-    if grep -q '^serving peers' "$OUT_DIR/serve-$i.log" 2>/dev/null; then
-      ready=1
-      break
-    fi
+# Readiness via the admin plane: PING every daemon until the whole
+# cluster answers. This probes the actual serve loop over the actual
+# socket — a daemon that bound its port but wedged before serving would
+# pass a log grep and fail this.
+if ! "$CLI" monitor --peers-file="$PEERS" --wait-healthy-ms=10000; then
+  echo "net_demo: cluster never became healthy:" >&2
+  for i in 0 1 2; do
     if ! kill -0 "${PIDS[$i]}" 2>/dev/null; then
-      echo "net_demo: daemon $i died during startup:" >&2
-      cat "$OUT_DIR/serve-$i.log" >&2
-      exit 1
+      echo "net_demo: daemon $i died during startup" >&2
     fi
-    sleep 0.1
-  done
-  if [[ "$ready" != 1 ]]; then
-    echo "net_demo: daemon $i never became ready:" >&2
     cat "$OUT_DIR/serve-$i.log" >&2
-    exit 1
-  fi
-done
+  done
+  exit 1
+fi
 
 "$CLI" net-bench --peers-file="$PEERS" --workload="$WORKLOAD" \
   --bench-out="$OUT_DIR" --show
+
+# Scrape the cluster while it is still up: two samples (the second
+# windows QPS against the first) appended to a JSONL series.
+"$CLI" monitor --peers-file="$PEERS" --count=2 --interval-ms=200 \
+  --series-out="$OUT_DIR/series.jsonl"
 
 # SIGTERM the daemons and show what they flushed on the way out.
 stop_daemons
@@ -109,6 +107,37 @@ echo "net_demo: daemon shutdown reports"
 for i in 0 1 2; do
   sed "s/^/  [s$i] /" "$OUT_DIR/serve-$i.log"
 done
+
+# The live scrape and the daemons' own shutdown reports must agree: the
+# series' final cluster totals equal the sum of the three stats-out
+# files on every protocol counter. Only admin_requests is exempt — the
+# scrape itself increments it while the probes are in flight (the
+# monitor is an observer of everything else, a participant of that one).
+python3 - "$OUT_DIR" <<'PY'
+import json, sys
+out_dir = sys.argv[1]
+with open(f"{out_dir}/series.jsonl", encoding="utf-8") as f:
+    last = json.loads(f.readlines()[-1])
+scraped = last["totals"]["stats"]
+summed = {}
+for i in range(3):
+    with open(f"{out_dir}/stats-{i}.json", encoding="utf-8") as f:
+        for name, value in json.load(f)["stats"].items():
+            summed[name] = summed.get(name, 0) + value
+bad = [name for name in summed
+       if name != "admin_requests" and scraped.get(name) != summed[name]]
+if sorted(scraped) != sorted(summed):
+    print("net_demo: FAIL — scraped/shutdown field lists differ:",
+          sorted(scraped), "vs", sorted(summed), file=sys.stderr)
+    sys.exit(1)
+if bad:
+    for name in bad:
+        print(f"net_demo: FAIL — scraped {name}={scraped.get(name)} but "
+              f"daemons report {summed[name]}", file=sys.stderr)
+    sys.exit(1)
+print(f"net_demo: scrape/shutdown totals agree on "
+      f"{len(summed) - 1} counters (admin_requests exempt)")
+PY
 
 # Gate against the committed baseline — only for the default workload;
 # any other scale is not comparable (and bench_check would say so).

@@ -802,6 +802,7 @@ constexpr char kUsage[] =
     "  run            one query or a workload on the simulated overlay\n"
     "  serve          one live-overlay daemon process (UDP sockets)\n"
     "  net-bench      wall-clock workload driver against a live overlay\n"
+    "  monitor        admin-protocol cluster scraper / readiness probe\n"
     "  trace-assemble merge per-peer journals into one span tree\n";
 
 }  // namespace
@@ -812,6 +813,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return ripple::RunQuery(argc - 1, argv + 1);
     if (cmd == "serve") return ripple::RunServe(argc - 1, argv + 1);
     if (cmd == "net-bench") return ripple::RunNetBench(argc - 1, argv + 1);
+    if (cmd == "monitor") return ripple::RunMonitor(argc - 1, argv + 1);
     if (cmd == "trace-assemble") {
       return ripple::RunTraceAssemble(argc - 1, argv + 1);
     }

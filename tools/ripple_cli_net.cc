@@ -33,15 +33,19 @@
 #include "common/log.h"
 #include "exec/compile.h"
 #include "exec/workload.h"
+#include "net/admin.h"
 #include "net/bootstrap.h"
 #include "net/client.h"
 #include "net/daemon.h"
+#include "net/monitor.h"
 #include "net/peers.h"
 #include "net/udp_transport.h"
 #include "obs/bench_report.h"
 #include "obs/export.h"
 #include "obs/journal.h"
+#include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/snapshot.h"
 #include "queries/skyline_driver.h"
 #include "queries/topk_driver.h"
 #include "sim/async_engine.h"
@@ -156,6 +160,10 @@ int RunServe(int argc, char** argv) {
   int64_t tick_ms = 50;
   std::string journal_out;
   std::string profile_out;
+  std::string stats_out;
+  std::string metrics_out;
+  std::string snapshot_out;
+  int64_t snapshot_every_ms = 1000;
   FlagParser flags(
       "ripple_cli serve — one live-overlay daemon: rebuilds the overlay "
       "from the peers file, serves its assigned peers over UDP until "
@@ -173,6 +181,20 @@ int RunServe(int argc, char** argv) {
                   "write this daemon's per-peer load profile here on "
                   "shutdown",
                   &profile_out);
+  flags.AddString("stats-out",
+                  "write the shutdown counter report as JSON here (same "
+                  "fields as a kAdminStats reply)",
+                  &stats_out);
+  flags.AddString("metrics-out",
+                  "write the net.daemon.*/net.udp.* registry as JSON "
+                  "here on shutdown",
+                  &metrics_out);
+  flags.AddString("snapshot-out",
+                  "write windowed registry snapshots here on shutdown",
+                  &snapshot_out);
+  flags.AddInt("snapshot-every-ms",
+               "snapshot capture period (with --snapshot-out)",
+               &snapshot_every_ms);
   const Status st = flags.Parse(argc, argv);
   if (!net_flags.Finish(st, flags)) {
     return st.code() == StatusCode::kFailedPrecondition ? 0 : 2;
@@ -213,6 +235,13 @@ int RunServe(int argc, char** argv) {
   obs::Profiler profiler;
   if (!journal_out.empty()) daemon.SetJournal(&journal);
   if (!profile_out.empty()) daemon.SetProfiler(&profiler);
+  // Always bridged: kAdminSnapshot replies and the shutdown
+  // --metrics-out/--snapshot-out exports all read this registry.
+  obs::Registry registry;
+  daemon.SetRegistry(&registry);
+  net::UdpSocketTransport* udp_ptr = transport->get();
+  daemon.SetTransportCounters([udp_ptr] { return udp_ptr->Counters(); });
+  obs::SnapshotSeries series(&registry);
 
   std::signal(SIGTERM, OnStopSignal);
   std::signal(SIGINT, OnStopSignal);
@@ -221,7 +250,22 @@ int RunServe(int argc, char** argv) {
               (*transport)->local_endpoint().ToString().c_str(), local.size(),
               overlay->MaxDepth());
   std::fflush(stdout);
-  daemon.ServeLoop(g_stop, static_cast<int>(tick_ms));
+  const auto serve_start = std::chrono::steady_clock::now();
+  double next_snap_ms = 0.0;
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    daemon.ServeOnce(static_cast<int>(tick_ms));
+    if (!snapshot_out.empty()) {
+      const double now_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - serve_start)
+              .count();
+      if (now_ms >= next_snap_ms) {
+        daemon.SyncRegistry();
+        series.Capture(now_ms);
+        next_snap_ms = now_ms + static_cast<double>(snapshot_every_ms);
+      }
+    }
+  }
 
   // SIGTERM/SIGINT: flush observability, report, exit cleanly.
   if (!journal_out.empty()) {
@@ -231,6 +275,27 @@ int RunServe(int argc, char** argv) {
   if (!profile_out.empty()) {
     const Status ps = obs::WriteProfileJson(profiler, profile_out);
     if (!ps.ok()) std::fprintf(stderr, "profile: %s\n", ps.message().c_str());
+  }
+  if (!stats_out.empty()) {
+    std::FILE* f = std::fopen(stats_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "stats-out: cannot open %s\n", stats_out.c_str());
+    } else {
+      std::fprintf(f, "%s\n",
+                   net::StatsReportJson(daemon.StatsReport()).c_str());
+      std::fclose(f);
+    }
+  }
+  if (!metrics_out.empty()) {
+    daemon.SyncRegistry();
+    const Status ms = obs::WriteMetricsJson(registry, metrics_out, nullptr);
+    if (!ms.ok()) std::fprintf(stderr, "metrics: %s\n", ms.message().c_str());
+  }
+  if (!snapshot_out.empty()) {
+    const Status ss = obs::WriteSnapshotJson(&series, nullptr, snapshot_out);
+    if (!ss.ok()) {
+      std::fprintf(stderr, "snapshot: %s\n", ss.message().c_str());
+    }
   }
   const net::DaemonStats& ds = daemon.stats();
   const net::UdpSocketTransport& udp = **transport;
@@ -449,6 +514,30 @@ int RunNetBench(int argc, char** argv) {
       static_cast<unsigned long long>(udp.bytes_sent),
       static_cast<unsigned long long>(udp.bytes_received));
 
+  // Post-run admin scrape: the cluster's own account of the run. On a
+  // clean localhost run nothing is rejected or dropped and the daemons'
+  // answers_finalized agrees with the client's completed count — all
+  // gated below via bench_check.py's monitor rules. Counters are
+  // process-lifetime, so the gated values assume fresh daemons (the
+  // tools/net_demo.sh arrangement).
+  const net::Endpoint mon_ep{listen_ep->host, 0};
+  auto mon_transport = net::UdpSocketTransport::Open(*peers, mon_ep);
+  if (!mon_transport.ok()) {
+    std::fprintf(stderr, "monitor: %s\n",
+                 mon_transport.status().message().c_str());
+    return 2;
+  }
+  net::ClusterMonitor monitor(*peers, mon_transport->get(),
+                              net::kClientIdBase | 2, {});
+  const net::ClusterSample scrape = monitor.Scrape(wall_s * 1000.0);
+  std::fputs(net::ClusterMonitor::Dashboard(scrape).c_str(), stdout);
+  const uint64_t mon_unhealthy =
+      scrape.totals.endpoints - scrape.totals.healthy;
+  const uint64_t mon_transport_dropped =
+      scrape.totals.transport.malformed_dropped +
+      scrape.totals.transport.oversize_dropped +
+      scrape.totals.transport.unknown_peer_dropped;
+
   obs::BenchMeta meta;
   meta.suite = "net";
   meta.binary = "net-bench";
@@ -471,6 +560,27 @@ int RunNetBench(int argc, char** argv) {
   reporter.AddMetric("live", "completed", static_cast<double>(completed));
   reporter.AddMetric("live", "answer_mismatch",
                      static_cast<double>(mismatches));
+  // Monitor soundness counters (gated, deterministic on a clean run):
+  // every endpoint scraped, nothing rejected or dropped anywhere in the
+  // cluster, and the daemons' own answer count agrees with the client's.
+  reporter.AddMetric("live", "mon_endpoints",
+                     static_cast<double>(scrape.totals.endpoints));
+  reporter.AddMetric("live", "mon_unhealthy",
+                     static_cast<double>(mon_unhealthy));
+  reporter.AddMetric("live", "mon_frames_rejected",
+                     static_cast<double>(scrape.totals.stats.frames_rejected));
+  reporter.AddMetric("live", "mon_transport_dropped",
+                     static_cast<double>(mon_transport_dropped));
+  reporter.AddMetric("live", "mon_answers_finalized",
+                     static_cast<double>(
+                         scrape.totals.stats.answers_finalized));
+  reporter.AddMetric("live", "mon_queries_served",
+                     static_cast<double>(scrape.totals.stats.queries_served));
+  // Retransmissions are timing-dependent (a slow box acks late), so they
+  // ride under the informational prefix.
+  reporter.AddMetric("live", "wall_mon_retransmissions",
+                     static_cast<double>(
+                         scrape.totals.stats.retransmissions));
   // Wall-clock (informational `wall_` prefix, tools/bench_check.py).
   reporter.AddMetric("live", "wall_latency_p50_ms", p50);
   reporter.AddMetric("live", "wall_latency_p99_ms", p99);
