@@ -1,0 +1,72 @@
+#include "cache/adaptive.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ripple::cache {
+
+int DepthHint(size_t num_peers) {
+  int depth = 0;
+  while ((size_t{1} << depth) < num_peers && depth < 62) ++depth;
+  return depth;
+}
+
+AdaptiveController::AdaptiveController(int depth_hint, AdaptiveOptions opts)
+    : depth_hint_(depth_hint < 0 ? 0 : depth_hint), opts_(opts) {
+  if (opts_.max_hops < 0) opts_.max_hops = 0;
+  if (opts_.decay <= 0.0 || opts_.decay >= 1.0) opts_.decay = 0.5;
+}
+
+RippleParam AdaptiveController::Choose() const {
+  int r = std::clamp(depth_hint_ / 3, 1, std::max(opts_.max_hops, 1));
+  if (observations_ > 0) {
+    const double per_hop = ewma_messages_ / std::max(1.0, ewma_hops_);
+    if (per_hop > opts_.flood_threshold) {
+      r = std::min(r + 1, opts_.max_hops);
+    } else if (per_hop < opts_.calm_threshold) {
+      r = std::max(r - 1, 0);
+    }
+  }
+  return r == 0 ? RippleParam::Fast() : RippleParam::Hops(r);
+}
+
+void AdaptiveController::Observe(const QueryStats& stats) {
+  const double a = opts_.decay;
+  if (observations_ == 0) {
+    ewma_hops_ = static_cast<double>(stats.latency_hops);
+    ewma_messages_ = static_cast<double>(stats.messages);
+    ewma_bytes_ = static_cast<double>(stats.bytes_on_wire);
+  } else {
+    ewma_hops_ = a * ewma_hops_ + (1 - a) * stats.latency_hops;
+    ewma_messages_ = a * ewma_messages_ + (1 - a) * stats.messages;
+    ewma_bytes_ = a * ewma_bytes_ + (1 - a) * stats.bytes_on_wire;
+  }
+  observations_ += 1;
+}
+
+void AdaptiveController::ObservePeerLoad(
+    const std::vector<uint64_t>& visits) {
+  if (heat_.size() < visits.size()) heat_.resize(visits.size(), 0.0);
+  for (size_t p = 0; p < heat_.size(); ++p) {
+    const double v = p < visits.size() ? static_cast<double>(visits[p]) : 0.0;
+    heat_[p] = opts_.decay * heat_[p] + v;
+  }
+}
+
+double AdaptiveController::LinkBias(PeerId p) const {
+  if (p >= heat_.size()) return 0.0;
+  return -heat_[p];
+}
+
+std::string AdaptiveController::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "choose=%s n=%llu ewma_hops=%.2f ewma_messages=%.2f "
+                "ewma_bytes=%.0f",
+                Choose().ToString().c_str(),
+                static_cast<unsigned long long>(observations_), ewma_hops_,
+                ewma_messages_, ewma_bytes_);
+  return buf;
+}
+
+}  // namespace ripple::cache

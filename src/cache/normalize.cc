@@ -1,0 +1,111 @@
+#include "cache/normalize.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ripple::cache {
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendPoint(std::string* out, const Point& p) {
+  for (int d = 0; d < p.dims(); ++d) {
+    if (d > 0) *out += ',';
+    AppendDouble(out, p[d]);
+  }
+}
+
+const char* NormName(Norm n) {
+  switch (n) {
+    case Norm::kL1:
+      return "l1";
+    case Norm::kL2:
+      return "l2";
+    case Norm::kLInf:
+      return "linf";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string NormalizeScorer(const Scorer& scorer, double* scale) {
+  *scale = 1.0;
+  if (const auto* lin = dynamic_cast<const LinearScorer*>(&scorer)) {
+    double mass = 0.0;
+    for (double w : lin->weights()) mass += std::fabs(w);
+    if (mass > 0.0 && std::isfinite(mass)) *scale = mass;
+    std::string key = "lin:";
+    bool first = true;
+    for (double w : lin->weights()) {
+      if (!first) key += ',';
+      first = false;
+      AppendDouble(&key, w / *scale);
+    }
+    return key;
+  }
+  if (const auto* near = dynamic_cast<const NearestScorer*>(&scorer)) {
+    std::string key = "near:";
+    AppendPoint(&key, near->anchor());
+    key += ':';
+    key += NormName(near->norm());
+    return key;
+  }
+  // Unknown scorer families fall back to their printed form: no scale
+  // freedom is assumed, identical text means identical function.
+  return "scorer:" + scorer.ToString();
+}
+
+std::string TopKAnswerKey(const TopKQuery& q) {
+  if (q.scorer == nullptr || q.epsilon != 0.0) return "";
+  double scale = 1.0;
+  std::string key = "topk|";
+  key += NormalizeScorer(*q.scorer, &scale);
+  key += "|k=" + std::to_string(q.k);
+  return key;
+}
+
+std::string SkylineAnswerKey(const SkylineQuery& q) {
+  std::string key = "skyline|";
+  key += NormName(q.norm);
+  if (q.constraint.has_value()) {
+    key += "|box=";
+    AppendPoint(&key, q.constraint->lo());
+    key += ';';
+    AppendPoint(&key, q.constraint->hi());
+  }
+  return key;
+}
+
+std::string SkybandAnswerKey(const SkybandQuery& q) {
+  std::string key = "skyband|band=" + std::to_string(q.band) + "|";
+  key += NormName(q.norm);
+  return key;
+}
+
+std::string RangeAnswerKey(const RangeQuery& q) {
+  std::string key = "range|c=";
+  AppendPoint(&key, q.center);
+  key += "|r=";
+  AppendDouble(&key, q.radius);
+  key += "|";
+  key += NormName(q.norm);
+  return key;
+}
+
+std::string TopKBoundKey(const TopKQuery& q, double* scale) {
+  *scale = 1.0;
+  if (q.scorer == nullptr) return "";
+  return "bound|" + NormalizeScorer(*q.scorer, scale);
+}
+
+double LoosenBound(double tau) {
+  if (!std::isfinite(tau)) return tau;
+  return tau - std::fabs(tau) * 1e-12 - 1e-300;
+}
+
+}  // namespace ripple::cache

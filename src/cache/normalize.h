@@ -1,0 +1,57 @@
+#ifndef RIPPLE_CACHE_NORMALIZE_H_
+#define RIPPLE_CACHE_NORMALIZE_H_
+
+#include <string>
+
+#include "geom/scoring.h"
+#include "queries/range.h"
+#include "queries/skyband.h"
+#include "queries/skyline.h"
+#include "queries/topk.h"
+
+namespace ripple::cache {
+
+/// Canonical, byte-stable text identities for query instances, the keys of
+/// the initiator-side QueryCache (cache/query_cache.h). Two queries map to
+/// the same key only when they are guaranteed byte-identical answers on
+/// the same deployment: answers of every cacheable query kind are unique
+/// sets with deterministic ordering (store/local_algos.h tie-breaks by
+/// tuple id), independent of the initiator, of the ripple parameter and of
+/// visit order — so neither appears in the key. Doubles are printed with
+/// %.17g, the shortest round-trip-exact form.
+
+/// Scale-invariant canonical form of a scorer, with the positive scale
+/// factor divided out returned through `*scale` (1.0 when the scorer has
+/// no scale freedom). Top-k answers are invariant under positive scaling
+/// of a linear scorer's weights — Score_w(p) = scale * Score_{w/scale}(p)
+/// preserves every comparison — so linear scorers are normalized by their
+/// L1 weight mass and queries differing only by scale share cache lines.
+/// Thresholds stored against this key must be normalized by the same
+/// scale (tau_norm = tau / scale) and rescaled on reuse.
+std::string NormalizeScorer(const Scorer& scorer, double* scale);
+
+/// Answer-cache keys. A top-k key is only issued for exact queries
+/// (epsilon == 0): with approximation slack the returned set may depend on
+/// traversal details the key deliberately omits. Returns "" = do not
+/// cache.
+std::string TopKAnswerKey(const TopKQuery& q);
+std::string SkylineAnswerKey(const SkylineQuery& q);
+std::string SkybandAnswerKey(const SkybandQuery& q);
+std::string RangeAnswerKey(const RangeQuery& q);
+
+/// Bound-index key: the scorer identity alone (no k, no epsilon). A
+/// (m, tau_norm) claim stored under it — "m tuples scoring at least
+/// tau_norm * scale exist" — is a true statement about the data for ANY
+/// query over that scorer, which is what lets overlapping top-k queries
+/// prune links before their first hop.
+std::string TopKBoundKey(const TopKQuery& q, double* scale);
+
+/// Rounds a reconstructed threshold DOWN by a relative 1e-12 so the
+/// float rounding of normalize-then-rescale can never push it above the
+/// exact value it stands for. Loosening a sound bound keeps it sound
+/// (a hair less pruning, never a wrong answer).
+double LoosenBound(double tau);
+
+}  // namespace ripple::cache
+
+#endif  // RIPPLE_CACHE_NORMALIZE_H_

@@ -1,0 +1,111 @@
+#include "cache/query_cache.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace ripple::cache {
+
+std::string CacheStats::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "hits=%llu misses=%llu insertions=%llu evictions=%llu "
+                "expirations=%llu invalidations=%llu bytes_saved=%llu",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(insertions),
+                static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(expirations),
+                static_cast<unsigned long long>(invalidations),
+                static_cast<unsigned long long>(bytes_saved));
+  return buf;
+}
+
+const QueryCache::Entry* QueryCache::Lookup(const std::string& key) {
+  if (key.empty()) return nullptr;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    stats_.misses += 1;
+    return nullptr;
+  }
+  if (Expired(it->second->second.stamp)) {
+    lru_.erase(it->second);
+    entries_.erase(it);
+    stats_.expirations += 1;
+    stats_.misses += 1;
+    return nullptr;
+  }
+  // Bump to most-recently-used.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  stats_.hits += 1;
+  stats_.bytes_saved += it->second->second.cold_stats.bytes_on_wire;
+  return &it->second->second;
+}
+
+void QueryCache::Insert(const std::string& key, TupleVec answer,
+                        const QueryStats& cold_stats) {
+  if (key.empty() || opts_.capacity == 0) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.erase(it->second);
+    entries_.erase(it);
+  }
+  while (entries_.size() >= opts_.capacity) {
+    entries_.erase(lru_.back().first);
+    lru_.pop_back();
+    stats_.evictions += 1;
+  }
+  Entry e;
+  e.answer = std::move(answer);
+  e.cold_stats = cold_stats;
+  e.stamp = tick_;
+  lru_.emplace_front(key, std::move(e));
+  entries_.emplace(key, lru_.begin());
+  stats_.insertions += 1;
+}
+
+const QueryCache::Bound* QueryCache::LookupBound(
+    const std::string& key) const {
+  if (key.empty()) return nullptr;
+  auto it = bounds_.find(key);
+  if (it == bounds_.end()) return nullptr;
+  if (Expired(it->second.stamp)) return nullptr;
+  return &it->second;
+}
+
+void QueryCache::InsertBound(const std::string& key, size_t m,
+                             double tau_norm) {
+  if (key.empty() || opts_.capacity == 0) return;
+  // Bounded like the answer side; the index carries one small struct per
+  // scorer, so a full wipe on overflow is deterministic and cheap.
+  if (bounds_.size() >= opts_.capacity && bounds_.count(key) == 0) {
+    bounds_.clear();
+  }
+  Bound& b = bounds_[key];
+  if (m > b.m || (m == b.m && tau_norm > b.tau_norm)) {
+    b.m = m;
+    b.tau_norm = tau_norm;
+  }
+  b.stamp = tick_;
+}
+
+void QueryCache::InvalidateAll() {
+  stats_.invalidations += entries_.size() + bounds_.size();
+  entries_.clear();
+  lru_.clear();
+  bounds_.clear();
+}
+
+void RecordCacheMetrics(const CacheStats& s) {
+  if (!obs::Registry::GlobalEnabled()) return;
+  obs::Registry& reg = obs::Registry::Global();
+  reg.GetCounter("cache.hit").Inc(s.hits);
+  reg.GetCounter("cache.miss").Inc(s.misses);
+  reg.GetCounter("cache.insert").Inc(s.insertions);
+  reg.GetCounter("cache.evict").Inc(s.evictions);
+  reg.GetCounter("cache.expire").Inc(s.expirations);
+  reg.GetCounter("cache.invalidate").Inc(s.invalidations);
+  reg.GetCounter("cache.bytes_saved").Inc(s.bytes_saved);
+}
+
+}  // namespace ripple::cache

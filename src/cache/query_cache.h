@@ -1,0 +1,127 @@
+#ifndef RIPPLE_CACHE_QUERY_CACHE_H_
+#define RIPPLE_CACHE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "net/metrics.h"
+#include "store/tuple.h"
+
+namespace ripple::cache {
+
+/// Tuning knobs of the initiator-side answer/bound cache.
+struct CacheOptions {
+  /// Maximum resident answer entries; the least-recently-used entry is
+  /// evicted on overflow. The bound index shares the same capacity.
+  size_t capacity = 256;
+  /// Entries older than this many logical ticks are expired on lookup.
+  /// The clock is Tick() — advanced once per executed query by the
+  /// owning driver — NOT wall time, so expiry is deterministic and
+  /// byte-identical across runs and thread counts. 0 disables TTL.
+  uint64_t ttl_ticks = 0;
+};
+
+/// Hit/miss accounting, exported into the obs registry as `cache.*`
+/// counters by RecordCacheMetrics.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t expirations = 0;
+  uint64_t invalidations = 0;
+  /// Wire bytes the hits avoided: the cold run's bytes_on_wire, credited
+  /// once per hit.
+  uint64_t bytes_saved = 0;
+
+  std::string ToString() const;
+};
+
+/// The initiator-side cache of recent query answers plus a bound index of
+/// top-k threshold claims (see cache/normalize.h for the keying rules).
+///
+/// Single-threaded by contract, like obs::Tracer: every driver consults
+/// it sequentially at plan time (before jobs fan out to workers) and
+/// absorbs results sequentially in item order afterwards, which is what
+/// keeps hit patterns — and therefore answers and bench counters —
+/// byte-identical across runs AND across executor thread counts.
+///
+/// Only complete, fault-free answers may be inserted; on any churn or
+/// crash signal the owner calls InvalidateAll() — a peer leaving can
+/// strand cached tuples, so the cache never second-guesses, it drops
+/// everything.
+class QueryCache {
+ public:
+  struct Entry {
+    TupleVec answer;
+    /// Cost of the run that produced the answer — what a hit saves.
+    QueryStats cold_stats;
+    uint64_t stamp = 0;  // insertion tick
+  };
+
+  /// A normalized top-k threshold claim: "m tuples scoring at least
+  /// tau_norm * scale exist" for the scorer the key names.
+  struct Bound {
+    size_t m = 0;
+    double tau_norm = 0.0;
+    uint64_t stamp = 0;
+  };
+
+  explicit QueryCache(CacheOptions opts = {}) : opts_(opts) {}
+
+  /// LRU-bumping lookup; counts a hit or a miss, expires by TTL. The
+  /// returned pointer is valid until the next non-const call. Empty keys
+  /// always miss (and are not counted — they mark uncacheable queries).
+  const Entry* Lookup(const std::string& key);
+
+  /// Inserts (or replaces) the answer for `key`, evicting the LRU entry
+  /// when at capacity. Callers must only insert complete answers.
+  void Insert(const std::string& key, TupleVec answer,
+              const QueryStats& cold_stats);
+
+  /// Bound index: keeps the strongest claim per key (larger m wins, then
+  /// larger tau_norm). Lookup does not count hits/misses — bounds refine
+  /// misses, they do not replace runs.
+  const Bound* LookupBound(const std::string& key) const;
+  void InsertBound(const std::string& key, size_t m, double tau_norm);
+
+  /// Drops every answer and every bound (churn/crash invalidation).
+  void InvalidateAll();
+
+  /// Advances the logical TTL clock (once per executed query).
+  void Tick() { ++tick_; }
+  uint64_t tick() const { return tick_; }
+
+  size_t size() const { return entries_.size(); }
+  size_t bound_size() const { return bounds_.size(); }
+  const CacheStats& stats() const { return stats_; }
+  const CacheOptions& options() const { return opts_; }
+
+ private:
+  using LruList = std::list<std::pair<std::string, Entry>>;
+
+  bool Expired(uint64_t stamp) const {
+    return opts_.ttl_ticks > 0 && tick_ > stamp + opts_.ttl_ticks;
+  }
+
+  CacheOptions opts_;
+  CacheStats stats_;
+  uint64_t tick_ = 0;
+  /// Front = most recently used.
+  LruList lru_;
+  std::unordered_map<std::string, LruList::iterator> entries_;
+  std::unordered_map<std::string, Bound> bounds_;
+};
+
+/// Flushes cache accounting into the global obs registry (`cache.hit`,
+/// `cache.miss`, `cache.bytes_saved`, ...). Pass a delta — typically one
+/// cache's lifetime stats, once, after the workload drains — the counters
+/// accumulate. No-op unless obs::Registry::EnableGlobal(true).
+void RecordCacheMetrics(const CacheStats& s);
+
+}  // namespace ripple::cache
+
+#endif  // RIPPLE_CACHE_QUERY_CACHE_H_

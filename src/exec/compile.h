@@ -65,6 +65,18 @@ inline uint64_t ItemSeed(uint64_t seed, size_t index) {
          (static_cast<uint64_t>(index) + 1) * 0x517cc1b727220a95ULL;
 }
 
+/// Locality groups (WorkloadItem::group >= 0) replace the per-item stream
+/// with a per-GROUP stream so every member draws the identical instance.
+/// XOR'd into a distinct constant so group g never collides with item g.
+inline uint64_t GroupSeed(uint64_t seed, int group) {
+  return ItemSeed(seed, static_cast<size_t>(group)) ^ 0x6a09e667f3bcc909ULL;
+}
+
+inline uint64_t InstanceSeed(uint64_t seed, const WorkloadItem& item,
+                             size_t index) {
+  return item.group >= 0 ? GroupSeed(seed, item.group) : ItemSeed(seed, index);
+}
+
 inline JobResult ToJobResult(QueryResult<TupleVec> result, PeerId initiator,
                              uint64_t trace_id) {
   JobResult jr;
@@ -152,7 +164,8 @@ Job MakeJob(const Overlay& overlay, typename Policy::Query query,
 /// The per-item instance generation underneath CompileWorkload, exposed
 /// so other drivers of the workload-file format (net-bench's live client)
 /// draw byte-identical query instances. For each item, the per-item RNG
-/// stream (ItemSeed(seed, index)) draws — in this exact, frozen order —
+/// stream (InstanceSeed: ItemSeed(seed, index), or the group's shared
+/// stream for locality-grouped items) draws — in this exact, frozen order —
 /// the initiator, then the kind-specific parameters (top-k scorer
 /// weights; range center), and `visit(index, item, initiator, query)` is
 /// invoked with the typed query (TopKQuery / SkylineQuery / SkybandQuery
@@ -168,7 +181,7 @@ void ForEachWorkloadInstance(const Overlay& overlay,
   const int dims = overlay.domain().dims();
   for (size_t i = 0; i < items.size(); ++i) {
     const WorkloadItem& item = items[i];
-    Rng rng(internal::ItemSeed(seed, i));
+    Rng rng(internal::InstanceSeed(seed, item, i));
     const PeerId initiator = overlay.RandomPeer(&rng);
     switch (item.kind) {
       case WorkloadItem::Kind::kTopK: {

@@ -86,6 +86,10 @@ Result<std::vector<WorkloadItem>> ParseWorkload(const std::string& text) {
         ok = ParseDouble(value, &item.deadline) && item.deadline > 0;
       } else if (key == "count") {
         ok = ParseSize(value, &count) && count > 0;
+      } else if (key == "group") {
+        size_t g = 0;
+        ok = ParseSize(value, &g) && g <= size_t{1} << 30;
+        if (ok) item.group = static_cast<int>(g);
       } else if (key == "r") {
         const Result<RippleParam> r = RippleParam::Parse(value);
         if (!r.ok()) return LineError(line_no, r.status().message());

@@ -37,6 +37,14 @@ struct WorkloadItem {
   /// time units once the async engine executes it (expiry there returns a
   /// flagged partial answer). Infinity = no deadline.
   double deadline = std::numeric_limits<double>::infinity();
+  /// Locality group: items sharing a non-negative group draw their
+  /// instance randomness (initiator, scorer weights, range center) from
+  /// the GROUP's stream instead of the item's own, making them exact
+  /// repeats of the same query — the workload-file model of million-user
+  /// streams re-asking popular queries. What the batching layer
+  /// (exec/batch.h) merges and the answer cache hits on. -1 = no group:
+  /// every item is its own instance (the historical behavior).
+  int group = -1;
   /// The spec line this item came from, for labels and error messages.
   std::string label;
 };
@@ -52,9 +60,11 @@ const char* WorkloadKindName(WorkloadItem::Kind kind);
 ///   skyband band=3
 ///   range radius=0.15 deadline=500
 ///
-/// Keys: `k`, `band`, `radius`, `epsilon`, `r` (fast | slow | hop count),
-/// `deadline` (see WorkloadItem::deadline), `count` (repeat the line N
-/// times; each repeat is a distinct item with its own derived seed).
+/// Keys: `k`, `band`, `radius`, `epsilon`, `r` (fast | slow | hop count |
+/// auto), `deadline` (see WorkloadItem::deadline), `count` (repeat the
+/// line N times; each repeat is a distinct item with its own derived
+/// seed), `group` (locality group — see WorkloadItem::group; `count`
+/// repeats of a grouped line are exact repeats of one query instance).
 /// Unknown keys or malformed values fail with a line-numbered error.
 Result<std::vector<WorkloadItem>> ParseWorkload(const std::string& text);
 

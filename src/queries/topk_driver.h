@@ -125,10 +125,21 @@ typename EngineT::Result SeededTopK(const Overlay& overlay,
   }
 
   // Phase 2: greedy walk gathering local states until k tuples are known
-  // (the walk itself is shared with the live-overlay client).
+  // (the walk itself is shared with the live-overlay client). When the
+  // caller already supplied a seed witnessing >= k tuples — the
+  // initiator-side bound cache (cache/query_cache.h) — the walk is
+  // skipped outright: the cached claim is at least as tight as anything
+  // a walk could witness, and FOLDING a cached seed into walked states
+  // would double-count overlapping tuple sets (Algorithm 7's counts only
+  // add over disjoint sets), so it is one source or the other, never both.
   std::vector<PeerId> walk_path;
-  const TopKState seed =
-      TopKSeedWalk(overlay, policy, query, start, &walk_path);
+  TopKState seed;
+  if (request.initial_state.has_value() &&
+      request.initial_state->m >= query.k) {
+    seed = *request.initial_state;
+  } else {
+    seed = TopKSeedWalk(overlay, policy, query, start, &walk_path);
+  }
   for (size_t step = 0; step < walk_path.size(); ++step) {
     bootstrap.peers_visited += 1;
     if (step > 0) {

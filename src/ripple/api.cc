@@ -6,6 +6,7 @@
 namespace ripple {
 
 std::string RippleParam::ToString() const {
+  if (is_auto()) return "auto";
   if (is_fast()) return "fast";
   if (is_slow()) return "slow";
   return std::to_string(hops_);
@@ -14,14 +15,15 @@ std::string RippleParam::ToString() const {
 Result<RippleParam> RippleParam::Parse(const std::string& text) {
   if (text == "fast") return RippleParam::Fast();
   if (text == "slow") return RippleParam::Slow();
+  if (text == "auto") return RippleParam::Auto();
   if (text.empty()) {
     return Status::InvalidArgument("empty ripple parameter");
   }
   for (char c : text) {
     if (!std::isdigit(static_cast<unsigned char>(c))) {
       return Status::InvalidArgument(
-          "ripple parameter must be 'fast', 'slow' or a non-negative "
-          "integer, got '" +
+          "ripple parameter must be 'fast', 'slow', 'auto' or a "
+          "non-negative integer, got '" +
           text + "'");
     }
   }

@@ -30,16 +30,23 @@ class RippleParam {
   static constexpr RippleParam Hops(int r) {
     return RippleParam(r < 0 ? 0 : r);
   }
+  /// "Choose r for me": a placeholder the adaptive controller
+  /// (cache/adaptive.h) resolves into a concrete Fast/Slow/Hops value per
+  /// query. Engines never see Auto — drivers resolve it first; an
+  /// unresolved Auto degrades to Fast (hops() == 0) so nothing deadlocks.
+  static constexpr RippleParam Auto() { return RippleParam(kAutoHops); }
   /// Adapter for the legacy integer convention (r >= 1<<20 meant "slow").
   static constexpr RippleParam FromLegacy(int r) {
     return r >= kSlowHops ? Slow() : Hops(r);
   }
 
   /// The slow-phase hop budget the engine counts down. Slow() returns a
-  /// value exceeding every reachable overlay depth.
-  constexpr int hops() const { return hops_; }
+  /// value exceeding every reachable overlay depth; an unresolved Auto()
+  /// reads as 0 (fast).
+  constexpr int hops() const { return hops_ < 0 ? 0 : hops_; }
   constexpr bool is_fast() const { return hops_ == 0; }
   constexpr bool is_slow() const { return hops_ >= kSlowHops; }
+  constexpr bool is_auto() const { return hops_ == kAutoHops; }
 
   friend constexpr bool operator==(RippleParam a, RippleParam b) {
     return a.hops_ == b.hops_;
@@ -48,11 +55,13 @@ class RippleParam {
     return !(a == b);
   }
 
-  /// "fast", "slow" or the decimal hop count.
+  /// "fast", "slow", "auto" or the decimal hop count. Round-trips through
+  /// Parse: `Parse(ToString(x)) == x` for every representable value.
   std::string ToString() const;
 
-  /// Parses "fast" | "slow" | a non-negative decimal ("0" == fast). Used
-  /// by CLI flags and bench headers.
+  /// Parses "fast" | "slow" | "auto" | a non-negative decimal ("0" ==
+  /// fast). Anything else — "auto2", "-3", "" — is rejected. Used by CLI
+  /// flags and bench headers.
   static Result<RippleParam> Parse(const std::string& text);
 
   friend std::ostream& operator<<(std::ostream& os, RippleParam r) {
@@ -61,6 +70,7 @@ class RippleParam {
 
  private:
   static constexpr int kSlowHops = 1 << 20;
+  static constexpr int kAutoHops = -1;
 
   constexpr explicit RippleParam(int hops) : hops_(hops) {}
 

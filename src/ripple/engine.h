@@ -94,6 +94,16 @@ class Engine {
     visit_observer_ = std::move(observer);
   }
 
+  /// Secondary slow-phase contact order: among links whose policy
+  /// priorities TIE, larger bias goes first (the adaptive controller feeds
+  /// decayed per-peer load here so colder peers are contacted earlier).
+  /// Never overrides the policy's LinkPriority and never changes which
+  /// links are contacted, so answers and stats totals are unaffected; only
+  /// tie order (and therefore per-peer load timing) moves. nullptr clears.
+  void SetLinkBias(std::function<double(PeerId)> bias) {
+    link_bias_ = std::move(bias);
+  }
+
   /// Attaches a per-query tracer recording one span per peer visit (phase,
   /// remaining r, links pruned/forwarded, states merged, tuples carried)
   /// with logical hop timestamps matching the Lemma 1-3 accounting. Pass
@@ -230,8 +240,14 @@ class Engine {
             Candidate{link.target, area, policy_.LinkPriority(query, area)});
       }
       std::stable_sort(candidates.begin(), candidates.end(),
-                       [](const Candidate& a, const Candidate& b) {
-                         return a.priority > b.priority;
+                       [this](const Candidate& a, const Candidate& b) {
+                         if (a.priority != b.priority) {
+                           return a.priority > b.priority;
+                         }
+                         if (link_bias_) {
+                           return link_bias_(a.target) > link_bias_(b.target);
+                         }
+                         return false;
                        });
       for (const Candidate& c : candidates) {
         // Relevance is re-evaluated with the state updated so far: links
@@ -361,6 +377,7 @@ class Engine {
   const Overlay* overlay_;
   Policy policy_;
   std::function<void(PeerId)> visit_observer_;
+  std::function<double(PeerId)> link_bias_;
   obs::Tracer* tracer_ = nullptr;
   obs::JournalSet* journal_ = nullptr;
   obs::Profiler* profiler_ = nullptr;

@@ -137,6 +137,13 @@ class AsyncEngine {
     visit_observer_ = std::move(observer);
   }
 
+  /// Secondary slow-phase contact order on priority ties — same contract
+  /// as Engine::SetLinkBias: larger bias first, never changes which links
+  /// are contacted or the answer, only tie order. nullptr clears.
+  void SetLinkBias(std::function<double(PeerId)> bias) {
+    link_bias_ = std::move(bias);
+  }
+
   /// Attaches a per-peer load profiler (same contract as
   /// Engine::SetProfiler: message/byte charges mirror QueryStats at the
   /// sender, so totals cross-check; here the profiler additionally sees
@@ -487,9 +494,14 @@ class AsyncEngine {
           s.pending.push_back(typename Session::Candidate{
               link.target, std::move(restricted), priority});
         }
+        const auto& bias = self->link_bias_;
         std::stable_sort(s.pending.begin(), s.pending.end(),
-                         [](const auto& a, const auto& b) {
-                           return a.priority > b.priority;
+                         [&bias](const auto& a, const auto& b) {
+                           if (a.priority != b.priority) {
+                             return a.priority > b.priority;
+                           }
+                           if (bias) return bias(a.target) > bias(b.target);
+                           return false;
                          });
         AdvanceSlow(id);
       }
@@ -1070,6 +1082,7 @@ class AsyncEngine {
   Policy policy_;
   LatencyModel latency_;
   std::function<void(PeerId)> visit_observer_;
+  std::function<double(PeerId)> link_bias_;
   obs::Tracer* tracer_ = nullptr;
   obs::JournalSet* journal_ = nullptr;
   obs::Profiler* profiler_ = nullptr;

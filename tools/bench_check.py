@@ -26,6 +26,13 @@ Metric classes:
     from a same-machine reference measurement (e.g. the observability
     bench caps the traced wall clock at a multiple of the untraced one),
     so the rule gates overhead ratios, not absolute machine speed.
+  * deterministic bounds: floor_<X> / ceiling_<X> (no wall_ prefix) are
+    the same intra-document rules for DETERMINISTIC sibling metrics <X>.
+    Unlike the wall_ variants, both the bound and its target also
+    participate in baseline-vs-fresh drift gating. The cache bench uses
+    these: ceiling_bytes_ratio=1 pins cache-on wire bytes at or below
+    cache-off, floor_cache_hit_rate pins the locality workload's hit
+    rate, ceiling_answer_mismatch=0 pins byte-identical answers.
 
 Cases present only in the fresh run are reported as additions (a warning,
 not a failure) so adding a bench never breaks the gate; removing one does.
@@ -114,7 +121,8 @@ CEIL_PREFIX = "wall_ceiling_"
 
 def check_bounds(suite, fresh, failures, notes):
     """Intra-document bound rules on the fresh document:
-    wall_floor_<X> <= wall_<X> <= wall_ceiling_<X>."""
+    wall_floor_<X> <= wall_<X> <= wall_ceiling_<X> for wall metrics, and
+    floor_<X> <= <X> <= ceiling_<X> for deterministic ones."""
     for case_id in sorted(fresh.get("cases", {})):
         metrics = fresh["cases"][case_id]
         for metric in sorted(metrics):
@@ -124,6 +132,12 @@ def check_bounds(suite, fresh, failures, notes):
             elif metric.startswith(CEIL_PREFIX):
                 is_floor = False
                 target = "wall_" + metric[len(CEIL_PREFIX):]
+            elif metric.startswith("floor_"):
+                is_floor = True
+                target = metric[len("floor_"):]
+            elif metric.startswith("ceiling_"):
+                is_floor = False
+                target = metric[len("ceiling_"):]
             else:
                 continue
             bound = metrics[metric]

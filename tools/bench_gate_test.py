@@ -31,7 +31,14 @@ Builds a synthetic baseline BENCH_figs.json in a temp dir, then checks:
       (mon_frames_rejected > 0) fails (exit 1);
   19. a net-suite run where the daemons' own answer count disagrees
       with the client's (mon_answers_finalized != completed) fails
-      (exit 1).
+      (exit 1);
+  20. a cache gate case whose deterministic metrics sit inside their
+      floor_/ceiling_ bounds passes (exit 0);
+  21. a cache run whose cache-on wire bytes exceed cache-off
+      (bytes_ratio > ceiling_bytes_ratio) fails, even against a
+      baseline with the identical regression (exit 1);
+  22. a cache run whose hit rate fell below its declared floor
+      (cache_hit_rate < floor_cache_hit_rate) fails (exit 1).
 
 Registered in ctest (label: unit) so the regression gate itself is under
 test. Stdlib only.
@@ -262,6 +269,52 @@ def main():
         if "wall_ceiling_traced_ms" not in out:
             print(f"bench_gate_test FAIL: ceiling failure does not name the "
                   f"ceiling metric\n{out}")
+            sys.exit(1)
+
+        # Cache gate: deterministic bounds (floor_/ceiling_ without the
+        # wall_ prefix, bench_fig_cache's contract). Intra-document, so
+        # a cache that started costing more bytes than cache-off fails
+        # even when the committed baseline regressed identically.
+        cached = copy.deepcopy(BASELINE)
+        cached["cases"]["cache/locality/gate"] = {
+            "bytes_ratio": 0.07,
+            "ceiling_bytes_ratio": 1.0,
+            "cache_hit_rate": 0.5,
+            "floor_cache_hit_rate": 0.45,
+            "answer_mismatch": 0.0,
+            "ceiling_answer_mismatch": 0.0,
+        }
+        cache_base = os.path.join(tmp, "cache_base")
+        write(cache_base, cached)
+        fresh_dir = os.path.join(tmp, "cache_ok")
+        write(fresh_dir, copy.deepcopy(cached))
+        code, out = run_check(cache_base, fresh_dir)
+        expect("cache gate within bounds passes", code, 0, out)
+
+        broken = copy.deepcopy(cached)
+        broken["cases"]["cache/locality/gate"]["bytes_ratio"] = 1.3
+        bloat_base = os.path.join(tmp, "cache_bloat_base")
+        write(bloat_base, broken)
+        fresh_dir = os.path.join(tmp, "cache_bloat")
+        write(fresh_dir, copy.deepcopy(broken))
+        code, out = run_check(bloat_base, fresh_dir)
+        expect("cache-on byte regression fails", code, 1, out)
+        if "ceiling_bytes_ratio" not in out:
+            print(f"bench_gate_test FAIL: bytes_ratio failure does not "
+                  f"name the ceiling metric\n{out}")
+            sys.exit(1)
+
+        broken = copy.deepcopy(cached)
+        broken["cases"]["cache/locality/gate"]["cache_hit_rate"] = 0.1
+        cold_base = os.path.join(tmp, "cache_cold_base")
+        write(cold_base, broken)
+        fresh_dir = os.path.join(tmp, "cache_cold")
+        write(fresh_dir, copy.deepcopy(broken))
+        code, out = run_check(cold_base, fresh_dir)
+        expect("cache hit rate below its floor fails", code, 1, out)
+        if "floor_cache_hit_rate" not in out:
+            print(f"bench_gate_test FAIL: hit-rate failure does not name "
+                  f"the floor metric\n{out}")
             sys.exit(1)
 
         # Net suite: the soundness rules are intra-document, so a broken

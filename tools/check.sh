@@ -10,6 +10,7 @@
 #   tools/check.sh wire       # wire codec/transport suite, ASan then UBSan
 #   tools/check.sh net        # live-overlay suite (sockets), ASan then UBSan
 #   tools/check.sh monitor    # admin/monitoring plane, ASan then UBSan
+#   tools/check.sh cache      # cache/controller/batching, ASan then UBSan
 #   tools/check.sh obs        # observability suite (obs+exec labels), TSan
 #   tools/check.sh --bench    # bench smoke suite + BENCH_*.json gate
 #
@@ -105,6 +106,26 @@ if [[ "${1:-}" == "monitor" ]]; then
     ctest --test-dir "$BUILD_DIR" --output-on-failure -L monitor
   done
   echo "check.sh: monitor suite clean under address+undefined"
+  exit 0
+fi
+
+# cache: the reuse layer (ctest label `cache`: answer/bound cache,
+# adaptive controller, batched execution). Same two-sanitizer harness:
+# ASan because the cache hands out copies of stored answers (lifetime
+# bugs would surface as use-after-evict), UBSan for the key
+# normalization's float/integer handling.
+if [[ "${1:-}" == "cache" ]]; then
+  for kind in address undefined; do
+    BUILD_DIR="build-san-$kind"
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DRIPPLE_SANITIZE="$kind" \
+      -DRIPPLE_BUILD_BENCHMARKS=OFF \
+      -DRIPPLE_BUILD_EXAMPLES=OFF
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -L cache
+  done
+  echo "check.sh: cache suite clean under address+undefined"
   exit 0
 fi
 

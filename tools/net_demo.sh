@@ -94,6 +94,16 @@ fi
 "$CLI" net-bench --peers-file="$PEERS" --workload="$WORKLOAD" \
   --bench-out="$OUT_DIR" --show
 
+# Same recipe again under --ripple=auto: the adaptive controller picks r
+# per item during the simulator pass and the live pass replays it. Gated
+# by the binary's own exit status (complete=true, zero mismatches) — the
+# JSON goes to a separate dir so the committed BENCH_net.json baseline
+# (which pins the per-item r of the default mix) stays comparable.
+mkdir -p "$OUT_DIR/auto"
+"$CLI" net-bench --peers-file="$PEERS" --workload="$WORKLOAD" \
+  --ripple=auto --bench-out="$OUT_DIR/auto"
+echo "net_demo: --ripple=auto run complete (exit status gates it)"
+
 # Scrape the cluster while it is still up: two samples (the second
 # windows QPS against the first) appended to a JSONL series.
 "$CLI" monitor --peers-file="$PEERS" --count=2 --interval-ms=200 \

@@ -49,11 +49,14 @@
 #include <map>
 #include <memory>
 
+#include "cache/adaptive.h"
+#include "cache/query_cache.h"
 #include "cli_commands.h"
 #include "common/flags.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "data/datasets.h"
+#include "exec/batch.h"
 #include "exec/compile.h"
 #include "exec/executor.h"
 #include "exec/workload.h"
@@ -238,6 +241,10 @@ int RunQuery(int argc, char** argv) {
   int64_t threads = 1;
   double qps_target = 0.0;
   int64_t queue_cap = 64;
+  bool cache_on = false;
+  int64_t cache_cap = 256;
+  int64_t cache_ttl = 0;
+  int64_t repeat = 1;
   std::string trace_out;
   std::string metrics_out;
   std::string profile_out;
@@ -266,7 +273,9 @@ int RunQuery(int argc, char** argv) {
   flags.AddInt("k", "result size for topk/diversify", &k);
   flags.AddInt("band", "skyband depth", &band);
   flags.AddInt("seed", "master seed", &seed);
-  flags.AddString("r", "ripple parameter: 'fast', 'slow' or a hop count",
+  flags.AddString("r",
+                  "ripple parameter: 'fast', 'slow', a hop count, or "
+                  "'auto' (adaptive controller, docs/CACHING.md)",
                   &ripple_r);
   flags.AddDouble("lambda", "diversification relevance weight", &lambda);
   flags.AddDouble("radius", "range query radius (L2)", &radius);
@@ -309,6 +318,22 @@ int RunQuery(int argc, char** argv) {
                "bounded admission-queue capacity per worker (workload "
                "mode)",
                &queue_cap);
+  flags.AddBool("cache",
+                "initiator-side answer/bound cache + duplicate batching "
+                "(workload mode; incompatible with fault injection — a "
+                "cached answer would mask the degradation)",
+                &cache_on);
+  flags.AddInt("cache-cap", "cache capacity in entries (LRU beyond it)",
+               &cache_cap);
+  flags.AddInt("cache-ttl",
+               "cache TTL in logical ticks (one tick per executed query; "
+               "0 = no expiry)",
+               &cache_ttl);
+  flags.AddInt("repeat",
+               "run the workload this many times through the same cache/"
+               "controller (workload mode; later passes hit what earlier "
+               "passes inserted)",
+               &repeat);
   flags.AddString("trace-out",
                   "write the query's span tree here: Chrome Trace Event "
                   "JSON, or JSONL when the path ends in .jsonl",
@@ -440,6 +465,25 @@ int RunQuery(int argc, char** argv) {
                  "a perfect network)\n");
     return 2;
   }
+  if (cache_on && fault.AnyFault()) {
+    std::fprintf(stderr,
+                 "--cache is incompatible with fault injection: a cached "
+                 "answer would mask the degradation the faults produce "
+                 "(and churn/crash events invalidate the cache anyway)\n");
+    return 2;
+  }
+
+  // The adaptive ripple controller behind --r=auto / r=auto workload
+  // items: deterministic, seeded, fed sequentially (docs/CACHING.md).
+  cache::AdaptiveController controller(
+      cache::DepthHint(overlay.NumPeers()));
+
+  RippleParam ripple_param = *ripple;
+  if (ripple_param.is_auto()) {
+    ripple_param = controller.Choose();
+    std::printf("r=auto -> %s (%s)\n", ripple_param.ToString().c_str(),
+                controller.Summary().c_str());
+  }
 
   Rng rng(static_cast<uint64_t>(seed) ^ 0x5555);
   const PeerId initiator = overlay.RandomPeer(&rng);
@@ -489,9 +533,6 @@ int RunQuery(int argc, char** argv) {
     copts.trace_sample =
         trace_sample > 0.0 ? trace_sample
                            : (journal_ptr != nullptr ? 1.0 : 0.0);
-    exec::CompiledWorkload compiled =
-        exec::CompileWorkload(overlay, items, copts);
-
     obs::SnapshotSeries snapshots(&obs::Registry::Global());
     obs::SlowQueryLog slow_log(slow_query_ms);
     exec::ExecutorOptions eopts;
@@ -510,8 +551,51 @@ int RunQuery(int argc, char** argv) {
     std::printf("executing %zu queries on %lld thread(s)%s\n", items.size(),
                 static_cast<long long>(eopts.threads),
                 qps_target > 0 ? " (paced)" : "");
-    const exec::WorkloadResult result =
-        executor.Run(compiled.jobs, overlay.NumPeers());
+
+    // Batched execution engages when the cache is on (answer/bound reuse
+    // plus duplicate merging) or any item asked for r=auto (the engines
+    // treat unresolved Auto as fast, so the plan must resolve it).
+    // Plain workloads keep the legacy compile-and-run path so their
+    // duplicate items still execute individually.
+    const bool any_auto = std::any_of(
+        items.begin(), items.end(),
+        [](const exec::WorkloadItem& it) { return it.ripple.is_auto(); });
+    cache::CacheOptions cache_copts;
+    cache_copts.capacity =
+        static_cast<size_t>(cache_cap > 0 ? cache_cap : 1);
+    cache_copts.ttl_ticks =
+        cache_ttl > 0 ? static_cast<uint64_t>(cache_ttl) : 0;
+    cache::QueryCache qcache(cache_copts);
+    exec::WorkloadResult result;
+    const int64_t passes = repeat > 0 ? repeat : 1;
+    if (cache_on || any_auto) {
+      exec::BatchOptions bopts;
+      bopts.cache = cache_on ? &qcache : nullptr;
+      bopts.controller = &controller;
+      bopts.merge_duplicates = cache_on;
+      for (int64_t pass = 0; pass < passes; ++pass) {
+        exec::BatchPlan plan;
+        result = exec::RunBatchedWorkload(executor, overlay, items, copts,
+                                          bopts, &plan);
+        std::printf("pass %lld/%lld: %zu lead, %zu merged, %zu cache hit\n",
+                    static_cast<long long>(pass + 1),
+                    static_cast<long long>(passes), plan.leads, plan.follows,
+                    plan.hits);
+      }
+      if (cache_on) {
+        std::printf("cache: %s\n", qcache.stats().ToString().c_str());
+        cache::RecordCacheMetrics(qcache.stats());
+      }
+      if (any_auto) {
+        std::printf("controller: %s\n", controller.Summary().c_str());
+      }
+    } else {
+      exec::CompiledWorkload compiled =
+          exec::CompileWorkload(overlay, items, copts);
+      for (int64_t pass = 0; pass < passes; ++pass) {
+        result = executor.Run(compiled.jobs, overlay.NumPeers());
+      }
+    }
 
     std::printf("%s\n", result.Summary().c_str());
     std::map<std::string, std::pair<size_t, size_t>> by_kind;  // {ran, shed}
@@ -578,7 +662,7 @@ int RunQuery(int argc, char** argv) {
     const QueryRequest<TopKPolicy> request{
         .initiator = initiator,
         .query = TopKQuery{&scorer, static_cast<size_t>(k), epsilon},
-        .ripple = *ripple,
+        .ripple = ripple_param,
         .deadline = deadline_or_inf,
         .retry = retry,
         .fault = fault,
@@ -594,7 +678,7 @@ int RunQuery(int argc, char** argv) {
     completion_time = result.completion_time;
   } else if (query == "skyline") {
     const QueryRequest<SkylinePolicy> request{.initiator = initiator,
-                                              .ripple = *ripple,
+                                              .ripple = ripple_param,
                                               .deadline = deadline_or_inf,
                                               .retry = retry,
                                               .fault = fault,
@@ -612,7 +696,7 @@ int RunQuery(int argc, char** argv) {
     q.band = static_cast<size_t>(band);
     const QueryRequest<SkybandPolicy> request{.initiator = initiator,
                                               .query = q,
-                                              .ripple = *ripple,
+                                              .ripple = ripple_param,
                                               .deadline = deadline_or_inf,
                                               .retry = retry,
                                               .fault = fault,
@@ -633,7 +717,7 @@ int RunQuery(int argc, char** argv) {
                 radius);
     const QueryRequest<RangePolicy> request{.initiator = initiator,
                                             .query = q,
-                                            .ripple = *ripple,
+                                            .ripple = ripple_param,
                                             .deadline = deadline_or_inf,
                                             .retry = retry,
                                             .fault = fault,
@@ -654,7 +738,7 @@ int RunQuery(int argc, char** argv) {
     std::printf("diversify around %s, lambda %.2f\n",
                 obj.query.ToString().c_str(), lambda);
     const QueryRequest<DivPolicy> base{.initiator = initiator,
-                                       .ripple = *ripple,
+                                       .ripple = ripple_param,
                                        .deadline = deadline_or_inf,
                                        .retry = retry,
                                        .fault = fault,

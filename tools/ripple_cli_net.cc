@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/adaptive.h"
 #include "cli_commands.h"
 #include "common/flags.h"
 #include "common/log.h"
@@ -330,19 +331,28 @@ struct ReferenceRun {
 };
 
 /// Runs every instance on an in-process AsyncEngine over loopback — the
-/// gold answers live results must match byte-for-byte.
+/// gold answers live results must match byte-for-byte. Items carrying
+/// r=auto are resolved IN PLACE as the pass proceeds (resolve, run,
+/// Observe — so each decision sees the stats of everything before it),
+/// which is what lets the live pass replay the exact same parameters.
 std::vector<ReferenceRun> RunReference(
-    const MidasOverlay& overlay, const std::vector<exec::WorkloadItem>& items,
-    uint64_t seed, std::vector<std::unique_ptr<Scorer>>* scorers) {
+    const MidasOverlay& overlay, std::vector<exec::WorkloadItem>& items,
+    uint64_t seed, std::vector<std::unique_ptr<Scorer>>* scorers,
+    cache::AdaptiveController* controller) {
   std::vector<ReferenceRun> out(items.size());
   exec::ForEachWorkloadInstance(
       overlay, items, seed, scorers,
-      [&](size_t i, const exec::WorkloadItem& item, PeerId initiator,
-          auto query) {
+      [&](size_t i, const exec::WorkloadItem&, PeerId initiator, auto query) {
         using Q = std::decay_t<decltype(query)>;
+        exec::WorkloadItem& item = items[i];
+        if (item.ripple.is_auto()) {
+          item.ripple = controller != nullptr ? controller->Choose()
+                                              : RippleParam::Fast();
+        }
         auto record = [&](auto result) {
           out[i].answer = std::move(result.answer);
           out[i].complete = result.complete;
+          if (controller != nullptr) controller->Observe(result.stats);
         };
         if constexpr (std::is_same_v<Q, TopKQuery>) {
           AsyncEngine<MidasOverlay, TopKPolicy> engine(&overlay, TopKPolicy{});
@@ -387,6 +397,7 @@ int RunNetBench(int argc, char** argv) {
   std::string workload = "default:16";
   std::string listen = "127.0.0.1:0";
   std::string bench_out = ".";
+  std::string ripple_override;
   bool show = false;
   FlagParser flags(
       "ripple_cli net-bench — wall-clock workload driver against a live "
@@ -399,6 +410,12 @@ int RunNetBench(int argc, char** argv) {
                   &listen);
   flags.AddString("bench-out", "directory receiving BENCH_net.json",
                   &bench_out);
+  flags.AddString("ripple",
+                  "override every workload item's r: fast | slow | auto | "
+                  "<hops>. 'auto' resolves through the adaptive controller "
+                  "during the simulator pass, and the live pass replays the "
+                  "identical resolved parameters (docs/CACHING.md)",
+                  &ripple_override);
   flags.AddBool("show", "print one line per query", &show);
   const Status st = flags.Parse(argc, argv);
   if (!net_flags.Finish(st, flags)) {
@@ -426,10 +443,29 @@ int RunNetBench(int argc, char** argv) {
               config.dataset.c_str(), overlay->NumPeers(),
               peers->Processes().size(), items->size());
 
+  if (!ripple_override.empty()) {
+    const Result<RippleParam> rp = RippleParam::Parse(ripple_override);
+    if (!rp.ok()) {
+      std::fprintf(stderr, "--ripple: %s\n", rp.status().message().c_str());
+      return 2;
+    }
+    for (exec::WorkloadItem& item : *items) item.ripple = *rp;
+  }
+  const bool any_auto = std::any_of(
+      items->begin(), items->end(),
+      [](const exec::WorkloadItem& it) { return it.ripple.is_auto(); });
+  cache::AdaptiveController controller(
+      cache::DepthHint(overlay->NumPeers()));
+
   // Phase 1: the simulator reference (identical instances by seed).
+  // Resolves any r=auto in place, so phase 2 replays the same parameters.
   std::vector<std::unique_ptr<Scorer>> scorers;
-  const std::vector<ReferenceRun> reference =
-      RunReference(*overlay, *items, config.seed, &scorers);
+  const std::vector<ReferenceRun> reference = RunReference(
+      *overlay, *items, config.seed, &scorers, any_auto ? &controller : nullptr);
+  if (any_auto) {
+    std::printf("ripple=auto resolved per item (%s)\n",
+                controller.Summary().c_str());
+  }
 
   // Phase 2: the same instances against the live overlay. The client
   // replica runs the seeded drivers' analytic bootstrap (route + seed
