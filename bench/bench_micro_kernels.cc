@@ -1,15 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the per-peer kernels every
 // distributed query run is built from: local skyline computation, k-d
-// index top-k / argmin, Z-order encode/decompose, phi evaluation, and
-// MIDAS overlay maintenance.
+// index top-k / argmin, Z-order encode/decompose, phi evaluation,
+// MIDAS overlay maintenance, SoA-vs-scalar kernel pairs swept over
+// dimensionality and score-series shape, and wire frame encode/decode.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
 
 #include "common/rng.h"
 #include "data/datasets.h"
 #include "geom/zorder.h"
+#include "net/envelope.h"
 #include "overlay/midas/midas.h"
 #include "queries/diversify.h"
+#include "queries/topk.h"
+#include "ripple/wire_codec.h"
 #include "store/kd_index.h"
 #include "store/local_algos.h"
 
@@ -19,6 +26,28 @@ namespace {
 TupleVec MakeTuples(size_t n, int dims, uint64_t seed) {
   Rng rng(seed);
   return data::MakeUniform(n, dims, &rng);
+}
+
+// Score-series shapes for the SoA-vs-scalar sweep: 0 = increasing (every
+// row admits into the top-k queue), 1 = decreasing (only the first k
+// admit), 2 = random (expected case).
+std::vector<double> SweepWeights(int dims) {
+  Rng rng(41 + static_cast<uint64_t>(dims));
+  std::vector<double> w(dims);
+  for (double& x : w) x = -rng.UniformDouble();
+  return w;
+}
+
+TupleVec ShapedTuples(size_t n, int dims, int series, const Scorer& scorer,
+                      uint64_t seed) {
+  TupleVec out = MakeTuples(n, dims, seed);
+  if (series == 2) return out;
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     return scorer.Score(a.key) < scorer.Score(b.key);
+                   });
+  if (series == 1) std::reverse(out.begin(), out.end());
+  return out;
 }
 
 void BM_ComputeSkyline(benchmark::State& state) {
@@ -106,6 +135,137 @@ void BM_MidasJoin(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MidasJoin)->Arg(1024)->Arg(8192);
+
+// --- SoA kernels vs scalar oracles: dims x series sweep -------------------
+// Args: {dims, series} with dims in {2,4,8,10}, series 0/1/2 as above.
+
+void BM_SelectTopKSoA(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  const int series = static_cast<int>(state.range(1));
+  const LinearScorer scorer(SweepWeights(dims));
+  const TupleVec tuples = ShapedTuples(4096, dims, series, scorer, 43);
+  auto score = [&](const Point& p) { return scorer.Score(p); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectTopK(tuples, score, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * tuples.size());
+}
+
+void BM_SelectTopKScalar(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  const int series = static_cast<int>(state.range(1));
+  const LinearScorer scorer(SweepWeights(dims));
+  const TupleVec tuples = ShapedTuples(4096, dims, series, scorer, 43);
+  auto score = [&](const Point& p) { return scorer.Score(p); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectTopKScalar(tuples, score, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * tuples.size());
+}
+
+void BM_ComputeSkylineSoA(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  const int series = static_cast<int>(state.range(1));
+  const LinearScorer scorer(SweepWeights(dims));
+  const TupleVec tuples = ShapedTuples(2048, dims, series, scorer, 47);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSkyline(tuples));
+  }
+  state.SetItemsProcessed(state.iterations() * tuples.size());
+}
+
+void BM_ComputeSkylineScalar(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  const int series = static_cast<int>(state.range(1));
+  const LinearScorer scorer(SweepWeights(dims));
+  const TupleVec tuples = ShapedTuples(2048, dims, series, scorer, 47);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSkylineScalar(tuples));
+  }
+  state.SetItemsProcessed(state.iterations() * tuples.size());
+}
+
+void SweepArgs(benchmark::internal::Benchmark* b) {
+  for (int dims : {2, 4, 8, 10}) {
+    for (int series : {0, 1, 2}) b->Args({dims, series});
+  }
+}
+BENCHMARK(BM_SelectTopKSoA)->Apply(SweepArgs);
+BENCHMARK(BM_SelectTopKScalar)->Apply(SweepArgs);
+BENCHMARK(BM_ComputeSkylineSoA)->Apply(SweepArgs);
+BENCHMARK(BM_ComputeSkylineScalar)->Apply(SweepArgs);
+
+// --- Wire frame encode/decode ---------------------------------------------
+// One query frame plus one answer frame carrying state.range(0) tuples —
+// the datagrams every hop of a distributed top-k run exchanges.
+
+void BM_FrameEncode(benchmark::State& state) {
+  MidasOptions opt;
+  opt.dims = 4;
+  opt.seed = 53;
+  MidasOverlay overlay(opt);
+  for (int i = 0; i < 15; ++i) overlay.Join();
+  const TopKPolicy policy;
+  const WireCodec<MidasOverlay, TopKPolicy> codec(&overlay, &policy);
+  const LinearScorer scorer({-0.4, -0.3, -0.2, -0.1});
+  const TopKQuery q{&scorer, 16, 0.0};
+  const TopKState g{4, 0.5};
+  const TupleVec answer =
+      MakeTuples(static_cast<size_t>(state.range(0)), 4, 59);
+  const net::Envelope qenv{7, 1, 2, net::MessageKind::kQuery, 0};
+  const net::Envelope aenv{7, 2, 1, net::MessageKind::kAnswer, 0};
+  wire::Buffer buf;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    buf.Clear();
+    bytes = codec.EncodeQueryMessage(qenv, q, g, overlay.FullArea(), 3, &buf);
+    bytes += codec.EncodeAnswerMessage(aenv, answer, &buf);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_FrameEncode)->Arg(16)->Arg(256);
+
+void BM_FrameDecode(benchmark::State& state) {
+  MidasOptions opt;
+  opt.dims = 4;
+  opt.seed = 53;
+  MidasOverlay overlay(opt);
+  for (int i = 0; i < 15; ++i) overlay.Join();
+  const TopKPolicy policy;
+  const WireCodec<MidasOverlay, TopKPolicy> codec(&overlay, &policy);
+  const LinearScorer scorer({-0.4, -0.3, -0.2, -0.1});
+  const TopKQuery q{&scorer, 16, 0.0};
+  const TopKState g{4, 0.5};
+  const TupleVec answer =
+      MakeTuples(static_cast<size_t>(state.range(0)), 4, 59);
+  wire::Buffer qbuf;
+  codec.EncodeQueryMessage({7, 1, 2, net::MessageKind::kQuery, 0}, q, g,
+                           overlay.FullArea(), 3, &qbuf);
+  wire::Buffer abuf;
+  codec.EncodeAnswerMessage({7, 2, 1, net::MessageKind::kAnswer, 0}, answer,
+                            &abuf);
+  for (auto _ : state) {
+    wire::Reader qr(qbuf.bytes());
+    net::Envelope env;
+    TopKQuery qd{};
+    TopKState gd{};
+    MidasOverlay::Area area;
+    int64_t hops = 0;
+    bool ok = net::DecodeEnvelopeFrame(&qr, &env) &&
+              codec.DecodeQueryPayload(&qr, &qd, &gd, &area, &hops);
+    wire::Reader ar(abuf.bytes());
+    TupleVec ad;
+    ok = ok && net::DecodeEnvelopeFrame(&ar, &env) &&
+         codec.DecodeAnswerPayload(&ar, &ad);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<int64_t>(qbuf.size() + abuf.size()));
+}
+BENCHMARK(BM_FrameDecode)->Arg(16)->Arg(256);
 
 void BM_MidasRoute(benchmark::State& state) {
   MidasOptions opt;

@@ -32,8 +32,9 @@ std::optional<Tuple> CanFloodDivService::FindBest(const DivQuery& query,
           return query.PhiLowerBound(r);
         };
         auto admit = [&](const Tuple& t) { return !query.IsExcluded(t.id); };
-        const Tuple* local = store.ArgMin(cost, rect_lower, admit, &phi);
-        if (local == nullptr) return;
+        const std::optional<Tuple> local =
+            store.ArgMin(cost, rect_lower, admit, &phi);
+        if (!local.has_value()) return;
         ++replies;
         stats->tuples_shipped += 1;
         reply_bytes += net::MeasureFrameBytes(

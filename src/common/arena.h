@@ -1,0 +1,133 @@
+#ifndef RIPPLE_COMMON_ARENA_H_
+#define RIPPLE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ripple {
+
+/// A bump allocator for per-query scratch buffers (score blocks, skyline
+/// columns, median copies). The per-peer kernels run thousands of times
+/// per distributed query; carving their transient arrays out of a
+/// reusable arena keeps the hot loop off the general-purpose allocator.
+///
+/// Blocks never move once allocated, so pointers handed out stay valid
+/// until the position they were allocated at is rewound. Typical use is
+/// an ArenaScope per kernel invocation (allocate freely, release on scope
+/// exit) over the thread-local PerQueryArena(), which the engines Reset()
+/// at the start of every query so capacity is reused run over run.
+class Arena {
+ public:
+  explicit Arena(size_t first_block_bytes = size_t{1} << 16)
+      : first_block_bytes_(first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// A rewind position: the block index plus the bytes used within it.
+  struct Mark {
+    size_t block = 0;
+    size_t used = 0;
+  };
+
+  void* Allocate(size_t bytes, size_t align) {
+    RIPPLE_DCHECK(align > 0 && (align & (align - 1)) == 0);
+    while (true) {
+      if (block_ < blocks_.size()) {
+        const size_t aligned = (used_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= blocks_[block_].size) {
+          used_ = aligned + bytes;
+          return blocks_[block_].data.get() + aligned;
+        }
+        // Current block exhausted: advance (an earlier Rewind may have
+        // left later blocks ready for reuse).
+        ++block_;
+        used_ = 0;
+        continue;
+      }
+      AppendBlock(bytes + align);
+    }
+  }
+
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  Mark GetMark() const { return {block_, used_}; }
+
+  /// Releases everything allocated after `m`; block capacity is kept.
+  void Rewind(Mark m) {
+    RIPPLE_DCHECK(m.block < blocks_.size() ||
+                  (m.block == blocks_.size() && m.used == 0) ||
+                  blocks_.empty());
+    block_ = m.block;
+    used_ = m.used;
+  }
+
+  /// Releases every allocation; block capacity is kept for reuse.
+  void Reset() {
+    block_ = 0;
+    used_ = 0;
+  }
+
+  /// Total bytes held across all blocks (capacity, not live bytes).
+  size_t TotalCapacity() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    struct Free {
+      void operator()(char* p) const { ::operator delete(p); }
+    };
+    explicit Block(size_t n)
+        : data(static_cast<char*>(::operator new(n))), size(n) {}
+    std::unique_ptr<char, Free> data;
+    size_t size;
+  };
+
+  void AppendBlock(size_t at_least) {
+    size_t n = blocks_.empty() ? first_block_bytes_ : blocks_.back().size * 2;
+    if (n < at_least) n = at_least;
+    blocks_.emplace_back(n);
+    block_ = blocks_.size() - 1;
+    used_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  size_t block_ = 0;  // current block index (== blocks_.size() when empty)
+  size_t used_ = 0;   // bytes consumed in the current block
+  size_t first_block_bytes_;
+};
+
+/// RAII mark/rewind: everything the guarded code allocates from the arena
+/// is released when the scope exits.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena) : arena_(arena), mark_(arena->GetMark()) {}
+  ~ArenaScope() { arena_->Rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* arena_;
+  Arena::Mark mark_;
+};
+
+/// The calling thread's query-scratch arena. The engines Reset() it at
+/// the start of every Run so one query's peak footprint is the steady
+/// state, not the sum over all queries.
+inline Arena& PerQueryArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace ripple
+
+#endif  // RIPPLE_COMMON_ARENA_H_

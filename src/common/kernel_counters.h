@@ -1,0 +1,38 @@
+#ifndef RIPPLE_COMMON_KERNEL_COUNTERS_H_
+#define RIPPLE_COMMON_KERNEL_COUNTERS_H_
+
+#include <cstdint>
+
+namespace ripple {
+
+/// Machine-independent work tallies for the per-peer kernels. Unlike wall
+/// clock these are exact functions of (data, query, k): the same seeded
+/// bench run produces the same counts on any machine, so they gate in
+/// BENCH_figs.json with zero tolerance where wall clock can only inform.
+///
+/// The counters are thread-local and non-atomic — each kernel invocation
+/// runs on one thread; cross-thread aggregation happens only at flush
+/// time (obs::FlushKernelCounters folds them into the global registry).
+struct KernelCounters {
+  /// Rows visited by scan loops: flat top-k/collect scans, k-d leaf
+  /// ranges, skyline candidate passes.
+  uint64_t tuples_scanned = 0;
+  /// Candidate-vs-skyline pair tests performed by the column-wise
+  /// dominance kernel (block granularity: every row of a tested block
+  /// counts, early-out happens between blocks).
+  uint64_t dominance_cmps = 0;
+  /// Successful insertions into a BoundedTopK (entries that entered the
+  /// heap, whether or not they were later displaced).
+  uint64_t heap_pushes = 0;
+};
+
+inline KernelCounters& LocalKernelCounters() {
+  thread_local KernelCounters counters;
+  return counters;
+}
+
+inline void ResetKernelCounters() { LocalKernelCounters() = KernelCounters{}; }
+
+}  // namespace ripple
+
+#endif  // RIPPLE_COMMON_KERNEL_COUNTERS_H_

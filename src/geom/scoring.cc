@@ -1,11 +1,21 @@
 #include "geom/scoring.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 #include "common/check.h"
 
 namespace ripple {
+
+void Scorer::ScoreBlock(const double* const* cols, int dims, size_t n,
+                        double* out) const {
+  Point p(dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (int c = 0; c < dims; ++c) p[c] = cols[c][i];
+    out[i] = Score(p);
+  }
+}
 
 LinearScorer::LinearScorer(std::vector<double> weights)
     : weights_(std::move(weights)) {
@@ -20,6 +30,21 @@ double LinearScorer::Score(const Point& p) const {
     s += weights_[i] * p[static_cast<int>(i)];
   }
   return s;
+}
+
+void LinearScorer::ScoreBlock(const double* const* cols, int dims, size_t n,
+                              double* out) const {
+  RIPPLE_DCHECK(dims == static_cast<int>(weights_.size()));
+  (void)dims;
+  // Column-outer accumulation: per element the additions happen in
+  // dimension order, the exact chain scalar Score builds — required for
+  // the bit-identity contract.
+  for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    const double w = weights_[c];
+    const double* col = cols[c];
+    for (size_t i = 0; i < n; ++i) out[i] += w * col[i];
+  }
 }
 
 double LinearScorer::UpperBound(const Rect& r) const {
@@ -57,6 +82,48 @@ NearestScorer::NearestScorer(const Point& anchor, Norm norm)
 
 double NearestScorer::Score(const Point& p) const {
   return -Distance(p, anchor_, norm_);
+}
+
+void NearestScorer::ScoreBlock(const double* const* cols, int dims, size_t n,
+                               double* out) const {
+  RIPPLE_DCHECK(dims == anchor_.dims());
+  // Mirrors the per-norm accumulation order of Distance() exactly
+  // (dimension-ordered additions / maxes), then negates — the same chain
+  // scalar Score(-Distance) produces, bit for bit.
+  switch (norm_) {
+    case Norm::kL1:
+      for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+      for (int c = 0; c < dims; ++c) {
+        const double a = anchor_[c];
+        const double* col = cols[c];
+        for (size_t i = 0; i < n; ++i) out[i] += std::fabs(col[i] - a);
+      }
+      for (size_t i = 0; i < n; ++i) out[i] = -out[i];
+      return;
+    case Norm::kL2:
+      for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+      for (int c = 0; c < dims; ++c) {
+        const double a = anchor_[c];
+        const double* col = cols[c];
+        for (size_t i = 0; i < n; ++i) {
+          const double d = col[i] - a;
+          out[i] += d * d;
+        }
+      }
+      for (size_t i = 0; i < n; ++i) out[i] = -std::sqrt(out[i]);
+      return;
+    case Norm::kLInf:
+      for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+      for (int c = 0; c < dims; ++c) {
+        const double a = anchor_[c];
+        const double* col = cols[c];
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = std::max(out[i], std::fabs(col[i] - a));
+        }
+      }
+      for (size_t i = 0; i < n; ++i) out[i] = -out[i];
+      return;
+  }
 }
 
 double NearestScorer::UpperBound(const Rect& r) const {

@@ -1,6 +1,7 @@
 #ifndef RIPPLE_GEOM_SCORING_H_
 #define RIPPLE_GEOM_SCORING_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,16 @@ class Scorer {
   /// Score of a single tuple key.
   virtual double Score(const Point& p) const = 0;
 
+  /// Batched scoring over n rows stored column-wise (`cols` is dims
+  /// column arrays of n values each; out receives n scores). The contract
+  /// is BIT-IDENTICAL results to calling Score on each row's point —
+  /// overrides must accumulate per element in the same operation order as
+  /// their scalar Score, so the distributed answers cannot drift when the
+  /// flat paths switch to block evaluation. The base implementation
+  /// materializes one point per row and delegates to Score.
+  virtual void ScoreBlock(const double* const* cols, int dims, size_t n,
+                          double* out) const;
+
   /// f+: upper bound of Score over the rectangle.
   virtual double UpperBound(const Rect& r) const = 0;
 
@@ -39,6 +50,8 @@ class LinearScorer : public Scorer {
   explicit LinearScorer(std::vector<double> weights);
 
   double Score(const Point& p) const override;
+  void ScoreBlock(const double* const* cols, int dims, size_t n,
+                  double* out) const override;
   double UpperBound(const Rect& r) const override;
   Point Peak(const Rect& domain) const override;
   std::string ToString() const override;
@@ -57,6 +70,8 @@ class NearestScorer : public Scorer {
   NearestScorer(const Point& anchor, Norm norm);
 
   double Score(const Point& p) const override;
+  void ScoreBlock(const double* const* cols, int dims, size_t n,
+                  double* out) const override;
   double UpperBound(const Rect& r) const override;
   Point Peak(const Rect& domain) const override;
   std::string ToString() const override;

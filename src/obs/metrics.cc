@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "common/kernel_counters.h"
+
 namespace ripple::obs {
 
 double NearestRankPercentile(const std::vector<double>& sorted, double p) {
@@ -183,6 +185,23 @@ void RecordRouteHops(const char* overlay, uint64_t hops) {
   const std::string prefix(overlay);
   r.GetCounter(prefix + ".route.calls").Inc();
   r.GetHistogram(prefix + ".route.hops").Observe(static_cast<double>(hops));
+}
+
+void FlushKernelCounters() {
+  KernelCounters& kc = LocalKernelCounters();
+  if (Registry::GlobalEnabled()) {
+    Registry& r = Registry::Global();
+    if (kc.tuples_scanned != 0) {
+      r.GetCounter("kernel.tuples_scanned").Inc(kc.tuples_scanned);
+    }
+    if (kc.dominance_cmps != 0) {
+      r.GetCounter("kernel.dominance_cmps").Inc(kc.dominance_cmps);
+    }
+    if (kc.heap_pushes != 0) {
+      r.GetCounter("kernel.heap_pushes").Inc(kc.heap_pushes);
+    }
+  }
+  kc = KernelCounters{};
 }
 
 }  // namespace ripple::obs

@@ -178,6 +178,15 @@ class Registry {
 /// global registry. No-op unless Registry::EnableGlobal(true) was called.
 void RecordRouteHops(const char* overlay, uint64_t hops);
 
+/// Publishes this thread's accumulated kernel work counters (see
+/// common/kernel_counters.h) into the global registry under `kernel.*`
+/// (kernel.tuples_scanned, kernel.dominance_cmps, kernel.heap_pushes) and
+/// zeroes them. The engines call this at the end of every Run(), after
+/// resetting the counters at the start, so each flush adds exactly one
+/// query's machine-independent work. No-op (counters still zeroed) unless
+/// Registry::EnableGlobal(true) was called.
+void FlushKernelCounters();
+
 }  // namespace ripple::obs
 
 #endif  // RIPPLE_OBS_METRICS_H_

@@ -104,7 +104,7 @@ void BatonOverlay::RebalanceToData(const TupleVec& tuples) {
   // Collect stored tuples, reassign ranges, redistribute.
   TupleVec stored;
   for (Peer& p : peers_) {
-    const TupleVec& mine = p.store.tuples();
+    const TupleVec mine = p.store.Snapshot();
     stored.insert(stored.end(), mine.begin(), mine.end());
     p.store.Clear();
   }
@@ -257,8 +257,9 @@ Status BatonOverlay::Validate() const {
       }
     }
     // Tuples belong to the peer's key range.
-    for (const Tuple& t : p.store.tuples()) {
-      const uint64_t key = zorder_.Encode(t.key);
+    const store::FlatStore& rows = p.store.flat();
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const uint64_t key = zorder_.Encode(rows.PointAt(r));
       if (key < p.range_lo || key >= p.range_hi) {
         return Status::Internal("tuple key outside range");
       }

@@ -180,7 +180,7 @@ void CanOverlay::MergeIntoSibling(PeerId gone, PeerId absorber,
   Peer& a = peers_[absorber];
   a.zone = tree_[parent_node].rect;
   a.depth -= 1;
-  a.store.AddAll(g.store.tuples());
+  a.store.AddAll(g.store);
   g.store.Clear();
   // Candidates for the merged zone: both former neighbor sets.
   std::vector<PeerId> candidates = a.neighbors;
@@ -229,7 +229,7 @@ Status CanOverlay::Leave(PeerId id) {
     rv.zone = d.zone;
     rv.depth = d.depth;
     rv.store.Clear();
-    rv.store.AddAll(d.store.tuples());
+    rv.store.AddAll(d.store);
     d.store.Clear();
     tree_[node].leaf_peer = v;
     leaf_node_of_peer_[v] = node;
@@ -343,8 +343,9 @@ Status CanOverlay::Validate() const {
                                 std::to_string(other));
       }
     }
-    for (const Tuple& t : p.store.tuples()) {
-      if (!p.zone.ContainsHalfOpen(t.key, options_.domain)) {
+    const store::FlatStore& rows = p.store.flat();
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (!p.zone.ContainsHalfOpen(rows.PointAt(r), options_.domain)) {
         return Status::Internal("tuple outside owning zone");
       }
     }

@@ -230,8 +230,9 @@ Status ChordOverlay::Validate() const {
     if (peers_.size() > 1 && covered != ring - own_span) {
       return Status::Internal("link regions do not cover ring minus zone");
     }
-    for (const Tuple& t : w.store.tuples()) {
-      const uint64_t key = zorder_.Encode(t.key);
+    const store::FlatStore& rows = w.store.flat();
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const uint64_t key = zorder_.Encode(rows.PointAt(r));
       const uint64_t off = (key + ring - w.key) % ring;
       if (peers_.size() > 1 && off >= own_span) {
         return Status::Internal("tuple outside zone");

@@ -359,7 +359,7 @@ Status MidasOverlay::Leave(PeerId id) {
     // Zone and identity take-over.
     a.id = a.id.Parent();
     a.zone = tree_[par].rect;
-    a.store.AddAll(g.store.tuples());
+    a.store.AddAll(g.store);
     g.store.Clear();
     // Everything that pointed at the departing peer now points at the
     // absorber (regions contained the whole parent subtree already).
@@ -397,7 +397,7 @@ Status MidasOverlay::Leave(PeerId id) {
     rv.id = d.id;
     rv.zone = d.zone;
     rv.store.Clear();
-    rv.store.AddAll(d.store.tuples());
+    rv.store.AddAll(d.store);
     d.store.Clear();
     rv.links = std::move(d.links);
     d.links.clear();
@@ -481,8 +481,9 @@ Status MidasOverlay::Validate() const {
       }
     }
     // Tuples must lie within the zone.
-    for (const Tuple& t : p.store.tuples()) {
-      if (!p.zone.ContainsHalfOpen(t.key, options_.domain)) {
+    const store::FlatStore& rows = p.store.flat();
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (!p.zone.ContainsHalfOpen(rows.PointAt(r), options_.domain)) {
         return Status::Internal("tuple outside owning zone");
       }
     }

@@ -83,8 +83,8 @@ double DiversifyObjective::PhiLowerBound(const Rect& r, const TupleVec& o,
          (1.0 - lambda) * std::max(stats.d_min - dv_min_hi, 0.0);
 }
 
-const Tuple* DivPolicy::BestLocal(const LocalStore& store, const Query& q,
-                                  double* phi) const {
+std::optional<Tuple> DivPolicy::BestLocal(const LocalStore& store,
+                                          const Query& q, double* phi) const {
   auto cost = [&](const Point& p) { return q.Phi(p); };
   auto rect_lower = [&](const Rect& r) { return q.PhiLowerBound(r); };
   auto admit = [&](const Tuple& t) { return !q.IsExcluded(t.id); };
@@ -94,10 +94,10 @@ const Tuple* DivPolicy::BestLocal(const LocalStore& store, const Query& q,
 DivPolicy::LocalState DivPolicy::ComputeLocalState(
     const LocalStore& store, const Query& q, const GlobalState& g) const {
   double phi = 0.0;
-  const Tuple* best = BestLocal(store, q, &phi);
+  const std::optional<Tuple> best = BestLocal(store, q, &phi);
   // Algorithm 16: adopt the local minimizer's score when it improves on
   // the received threshold.
-  if (best != nullptr && phi < g.tau) return LocalState{phi};
+  if (best.has_value() && phi < g.tau) return LocalState{phi};
   return LocalState{g.tau};
 }
 
@@ -105,10 +105,10 @@ DivPolicy::Answer DivPolicy::ComputeLocalAnswer(const LocalStore& store,
                                                 const Query& q,
                                                 const LocalState& l) const {
   double phi = 0.0;
-  const Tuple* best = BestLocal(store, q, &phi);
+  const std::optional<Tuple> best = BestLocal(store, q, &phi);
   // Algorithm 18: the local tuple is the current best answer only when it
   // attains the (possibly remotely improved) threshold.
-  if (best != nullptr && phi == l.tau) return Answer{*best};
+  if (best.has_value() && phi == l.tau) return Answer{*best};
   return Answer{};
 }
 

@@ -2,6 +2,7 @@
 #define RIPPLE_QUERIES_DIVERSIFY_H_
 
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "geom/point.h"
@@ -186,9 +187,9 @@ class DivPolicy {
   }
 
  private:
-  /// The best local tuple outside the exclusion set, or nullptr.
-  const Tuple* BestLocal(const LocalStore& store, const Query& q,
-                         double* phi) const;
+  /// The best local tuple outside the exclusion set, if any.
+  std::optional<Tuple> BestLocal(const LocalStore& store, const Query& q,
+                                 double* phi) const;
 
   template <typename Area>
   double AreaLowerBound(const Query& q, const Area& area) const {

@@ -55,9 +55,9 @@ class RangePolicy {
   Answer ComputeLocalAnswer(const LocalStore& store, const Query& q,
                             const LocalState&) const {
     Answer a;
-    for (const Tuple& t : store.tuples()) {
+    store.ForEach([&](const Tuple& t) {
       if (q.Matches(t.key)) a.push_back(t);
-    }
+    });
     return a;
   }
 

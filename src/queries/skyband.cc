@@ -37,7 +37,7 @@ TupleVec ComputeKSkyband(TupleVec tuples, size_t k) {
 
 SkybandPolicy::LocalState SkybandPolicy::ComputeLocalState(
     const LocalStore& store, const Query& q, const GlobalState& g) const {
-  const TupleVec local_band = ComputeKSkyband(store.tuples(), q.band);
+  const TupleVec local_band = ComputeKSkyband(store.Snapshot(), q.band);
   // Keep local band members not already disqualified by the global state.
   TupleVec merged = local_band;
   merged.insert(merged.end(), g.tuples.begin(), g.tuples.end());
@@ -77,12 +77,7 @@ SkybandPolicy::Answer SkybandPolicy::ComputeLocalAnswer(
     const LocalStore& store, const Query&, const LocalState& l) const {
   Answer a;
   for (const Tuple& t : l.tuples) {
-    for (const Tuple& mine : store.tuples()) {
-      if (mine.id == t.id) {
-        a.push_back(t);
-        break;
-      }
-    }
+    if (store.ContainsId(t.id)) a.push_back(t);
   }
   return a;
 }

@@ -24,9 +24,9 @@ SkylinePolicy::LocalState SkylinePolicy::ComputeLocalState(
   TupleVec local_sky;
   if (q.constraint.has_value()) {
     TupleVec admitted;
-    for (const Tuple& t : store.tuples()) {
+    store.ForEach([&](const Tuple& t) {
       if (q.Admits(t.key)) admitted.push_back(t);
-    }
+    });
     local_sky = ComputeSkyline(std::move(admitted));
   } else {
     local_sky = store.LocalSkyline();
@@ -69,12 +69,7 @@ SkylinePolicy::Answer SkylinePolicy::ComputeLocalAnswer(
   // stores are its contribution to the answer.
   Answer a;
   for (const Tuple& t : l.tuples) {
-    for (const Tuple& mine : store.tuples()) {
-      if (mine.id == t.id) {
-        a.push_back(t);
-        break;
-      }
-    }
+    if (store.ContainsId(t.id)) a.push_back(t);
   }
   return a;
 }

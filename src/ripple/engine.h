@@ -6,10 +6,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
+#include "common/kernel_counters.h"
 #include "net/envelope.h"
 #include "net/metrics.h"
 #include "net/traffic.h"
+#include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "overlay/types.h"
@@ -57,6 +60,11 @@ class Engine {
   /// Processes `request.query` from `request.initiator` with the given
   /// ripple parameter and optional initial global state.
   Result Run(const Request& request) const {
+    // Fresh per-query scratch: the arena backing the kernels' temporary
+    // columns rewinds to empty, and the work counters start from zero so
+    // the flush below attributes exactly this query's work.
+    PerQueryArena().Reset();
+    ResetKernelCounters();
     RunContext ctx;
     ctx.initiator = request.initiator;
     ctx.trace.trace_id = request.trace_id;
@@ -78,6 +86,7 @@ class Engine {
     ctx.stats.latency_hops = outcome.latency;
     policy_.FinalizeAnswer(&ctx.answer, request.query);
     net::RecordTrafficMetrics(ctx.traffic);
+    obs::FlushKernelCounters();
     Result result;
     result.answer = std::move(ctx.answer);
     result.stats = ctx.stats;

@@ -11,7 +11,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
+#include "common/kernel_counters.h"
 #include "net/coverage.h"
 #include "net/envelope.h"
 #include "net/fault.h"
@@ -19,6 +21,7 @@
 #include "net/traffic.h"
 #include "net/transport.h"
 #include "obs/journal.h"
+#include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "overlay/types.h"
@@ -168,6 +171,10 @@ class AsyncEngine {
   const Policy& policy() const { return policy_; }
 
   Result Run(const Request& request) const {
+    // Fresh per-query scratch (kernel arena + work counters), mirroring
+    // the recursive engine so both report identical kernel.* work.
+    PerQueryArena().Reset();
+    ResetKernelCounters();
     if (tracer_ != nullptr) {
       // Head sampling: the tracer follows the request's decision so
       // journal mirroring records exactly the sampled queries.
@@ -177,7 +184,9 @@ class AsyncEngine {
     Runtime rt(this, &request);
     rt.Start();
     rt.sim.Run();
-    return rt.Finalize();
+    Result result = rt.Finalize();
+    obs::FlushKernelCounters();
+    return result;
   }
 
  private:

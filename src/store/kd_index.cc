@@ -1,33 +1,52 @@
 #include "store/kd_index.h"
 
+#include <numeric>
+
 namespace ripple {
 
-void KdIndex::Build(TupleVec tuples) {
-  tuples_ = std::move(tuples);
-  nodes_.clear();
-  if (tuples_.empty()) return;
-  nodes_.reserve(2 * tuples_.size() / kLeafSize + 2);
-  const int root = BuildRec(0, static_cast<uint32_t>(tuples_.size()), 0);
-  RIPPLE_CHECK(root == kRoot);
+void KdIndex::Build(const TupleVec& tuples) {
+  store::FlatStore flat;
+  flat.AppendAll(tuples);
+  Build(flat);
 }
 
-Rect KdIndex::BoundsOf(uint32_t begin, uint32_t end) const {
-  Point lo = tuples_[begin].key;
-  Point hi = tuples_[begin].key;
+void KdIndex::Build(const store::FlatStore& src) {
+  nodes_.clear();
+  rows_.Clear();
+  if (src.empty()) return;
+  const uint32_t n = static_cast<uint32_t>(src.size());
+  // The tree is built over a row permutation (nth_element moves 4-byte
+  // indices, not tuples); the columns are gathered into tree order once
+  // at the end, so every leaf owns a contiguous slice of each column.
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  nodes_.reserve(2 * src.size() / kLeafSize + 2);
+  const int root = BuildRec(src, &perm, 0, n, 0);
+  RIPPLE_CHECK(root == kRoot);
+  rows_ = src.Permuted(perm);
+}
+
+Rect KdIndex::BoundsOf(const store::FlatStore& src,
+                       const std::vector<uint32_t>& perm, uint32_t begin,
+                       uint32_t end) const {
+  Point lo = src.PointAt(perm[begin]);
+  Point hi = lo;
   for (uint32_t i = begin + 1; i < end; ++i) {
-    const Point& p = tuples_[i].key;
-    for (int d = 0; d < p.dims(); ++d) {
-      lo[d] = std::min(lo[d], p[d]);
-      hi[d] = std::max(hi[d], p[d]);
+    for (int d = 0; d < src.dims(); ++d) {
+      const double v = src.col(d)[perm[i]];
+      lo[d] = std::min(lo[d], v);
+      hi[d] = std::max(hi[d], v);
     }
   }
   return Rect(lo, hi);
 }
 
-int KdIndex::BuildRec(uint32_t begin, uint32_t end, int depth) {
+int KdIndex::BuildRec(const store::FlatStore& src,
+                      std::vector<uint32_t>* perm, uint32_t begin,
+                      uint32_t end, int depth) {
   const int index = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
-  nodes_[index].bounds = BoundsOf(begin, end);
+  nodes_[index].bounds = BoundsOf(src, *perm, begin, end);
   if (end - begin <= kLeafSize) {
     nodes_[index].begin = begin;
     nodes_[index].end = end;
@@ -35,7 +54,7 @@ int KdIndex::BuildRec(uint32_t begin, uint32_t end, int depth) {
   }
   // Split along the widest dimension of the bounding rect at the median.
   const Rect& b = nodes_[index].bounds;
-  int dim = depth % tuples_[begin].key.dims();
+  int dim = depth % src.dims();
   double widest = -1.0;
   for (int d = 0; d < b.dims(); ++d) {
     const double w = b.hi()[d] - b.lo()[d];
@@ -45,13 +64,14 @@ int KdIndex::BuildRec(uint32_t begin, uint32_t end, int depth) {
     }
   }
   const uint32_t mid = (begin + end) / 2;
-  std::nth_element(tuples_.begin() + begin, tuples_.begin() + mid,
-                   tuples_.begin() + end,
-                   [dim](const Tuple& a, const Tuple& b2) {
-                     return a.key[dim] < b2.key[dim];
+  const double* coord = src.col(dim);
+  std::nth_element(perm->begin() + begin, perm->begin() + mid,
+                   perm->begin() + end,
+                   [coord](uint32_t a, uint32_t b2) {
+                     return coord[a] < coord[b2];
                    });
-  const int left = BuildRec(begin, mid, depth + 1);
-  const int right = BuildRec(mid, end, depth + 1);
+  const int left = BuildRec(src, perm, begin, mid, depth + 1);
+  const int right = BuildRec(src, perm, mid, end, depth + 1);
   nodes_[index].left = left;
   nodes_[index].right = right;
   return index;

@@ -4,10 +4,15 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "common/check.h"
+#include "common/kernel_counters.h"
 #include "geom/rect.h"
+#include "geom/scoring.h"
+#include "store/bounded_topk.h"
+#include "store/flat_store.h"
 #include "store/tuple.h"
 
 namespace ripple {
@@ -19,6 +24,11 @@ namespace ripple {
 /// rectangle bound. The tree is rebuilt from scratch on demand (local data
 /// sets are small — this is a per-peer index, not the distributed one).
 ///
+/// Rows are held in a store::FlatStore permuted to tree order, so every
+/// leaf is a contiguous [begin, end) sub-range of each coordinate column —
+/// the Scorer overloads evaluate whole leaves with one ScoreBlock call
+/// and feed a BoundedTopK, no per-row virtual dispatch or re-sorting.
+///
 /// Bound functors must be *sound*: for maximization traversals,
 /// rect_bound(r) >= point_score(p) for every p in r; symmetrically for
 /// minimization.
@@ -27,37 +37,56 @@ class KdIndex {
   KdIndex() = default;
 
   /// Builds a balanced tree over a copy of the tuples.
-  explicit KdIndex(TupleVec tuples) { Build(std::move(tuples)); }
+  explicit KdIndex(const TupleVec& tuples) { Build(tuples); }
+  explicit KdIndex(const store::FlatStore& rows) { Build(rows); }
 
-  void Build(TupleVec tuples);
+  void Build(const store::FlatStore& rows);
+  void Build(const TupleVec& tuples);
 
-  bool empty() const { return tuples_.empty(); }
-  size_t size() const { return tuples_.size(); }
-  const TupleVec& tuples() const { return tuples_; }
+  bool empty() const { return rows_.empty(); }
+  size_t size() const { return rows_.size(); }
+  /// The indexed rows in tree order (leaf ranges index into this).
+  const store::FlatStore& rows() const { return rows_; }
 
   /// Collects every tuple whose score is >= tau (maximization semantics),
   /// pruning subtrees whose rectangle upper bound falls below tau.
   template <typename ScoreFn, typename RectUpperFn>
   void CollectAtLeast(const ScoreFn& score, const RectUpperFn& rect_upper,
                       double tau, TupleVec* out) const {
-    if (empty()) return;
-    CollectRec(kRoot, score, rect_upper, tau, out);
+    CollectImpl(MakePointLeafScore(score), rect_upper, tau, out);
   }
+
+  /// Scorer form: leaves are scored in one ScoreBlock call each.
+  /// (Defined below the class: the block leaf-score helper has a deduced
+  /// return type, so its definition must precede uses.)
+  void CollectAtLeast(const Scorer& scorer, double tau, TupleVec* out) const;
 
   /// Returns up to k highest scoring tuples with score above `floor`
   /// (strictly, or >= when `inclusive_floor`), best first. Branch-and-bound
-  /// best-first search.
+  /// best-first search over a BoundedTopK; ties on score break toward the
+  /// smaller id, matching the SelectTopK oracle.
   template <typename ScoreFn, typename RectUpperFn>
   TupleVec TopK(const ScoreFn& score, const RectUpperFn& rect_upper, size_t k,
+                double floor = -std::numeric_limits<double>::infinity(),
+                bool inclusive_floor = false) const {
+    return TopKImpl(MakePointLeafScore(score), rect_upper, k, floor,
+                    inclusive_floor);
+  }
+
+  /// Scorer form: leaves are scored in one ScoreBlock call each.
+  TupleVec TopK(const Scorer& scorer, size_t k,
                 double floor = -std::numeric_limits<double>::infinity(),
                 bool inclusive_floor = false) const;
 
   /// Returns the tuple minimizing `cost` among tuples accepted by `admit`,
   /// pruning subtrees whose rectangle lower bound is not below the current
-  /// best. Returns nullptr when no admitted tuple exists.
+  /// best. Empty optional when no admitted tuple exists; ties broken by
+  /// smallest id.
   template <typename CostFn, typename RectLowerFn, typename AdmitFn>
-  const Tuple* ArgMin(const CostFn& cost, const RectLowerFn& rect_lower,
-                      const AdmitFn& admit, double* best_cost_out) const;
+  std::optional<Tuple> ArgMin(const CostFn& cost,
+                              const RectLowerFn& rect_lower,
+                              const AdmitFn& admit,
+                              double* best_cost_out) const;
 
  private:
   static constexpr int kRoot = 0;
@@ -66,20 +95,54 @@ class KdIndex {
   struct Node {
     int left = -1;    // child node indices; -1 for leaves
     int right = -1;
-    uint32_t begin = 0;  // tuple range [begin, end) for leaves
+    uint32_t begin = 0;  // row range [begin, end) for leaves
     uint32_t end = 0;
-    Rect bounds;  // tight bounding rect of the subtree's tuples
+    Rect bounds;  // tight bounding rect of the subtree's rows
   };
 
-  int BuildRec(uint32_t begin, uint32_t end, int depth);
-  Rect BoundsOf(uint32_t begin, uint32_t end) const;
+  int BuildRec(const store::FlatStore& src, std::vector<uint32_t>* perm,
+               uint32_t begin, uint32_t end, int depth);
+  Rect BoundsOf(const store::FlatStore& src,
+                const std::vector<uint32_t>& perm, uint32_t begin,
+                uint32_t end) const;
 
-  template <typename ScoreFn, typename RectUpperFn>
-  void CollectRec(int node, const ScoreFn& score,
+  /// Leaf scorers fill out[0..end-begin) with the scores of rows
+  /// [begin, end). The point form calls the functor row by row; the block
+  /// form hands the leaf's contiguous column sub-ranges to ScoreBlock.
+  template <typename ScoreFn>
+  auto MakePointLeafScore(const ScoreFn& score) const {
+    return [this, &score](uint32_t begin, uint32_t end, double* out) {
+      for (uint32_t i = begin; i < end; ++i) {
+        out[i - begin] = score(rows_.PointAt(i));
+      }
+    };
+  }
+
+  auto MakeBlockLeafScore(const Scorer& scorer) const {
+    return [this, &scorer](uint32_t begin, uint32_t end, double* out) {
+      const double* sub[kMaxDims];
+      const int d = rows_.dims();
+      for (int c = 0; c < d; ++c) sub[c] = rows_.col(c) + begin;
+      scorer.ScoreBlock(sub, d, end - begin, out);
+    };
+  }
+
+  template <typename LeafScoreFn, typename RectUpperFn>
+  TupleVec TopKImpl(const LeafScoreFn& leaf_score,
+                    const RectUpperFn& rect_upper, size_t k, double floor,
+                    bool inclusive_floor) const;
+
+  template <typename LeafScoreFn, typename RectUpperFn>
+  void CollectImpl(const LeafScoreFn& leaf_score,
+                   const RectUpperFn& rect_upper, double tau,
+                   TupleVec* out) const;
+
+  template <typename LeafScoreFn, typename RectUpperFn>
+  void CollectRec(int node, const LeafScoreFn& leaf_score,
                   const RectUpperFn& rect_upper, double tau,
                   TupleVec* out) const;
 
-  TupleVec tuples_;
+  store::FlatStore rows_;
   std::vector<Node> nodes_;
 };
 
@@ -87,25 +150,50 @@ class KdIndex {
 // Implementation details only below here.
 // ---------------------------------------------------------------------------
 
-template <typename ScoreFn, typename RectUpperFn>
-void KdIndex::CollectRec(int node, const ScoreFn& score,
+inline void KdIndex::CollectAtLeast(const Scorer& scorer, double tau,
+                                    TupleVec* out) const {
+  CollectImpl(MakeBlockLeafScore(scorer),
+              [&](const Rect& r) { return scorer.UpperBound(r); }, tau, out);
+}
+
+inline TupleVec KdIndex::TopK(const Scorer& scorer, size_t k, double floor,
+                              bool inclusive_floor) const {
+  return TopKImpl(MakeBlockLeafScore(scorer),
+                  [&](const Rect& r) { return scorer.UpperBound(r); }, k,
+                  floor, inclusive_floor);
+}
+
+template <typename LeafScoreFn, typename RectUpperFn>
+void KdIndex::CollectImpl(const LeafScoreFn& leaf_score,
+                          const RectUpperFn& rect_upper, double tau,
+                          TupleVec* out) const {
+  if (empty()) return;
+  CollectRec(kRoot, leaf_score, rect_upper, tau, out);
+}
+
+template <typename LeafScoreFn, typename RectUpperFn>
+void KdIndex::CollectRec(int node, const LeafScoreFn& leaf_score,
                          const RectUpperFn& rect_upper, double tau,
                          TupleVec* out) const {
   const Node& n = nodes_[node];
   if (rect_upper(n.bounds) < tau) return;
   if (n.left < 0) {
+    double scores[kLeafSize];
+    leaf_score(n.begin, n.end, scores);
+    LocalKernelCounters().tuples_scanned += n.end - n.begin;
     for (uint32_t i = n.begin; i < n.end; ++i) {
-      if (score(tuples_[i].key) >= tau) out->push_back(tuples_[i]);
+      if (scores[i - n.begin] >= tau) out->push_back(rows_.TupleAt(i));
     }
     return;
   }
-  CollectRec(n.left, score, rect_upper, tau, out);
-  CollectRec(n.right, score, rect_upper, tau, out);
+  CollectRec(n.left, leaf_score, rect_upper, tau, out);
+  CollectRec(n.right, leaf_score, rect_upper, tau, out);
 }
 
-template <typename ScoreFn, typename RectUpperFn>
-TupleVec KdIndex::TopK(const ScoreFn& score, const RectUpperFn& rect_upper,
-                       size_t k, double floor, bool inclusive_floor) const {
+template <typename LeafScoreFn, typename RectUpperFn>
+TupleVec KdIndex::TopKImpl(const LeafScoreFn& leaf_score,
+                           const RectUpperFn& rect_upper, size_t k,
+                           double floor, bool inclusive_floor) const {
   TupleVec best;
   if (empty() || k == 0) return best;
   // Best-first expansion of (bound, node) pairs; a simple vector-based
@@ -117,32 +205,26 @@ TupleVec KdIndex::TopK(const ScoreFn& score, const RectUpperFn& rect_upper,
   };
   std::vector<Entry> heap;
   heap.push_back({rect_upper(nodes_[kRoot].bounds), kRoot});
-  std::vector<std::pair<double, const Tuple*>> found;  // (score, tuple)
-  auto kth_score = [&]() {
-    return found.size() < k ? floor : found.back().first;
-  };
+  store::BoundedTopK queue(k);
+  KernelCounters& kc = LocalKernelCounters();
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end());
     const Entry e = heap.back();
     heap.pop_back();
-    if (e.bound < kth_score() ||
-        (found.size() >= k && e.bound == kth_score())) {
-      break;  // No remaining subtree can improve the current top-k.
-    }
+    // No remaining subtree can improve the current top-k. The cut is
+    // strict even at equality: a node whose bound TIES the k-th score may
+    // still hold an equal-score tuple with a smaller id, which the
+    // deterministic (score desc, id asc) order must admit.
+    if (e.bound < (queue.full() ? queue.threshold() : floor)) break;
     const Node& n = nodes_[e.node];
     if (n.left < 0) {
+      double scores[kLeafSize];
+      leaf_score(n.begin, n.end, scores);
+      kc.tuples_scanned += n.end - n.begin;
       for (uint32_t i = n.begin; i < n.end; ++i) {
-        const double s = score(tuples_[i].key);
+        const double s = scores[i - n.begin];
         if (inclusive_floor ? s < floor : s <= floor) continue;
-        if (found.size() < k || s > found.back().first) {
-          found.emplace_back(s, &tuples_[i]);
-          std::sort(found.begin(), found.end(),
-                    [](const auto& a, const auto& b) {
-                      if (a.first != b.first) return a.first > b.first;
-                      return a.second->id < b.second->id;
-                    });
-          if (found.size() > k) found.pop_back();
-        }
+        queue.Insert(s, rows_.id(i), i);
       }
     } else {
       heap.push_back({rect_upper(nodes_[n.left].bounds), n.left});
@@ -151,18 +233,21 @@ TupleVec KdIndex::TopK(const ScoreFn& score, const RectUpperFn& rect_upper,
       std::push_heap(heap.begin(), heap.end());
     }
   }
-  best.reserve(found.size());
-  for (const auto& [s, t] : found) best.push_back(*t);
+  for (const store::BoundedTopK::Entry& e : queue.SortedDescending()) {
+    best.push_back(rows_.TupleAt(e.payload));
+  }
   return best;
 }
 
 template <typename CostFn, typename RectLowerFn, typename AdmitFn>
-const Tuple* KdIndex::ArgMin(const CostFn& cost, const RectLowerFn& rect_lower,
-                             const AdmitFn& admit,
-                             double* best_cost_out) const {
-  if (empty()) return nullptr;
-  const Tuple* best = nullptr;
+std::optional<Tuple> KdIndex::ArgMin(const CostFn& cost,
+                                     const RectLowerFn& rect_lower,
+                                     const AdmitFn& admit,
+                                     double* best_cost_out) const {
+  if (empty()) return std::nullopt;
+  std::optional<Tuple> best;
   double best_cost = std::numeric_limits<double>::infinity();
+  KernelCounters& kc = LocalKernelCounters();
   // Depth-first with pruning; recursion via explicit stack ordered so the
   // more promising child is visited first.
   std::vector<int> stack = {kRoot};
@@ -170,15 +255,17 @@ const Tuple* KdIndex::ArgMin(const CostFn& cost, const RectLowerFn& rect_lower,
     const int node = stack.back();
     stack.pop_back();
     const Node& n = nodes_[node];
-    if (rect_lower(n.bounds) >= best_cost && best != nullptr) continue;
+    if (rect_lower(n.bounds) >= best_cost && best.has_value()) continue;
     if (n.left < 0) {
+      kc.tuples_scanned += n.end - n.begin;
       for (uint32_t i = n.begin; i < n.end; ++i) {
-        if (!admit(tuples_[i])) continue;
-        const double c = cost(tuples_[i].key);
+        const Tuple t = rows_.TupleAt(i);
+        if (!admit(t)) continue;
+        const double c = cost(t.key);
         if (c < best_cost ||
-            (c == best_cost && best != nullptr && tuples_[i].id < best->id)) {
+            (c == best_cost && best.has_value() && t.id < best->id)) {
           best_cost = c;
-          best = &tuples_[i];
+          best = t;
         }
       }
       continue;

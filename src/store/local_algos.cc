@@ -1,12 +1,113 @@
 #include "store/local_algos.h"
 
 #include <algorithm>
+#include <numeric>
 
+#include "common/arena.h"
 #include "geom/dominance.h"
 
 namespace ripple {
 
+namespace {
+
+/// Coordinate sum with the accumulation order every caller shares
+/// (dimension-ascending adds), so precomputed sums compare exactly like
+/// sums recomputed inside a comparator.
+double SumOf(const Tuple& t) {
+  double s = 0.0;
+  for (int i = 0; i < t.key.dims(); ++i) s += t.key[i];
+  return s;
+}
+
+/// Drops duplicate ids (merged states may repeat tuples) and returns the
+/// remaining tuples in ascending-sum order — the shared preamble of both
+/// skyline implementations. Sorting an index permutation by precomputed
+/// sums is stable, so the order is identical to stable_sorting the tuples
+/// with an on-the-fly sum comparator.
+TupleVec DedupAndSumSort(TupleVec tuples) {
+  std::sort(tuples.begin(), tuples.end(), TupleIdLess());
+  tuples.erase(std::unique(tuples.begin(), tuples.end(),
+                           [](const Tuple& a, const Tuple& b) {
+                             return a.id == b.id;
+                           }),
+               tuples.end());
+  std::vector<double> sums(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) sums[i] = SumOf(tuples[i]);
+  std::vector<uint32_t> order(tuples.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) { return sums[a] < sums[b]; });
+  // Apply the permutation in place (cycle-walking, O(n) moves): same
+  // result as rebuilding `sorted[i] = tuples[order[i]]` without a second
+  // tuple buffer.
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    if (order[i] == i) continue;
+    Tuple tmp = std::move(tuples[i]);
+    uint32_t cur = i;
+    while (order[cur] != i) {
+      const uint32_t nxt = order[cur];
+      tuples[cur] = std::move(tuples[nxt]);
+      order[cur] = cur;
+      cur = nxt;
+    }
+    tuples[cur] = std::move(tmp);
+    order[cur] = cur;
+  }
+  return tuples;
+}
+
+/// A growable structure-of-arrays view over the running skyline, backed
+/// by the per-query arena: d column arrays sized for the worst case
+/// (every candidate survives), appended to as candidates are accepted.
+class ArenaColumns {
+ public:
+  ArenaColumns(Arena* arena, int dims, size_t capacity) : dims_(dims) {
+    for (int c = 0; c < dims; ++c) {
+      cols_[c] = arena->AllocateArray<double>(capacity);
+    }
+  }
+
+  void Append(const Point& p) {
+    for (int c = 0; c < dims_; ++c) cols_[c][size_] = p[c];
+    ++size_;
+  }
+
+  const double* const* cols() const { return cols_; }
+  size_t size() const { return size_; }
+
+ private:
+  int dims_;
+  size_t size_ = 0;
+  double* cols_[kMaxDims] = {};
+};
+
+}  // namespace
+
 TupleVec ComputeSkyline(TupleVec tuples) {
+  if (tuples.empty()) return tuples;
+  TupleVec sorted = DedupAndSumSort(std::move(tuples));
+  const int dims = sorted[0].key.dims();
+  // A tuple can only be dominated by tuples with a strictly smaller
+  // coordinate sum, so one forward pass against the running skyline —
+  // held column-wise for the branch-free kernel — suffices.
+  Arena& arena = PerQueryArena();
+  ArenaScope scope(&arena);
+  ArenaColumns sky_cols(&arena, dims, sorted.size());
+  TupleVec sky;
+  KernelCounters& kc = LocalKernelCounters();
+  for (Tuple& t : sorted) {
+    ++kc.tuples_scanned;
+    if (AnyDominatesColumns(sky_cols.cols(), dims, sky_cols.size(), t.key)) {
+      continue;
+    }
+    sky_cols.Append(t.key);
+    sky.push_back(std::move(t));
+  }
+  std::sort(sky.begin(), sky.end(), TupleIdLess());
+  return sky;
+}
+
+TupleVec ComputeSkylineScalar(TupleVec tuples) {
   if (tuples.empty()) return tuples;
   // Drop duplicates by id first (merged states may repeat tuples).
   std::sort(tuples.begin(), tuples.end(), TupleIdLess());
@@ -18,14 +119,9 @@ TupleVec ComputeSkyline(TupleVec tuples) {
   // Sort by coordinate sum: a tuple can only be dominated by tuples with a
   // strictly smaller sum, so a single forward pass against the running
   // skyline suffices.
-  auto sum_of = [](const Tuple& t) {
-    double s = 0.0;
-    for (int i = 0; i < t.key.dims(); ++i) s += t.key[i];
-    return s;
-  };
   std::stable_sort(tuples.begin(), tuples.end(),
                    [&](const Tuple& a, const Tuple& b) {
-                     return sum_of(a) < sum_of(b);
+                     return SumOf(a) < SumOf(b);
                    });
   TupleVec sky;
   for (const Tuple& t : tuples) {
@@ -44,17 +140,18 @@ TupleVec ComputeSkyline(TupleVec tuples) {
 
 TupleVec SelectDominators(const TupleVec& sky, size_t max_count) {
   if (sky.size() <= max_count) return sky;
-  auto sum_of = [](const Tuple& t) {
-    double s = 0.0;
-    for (int i = 0; i < t.key.dims(); ++i) s += t.key[i];
-    return s;
-  };
-  TupleVec out = sky;
-  std::nth_element(out.begin(), out.begin() + max_count, out.end(),
-                   [&](const Tuple& a, const Tuple& b) {
-                     return sum_of(a) < sum_of(b);
-                   });
-  out.resize(max_count);
+  // Precompute the sums once and select over an index permutation: the
+  // comparator sees the exact values the scalar on-the-fly version
+  // compared, so the selected set is unchanged.
+  std::vector<double> sums(sky.size());
+  for (size_t i = 0; i < sky.size(); ++i) sums[i] = SumOf(sky[i]);
+  std::vector<uint32_t> order(sky.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + max_count, order.end(),
+                   [&](uint32_t a, uint32_t b) { return sums[a] < sums[b]; });
+  TupleVec out;
+  out.reserve(max_count);
+  for (size_t i = 0; i < max_count; ++i) out.push_back(sky[order[i]]);
   return out;
 }
 
@@ -68,7 +165,58 @@ TupleVec MergeSkylines(TupleVec a, const TupleVec& b) {
     std::sort(out.begin(), out.end(), TupleIdLess());
     return out;
   }
+  const int dims = a[0].key.dims();
+  Arena& arena = PerQueryArena();
+  ArenaScope scope(&arena);
+  ArenaColumns b_cols(&arena, dims, b.size());
+  for (const Tuple& t : b) b_cols.Append(t.key);
+  KernelCounters& kc = LocalKernelCounters();
   // Survivors of a: not dominated by any b tuple.
+  TupleVec out;
+  out.reserve(a.size() + b.size());
+  for (Tuple& t : a) {
+    ++kc.tuples_scanned;
+    if (!AnyDominatesColumns(b_cols.cols(), dims, b_cols.size(), t.key)) {
+      out.push_back(std::move(t));
+    }
+  }
+  const size_t a_survivors = out.size();
+  // Survivors of b: not dominated by any a tuple. (Testing against all of
+  // a equals testing against a's survivors: if a removed a-tuple s
+  // dominated t in b, then s's own b-dominator would dominate t by
+  // transitivity — impossible, b is mutually non-dominated.) Ids already
+  // kept in the a-pass are skipped; duplicated tuples always survive the
+  // a-pass, since nothing in b dominates a tuple b itself contains.
+  ArenaColumns a_cols(&arena, dims, a.size());
+  for (const Tuple& t : a) a_cols.Append(t.key);
+  for (const Tuple& t : b) {
+    bool skip = false;
+    for (size_t i = 0; i < a_survivors; ++i) {
+      if (out[i].id == t.id) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) continue;
+    ++kc.tuples_scanned;
+    if (!AnyDominatesColumns(a_cols.cols(), dims, a_cols.size(), t.key)) {
+      out.push_back(t);
+    }
+  }
+  std::sort(out.begin(), out.end(), TupleIdLess());
+  return out;
+}
+
+TupleVec MergeSkylinesScalar(TupleVec a, const TupleVec& b) {
+  if (b.empty()) {
+    std::sort(a.begin(), a.end(), TupleIdLess());
+    return a;
+  }
+  if (a.empty()) {
+    TupleVec out = b;
+    std::sort(out.begin(), out.end(), TupleIdLess());
+    return out;
+  }
   TupleVec out;
   out.reserve(a.size() + b.size());
   for (const Tuple& t : a) {
@@ -82,12 +230,6 @@ TupleVec MergeSkylines(TupleVec a, const TupleVec& b) {
     if (!dominated) out.push_back(t);
   }
   const size_t a_survivors = out.size();
-  // Survivors of b: not dominated by any a tuple. (Testing against all of
-  // a equals testing against a's survivors: if a removed a-tuple s
-  // dominated t in b, then s's own b-dominator would dominate t by
-  // transitivity — impossible, b is mutually non-dominated.) Ids already
-  // kept in the a-pass are skipped; duplicated tuples always survive the
-  // a-pass, since nothing in b dominates a tuple b itself contains.
   for (const Tuple& t : b) {
     bool skip = false;
     for (size_t i = 0; i < a_survivors; ++i) {

@@ -3,6 +3,8 @@
 
 #include <algorithm>
 
+#include "common/kernel_counters.h"
+#include "store/bounded_topk.h"
 #include "store/tuple.h"
 
 namespace ripple {
@@ -13,8 +15,16 @@ namespace ripple {
 ///
 /// This is the centralized `computeSkyline` primitive the paper's skyline
 /// state functions rely on (Algorithms 10, 11, 13), also used as the oracle
-/// in tests. O(n log n + n * s) where s is the skyline size.
+/// in tests. O(n log n + n * s) where s is the skyline size. Internally the
+/// candidate pass runs the column-wise dominance kernel
+/// (AnyDominatesColumns) over a structure-of-arrays copy of the running
+/// skyline; ComputeSkylineScalar is the retained row-at-a-time oracle and
+/// returns byte-identical results.
 TupleVec ComputeSkyline(TupleVec tuples);
+
+/// The pre-SoA scalar implementation, kept as the parity oracle for tests
+/// and the bench_fig_kernels before/after panel.
+TupleVec ComputeSkylineScalar(TupleVec tuples);
 
 /// Merges two sets that are EACH already skylines (mutually non-dominated
 /// within themselves) into the skyline of their union, using only
@@ -23,8 +33,13 @@ TupleVec ComputeSkyline(TupleVec tuples);
 /// kept once. Result sorted by id. This is the work-horse of distributed
 /// skyline state maintenance, where every incoming state is itself a
 /// skyline; at d >= 8, where skylines span half the dataset, the full
-/// recomputation would be quadratic in the data size per peer.
+/// recomputation would be quadratic in the data size per peer. The
+/// cross-dominance passes run the column-wise kernel; MergeSkylinesScalar
+/// is the retained oracle.
 TupleVec MergeSkylines(TupleVec a, const TupleVec& b);
+
+/// The pre-SoA scalar implementation, kept as the parity oracle.
+TupleVec MergeSkylinesScalar(TupleVec a, const TupleVec& b);
 
 /// Selects up to `max_count` tuples with the smallest coordinate sums —
 /// the only candidates able to dominate whole regions. Used to bound the
@@ -34,8 +49,15 @@ TupleVec SelectDominators(const TupleVec& sky, size_t max_count);
 
 /// Returns the k highest scoring tuples under `score_of` (higher first),
 /// deterministic tie-break by id. Used as the centralized top-k oracle.
+/// Runs a bounded branch-light queue (store::BoundedTopK) over the
+/// candidates instead of copy-and-full-sort; SelectTopKScalar is the
+/// retained partial_sort oracle and returns byte-identical results.
 template <typename ScoreFn>
 TupleVec SelectTopK(TupleVec tuples, const ScoreFn& score_of, size_t k);
+
+/// The pre-SoA partial_sort implementation, kept as the parity oracle.
+template <typename ScoreFn>
+TupleVec SelectTopKScalar(TupleVec tuples, const ScoreFn& score_of, size_t k);
 
 // ---------------------------------------------------------------------------
 // Implementation details only below here.
@@ -43,6 +65,24 @@ TupleVec SelectTopK(TupleVec tuples, const ScoreFn& score_of, size_t k);
 
 template <typename ScoreFn>
 TupleVec SelectTopK(TupleVec tuples, const ScoreFn& score_of, size_t k) {
+  if (k == 0 || tuples.empty()) return {};
+  store::BoundedTopK queue(k);
+  LocalKernelCounters().tuples_scanned += tuples.size();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    queue.Insert(score_of(tuples[i].key), tuples[i].id,
+                 static_cast<uint32_t>(i));
+  }
+  TupleVec out;
+  out.reserve(queue.size());
+  for (const store::BoundedTopK::Entry& e : queue.SortedDescending()) {
+    out.push_back(std::move(tuples[e.payload]));
+  }
+  return out;
+}
+
+template <typename ScoreFn>
+TupleVec SelectTopKScalar(TupleVec tuples, const ScoreFn& score_of,
+                          size_t k) {
   auto better = [&](const Tuple& a, const Tuple& b) {
     const double sa = score_of(a.key), sb = score_of(b.key);
     if (sa != sb) return sa > sb;

@@ -1,40 +1,57 @@
 #include "store/local_store.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "common/arena.h"
+#include "common/kernel_counters.h"
 
 namespace ripple {
 
 void LocalStore::Add(const Tuple& t) {
-  tuples_.push_back(t);
-  index_stale_ = true;
+  flat_.Append(t);
+  MarkMutated();
 }
 
 void LocalStore::AddAll(const TupleVec& ts) {
-  tuples_.insert(tuples_.end(), ts.begin(), ts.end());
-  index_stale_ = true;
+  flat_.AppendAll(ts);
+  MarkMutated();
+}
+
+void LocalStore::AddAll(const LocalStore& other) {
+  flat_.AppendAll(other.flat_);
+  MarkMutated();
 }
 
 void LocalStore::Clear() {
-  tuples_.clear();
-  index_stale_ = true;
+  flat_.Clear();
+  MarkMutated();
+}
+
+bool LocalStore::ContainsId(uint64_t id) const {
+  if (ids_stale_) {
+    sorted_ids_ = flat_.ids();
+    std::sort(sorted_ids_.begin(), sorted_ids_.end());
+    ids_stale_ = false;
+  }
+  return std::binary_search(sorted_ids_.begin(), sorted_ids_.end(), id);
 }
 
 TupleVec LocalStore::ExtractOutside(const Rect& zone, const Rect& domain) {
-  TupleVec moved;
-  auto inside = [&](const Tuple& t) {
-    return zone.ContainsHalfOpen(t.key, domain);
-  };
-  auto it = std::stable_partition(tuples_.begin(), tuples_.end(), inside);
-  moved.assign(it, tuples_.end());
-  tuples_.erase(it, tuples_.end());
-  index_stale_ = true;
+  std::vector<uint8_t> outside(flat_.size());
+  for (size_t i = 0; i < flat_.size(); ++i) {
+    outside[i] =
+        static_cast<uint8_t>(!zone.ContainsHalfOpen(flat_.PointAt(i), domain));
+  }
+  TupleVec moved = flat_.ExtractIf(outside);
+  MarkMutated();
   return moved;
 }
 
 const KdIndex* LocalStore::Index() const {
-  if (tuples_.size() < kIndexThreshold) return nullptr;
+  if (flat_.size() < kIndexThreshold) return nullptr;
   if (index_stale_) {
-    index_.Build(tuples_);
+    index_.Build(flat_);
     index_stale_ = false;
   }
   return &index_;
@@ -42,56 +59,91 @@ const KdIndex* LocalStore::Index() const {
 
 TupleVec LocalStore::TopKAbove(const Scorer& scorer, size_t k,
                                double tau) const {
-  auto score = [&](const Point& p) { return scorer.Score(p); };
   if (const KdIndex* idx = Index()) {
-    auto upper = [&](const Rect& r) { return scorer.UpperBound(r); };
-    return idx->TopK(score, upper, k, tau, /*inclusive_floor=*/true);
+    return idx->TopK(scorer, k, tau, /*inclusive_floor=*/true);
   }
-  TupleVec above;
-  for (const Tuple& t : tuples_) {
-    if (score(t.key) >= tau) above.push_back(t);
+  const size_t n = flat_.size();
+  if (n == 0 || k == 0) return {};
+  Arena& arena = PerQueryArena();
+  ArenaScope scope(&arena);
+  double* scores = arena.AllocateArray<double>(n);
+  scorer.ScoreBlock(flat_.cols(), flat_.dims(), n, scores);
+  LocalKernelCounters().tuples_scanned += n;
+  store::BoundedTopK queue(k);
+  for (size_t i = 0; i < n; ++i) {
+    if (scores[i] >= tau) {
+      queue.Insert(scores[i], flat_.id(i), static_cast<uint32_t>(i));
+    }
   }
-  return SelectTopK(std::move(above), score, k);
+  TupleVec out;
+  out.reserve(queue.size());
+  for (const store::BoundedTopK::Entry& e : queue.SortedDescending()) {
+    out.push_back(flat_.TupleAt(e.payload));
+  }
+  return out;
 }
 
 TupleVec LocalStore::BestBelow(const Scorer& scorer, size_t count,
                                double tau) const {
-  TupleVec candidates;
-  for (const Tuple& t : tuples_) {
-    if (scorer.Score(t.key) < tau) candidates.push_back(t);
+  const size_t n = flat_.size();
+  if (n == 0 || count == 0) return {};
+  Arena& arena = PerQueryArena();
+  ArenaScope scope(&arena);
+  double* scores = arena.AllocateArray<double>(n);
+  scorer.ScoreBlock(flat_.cols(), flat_.dims(), n, scores);
+  LocalKernelCounters().tuples_scanned += n;
+  store::BoundedTopK queue(count);
+  for (size_t i = 0; i < n; ++i) {
+    if (scores[i] < tau) {
+      queue.Insert(scores[i], flat_.id(i), static_cast<uint32_t>(i));
+    }
   }
-  return SelectTopK(std::move(candidates),
-                    [&](const Point& p) { return scorer.Score(p); }, count);
+  TupleVec out;
+  out.reserve(queue.size());
+  for (const store::BoundedTopK::Entry& e : queue.SortedDescending()) {
+    out.push_back(flat_.TupleAt(e.payload));
+  }
+  return out;
 }
 
 TupleVec LocalStore::AllAtLeast(const Scorer& scorer, double tau) const {
-  auto score = [&](const Point& p) { return scorer.Score(p); };
   TupleVec out;
   if (const KdIndex* idx = Index()) {
-    auto upper = [&](const Rect& r) { return scorer.UpperBound(r); };
-    idx->CollectAtLeast(score, upper, tau, &out);
+    idx->CollectAtLeast(scorer, tau, &out);
   } else {
-    for (const Tuple& t : tuples_) {
-      if (score(t.key) >= tau) out.push_back(t);
+    const size_t n = flat_.size();
+    if (n > 0) {
+      Arena& arena = PerQueryArena();
+      ArenaScope scope(&arena);
+      double* scores = arena.AllocateArray<double>(n);
+      scorer.ScoreBlock(flat_.cols(), flat_.dims(), n, scores);
+      LocalKernelCounters().tuples_scanned += n;
+      for (size_t i = 0; i < n; ++i) {
+        if (scores[i] >= tau) out.push_back(flat_.TupleAt(i));
+      }
     }
   }
   std::sort(out.begin(), out.end(), TupleIdLess());
   return out;
 }
 
-TupleVec LocalStore::LocalSkyline() const { return ComputeSkyline(tuples_); }
+TupleVec LocalStore::LocalSkyline() const {
+  return ComputeSkyline(flat_.Materialize());
+}
 
 double LocalStore::MedianAlong(int dim) const {
-  RIPPLE_CHECK(!tuples_.empty());
-  std::vector<double> coords;
-  coords.reserve(tuples_.size());
-  for (const Tuple& t : tuples_) coords.push_back(t.key[dim]);
-  const size_t mid = coords.size() / 2;
-  std::nth_element(coords.begin(), coords.begin() + mid, coords.end());
+  RIPPLE_CHECK(!flat_.empty());
+  const size_t n = flat_.size();
+  Arena& arena = PerQueryArena();
+  ArenaScope scope(&arena);
+  double* coords = arena.AllocateArray<double>(n);
+  std::memcpy(coords, flat_.col(dim), n * sizeof(double));
+  const size_t mid = n / 2;
+  std::nth_element(coords, coords + mid, coords + n);
   return coords[mid];
 }
 
-const Tuple* LocalStore::ArgMin(
+std::optional<Tuple> LocalStore::ArgMin(
     const std::function<double(const Point&)>& cost,
     const std::function<double(const Rect&)>& rect_lower,
     const std::function<bool(const Tuple&)>& admit,
@@ -99,14 +151,17 @@ const Tuple* LocalStore::ArgMin(
   if (const KdIndex* idx = Index()) {
     return idx->ArgMin(cost, rect_lower, admit, best_cost);
   }
-  const Tuple* best = nullptr;
+  std::optional<Tuple> best;
   double best_c = std::numeric_limits<double>::infinity();
-  for (const Tuple& t : tuples_) {
+  KernelCounters& kc = LocalKernelCounters();
+  for (size_t i = 0; i < flat_.size(); ++i) {
+    ++kc.tuples_scanned;
+    const Tuple t = flat_.TupleAt(i);
     if (!admit(t)) continue;
     const double c = cost(t.key);
-    if (best == nullptr || c < best_c || (c == best_c && t.id < best->id)) {
+    if (!best.has_value() || c < best_c || (c == best_c && t.id < best->id)) {
       best_c = c;
-      best = &t;
+      best = t;
     }
   }
   if (best_cost != nullptr) *best_cost = best_c;

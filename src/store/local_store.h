@@ -3,9 +3,12 @@
 
 #include <functional>
 #include <limits>
+#include <optional>
+#include <vector>
 
 #include "geom/rect.h"
 #include "geom/scoring.h"
+#include "store/flat_store.h"
 #include "store/kd_index.h"
 #include "store/local_algos.h"
 #include "store/tuple.h"
@@ -13,19 +16,38 @@
 namespace ripple {
 
 /// A peer's local tuple storage plus the query primitives the RIPPLE
-/// policies need from local data. Mutations (tuples arriving or handed off
-/// during zone splits/merges) invalidate a lazily rebuilt k-d index; small
-/// stores are scanned directly.
+/// policies need from local data. Rows live in a store::FlatStore (flat
+/// structure-of-arrays: ids plus d contiguous coordinate columns), so the
+/// scan paths batch-score whole columns (Scorer::ScoreBlock) into a
+/// bounded top-k queue instead of walking Tuple records. Mutations
+/// (tuples arriving or handed off during zone splits/merges) invalidate a
+/// lazily rebuilt k-d index; small stores are scanned directly.
 class LocalStore {
  public:
   LocalStore() = default;
 
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
-  const TupleVec& tuples() const { return tuples_; }
+  size_t size() const { return flat_.size(); }
+  bool empty() const { return flat_.empty(); }
+
+  /// The backing columnar rows (insertion order).
+  const store::FlatStore& flat() const { return flat_; }
+
+  /// Row-order materialization into edge Tuples (wire, oracles, tests).
+  TupleVec Snapshot() const { return flat_.Materialize(); }
+
+  /// Calls `fn(const Tuple&)` for every stored tuple in row order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < flat_.size(); ++i) fn(flat_.TupleAt(i));
+  }
+
+  /// Whether a tuple with this id is stored here (lazy sorted-id index).
+  bool ContainsId(uint64_t id) const;
 
   void Add(const Tuple& t);
   void AddAll(const TupleVec& ts);
+  /// Column-wise bulk absorb of another store's rows (zone merges).
+  void AddAll(const LocalStore& other);
   void Clear();
 
   /// Removes and returns every tuple whose key is NOT inside `zone`
@@ -57,20 +79,28 @@ class LocalStore {
 
   /// The local tuple minimizing `cost`, among tuples accepted by `admit`,
   /// pruning subtrees via `rect_lower` (sound lower bound of cost over a
-  /// rect). Returns nullptr when the store has no admitted tuple. Ties are
+  /// rect). Empty optional when the store has no admitted tuple. Ties are
   /// broken by smallest id for determinism.
-  const Tuple* ArgMin(const std::function<double(const Point&)>& cost,
-                      const std::function<double(const Rect&)>& rect_lower,
-                      const std::function<bool(const Tuple&)>& admit,
-                      double* best_cost) const;
+  std::optional<Tuple> ArgMin(
+      const std::function<double(const Point&)>& cost,
+      const std::function<double(const Rect&)>& rect_lower,
+      const std::function<bool(const Tuple&)>& admit,
+      double* best_cost) const;
 
  private:
   /// Rebuilds the k-d index if stale; returns it (nullptr for tiny stores).
   const KdIndex* Index() const;
 
-  TupleVec tuples_;
+  void MarkMutated() {
+    index_stale_ = true;
+    ids_stale_ = true;
+  }
+
+  store::FlatStore flat_;
   mutable KdIndex index_;
   mutable bool index_stale_ = true;
+  mutable std::vector<uint64_t> sorted_ids_;
+  mutable bool ids_stale_ = true;
 
   /// Below this many tuples a plain scan beats the index.
   static constexpr size_t kIndexThreshold = 32;

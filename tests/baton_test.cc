@@ -76,7 +76,7 @@ TEST(BatonTest, RegionContainsOwnTuples) {
   }
   for (PeerId id = 0; id < overlay.NumPeers(); ++id) {
     const auto region = overlay.RegionOf(id);
-    for (const Tuple& t : overlay.GetPeer(id).store.tuples()) {
+    for (const Tuple& t : overlay.GetPeer(id).store.Snapshot()) {
       bool contained = false;
       for (const Rect& r : region) {
         if (r.Contains(t.key)) {

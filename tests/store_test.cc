@@ -198,8 +198,8 @@ TEST(KdIndexTest, ArgMinAgreesWithScanAndRespectsAdmit) {
   std::set<uint64_t> excluded = {ts[0].id, ts[10].id, ts[20].id};
   auto admit = [&](const Tuple& t) { return !excluded.count(t.id); };
   double best_cost = 0;
-  const Tuple* got = idx.ArgMin(cost, lower, admit, &best_cost);
-  ASSERT_NE(got, nullptr);
+  const std::optional<Tuple> got = idx.ArgMin(cost, lower, admit, &best_cost);
+  ASSERT_TRUE(got.has_value());
   const Tuple* want = nullptr;
   double want_cost = 1e18;
   for (const Tuple& t : ts) {
@@ -222,8 +222,9 @@ TEST(KdIndexTest, EmptyIndex) {
   auto zero_r = [](const Rect&) { return 0.0; };
   EXPECT_TRUE(idx.TopK(zero, zero_r, 5).empty());
   double c = 0;
-  EXPECT_EQ(idx.ArgMin(zero, zero_r, [](const Tuple&) { return true; }, &c),
-            nullptr);
+  EXPECT_FALSE(
+      idx.ArgMin(zero, zero_r, [](const Tuple&) { return true; }, &c)
+          .has_value());
 }
 
 // --- LocalStore -------------------------------------------------------------
@@ -238,7 +239,7 @@ TEST(LocalStoreTest, ExtractOutsideMovesCorrectTuples) {
   TupleVec moved = store.ExtractOutside(lower, domain);
   ASSERT_EQ(moved.size(), 2u);
   EXPECT_EQ(store.size(), 1u);
-  EXPECT_EQ(store.tuples()[0].id, 1u);
+  EXPECT_EQ(store.flat().id(0), 1u);
 }
 
 TEST(LocalStoreTest, TopKAboveIsThresholdInclusive) {

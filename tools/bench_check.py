@@ -13,6 +13,13 @@ Metric classes:
     machines makes them ungateable, so drift is printed but never fails.
   * everything else (hops, messages, tuples, congestion, peak load, gini)
     is deterministic given seed+config and is gated with --rtol/--atol.
+  * exact_ metrics are machine-independent work counts (kernel tuples
+    scanned, dominance comparisons, heap pushes — exact functions of
+    seed+config, no scheduling or FP-noise component) and are gated with
+    ZERO tolerance: any baseline-vs-fresh difference fails. The kernels
+    suite uses these so a silent change to a kernel's work profile (a
+    pruning bound loosened, a scan made quadratic) trips the gate even
+    when wall clock hides it.
   * floor rule: a metric named wall_floor_<X> declares a minimum for the
     sibling metric wall_<X> in the same case OF THE SAME (fresh) document.
     Both carry the wall_ prefix, so they never participate in
@@ -68,11 +75,16 @@ import os
 import sys
 
 INFORMATIONAL_PREFIXES = ("wall_", "cpu_")
+EXACT_PREFIX = "exact_"
 DEFAULT_SUITES = ("figs", "ablations", "net")
 
 
 def is_informational(metric):
     return metric.startswith(INFORMATIONAL_PREFIXES)
+
+
+def is_exact(metric):
+    return metric.startswith(EXACT_PREFIX)
 
 
 def load_doc(path):
@@ -253,6 +265,12 @@ def diff_suite(suite, base, fresh, rtol, atol, failures, notes):
                         f"run: {metric}")
                 continue
             fresh_v = fresh_metrics[metric]
+            if is_exact(metric):
+                if fresh_v != base_v:
+                    failures.append(
+                        f"[{suite}] {case_id}: {metric} baseline={base_v:g} "
+                        f"fresh={fresh_v:g} — exact_ metrics allow no drift")
+                continue
             if within(base_v, fresh_v, rtol, atol):
                 continue
             delta = fresh_v - base_v

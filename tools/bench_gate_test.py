@@ -38,7 +38,10 @@ Builds a synthetic baseline BENCH_figs.json in a temp dir, then checks:
       (bytes_ratio > ceiling_bytes_ratio) fails, even against a
       baseline with the identical regression (exit 1);
   22. a cache run whose hit rate fell below its declared floor
-      (cache_hit_rate < floor_cache_hit_rate) fails (exit 1).
+      (cache_hit_rate < floor_cache_hit_rate) fails (exit 1);
+  23. an exact_ work-count metric identical to baseline passes (exit 0);
+  24. an exact_ work-count metric off by even one count fails — a drift
+      far inside the default rtol/atol tolerances (exit 1).
 
 Registered in ctest (label: unit) so the regression gate itself is under
 test. Stdlib only.
@@ -315,6 +318,33 @@ def main():
         if "floor_cache_hit_rate" not in out:
             print(f"bench_gate_test FAIL: hit-rate failure does not name "
                   f"the floor metric\n{out}")
+            sys.exit(1)
+
+        # Exact rule: kernel work counts are machine-independent functions
+        # of seed+config, so the gate allows zero drift — a single count
+        # of difference (well inside rtol=0.10/atol=0.5) must fail.
+        exact = copy.deepcopy(BASELINE)
+        exact["cases"]["kernels/d=4/random"] = {
+            "exact_topk_heap_pushes": 111.0,
+            "exact_skyline_dominance_cmps": 70656.0,
+            "wall_soa_ms": 0.21,
+        }
+        exact_base = os.path.join(tmp, "exact_base")
+        write(exact_base, exact)
+        fresh_dir = os.path.join(tmp, "exact_ok")
+        write(fresh_dir, copy.deepcopy(exact))
+        code, out = run_check(exact_base, fresh_dir)
+        expect("identical exact work counts pass", code, 0, out)
+
+        fresh = copy.deepcopy(exact)
+        fresh["cases"]["kernels/d=4/random"]["exact_topk_heap_pushes"] = 112.0
+        fresh_dir = os.path.join(tmp, "exact_off_by_one")
+        write(fresh_dir, fresh)
+        code, out = run_check(exact_base, fresh_dir)
+        expect("exact work count off by one fails", code, 1, out)
+        if "exact_topk_heap_pushes" not in out:
+            print(f"bench_gate_test FAIL: exact failure does not name the "
+                  f"metric\n{out}")
             sys.exit(1)
 
         # Net suite: the soundness rules are intra-document, so a broken

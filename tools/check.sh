@@ -12,6 +12,7 @@
 #   tools/check.sh monitor    # admin/monitoring plane, ASan then UBSan
 #   tools/check.sh cache      # cache/controller/batching, ASan then UBSan
 #   tools/check.sh obs        # observability suite (obs+exec labels), TSan
+#   tools/check.sh micro      # google-benchmark micro suite, smoke run
 #   tools/check.sh --bench    # bench smoke suite + BENCH_*.json gate
 #
 # The sanitized build lives in build-san-<kind> next to the regular
@@ -126,6 +127,23 @@ if [[ "${1:-}" == "cache" ]]; then
     ctest --test-dir "$BUILD_DIR" --output-on-failure -L cache
   done
   echo "check.sh: cache suite clean under address+undefined"
+  exit 0
+fi
+
+# micro: the google-benchmark micro suite (ctest label `micro`) at
+# smoke scale — one repetition, minimal timing — in the plain bench
+# build. This proves every registered micro benchmark (SoA kernels,
+# scalar oracles, k-d index, Z-order, frame encode/decode, overlay
+# maintenance) still runs to completion; timings are not gated here.
+if [[ "${1:-}" == "micro" ]]; then
+  BUILD_DIR="build-bench"
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRIPPLE_BUILD_BENCHMARKS=ON \
+    -DRIPPLE_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L micro
+  echo "check.sh: micro bench suite clean"
   exit 0
 fi
 
